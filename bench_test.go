@@ -1,0 +1,191 @@
+package deepsqueeze
+
+// One testing.B benchmark per paper table/figure. Each benchmark runs the
+// corresponding harness experiment at a reduced scale (the full-scale runs
+// are `dsbench -exp <id>`; see EXPERIMENTS.md) and reports the headline
+// metric alongside Go's timing. Benchmarks are smoke-sized so
+// `go test -bench=. -benchmem` completes in minutes.
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"deepsqueeze/internal/bench"
+)
+
+// benchConfig is the smoke-run configuration shared by all benchmarks.
+func benchConfig() bench.Config {
+	return bench.Config{Scale: 0.1, Seed: 1, Quick: true}
+}
+
+// reportRatios attaches the report's final numeric column (usually a
+// compression ratio) as custom benchmark metrics.
+func reportRatios(b *testing.B, rep *bench.Report, metric string, col int) {
+	if len(rep.Rows) == 0 {
+		return
+	}
+	var sum float64
+	var n int
+	for _, row := range rep.Rows {
+		if col >= len(row) {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n), metric)
+	}
+}
+
+func runExperiment(b *testing.B, run func(bench.Config) (*bench.Report, error)) *bench.Report {
+	b.Helper()
+	var rep *bench.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = run(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rep
+}
+
+// BenchmarkTable1Datasets regenerates the dataset summary (paper Table 1).
+func BenchmarkTable1Datasets(b *testing.B) {
+	rep := runExperiment(b, bench.Table1)
+	if len(rep.Rows) != 5 {
+		b.Fatalf("expected 5 datasets, got %d", len(rep.Rows))
+	}
+}
+
+// BenchmarkFig6aBaselines regenerates the gzip/Parquet baseline ratios
+// (paper Fig. 6a).
+func BenchmarkFig6aBaselines(b *testing.B) {
+	rep := runExperiment(b, bench.Fig6a)
+	reportRatios(b, rep, "parquet_%", 2)
+}
+
+// BenchmarkFig6Compression regenerates the DeepSqueeze-vs-Squish ratio
+// comparison (paper Figs. 6b–6f), one dataset per sub-benchmark.
+func BenchmarkFig6Compression(b *testing.B) {
+	for _, name := range []string{"corel", "forest", "census", "monitor", "criteo"} {
+		b.Run(name, func(b *testing.B) {
+			rep := runExperiment(b, func(c bench.Config) (*bench.Report, error) {
+				return bench.Fig6(c, name)
+			})
+			reportRatios(b, rep, "squish_%", 2)
+			reportRatios(b, rep, "ds_%", 3)
+		})
+	}
+}
+
+// BenchmarkTable2Runtime regenerates the runtime comparison (paper Table 2)
+// on the two smallest datasets.
+func BenchmarkTable2Runtime(b *testing.B) {
+	rep := runExperiment(b, func(c bench.Config) (*bench.Report, error) {
+		return bench.Table2(c, "corel", "monitor")
+	})
+	if len(rep.Rows) != 2 {
+		b.Fatalf("expected 2 rows, got %d", len(rep.Rows))
+	}
+}
+
+// BenchmarkFig7Ablations regenerates the optimization comparison (paper
+// Fig. 7) on one numeric and one categorical dataset.
+func BenchmarkFig7Ablations(b *testing.B) {
+	rep := runExperiment(b, func(c bench.Config) (*bench.Report, error) {
+		return bench.Fig7(c, "monitor", "census")
+	})
+	reportRatios(b, rep, "full_ds_%", 4)
+}
+
+// BenchmarkFig8Partitioning regenerates the k-means vs mixture-of-experts
+// comparison (paper Fig. 8).
+func BenchmarkFig8Partitioning(b *testing.B) {
+	rep := runExperiment(b, bench.Fig8)
+	reportRatios(b, rep, "kmeans_%", 2)
+	reportRatios(b, rep, "moe_%", 3)
+}
+
+// BenchmarkFig9Tuning regenerates the hyperparameter-tuning convergence
+// study (paper Fig. 9) on Monitor.
+func BenchmarkFig9Tuning(b *testing.B) {
+	rep := runExperiment(b, func(c bench.Config) (*bench.Report, error) {
+		return bench.Fig9(c, "monitor")
+	})
+	if len(rep.Rows) == 0 {
+		b.Fatal("no tuning trials recorded")
+	}
+	reportRatios(b, rep, "best_%", 5)
+}
+
+// BenchmarkFig10SampleSize regenerates the training-sample sensitivity
+// study (paper Fig. 10).
+func BenchmarkFig10SampleSize(b *testing.B) {
+	rep := runExperiment(b, bench.Fig10)
+	reportRatios(b, rep, "ratio_%", 2)
+}
+
+// BenchmarkAblationCodeTruncation measures the paper §6.2 code-truncation
+// search against fixed 32-bit codes.
+func BenchmarkAblationCodeTruncation(b *testing.B) {
+	rep := runExperiment(b, func(c bench.Config) (*bench.Report, error) {
+		return bench.AblationCodeTruncation(c, "monitor")
+	})
+	reportRatios(b, rep, "searched_%", 2)
+}
+
+// BenchmarkAblationExpertMapping measures the §6.4 expert-mapping
+// strategies (order-preserving vs order-free).
+func BenchmarkAblationExpertMapping(b *testing.B) {
+	rep := runExperiment(b, bench.AblationExpertMapping)
+	reportRatios(b, rep, "keep_order_%", 1)
+	reportRatios(b, rep, "order_free_%", 2)
+}
+
+// BenchmarkCompressThroughput measures raw compression throughput on the
+// Monitor workload (rows/sec), independent of the harness.
+func BenchmarkCompressThroughput(b *testing.B) {
+	cfg := benchConfig()
+	rep, err := bench.Table1(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = rep
+	for _, rows := range []int{2000, 8000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			tb := monitorTable(rows)
+			opts := DefaultOptions()
+			opts.TrainSampleRows = 1000
+			opts.Train.Epochs = 4
+			thr := UniformThresholds(tb, 0.1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Compress(tb, thr, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+func monitorTable(rows int) *Table {
+	schema := NewSchema(
+		Column{Name: "cpu", Type: Numeric},
+		Column{Name: "mem", Type: Numeric},
+		Column{Name: "temp", Type: Numeric},
+	)
+	t := NewTable(schema, rows)
+	for i := 0; i < rows; i++ {
+		load := float64(i%97) / 97
+		t.AppendRow(nil, []float64{load * 100, 20 + load*60, 35 + load*40})
+	}
+	return t
+}

@@ -1,0 +1,213 @@
+// Command dsqz compresses and decompresses tabular CSV data with
+// DeepSqueeze.
+//
+// Usage:
+//
+//	dsqz compress   -in data.csv -schema "city:cat,temp:num" -out data.dsqz [flags]
+//	dsqz decompress -in data.dsqz -out data.csv -schema "city:cat,temp:num"
+//	dsqz inspect    -in data.dsqz
+//
+// The schema flag lists column name:type pairs in file order, where type is
+// "cat" (categorical) or "num" (numeric). Compression flags:
+//
+//	-error 0.05        relative error threshold for all numeric columns
+//	-code 2            code size (representation-layer width)
+//	-experts 1         number of experts
+//	-sample 0          training sample rows (0 = full data)
+//	-tune              run Bayesian hyperparameter tuning first
+//	-seed 1            random seed
+//	-v                 verbose progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deepsqueeze"
+	"deepsqueeze/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "compress":
+		err = runCompress(os.Args[2:])
+	case "decompress":
+		err = runDecompress(os.Args[2:])
+	case "inspect":
+		err = runInspect(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsqz:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dsqz {compress|decompress|inspect} [flags]")
+	fmt.Fprintln(os.Stderr, "run 'dsqz <subcommand> -h' for flags")
+}
+
+// parseSchema parses "name:cat,name:num,..." descriptors.
+func parseSchema(s string) (*deepsqueeze.Schema, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -schema (e.g. \"city:cat,temp:num\")")
+	}
+	var cols []deepsqueeze.Column
+	for _, part := range strings.Split(s, ",") {
+		name, typ, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad schema entry %q (want name:cat or name:num)", part)
+		}
+		switch typ {
+		case "cat":
+			cols = append(cols, deepsqueeze.Column{Name: name, Type: deepsqueeze.Categorical})
+		case "num":
+			cols = append(cols, deepsqueeze.Column{Name: name, Type: deepsqueeze.Numeric})
+		default:
+			return nil, fmt.Errorf("bad column type %q in %q (want cat or num)", typ, part)
+		}
+	}
+	return deepsqueeze.NewSchema(cols...), nil
+}
+
+func runCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV file")
+	out := fs.String("out", "", "output archive file")
+	schemaStr := fs.String("schema", "", "column schema: name:cat|num, comma separated")
+	errThr := fs.Float64("error", 0, "relative error threshold for numeric columns (0 = lossless)")
+	code := fs.Int("code", 2, "code size")
+	experts := fs.Int("experts", 1, "number of experts")
+	sample := fs.Int("sample", 0, "training sample rows (0 = all)")
+	tune := fs.Bool("tune", false, "run hyperparameter tuning before compressing")
+	seed := fs.Int64("seed", 1, "random seed")
+	verbose := fs.Bool("v", false, "verbose progress")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("compress needs -in and -out")
+	}
+	schema, err := parseSchema(*schemaStr)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	table, err := deepsqueeze.ReadCSV(f, schema)
+	if err != nil {
+		return err
+	}
+	thresholds := deepsqueeze.UniformThresholds(table, *errThr)
+	opts := deepsqueeze.DefaultOptions()
+	opts.CodeSize = *code
+	opts.NumExperts = *experts
+	opts.TrainSampleRows = *sample
+	opts.Seed = *seed
+	if *verbose {
+		opts.Verbose = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	if *tune {
+		topts := deepsqueeze.DefaultTuneOptions()
+		topts.Base = opts
+		tres, err := deepsqueeze.Tune(table, thresholds, topts)
+		if err != nil {
+			return fmt.Errorf("tuning: %w", err)
+		}
+		opts = tres.Best
+		fmt.Fprintf(os.Stderr, "tuned: code=%d experts=%d sample=%d (%d trials)\n",
+			opts.CodeSize, opts.NumExperts, opts.TrainSampleRows, len(tres.Trials))
+	}
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	res, err := deepsqueeze.CompressTo(of, table, thresholds, opts)
+	if err != nil {
+		return err
+	}
+	raw := table.CSVSize()
+	fmt.Printf("compressed %d rows: %d → %d bytes (%.2f%%), code bits %d\n",
+		table.NumRows(), raw, res.Breakdown.Total, 100*res.Ratio(raw), res.CodeBits)
+	printBreakdown(res.Breakdown)
+	return of.Close()
+}
+
+func runDecompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	in := fs.String("in", "", "input archive file")
+	out := fs.String("out", "", "output CSV file")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("decompress needs -in and -out")
+	}
+	buf, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	table, err := deepsqueeze.Decompress(buf)
+	if err != nil {
+		return err
+	}
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	if err := table.WriteCSV(of); err != nil {
+		return err
+	}
+	fmt.Printf("decompressed %d rows × %d columns to %s\n",
+		table.NumRows(), table.Schema.NumColumns(), *out)
+	return of.Close()
+}
+
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("in", "", "archive file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("inspect needs -in")
+	}
+	buf, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	info, err := deepsqueeze.Inspect(buf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("archive: %d bytes\nrows: %d\n", info.TotalBytes, info.Rows)
+	fmt.Printf("model: code size %d (%d-bit codes), %d expert(s)\n",
+		info.CodeSize, info.CodeBits, info.NumExperts)
+	if info.Streaming {
+		fmt.Println("streaming batch archive: decompress with its model archive")
+	}
+	if !info.RowOrderPreserved {
+		fmt.Println("row order not preserved (order-free grouped storage)")
+	}
+	fmt.Println("columns:")
+	for i, c := range info.Schema.Columns {
+		fmt.Printf("  %-24s %-11v %s\n", c.Name, c.Type, info.ColumnKind[i])
+	}
+	return nil
+}
+
+func printBreakdown(bd core.Breakdown) {
+	fmt.Printf("  header   %8d bytes\n  decoder  %8d bytes\n  codes    %8d bytes\n  failures %8d bytes\n  mapping  %8d bytes\n",
+		bd.Header, bd.Decoder, bd.Codes, bd.Failures, bd.Mapping)
+}

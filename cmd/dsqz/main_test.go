@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"deepsqueeze"
+)
+
+func TestParseSchema(t *testing.T) {
+	s, err := parseSchema("city:cat,temp:num, humid:num")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumColumns() != 3 {
+		t.Fatalf("columns = %d", s.NumColumns())
+	}
+	want := []deepsqueeze.Column{
+		{Name: "city", Type: deepsqueeze.Categorical},
+		{Name: "temp", Type: deepsqueeze.Numeric},
+		{Name: "humid", Type: deepsqueeze.Numeric},
+	}
+	for i, c := range want {
+		if s.Columns[i] != c {
+			t.Fatalf("column %d = %+v, want %+v", i, s.Columns[i], c)
+		}
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"noseparator",
+		"name:bogus",
+		"a:cat,b",
+	} {
+		if _, err := parseSchema(bad); err == nil {
+			t.Errorf("parseSchema(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package deepsqueeze is a semantic compression library for tabular data,
+// implementing "DeepSqueeze: Deep Semantic Compression for Tabular Data"
+// (Ilkhechi et al., SIGMOD 2020).
+//
+// DeepSqueeze maps tuples to a low-dimensional representation with an
+// autoencoder (optionally a sparsely-gated mixture of experts), materializes
+// the decoder, the truncated per-tuple codes, and compact per-column
+// correction streams ("failures"), and reaches compressed sizes well below
+// columnar formats on tables whose columns share structure. Numerical
+// columns support guaranteed error bounds for lossy compression; categorical
+// columns always round-trip exactly.
+//
+// Quickstart:
+//
+//	table := deepsqueeze.NewTable(schema, 0)
+//	// ... append rows ...
+//	res, err := deepsqueeze.Compress(table, deepsqueeze.UniformThresholds(table, 0.05), deepsqueeze.DefaultOptions())
+//	// res.Archive is a self-contained blob
+//	back, err := deepsqueeze.Decompress(res.Archive)
+//
+// See examples/ for runnable programs and cmd/dsqz for a CLI.
+package deepsqueeze
+
+import (
+	"fmt"
+	"io"
+
+	"deepsqueeze/internal/core"
+	"deepsqueeze/internal/dataset"
+)
+
+// Re-exported data-model types. These aliases are the public names; the
+// implementation lives in internal packages.
+type (
+	// ColumnType distinguishes categorical from numeric columns.
+	ColumnType = dataset.ColumnType
+	// Column describes one table column.
+	Column = dataset.Column
+	// Schema is an ordered list of columns.
+	Schema = dataset.Schema
+	// Table is a columnar in-memory table.
+	Table = dataset.Table
+)
+
+// Column type constants.
+const (
+	// Categorical columns hold distinct unordered string values.
+	Categorical = dataset.Categorical
+	// Numeric columns hold integer or floating-point values.
+	Numeric = dataset.Numeric
+)
+
+// Compression types.
+type (
+	// Options configures a compression run; start from DefaultOptions.
+	Options = core.Options
+	// Result is a compression outcome: archive plus size breakdown.
+	Result = core.Result
+	// Breakdown reports per-component archive sizes.
+	Breakdown = core.Breakdown
+	// PartitionMode selects mixture-of-experts or k-means partitioning.
+	PartitionMode = core.PartitionMode
+	// TuneOptions configures automatic hyperparameter tuning.
+	TuneOptions = core.TuneOptions
+	// TuneResult reports the tuner's chosen hyperparameters and history.
+	TuneResult = core.TuneResult
+	// Trial is one hyperparameter evaluation.
+	Trial = core.Trial
+)
+
+// Partitioning modes.
+const (
+	// PartitionMoE trains a learned gate that routes tuples to experts.
+	PartitionMoE = core.PartitionMoE
+	// PartitionKMeans partitions tuples by k-means clustering.
+	PartitionKMeans = core.PartitionKMeans
+)
+
+// NewSchema builds a schema from column descriptors.
+func NewSchema(cols ...Column) *Schema { return dataset.NewSchema(cols...) }
+
+// NewTable returns an empty table with storage preallocated for capacity
+// rows.
+func NewTable(schema *Schema, capacity int) *Table { return dataset.NewTable(schema, capacity) }
+
+// ReadCSV reads a headered CSV file against the given schema.
+func ReadCSV(r io.Reader, schema *Schema) (*Table, error) { return dataset.ReadCSV(r, schema) }
+
+// DefaultOptions returns sensible defaults (single expert, code size 2,
+// automatic code truncation).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultTuneOptions returns the tuning grid the paper's experiments imply.
+func DefaultTuneOptions() TuneOptions { return core.DefaultTuneOptions() }
+
+// UniformThresholds builds a per-column error-threshold slice assigning err
+// to every numeric column and 0 (lossless) to every categorical column.
+// err is a fraction of each column's value range, e.g. 0.05 for 5%.
+func UniformThresholds(t *Table, err float64) []float64 {
+	out := make([]float64, t.Schema.NumColumns())
+	for i, c := range t.Schema.Columns {
+		if c.Type == Numeric {
+			out[i] = err
+		}
+	}
+	return out
+}
+
+// Compress compresses a table under the given per-column error thresholds
+// (see UniformThresholds) and options. The returned archive is
+// self-contained: Decompress needs nothing else.
+func Compress(t *Table, thresholds []float64, opts Options) (*Result, error) {
+	return core.Compress(t, thresholds, opts)
+}
+
+// Decompress reconstructs a table from an archive produced by Compress.
+// Categorical columns are exact; lossy numeric columns are within their
+// archived error bounds.
+func Decompress(archive []byte) (*Table, error) {
+	return core.Decompress(archive)
+}
+
+// CompressTo compresses t and writes the archive to w, returning the result
+// metadata.
+func CompressTo(w io.Writer, t *Table, thresholds []float64, opts Options) (*Result, error) {
+	res, err := core.Compress(t, thresholds, opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(res.Archive); err != nil {
+		return nil, fmt.Errorf("deepsqueeze: write archive: %w", err)
+	}
+	return res, nil
+}
+
+// DecompressFrom reads an entire archive from r and decompresses it.
+func DecompressFrom(r io.Reader) (*Table, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("deepsqueeze: read archive: %w", err)
+	}
+	return core.Decompress(buf)
+}
+
+// Tune searches (code size × expert count) with Bayesian optimization over
+// growing training samples (paper Fig. 5) and returns options ready to pass
+// to Compress.
+func Tune(t *Table, thresholds []float64, topts TuneOptions) (*TuneResult, error) {
+	return core.Tune(t, thresholds, topts)
+}
+
+// Stream is the paper's streaming-archival mode (§3): train once on an
+// initial batch, then compress subsequent message batches into small
+// archives that reference the trained model by hash instead of embedding
+// it. Decompress batches with DecompressBatch.
+type Stream = core.Stream
+
+// NewStream trains on the initial batch and returns the stream compressor
+// plus the initial batch's result. The result's archive doubles as the
+// model archive every later batch depends on.
+func NewStream(train *Table, thresholds []float64, opts Options) (*Stream, *Result, error) {
+	return core.NewStream(train, thresholds, opts)
+}
+
+// DecompressBatch reconstructs a batch produced by Stream.CompressBatch,
+// given the stream's model archive.
+func DecompressBatch(modelArchive, batchArchive []byte) (*Table, error) {
+	return core.DecompressBatch(modelArchive, batchArchive)
+}
+
+// ArchiveInfo summarizes an archive without decompressing it.
+type ArchiveInfo = core.ArchiveInfo
+
+// Inspect parses an archive's metadata (rows, schema, model shape,
+// streaming flag) after validating its checksum, without running the
+// decoder.
+func Inspect(archive []byte) (*ArchiveInfo, error) { return core.Inspect(archive) }
+
+// VerifyBounds audits a decompressed table against the original: every
+// categorical value must match exactly and every numeric value must lie
+// within threshold × range of its column (plus floating-point slack).
+// Returns nil when the paper's guarantee holds.
+func VerifyBounds(original, decompressed *Table, thresholds []float64) error {
+	stats := original.Stats()
+	tol := make([]float64, original.Schema.NumColumns())
+	for i, thr := range thresholds {
+		if original.Schema.Columns[i].Type == Numeric && thr > 0 {
+			tol[i] = thr * (stats[i].Max - stats[i].Min)
+		}
+	}
+	return original.EqualWithin(decompressed, tol)
+}

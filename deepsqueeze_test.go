@@ -1,0 +1,108 @@
+package deepsqueeze
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func demoTable(rows int, seed int64) *Table {
+	schema := NewSchema(
+		Column{Name: "region", Type: Categorical},
+		Column{Name: "load", Type: Numeric},
+		Column{Name: "temp", Type: Numeric},
+	)
+	t := NewTable(schema, rows)
+	rng := rand.New(rand.NewSource(seed))
+	regions := []string{"east", "west", "south"}
+	for i := 0; i < rows; i++ {
+		z := rng.Float64()
+		t.AppendRow([]string{regions[int(z*2.999)]}, []float64{z * 100, 20 + z*60})
+	}
+	return t
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	tb := demoTable(800, 1)
+	opts := DefaultOptions()
+	opts.Train.Epochs = 8
+	thr := UniformThresholds(tb, 0.05)
+	res, err := Compress(tb, thr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(res.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := tb.Stats()
+	tol := []float64{0, 0.05 * (stats[1].Max - stats[1].Min), 0.05 * (stats[2].Max - stats[2].Min)}
+	if err := tb.EqualWithin(got, tol); err != nil {
+		t.Fatal(err)
+	}
+	if res.Breakdown.Total != int64(len(res.Archive)) {
+		t.Fatal("breakdown total mismatch")
+	}
+}
+
+func TestUniformThresholds(t *testing.T) {
+	tb := demoTable(5, 2)
+	thr := UniformThresholds(tb, 0.1)
+	want := []float64{0, 0.1, 0.1}
+	for i := range want {
+		if thr[i] != want[i] {
+			t.Fatalf("thresholds = %v", thr)
+		}
+	}
+}
+
+func TestStreamingHelpers(t *testing.T) {
+	tb := demoTable(300, 3)
+	opts := DefaultOptions()
+	opts.Train.Epochs = 5
+	var buf bytes.Buffer
+	if _, err := CompressTo(&buf, tb, UniformThresholds(tb, 0.1), opts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != tb.NumRows() {
+		t.Fatalf("rows %d != %d", got.NumRows(), tb.NumRows())
+	}
+}
+
+func TestReadCSVThroughPublicAPI(t *testing.T) {
+	csv := "region,load,temp\neast,10,21.5\nwest,90,77\n"
+	schema := NewSchema(
+		Column{Name: "region", Type: Categorical},
+		Column{Name: "load", Type: Numeric},
+		Column{Name: "temp", Type: Numeric},
+	)
+	tb, err := ReadCSV(strings.NewReader(csv), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 || tb.Str[0][1] != "west" || tb.Num[2][0] != 21.5 {
+		t.Fatalf("parsed table wrong: %+v", tb)
+	}
+}
+
+func TestTunePublicAPI(t *testing.T) {
+	tb := demoTable(500, 4)
+	topts := DefaultTuneOptions()
+	topts.Samples = []int{200}
+	topts.Codes = []int{1, 2}
+	topts.Experts = []int{1}
+	topts.Budget = 2
+	topts.Base.Train.Epochs = 5
+	res, err := Tune(tb, UniformThresholds(tb, 0.1), topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.CodeSize == 0 {
+		t.Fatal("tuner returned zero code size")
+	}
+}

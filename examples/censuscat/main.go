@@ -1,0 +1,83 @@
+// Purely categorical semantic compression: a census-style table where every
+// column is categorical and strongly dependent on a latent demographic
+// cluster. DeepSqueeze runs fully lossless here (the paper permits
+// lossiness only on numeric columns) and is compared against gzip on the
+// same data.
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"deepsqueeze"
+)
+
+func main() {
+	const cols = 24
+	const rows = 15000
+	colDefs := make([]deepsqueeze.Column, cols)
+	for i := range colDefs {
+		colDefs[i] = deepsqueeze.Column{Name: fmt.Sprintf("attr%02d", i), Type: deepsqueeze.Categorical}
+	}
+	schema := deepsqueeze.NewSchema(colDefs...)
+	table := deepsqueeze.NewTable(schema, rows)
+
+	rng := rand.New(rand.NewSource(3))
+	const personas = 12
+	card := make([]int, cols)
+	pref := make([][personas]int, cols)
+	for j := 0; j < cols; j++ {
+		card[j] = 2 + rng.Intn(8)
+		for p := 0; p < personas; p++ {
+			pref[j][p] = rng.Intn(card[j])
+		}
+	}
+	row := make([]string, cols)
+	for r := 0; r < rows; r++ {
+		p := rng.Intn(personas)
+		for j := 0; j < cols; j++ {
+			v := pref[j][p]
+			if rng.Float64() < 0.06 {
+				v = rng.Intn(card[j])
+			}
+			row[j] = fmt.Sprintf("v%d", v)
+		}
+		table.AppendRow(row, nil)
+	}
+
+	// All-zero thresholds: categorical compression is always lossless.
+	thresholds := deepsqueeze.UniformThresholds(table, 0)
+
+	opts := deepsqueeze.DefaultOptions()
+	opts.CodeSize = 2
+	opts.NumExperts = 2
+	opts.Train.Epochs = 20
+	res, err := deepsqueeze.Compress(table, thresholds, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	raw := table.CSVSize()
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if err := table.WriteCSV(zw); err != nil {
+		log.Fatal(err)
+	}
+	zw.Close()
+
+	fmt.Printf("raw CSV:     %8d bytes\n", raw)
+	fmt.Printf("gzip:        %8d bytes (%.2f%%)\n", gz.Len(), 100*float64(gz.Len())/float64(raw))
+	fmt.Printf("deepsqueeze: %8d bytes (%.2f%%)\n", res.Breakdown.Total, 100*res.Ratio(raw))
+
+	back, err := deepsqueeze.Decompress(res.Archive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := table.EqualWithin(back, nil); err != nil {
+		log.Fatalf("lossless contract violated: %v", err)
+	}
+	fmt.Println("verified: every categorical value round-tripped exactly")
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a small mixed-type table, compress it with DeepSqueeze,
+// decompress, and verify the error-bound contract.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"deepsqueeze"
+)
+
+func main() {
+	// A tiny telemetry table: one categorical column and two numeric
+	// columns that both depend on a hidden "load" factor — exactly the
+	// cross-column structure DeepSqueeze exploits.
+	schema := deepsqueeze.NewSchema(
+		deepsqueeze.Column{Name: "status", Type: deepsqueeze.Categorical},
+		deepsqueeze.Column{Name: "cpu_pct", Type: deepsqueeze.Numeric},
+		deepsqueeze.Column{Name: "temp_c", Type: deepsqueeze.Numeric},
+	)
+	table := deepsqueeze.NewTable(schema, 5000)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		load := rng.Float64()
+		status := "ok"
+		if load > 0.9 {
+			status = "hot"
+		}
+		table.AppendRow(
+			[]string{status},
+			[]float64{load * 100, 30 + load*50 + rng.NormFloat64()},
+		)
+	}
+
+	// Allow 5% relative error on numeric columns; categoricals are always
+	// lossless.
+	thresholds := deepsqueeze.UniformThresholds(table, 0.05)
+
+	opts := deepsqueeze.DefaultOptions()
+	opts.Train.Epochs = 15
+	res, err := deepsqueeze.Compress(table, thresholds, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := table.CSVSize()
+	fmt.Printf("raw CSV:    %8d bytes\n", raw)
+	fmt.Printf("compressed: %8d bytes (%.2f%% of raw)\n", res.Breakdown.Total, 100*res.Ratio(raw))
+	fmt.Printf("  decoder %d | codes %d (%d-bit) | failures %d\n",
+		res.Breakdown.Decoder, res.Breakdown.Codes, res.CodeBits, res.Breakdown.Failures)
+
+	back, err := deepsqueeze.Decompress(res.Archive)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Audit the guarantee: categorical exact, numeric within 5% of range.
+	stats := table.Stats()
+	maxErr := make([]float64, 3)
+	for r := 0; r < table.NumRows(); r++ {
+		if back.Str[0][r] != table.Str[0][r] {
+			log.Fatalf("row %d: categorical mismatch", r)
+		}
+		for _, c := range []int{1, 2} {
+			if d := math.Abs(back.Num[c][r] - table.Num[c][r]); d > maxErr[c] {
+				maxErr[c] = d
+			}
+		}
+	}
+	for _, c := range []int{1, 2} {
+		bound := 0.05 * (stats[c].Max - stats[c].Min)
+		fmt.Printf("%s: max abs error %.3f (bound %.3f)\n",
+			schema.Columns[c].Name, maxErr[c], bound)
+		// A value sitting exactly on a bucket edge can exceed the bound by
+		// a few ulps of floating-point rounding; allow that.
+		if maxErr[c] > bound*(1+1e-9) {
+			log.Fatal("error bound violated")
+		}
+	}
+	fmt.Println("round trip verified: categoricals exact, numerics within bounds")
+}

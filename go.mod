@@ -1,0 +1,3 @@
+module deepsqueeze
+
+go 1.22

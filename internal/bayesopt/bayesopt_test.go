@@ -1,0 +1,167 @@
+package bayesopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// grid2d builds a normalized 2-D grid of n×n points over [0,1]².
+func grid2d(n int) [][]float64 {
+	var g [][]float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			g = append(g, []float64{float64(i) / float64(n-1), float64(j) / float64(n-1)})
+		}
+	}
+	return g
+}
+
+func TestFindsMinimumFasterThanRandom(t *testing.T) {
+	// Smooth bowl with minimum at (0.7, 0.3).
+	obj := func(p []float64) float64 {
+		dx, dy := p[0]-0.7, p[1]-0.3
+		return dx*dx + dy*dy
+	}
+	grid := grid2d(8) // 64 candidates
+	budget := 15
+
+	run := func(seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		o, err := New(rng, grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < budget; i++ {
+			idx := o.Next()
+			o.Observe(idx, obj(grid[idx]))
+		}
+		_, best := o.Best()
+		return best
+	}
+	randomRun := func(seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		best := math.Inf(1)
+		perm := rng.Perm(len(grid))
+		for i := 0; i < budget; i++ {
+			if y := obj(grid[perm[i]]); y < best {
+				best = y
+			}
+		}
+		return best
+	}
+	var boWins int
+	const trials = 10
+	for s := int64(0); s < trials; s++ {
+		if run(s) <= randomRun(s)+1e-12 {
+			boWins++
+		}
+	}
+	if boWins < trials*6/10 {
+		t.Fatalf("BO beat random search in only %d/%d trials", boWins, trials)
+	}
+}
+
+func TestConvergesToGlobalMinimumWithFullBudget(t *testing.T) {
+	obj := func(p []float64) float64 { return math.Abs(p[0]-0.4) + math.Abs(p[1]-0.8) }
+	grid := grid2d(5)
+	rng := rand.New(rand.NewSource(3))
+	o, _ := New(rng, grid)
+	for !o.Exhausted() {
+		idx := o.Next()
+		o.Observe(idx, obj(grid[idx]))
+	}
+	bi, by := o.Best()
+	// Full sweep must find the exact grid optimum.
+	want := math.Inf(1)
+	for _, p := range grid {
+		if y := obj(p); y < want {
+			want = y
+		}
+	}
+	if by != want {
+		t.Fatalf("Best = %v at %v, want %v", by, grid[bi], want)
+	}
+}
+
+func TestBestTracksMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	o, _ := New(rng, [][]float64{{0}, {0.5}, {1}})
+	o.Observe(0, 5)
+	o.Observe(2, 1)
+	o.Observe(1, 3)
+	bi, by := o.Best()
+	if bi != 2 || by != 1 {
+		t.Fatalf("Best = %d, %v", bi, by)
+	}
+	if o.NumObserved() != 3 {
+		t.Fatalf("NumObserved = %d", o.NumObserved())
+	}
+	if !o.Exhausted() {
+		t.Fatal("grid should be exhausted")
+	}
+}
+
+func TestDuplicateObservationIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	o, _ := New(rng, [][]float64{{0}, {1}})
+	o.Observe(0, 5)
+	o.Observe(0, 1) // ignored
+	_, by := o.Best()
+	if by != 5 {
+		t.Fatalf("duplicate observation changed best to %v", by)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := New(rng, nil); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := New(rng, [][]float64{{0}, {0, 1}}); err == nil {
+		t.Error("ragged grid accepted")
+	}
+	o, _ := New(rng, [][]float64{{0}})
+	o.Observe(0, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Next on exhausted grid should panic")
+			}
+		}()
+		o.Next()
+	}()
+}
+
+func TestConstantObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	grid := grid2d(4)
+	o, _ := New(rng, grid)
+	for i := 0; i < 10; i++ {
+		idx := o.Next()
+		o.Observe(idx, 42)
+	}
+	_, by := o.Best()
+	if by != 42 {
+		t.Fatalf("constant objective best %v", by)
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	// A = [[4,2],[2,3]] is PD; L = [[2,0],[1,sqrt(2)]].
+	l, ok := cholesky([]float64{4, 2, 2, 3}, 2)
+	if !ok {
+		t.Fatal("PD matrix rejected")
+	}
+	if math.Abs(l[0]-2) > 1e-12 || math.Abs(l[2]-1) > 1e-12 || math.Abs(l[3]-math.Sqrt2) > 1e-12 {
+		t.Fatalf("factor %v", l)
+	}
+	x := cholSolve(l, 2, []float64{8, 7})
+	// Solve [[4,2],[2,3]] x = [8,7] → x = [1.25, 1.5]
+	if math.Abs(x[0]-1.25) > 1e-9 || math.Abs(x[1]-1.5) > 1e-9 {
+		t.Fatalf("solve %v", x)
+	}
+	if _, ok := cholesky([]float64{1, 2, 2, 1}, 2); ok {
+		t.Fatal("indefinite matrix accepted")
+	}
+}

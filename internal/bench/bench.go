@@ -1,0 +1,250 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§7) on the synthetic stand-in datasets.
+// Each experiment returns a Report that renders as an aligned text table and
+// can be exported as CSV, so runs are easy to diff against EXPERIMENTS.md.
+package bench
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"deepsqueeze/internal/colfile"
+	"deepsqueeze/internal/core"
+	"deepsqueeze/internal/datagen"
+	"deepsqueeze/internal/dataset"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale multiplies each generator's default row count (1.0 reproduces
+	// the documented configuration; use ~0.1 for smoke tests).
+	Scale float64
+	// Seed drives data generation and model training.
+	Seed int64
+	// Quick trims training epochs and sweep points for fast smoke runs.
+	Quick bool
+	// Verbose, when non-nil, receives progress lines.
+	Verbose func(format string, args ...any)
+}
+
+// DefaultConfig returns the documented full-scale configuration.
+func DefaultConfig() Config { return Config{Scale: 1, Seed: 1} }
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Verbose != nil {
+		c.Verbose(format, args...)
+	}
+}
+
+func (c *Config) rows(g datagen.Generator) int {
+	scale := c.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(float64(g.DefaultRows) * scale)
+	if n < 500 {
+		n = 500
+	}
+	return n
+}
+
+// errorThresholds returns the evaluation thresholds for a dataset: the
+// paper's 0.5/1/5/10% sweep, except Census which is purely categorical and
+// evaluated lossless (paper Fig. 6d).
+func errorThresholds(name string, quick bool) []float64 {
+	if name == "census" {
+		return []float64{0}
+	}
+	if quick {
+		return []float64{0.1}
+	}
+	return []float64{0.005, 0.01, 0.05, 0.1}
+}
+
+// dsOptions returns the per-dataset DeepSqueeze configuration. Code sizes
+// and expert counts are the values the paper reports its tuner converged to
+// (§7.4.3); training-sample sizes follow §7.3.
+func dsOptions(name string, cfg Config) core.Options {
+	opts := core.DefaultOptions()
+	opts.Seed = cfg.Seed
+	switch name {
+	case "corel":
+		opts.CodeSize, opts.NumExperts = 1, 1
+	case "forest":
+		opts.CodeSize, opts.NumExperts = 2, 1
+	case "census":
+		opts.CodeSize, opts.NumExperts = 2, 2
+	case "monitor":
+		opts.CodeSize, opts.NumExperts = 4, 2
+	case "criteo":
+		// The paper's tuner converged to 9 experts on the 946M-row Criteo;
+		// on the scaled-down stand-in 4 experts give the same shape at a
+		// fraction of the (single-core) training cost.
+		opts.CodeSize, opts.NumExperts = 4, 4
+	default:
+		opts.CodeSize, opts.NumExperts = 2, 1
+	}
+	opts.TrainSampleRows = 5000
+	opts.Train.Epochs = 15
+	if name == "census" || name == "criteo" {
+		// Heavily categorical datasets converge slower through the shared
+		// output stack; the paper trains to convergence.
+		opts.Train.Epochs = 30
+	}
+	if cfg.Quick {
+		opts.Train.Epochs = 10
+		opts.TrainSampleRows = 2000
+		if opts.NumExperts > 2 {
+			opts.NumExperts = 2
+		}
+	}
+	return opts
+}
+
+// tableCache memoizes generated datasets within one harness run.
+type tableCache struct {
+	cfg    Config
+	tables map[string]*dataset.Table
+}
+
+func newTableCache(cfg Config) *tableCache {
+	return &tableCache{cfg: cfg, tables: make(map[string]*dataset.Table)}
+}
+
+func (tc *tableCache) get(name string) (*dataset.Table, datagen.Generator, error) {
+	g, ok := datagen.ByName(name)
+	if !ok {
+		return nil, g, fmt.Errorf("bench: unknown dataset %q", name)
+	}
+	if t, ok := tc.tables[name]; ok {
+		return t, g, nil
+	}
+	rows := tc.cfg.rows(g)
+	tc.cfg.logf("generating %s (%d rows)", name, rows)
+	t := g.Gen(rand.New(rand.NewSource(tc.cfg.Seed)), rows)
+	tc.tables[name] = t
+	return t, g, nil
+}
+
+// Report is a rendered experiment result.
+type Report struct {
+	ID      string // e.g. "fig6b"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes the report as an aligned text table.
+func (r *Report) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV exports the report rows as CSV.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Columns); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// pct formats a ratio as a percentage string.
+func pct(num, den int64) string {
+	if den == 0 {
+		return "0.00"
+	}
+	return fmt.Sprintf("%.2f", 100*float64(num)/float64(den))
+}
+
+// gzipSize returns the gzip-compressed size of the table's CSV form, plus
+// the compression and decompression durations — the paper's gzip baseline.
+func gzipSize(t *dataset.Table) (int64, time.Duration, time.Duration, error) {
+	var buf bytes.Buffer
+	start := time.Now()
+	zw := gzip.NewWriter(&buf)
+	if err := t.WriteCSV(zw); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := zw.Close(); err != nil {
+		return 0, 0, 0, err
+	}
+	cDur := time.Since(start)
+	start = time.Now()
+	zr, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := io.Copy(io.Discard, zr); err != nil {
+		return 0, 0, 0, err
+	}
+	dDur := time.Since(start)
+	return int64(buf.Len()), cDur, dDur, nil
+}
+
+// parquetSize measures the parquet-lite baseline with timings.
+func parquetSize(t *dataset.Table) (int64, time.Duration, time.Duration, error) {
+	var buf bytes.Buffer
+	start := time.Now()
+	n, err := colfile.Write(&buf, t)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cDur := time.Since(start)
+	start = time.Now()
+	if _, err := colfile.Read(bytes.NewReader(buf.Bytes())); err != nil {
+		return 0, 0, 0, err
+	}
+	dDur := time.Since(start)
+	return n, cDur, dDur, nil
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func tinyConfig() Config {
+	return Config{Scale: 0.03, Seed: 1, Quick: true}
+}
+
+func TestReportRenderAndCSV(t *testing.T) {
+	rep := &Report{
+		ID:      "demo",
+		Title:   "demo report",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"x", "1"}, {"longer", "2"}},
+		Notes:   []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo report", "longer", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,b\nx,1\nlonger,2\n" {
+		t.Fatalf("CSV = %q", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 10 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	for _, e := range exps {
+		if _, err := Lookup(e.ID); err != nil {
+			t.Errorf("Lookup(%q): %v", e.ID, err)
+		}
+	}
+	if _, err := Lookup("nonsense"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rep, err := Table1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("%d datasets", len(rep.Rows))
+	}
+	// Paper column counts must be restated verbatim.
+	want := map[string][2]string{
+		"corel":   {"0", "32"},
+		"forest":  {"45", "10"},
+		"census":  {"68", "0"},
+		"monitor": {"0", "17"},
+		"criteo":  {"27", "13"},
+	}
+	for _, row := range rep.Rows {
+		w := want[row[0]]
+		if row[5] != w[0] || row[6] != w[1] {
+			t.Errorf("%s columns = %s/%s, want %s/%s", row[0], row[5], row[6], w[0], w[1])
+		}
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	rep, err := Fig6a(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Fatalf("%d rows", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		gz, err1 := strconv.ParseFloat(row[1], 64)
+		pq, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("non-numeric ratios in %v", row)
+		}
+		if gz <= 0 || gz >= 100 || pq <= 0 || pq >= 100 {
+			t.Fatalf("ratio out of range in %v", row)
+		}
+	}
+}
+
+func TestFig6SingleDataset(t *testing.T) {
+	rep, err := Fig6(tinyConfig(), "corel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range rep.Rows {
+		ds, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || ds <= 0 || ds >= 100 {
+			t.Fatalf("bad ds ratio %v", row)
+		}
+		// Breakdown parts must not exceed the total.
+		var parts float64
+		for _, c := range []int{4, 5, 6} {
+			v, err := strconv.ParseFloat(row[c], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts += v
+		}
+		if parts > ds+0.05 {
+			t.Fatalf("breakdown %v exceeds total %v", parts, ds)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	rep, err := Fig10(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 { // quick mode: 3 fractions
+		t.Fatalf("%d rows", len(rep.Rows))
+	}
+}
+
+func TestErrorThresholds(t *testing.T) {
+	if got := errorThresholds("census", false); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("census thresholds = %v", got)
+	}
+	if got := errorThresholds("corel", false); len(got) != 4 {
+		t.Fatalf("corel thresholds = %v", got)
+	}
+	if got := errorThresholds("corel", true); len(got) != 1 {
+		t.Fatalf("quick thresholds = %v", got)
+	}
+}
+
+func TestDSOptionsPerDataset(t *testing.T) {
+	cfg := Config{Scale: 1, Seed: 1}
+	crit := dsOptions("criteo", cfg)
+	if crit.CodeSize != 4 || crit.NumExperts != 4 {
+		t.Fatalf("criteo options = code %d experts %d", crit.CodeSize, crit.NumExperts)
+	}
+	cor := dsOptions("corel", cfg)
+	if cor.CodeSize != 1 || cor.NumExperts != 1 {
+		t.Fatalf("corel options = %+v", cor)
+	}
+	quick := dsOptions("criteo", Config{Scale: 1, Seed: 1, Quick: true})
+	if quick.NumExperts > 2 {
+		t.Fatalf("quick mode kept %d experts", quick.NumExperts)
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	tc := newTableCache(tinyConfig())
+	if _, _, err := tc.get("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

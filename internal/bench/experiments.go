@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"deepsqueeze/internal/core"
+	"deepsqueeze/internal/datagen"
+	"deepsqueeze/internal/squish"
+)
+
+var datasetOrder = []string{"corel", "forest", "census", "monitor", "criteo"}
+
+// Table1 regenerates the dataset summary (paper Table 1), reporting both
+// the paper's original scale and the synthetic stand-in actually generated.
+func Table1(cfg Config) (*Report, error) {
+	tc := newTableCache(cfg)
+	rep := &Report{
+		ID:      "table1",
+		Title:   "Summary of evaluation datasets",
+		Columns: []string{"dataset", "paper_raw", "paper_tuples", "gen_raw_MB", "gen_tuples", "categorical", "numerical"},
+		Notes: []string{
+			"paper_* columns restate the published Table 1; gen_* columns describe the synthetic stand-ins (see DESIGN.md §2)",
+		},
+	}
+	for _, name := range datasetOrder {
+		t, g, err := tc.get(name)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{
+			name,
+			fmt.Sprintf("%.0fMB", g.PaperRawMB),
+			fmt.Sprintf("%d", g.PaperRows),
+			fmt.Sprintf("%.1f", float64(t.CSVSize())/(1<<20)),
+			fmt.Sprintf("%d", t.NumRows()),
+			fmt.Sprintf("%d", g.CatCols),
+			fmt.Sprintf("%d", g.NumCols),
+		})
+	}
+	return rep, nil
+}
+
+// Fig6a regenerates the lossless-baseline comparison (paper Fig. 6a): gzip
+// and Parquet compression ratios on every dataset.
+func Fig6a(cfg Config) (*Report, error) {
+	tc := newTableCache(cfg)
+	rep := &Report{
+		ID:      "fig6a",
+		Title:   "gzip & Parquet compression ratios (%, smaller is better)",
+		Columns: []string{"dataset", "gzip_%", "parquet_%"},
+	}
+	for _, name := range datasetOrder {
+		t, _, err := tc.get(name)
+		if err != nil {
+			return nil, err
+		}
+		raw := t.CSVSize()
+		gz, _, _, err := gzipSize(t)
+		if err != nil {
+			return nil, err
+		}
+		pq, _, _, err := parquetSize(t)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{name, pct(gz, raw), pct(pq, raw)})
+		cfg.logf("fig6a %s: gzip %s%% parquet %s%%", name, pct(gz, raw), pct(pq, raw))
+	}
+	return rep, nil
+}
+
+// Fig6 regenerates the main compression-ratio comparison (paper Figs.
+// 6b–6f): DeepSqueeze (with failure/code/decoder breakdown) versus Squish
+// at each error threshold, per dataset.
+func Fig6(cfg Config, datasets ...string) (*Report, error) {
+	if len(datasets) == 0 {
+		datasets = datasetOrder
+	}
+	tc := newTableCache(cfg)
+	rep := &Report{
+		ID:      "fig6",
+		Title:   "DeepSqueeze vs Squish compression ratios (%, smaller is better)",
+		Columns: []string{"dataset", "error_%", "squish_%", "ds_total_%", "ds_failures_%", "ds_codes_%", "ds_decoder_%"},
+		Notes: []string{
+			"ds_failures includes expert mappings and fallback columns, matching the paper's stacked bars",
+		},
+	}
+	for _, name := range datasets {
+		t, _, err := tc.get(name)
+		if err != nil {
+			return nil, err
+		}
+		raw := t.CSVSize()
+		for _, thr := range errorThresholds(name, cfg.Quick) {
+			thresholds := datagen.Thresholds(t, thr)
+			sq, err := squish.Compress(t, thresholds, squish.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			opts := dsOptions(name, cfg)
+			res, err := core.Compress(t, thresholds, opts)
+			if err != nil {
+				return nil, err
+			}
+			bd := res.Breakdown
+			rep.Rows = append(rep.Rows, []string{
+				name,
+				fmt.Sprintf("%g", thr*100),
+				pct(int64(len(sq)), raw),
+				pct(bd.Total, raw),
+				pct(bd.Failures+bd.Mapping, raw),
+				pct(bd.Codes, raw),
+				pct(bd.Decoder+bd.Header, raw),
+			})
+			cfg.logf("fig6 %s@%g%%: squish %s%% ds %s%%", name, thr*100,
+				pct(int64(len(sq)), raw), pct(bd.Total, raw))
+		}
+	}
+	return rep, nil
+}
+
+// Table2 regenerates the runtime comparison (paper Table 2): tuning,
+// compression, and decompression times for every approach at a 10% error
+// threshold (0% for Census).
+func Table2(cfg Config, datasets ...string) (*Report, error) {
+	if len(datasets) == 0 {
+		datasets = datasetOrder
+	}
+	tc := newTableCache(cfg)
+	rep := &Report{
+		ID:    "table2",
+		Title: "Runtimes in seconds: hyperparameter tuning (HT), compression (C), decompression (D)",
+		Columns: []string{"dataset",
+			"gzip_C", "gzip_D", "parquet_C", "parquet_D",
+			"squish_C", "squish_D", "ds_HT", "ds_C", "ds_D"},
+		Notes: []string{
+			"our Squish baseline has no tuning phase (its structure learning is folded into C)",
+		},
+	}
+	secs := func(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
+	for _, name := range datasets {
+		t, _, err := tc.get(name)
+		if err != nil {
+			return nil, err
+		}
+		thr := 0.1
+		if name == "census" {
+			thr = 0
+		}
+		thresholds := datagen.Thresholds(t, thr)
+
+		_, gzC, gzD, err := gzipSize(t)
+		if err != nil {
+			return nil, err
+		}
+		_, pqC, pqD, err := parquetSize(t)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		sq, err := squish.Compress(t, thresholds, squish.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		sqC := time.Since(start)
+		start = time.Now()
+		if _, err := squish.Decompress(sq); err != nil {
+			return nil, err
+		}
+		sqD := time.Since(start)
+
+		opts := dsOptions(name, cfg)
+		topts := core.DefaultTuneOptions()
+		topts.Base = opts
+		topts.Samples = []int{2000}
+		topts.Codes = []int{opts.CodeSize}
+		topts.Experts = []int{1, opts.NumExperts}
+		topts.Budget = 2
+		if cfg.Quick {
+			topts.Budget = 1
+			topts.Experts = []int{1}
+		}
+		start = time.Now()
+		if _, err := core.Tune(t, thresholds, topts); err != nil {
+			return nil, err
+		}
+		dsHT := time.Since(start)
+		start = time.Now()
+		res, err := core.Compress(t, thresholds, opts)
+		if err != nil {
+			return nil, err
+		}
+		dsC := time.Since(start)
+		start = time.Now()
+		if _, err := core.Decompress(res.Archive); err != nil {
+			return nil, err
+		}
+		dsD := time.Since(start)
+
+		rep.Rows = append(rep.Rows, []string{name,
+			secs(gzC), secs(gzD), secs(pqC), secs(pqD),
+			secs(sqC), secs(sqD), secs(dsHT), secs(dsC), secs(dsD)})
+		cfg.logf("table2 %s done", name)
+	}
+	return rep, nil
+}

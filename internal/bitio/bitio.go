@@ -1,0 +1,111 @@
+// Package bitio provides bit-granular writers and readers over byte
+// buffers. The columnar codecs (bit-packing, Huffman, run-length bitmaps)
+// and the range coder all sit on top of it.
+//
+// Bits are written most-significant-bit first within each byte, which makes
+// the output independent of machine endianness and keeps canonical Huffman
+// codes directly comparable as integers.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned when a read requests more bits than remain.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of input")
+
+// Writer accumulates bits into an in-memory byte buffer.
+type Writer struct {
+	buf  []byte
+	cur  byte
+	nCur uint // number of bits currently held in cur (0..7)
+}
+
+// NewWriter returns an empty bit writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBit appends a single bit (any non-zero b writes 1).
+func (w *Writer) WriteBit(b int) {
+	w.cur <<= 1
+	if b != 0 {
+		w.cur |= 1
+	}
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits n=%d > 64", n))
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(int((v >> uint(i)) & 1))
+	}
+}
+
+// Len returns the number of whole and partial bits written so far.
+func (w *Writer) Len() int { return len(w.buf)*8 + int(w.nCur) }
+
+// Bytes flushes any partial byte (zero-padded on the right) and returns the
+// accumulated buffer. The writer remains usable; subsequent writes continue
+// from the flushed state, so call Bytes only once when encoding is done.
+func (w *Writer) Bytes() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, w.cur<<(8-w.nCur))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// Reader consumes bits from a byte slice, most-significant-bit first.
+type Reader struct {
+	buf []byte
+	pos int  // index of next byte
+	cur byte // remaining bits of the current byte, left-aligned
+	n   uint // number of valid bits in cur
+}
+
+// NewReader returns a reader over buf. The reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBit reads one bit.
+func (r *Reader) ReadBit() (int, error) {
+	if r.n == 0 {
+		if r.pos >= len(r.buf) {
+			return 0, ErrUnexpectedEOF
+		}
+		r.cur = r.buf[r.pos]
+		r.pos++
+		r.n = 8
+	}
+	bit := int(r.cur >> 7)
+	r.cur <<= 1
+	r.n--
+	return bit, nil
+}
+
+// ReadBits reads n bits into the low bits of the result. n must be in
+// [0, 64].
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: ReadBits n=%d > 64", n))
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return (len(r.buf)-r.pos)*8 + int(r.n) }

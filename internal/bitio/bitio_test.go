@@ -1,0 +1,126 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleBitsRoundTrip(t *testing.T) {
+	w := NewWriter()
+	bits := []int{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1} // 11 bits: crosses a byte
+	for _, b := range bits {
+		w.WriteBit(b)
+	}
+	if got := w.Len(); got != len(bits) {
+		t.Fatalf("Len = %d, want %d", got, len(bits))
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range bits {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsMSBFirst(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0b11111, 5)
+	got := w.Bytes()
+	if len(got) != 1 || got[0] != 0b10111111 {
+		t.Fatalf("Bytes = %08b, want 10111111", got)
+	}
+}
+
+func TestZeroWidthWrite(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(123, 0)
+	if w.Len() != 0 {
+		t.Fatal("zero-width write must emit nothing")
+	}
+	r := NewReader(w.Bytes())
+	v, err := r.ReadBits(0)
+	if err != nil || v != 0 {
+		t.Fatalf("zero-width read = %d, %v", v, err)
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("first byte: %v", err)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Fatalf("expected ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteBits(65) should panic")
+		}
+	}()
+	NewWriter().WriteBits(0, 65)
+}
+
+func TestRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0})
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	r.ReadBits(5)
+	if r.Remaining() != 11 {
+		t.Fatalf("Remaining after 5 = %d", r.Remaining())
+	}
+}
+
+func TestFull64BitValue(t *testing.T) {
+	w := NewWriter()
+	const v = 0xDEADBEEFCAFEBABE
+	w.WriteBits(v, 64)
+	r := NewReader(w.Bytes())
+	got, err := r.ReadBits(64)
+	if err != nil || got != v {
+		t.Fatalf("ReadBits(64) = %x, %v", got, err)
+	}
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		type item struct {
+			v uint64
+			w uint
+		}
+		items := make([]item, n)
+		w := NewWriter()
+		for i := range items {
+			width := uint(1 + rng.Intn(64))
+			v := rng.Uint64()
+			if width < 64 {
+				v &= (1 << width) - 1
+			}
+			items[i] = item{v, width}
+			w.WriteBits(v, width)
+		}
+		r := NewReader(w.Bytes())
+		for _, it := range items {
+			got, err := r.ReadBits(it.w)
+			if err != nil || got != it.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package colenc
+
+import (
+	"fmt"
+
+	"deepsqueeze/internal/huffman"
+)
+
+// Encoding identifies one of the self-describing integer encodings.
+type Encoding byte
+
+// The available encodings. Values are part of the on-disk format; do not
+// renumber.
+const (
+	EncVarint Encoding = iota
+	EncDelta
+	EncRLE
+	EncFOR
+	EncHuffman
+	EncBitmap
+)
+
+// String returns the canonical lowercase name of the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case EncVarint:
+		return "varint"
+	case EncDelta:
+		return "delta"
+	case EncRLE:
+		return "rle"
+	case EncFOR:
+		return "for"
+	case EncHuffman:
+		return "huffman"
+	case EncBitmap:
+		return "bitmap"
+	default:
+		return fmt.Sprintf("encoding(%d)", byte(e))
+	}
+}
+
+// huffmanMaxAlphabet bounds the distinct-value count at which EncodeBest
+// still tries Huffman; beyond it the symbol table dwarfs any gain.
+const huffmanMaxAlphabet = 1 << 16
+
+// EncodeBest encodes values with every applicable encoding and returns the
+// smallest result, prefixed by a one-byte encoding tag. This mirrors the
+// per-column encoding selection a columnar format like Parquet performs.
+func EncodeBest(values []int64) []byte {
+	best := EncodeVarints(values)
+	bestEnc := EncVarint
+	try := func(enc Encoding, buf []byte) {
+		if len(buf) < len(best) {
+			best, bestEnc = buf, enc
+		}
+	}
+	try(EncDelta, EncodeDelta(values))
+	try(EncRLE, EncodeRLE(values))
+	try(EncFOR, EncodeFOR(values))
+	if distinctUpTo(values, huffmanMaxAlphabet+1) <= huffmanMaxAlphabet {
+		try(EncHuffman, huffman.Encode(values))
+	}
+	if isBinaryStream(values) {
+		if bm := EncodeBitmap(values); bm != nil {
+			try(EncBitmap, bm)
+		}
+	}
+	out := make([]byte, 0, len(best)+1)
+	out = append(out, byte(bestEnc))
+	return append(out, best...)
+}
+
+// DecodeBest inverts EncodeBest.
+func DecodeBest(buf []byte) ([]int64, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("%w: empty buffer", ErrCorrupt)
+	}
+	enc, body := Encoding(buf[0]), buf[1:]
+	switch enc {
+	case EncVarint:
+		return DecodeVarints(body)
+	case EncDelta:
+		return DecodeDelta(body)
+	case EncRLE:
+		return DecodeRLE(body)
+	case EncFOR:
+		return DecodeFOR(body)
+	case EncHuffman:
+		return huffman.Decode(body)
+	case EncBitmap:
+		return DecodeBitmap(body)
+	default:
+		return nil, fmt.Errorf("%w: unknown encoding tag %d", ErrCorrupt, buf[0])
+	}
+}
+
+// distinctUpTo counts distinct values, stopping early once limit is reached.
+func distinctUpTo(values []int64, limit int) int {
+	seen := make(map[int64]struct{}, 64)
+	for _, v := range values {
+		seen[v] = struct{}{}
+		if len(seen) >= limit {
+			break
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,216 @@
+package colenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Roaring-style bitmap encoding for 0/1 streams (the paper's §6.3.1 cites
+// Roaring for the XOR-materialized binary failure columns). The value
+// stream is treated as a set of positions holding 1, chunked into 2^16
+// blocks; each block picks the cheapest of three container layouts:
+//
+//	array  — sorted uint16 positions (sparse blocks)
+//	bitmap — 8 KiB raw bitset (dense, irregular blocks)
+//	runs   — (start, length) pairs (long runs, the XOR-failure common case)
+//
+// Layout: count varint | #blocks varint | per block: key varint, kind byte,
+// payload. EncodeBest considers this encoding for two-valued streams.
+const (
+	containerArray byte = iota
+	containerBitmap
+	containerRuns
+)
+
+const blockBits = 1 << 16
+
+// EncodeBitmap encodes a 0/1 stream. Values outside {0,1} are rejected by
+// returning nil (the caller falls back to other encodings).
+func EncodeBitmap(values []int64) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(values)))
+	nBlocks := (len(values) + blockBits - 1) / blockBits
+	out = binary.AppendUvarint(out, uint64(nBlocks))
+	for b := 0; b < nBlocks; b++ {
+		lo := b * blockBits
+		hi := lo + blockBits
+		if hi > len(values) {
+			hi = len(values)
+		}
+		block := values[lo:hi]
+		var ones []uint16
+		for i, v := range block {
+			switch v {
+			case 0:
+			case 1:
+				ones = append(ones, uint16(i))
+			default:
+				return nil
+			}
+		}
+		out = binary.AppendUvarint(out, uint64(b))
+		out = appendContainer(out, block, ones)
+	}
+	return out
+}
+
+// appendContainer picks the cheapest container for one block.
+func appendContainer(dst []byte, block []int64, ones []uint16) []byte {
+	// Candidate sizes.
+	arraySize := 2 * len(ones)
+	bitmapSize := (len(block) + 7) / 8
+	runs := runPairs(ones)
+	runsSize := 4 * len(runs)
+	switch {
+	case runsSize <= arraySize && runsSize <= bitmapSize:
+		dst = append(dst, containerRuns)
+		dst = binary.AppendUvarint(dst, uint64(len(runs)))
+		for _, r := range runs {
+			dst = binary.LittleEndian.AppendUint16(dst, r[0])
+			dst = binary.LittleEndian.AppendUint16(dst, r[1])
+		}
+	case arraySize <= bitmapSize:
+		dst = append(dst, containerArray)
+		dst = binary.AppendUvarint(dst, uint64(len(ones)))
+		for _, p := range ones {
+			dst = binary.LittleEndian.AppendUint16(dst, p)
+		}
+	default:
+		dst = append(dst, containerBitmap)
+		dst = binary.AppendUvarint(dst, uint64(len(block)))
+		var cur byte
+		for i, v := range block {
+			if v != 0 {
+				cur |= 1 << uint(i%8)
+			}
+			if i%8 == 7 || i == len(block)-1 {
+				dst = append(dst, cur)
+				cur = 0
+			}
+		}
+	}
+	return dst
+}
+
+// runPairs converts sorted one-positions into (start, length-1) pairs.
+func runPairs(ones []uint16) [][2]uint16 {
+	var runs [][2]uint16
+	for i := 0; i < len(ones); {
+		j := i + 1
+		for j < len(ones) && ones[j] == ones[j-1]+1 {
+			j++
+		}
+		runs = append(runs, [2]uint16{ones[i], uint16(j - i - 1)})
+		i = j
+	}
+	return runs
+}
+
+// DecodeBitmap inverts EncodeBitmap.
+func DecodeBitmap(buf []byte) ([]int64, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: bitmap count", ErrCorrupt)
+	}
+	pos := sz
+	nBlocks, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: bitmap block count", ErrCorrupt)
+	}
+	pos += sz
+	if want := (n + blockBits - 1) / blockBits; nBlocks != want && !(n == 0 && nBlocks == 0) {
+		return nil, fmt.Errorf("%w: %d blocks for %d values", ErrCorrupt, nBlocks, n)
+	}
+	out := make([]int64, n)
+	for b := uint64(0); b < nBlocks; b++ {
+		key, sz := binary.Uvarint(buf[pos:])
+		if sz <= 0 || key != b {
+			return nil, fmt.Errorf("%w: bitmap block key", ErrCorrupt)
+		}
+		pos += sz
+		if pos >= len(buf) {
+			return nil, fmt.Errorf("%w: missing container kind", ErrCorrupt)
+		}
+		kind := buf[pos]
+		pos++
+		base := int(b) * blockBits
+		blockLen := blockBits
+		if base+blockLen > int(n) {
+			blockLen = int(n) - base
+		}
+		switch kind {
+		case containerArray:
+			cnt, sz := binary.Uvarint(buf[pos:])
+			if sz <= 0 || len(buf)-pos-sz < int(cnt)*2 {
+				return nil, fmt.Errorf("%w: array container", ErrCorrupt)
+			}
+			pos += sz
+			for i := uint64(0); i < cnt; i++ {
+				p := int(binary.LittleEndian.Uint16(buf[pos:]))
+				pos += 2
+				if p >= blockLen {
+					return nil, fmt.Errorf("%w: array position %d in %d-block", ErrCorrupt, p, blockLen)
+				}
+				out[base+p] = 1
+			}
+		case containerBitmap:
+			l, sz := binary.Uvarint(buf[pos:])
+			if sz <= 0 || int(l) != blockLen {
+				return nil, fmt.Errorf("%w: bitmap container length", ErrCorrupt)
+			}
+			pos += sz
+			nb := (blockLen + 7) / 8
+			if len(buf)-pos < nb {
+				return nil, fmt.Errorf("%w: bitmap container", ErrCorrupt)
+			}
+			for i := 0; i < blockLen; i++ {
+				if buf[pos+i/8]&(1<<uint(i%8)) != 0 {
+					out[base+i] = 1
+				}
+			}
+			pos += nb
+		case containerRuns:
+			cnt, sz := binary.Uvarint(buf[pos:])
+			if sz <= 0 || len(buf)-pos-sz < int(cnt)*4 {
+				return nil, fmt.Errorf("%w: run container", ErrCorrupt)
+			}
+			pos += sz
+			for i := uint64(0); i < cnt; i++ {
+				start := int(binary.LittleEndian.Uint16(buf[pos:]))
+				length := int(binary.LittleEndian.Uint16(buf[pos+2:])) + 1
+				pos += 4
+				if start+length > blockLen {
+					return nil, fmt.Errorf("%w: run [%d,%d) in %d-block", ErrCorrupt, start, start+length, blockLen)
+				}
+				for k := 0; k < length; k++ {
+					out[base+start+k] = 1
+				}
+			}
+		default:
+			return nil, fmt.Errorf("%w: container kind %d", ErrCorrupt, kind)
+		}
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bitmap bytes", ErrCorrupt, len(buf)-pos)
+	}
+	return out, nil
+}
+
+// isBinaryStream reports whether all values are 0 or 1.
+func isBinaryStream(values []int64) bool {
+	for _, v := range values {
+		if v != 0 && v != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// popcount is exposed for tests.
+func popcount(b []byte) int {
+	n := 0
+	for _, x := range b {
+		n += bits.OnesCount8(x)
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package colenc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func bitmapRoundTrip(t *testing.T, values []int64) []byte {
+	t.Helper()
+	buf := EncodeBitmap(values)
+	if buf == nil {
+		t.Fatal("EncodeBitmap rejected a binary stream")
+	}
+	got, err := DecodeBitmap(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(values) == 0 {
+		if len(got) != 0 {
+			t.Fatal("empty round trip")
+		}
+		return buf
+	}
+	if !reflect.DeepEqual(got, values) {
+		t.Fatal("round trip mismatch")
+	}
+	return buf
+}
+
+func TestBitmapRoundTripBasic(t *testing.T) {
+	cases := [][]int64{
+		{},
+		{0},
+		{1},
+		{0, 1, 0, 1, 1, 0},
+		make([]int64, 1000),
+	}
+	all1 := make([]int64, 1000)
+	for i := range all1 {
+		all1[i] = 1
+	}
+	cases = append(cases, all1)
+	for _, c := range cases {
+		bitmapRoundTrip(t, c)
+	}
+}
+
+func TestBitmapCrossesBlockBoundary(t *testing.T) {
+	values := make([]int64, blockBits*2+100)
+	for i := range values {
+		if i%3 == 0 {
+			values[i] = 1
+		}
+	}
+	bitmapRoundTrip(t, values)
+}
+
+func TestBitmapRejectsNonBinary(t *testing.T) {
+	if EncodeBitmap([]int64{0, 1, 2}) != nil {
+		t.Fatal("non-binary stream accepted")
+	}
+	if EncodeBitmap([]int64{-1}) != nil {
+		t.Fatal("negative value accepted")
+	}
+}
+
+func TestBitmapContainerSelection(t *testing.T) {
+	// Sparse: array container should make it tiny.
+	sparse := make([]int64, blockBits)
+	sparse[5] = 1
+	sparse[77] = 1
+	if buf := bitmapRoundTrip(t, sparse); len(buf) > 32 {
+		t.Fatalf("sparse block encoded to %d bytes", len(buf))
+	}
+	// Long runs: run container should make it tiny.
+	runs := make([]int64, blockBits)
+	for i := 1000; i < 30000; i++ {
+		runs[i] = 1
+	}
+	if buf := bitmapRoundTrip(t, runs); len(buf) > 32 {
+		t.Fatalf("run block encoded to %d bytes", len(buf))
+	}
+	// Irregular dense: bitmap container, ~1 bit per value.
+	rng := rand.New(rand.NewSource(1))
+	dense := make([]int64, blockBits)
+	for i := range dense {
+		dense[i] = int64(rng.Intn(2))
+	}
+	if buf := bitmapRoundTrip(t, dense); len(buf) > blockBits/8+64 {
+		t.Fatalf("dense block encoded to %d bytes", len(buf))
+	}
+}
+
+func TestBitmapInEncodeBest(t *testing.T) {
+	// A sparse binary failure stream: bitmap should win over RLE/Huffman.
+	values := make([]int64, 100000)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 30; i++ {
+		values[rng.Intn(len(values))] = 1
+	}
+	buf := EncodeBest(values)
+	got, err := DecodeBest(buf)
+	if err != nil || !reflect.DeepEqual(got, values) {
+		t.Fatalf("EncodeBest round trip failed: %v", err)
+	}
+	if len(buf) > 300 {
+		t.Fatalf("sparse binary stream encoded to %d bytes", len(buf))
+	}
+}
+
+func TestBitmapDecodeCorrupt(t *testing.T) {
+	good := EncodeBitmap([]int64{0, 1, 1, 0, 1})
+	for _, cut := range []int{0, 1, 2, len(good) - 1} {
+		if _, err := DecodeBitmap(good[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeBitmap(append(good, 9)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Wrong block count.
+	bad := append([]byte{}, good...)
+	bad[1] = 7
+	if _, err := DecodeBitmap(bad); err == nil {
+		t.Error("wrong block count accepted")
+	}
+}
+
+func TestQuickBitmapRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3 * blockBits)
+		values := make([]int64, n)
+		p := rng.Float64()
+		for i := range values {
+			if rng.Float64() < p {
+				values[i] = 1
+			}
+		}
+		buf := EncodeBitmap(values)
+		if buf == nil {
+			return false
+		}
+		got, err := DecodeBitmap(buf)
+		if err != nil {
+			return false
+		}
+		if n == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, values)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	if got := popcount([]byte{0xFF, 0x01, 0x00}); got != 9 {
+		t.Fatalf("popcount = %d", got)
+	}
+}

@@ -1,0 +1,29 @@
+package colenc
+
+// EncodeDelta stores the first value verbatim and every subsequent value as
+// a zigzag-varint difference from its predecessor. Sorted or slowly-varying
+// sequences (tuple indexes grouped by expert, truncated codes) compress to a
+// byte or two per value.
+func EncodeDelta(values []int64) []byte {
+	deltas := make([]int64, len(values))
+	prev := int64(0)
+	for i, v := range values {
+		deltas[i] = v - prev
+		prev = v
+	}
+	return EncodeVarints(deltas)
+}
+
+// DecodeDelta inverts EncodeDelta.
+func DecodeDelta(buf []byte) ([]int64, error) {
+	deltas, err := DecodeVarints(buf)
+	if err != nil {
+		return nil, err
+	}
+	prev := int64(0)
+	for i, d := range deltas {
+		prev += d
+		deltas[i] = prev
+	}
+	return deltas, nil
+}

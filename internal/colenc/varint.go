@@ -1,0 +1,84 @@
+// Package colenc implements the lightweight columnar encodings DeepSqueeze
+// materializes failures and codes with: varint, zigzag, delta, run-length,
+// frame-of-reference bit-packing, and a generic "pick the smallest"
+// selector. Every encoding is self-describing: the value count is embedded,
+// and decoding validates the buffer before trusting it.
+package colenc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is returned when an encoded buffer fails validation.
+var ErrCorrupt = errors.New("colenc: corrupt buffer")
+
+// Zigzag maps signed integers to unsigned so small magnitudes (of either
+// sign) become small values: 0→0, -1→1, 1→2, -2→3, ...
+func Zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendUvarint appends v to dst in LEB128 form.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// EncodeUvarints encodes values as a count-prefixed sequence of LEB128
+// varints.
+func EncodeUvarints(values []uint64) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(values)))
+	for _, v := range values {
+		out = binary.AppendUvarint(out, v)
+	}
+	return out
+}
+
+// DecodeUvarints decodes a buffer produced by EncodeUvarints.
+func DecodeUvarints(buf []byte) ([]uint64, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: missing count", ErrCorrupt)
+	}
+	buf = buf[sz:]
+	if n > uint64(len(buf))+1 { // each value takes ≥1 byte
+		return nil, fmt.Errorf("%w: count %d exceeds buffer", ErrCorrupt, n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		v, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return nil, fmt.Errorf("%w: truncated varint at %d", ErrCorrupt, i)
+		}
+		out[i] = v
+		buf = buf[sz:]
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
+	}
+	return out, nil
+}
+
+// EncodeVarints encodes signed values with zigzag + LEB128.
+func EncodeVarints(values []int64) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(values)))
+	for _, v := range values {
+		out = binary.AppendUvarint(out, Zigzag(v))
+	}
+	return out
+}
+
+// DecodeVarints decodes a buffer produced by EncodeVarints.
+func DecodeVarints(buf []byte) ([]int64, error) {
+	u, err := DecodeUvarints(buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(u))
+	for i, v := range u {
+		out[i] = Unzigzag(v)
+	}
+	return out, nil
+}

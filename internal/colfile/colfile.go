@@ -1,0 +1,386 @@
+// Package colfile implements a compact columnar file format ("parquet-lite")
+// in the spirit of Apache Parquet, which the paper uses both as a lossless
+// baseline and as the materialization backend for DeepSqueeze's failure
+// streams. Each column is stored as an independently-encoded chunk:
+// integer-valued data goes through the colenc encoding selector
+// (dictionary / RLE / delta / frame-of-reference / Huffman), string data
+// through a dictionary or raw layout, and every chunk gets an optional
+// DEFLATE pass kept only when it pays.
+package colfile
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"deepsqueeze/internal/colenc"
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/preprocess"
+)
+
+// ErrCorrupt is returned when a file fails validation.
+var ErrCorrupt = errors.New("colfile: corrupt file")
+
+var magic = [4]byte{'D', 'S', 'C', 'F'}
+
+const version = 1
+
+// Column chunk layouts. Part of the on-disk format; do not renumber.
+const (
+	chunkCatDict byte = iota // string dictionary + integer codes
+	chunkCatRaw              // length-prefixed strings
+	chunkNumRaw              // 8-byte little-endian float64s
+	chunkNumDict             // float64 value dictionary + integer ranks
+	chunkNumXor              // Gorilla-style XOR-compressed float64s
+)
+
+// Deflate wraps payload with a 1-byte tag: 0 = stored, 1 = DEFLATE. The
+// compressed form is kept only when strictly smaller.
+func Deflate(payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(1)
+	fw, err := flate.NewWriter(&buf, flate.BestCompression)
+	if err != nil {
+		panic(err) // only fails on invalid level
+	}
+	if _, err := fw.Write(payload); err == nil {
+		if err := fw.Close(); err == nil && buf.Len() < len(payload)+1 {
+			return buf.Bytes()
+		}
+	}
+	out := make([]byte, 0, len(payload)+1)
+	out = append(out, 0)
+	return append(out, payload...)
+}
+
+// Inflate inverts Deflate.
+func Inflate(buf []byte) ([]byte, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("%w: empty chunk", ErrCorrupt)
+	}
+	switch buf[0] {
+	case 0:
+		return buf[1:], nil
+	case 1:
+		fr := flate.NewReader(bytes.NewReader(buf[1:]))
+		out, err := io.ReadAll(fr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
+		}
+		return out, fr.Close()
+	default:
+		return nil, fmt.Errorf("%w: unknown compression tag %d", ErrCorrupt, buf[0])
+	}
+}
+
+// PackInts encodes an integer stream with the best columnar encoding and an
+// optional DEFLATE pass. This is the entry point DeepSqueeze's
+// materialization uses for codes, failures, and expert mappings.
+func PackInts(values []int64) []byte {
+	return Deflate(colenc.EncodeBest(values))
+}
+
+// UnpackInts inverts PackInts.
+func UnpackInts(buf []byte) ([]int64, error) {
+	body, err := Inflate(buf)
+	if err != nil {
+		return nil, err
+	}
+	return colenc.DecodeBest(body)
+}
+
+// PackStrings encodes a string column, choosing between a dictionary layout
+// and raw length-prefixed strings, with a DEFLATE pass.
+func PackStrings(values []string) []byte {
+	dict := preprocess.BuildDictionary(values)
+	var dictPayload []byte
+	if codes, err := dict.Encode(values); err == nil {
+		codes64 := make([]int64, len(codes))
+		for i, c := range codes {
+			codes64[i] = int64(c)
+		}
+		dictPayload = append([]byte{chunkCatDict}, dict.AppendBinary(nil)...)
+		dictPayload = append(dictPayload, colenc.EncodeBest(codes64)...)
+	}
+	rawPayload := []byte{chunkCatRaw}
+	rawPayload = binary.AppendUvarint(rawPayload, uint64(len(values)))
+	for _, v := range values {
+		rawPayload = binary.AppendUvarint(rawPayload, uint64(len(v)))
+		rawPayload = append(rawPayload, v...)
+	}
+	a, b := Deflate(dictPayload), Deflate(rawPayload)
+	if dictPayload != nil && len(a) < len(b) {
+		return a
+	}
+	return b
+}
+
+// UnpackStrings inverts PackStrings.
+func UnpackStrings(buf []byte) ([]string, error) {
+	body, err := Inflate(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("%w: empty string chunk", ErrCorrupt)
+	}
+	switch body[0] {
+	case chunkCatDict:
+		dict, used, err := preprocess.DecodeDictionary(body[1:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		codes64, err := colenc.DecodeBest(body[1+used:])
+		if err != nil {
+			return nil, err
+		}
+		codes := make([]int, len(codes64))
+		for i, c := range codes64 {
+			codes[i] = int(c)
+		}
+		out, err := dict.Decode(codes)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return out, nil
+	case chunkCatRaw:
+		pos := 1
+		n, sz := binary.Uvarint(body[pos:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("%w: missing string count", ErrCorrupt)
+		}
+		pos += sz
+		if n > uint64(len(body)) {
+			return nil, fmt.Errorf("%w: string count %d exceeds chunk", ErrCorrupt, n)
+		}
+		out := make([]string, n)
+		for i := range out {
+			l, sz := binary.Uvarint(body[pos:])
+			if sz <= 0 || uint64(len(body)-pos-sz) < l {
+				return nil, fmt.Errorf("%w: truncated string %d", ErrCorrupt, i)
+			}
+			pos += sz
+			out[i] = string(body[pos : pos+int(l)])
+			pos += int(l)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown string layout %d", ErrCorrupt, body[0])
+	}
+}
+
+// PackFloats encodes a float64 column, choosing between raw bits and a
+// value-dictionary layout, with a DEFLATE pass. Lossless.
+func PackFloats(values []float64) []byte {
+	raw := make([]byte, 1, 1+8*len(values))
+	raw[0] = chunkNumRaw
+	for _, v := range values {
+		raw = binary.LittleEndian.AppendUint64(raw, math.Float64bits(v))
+	}
+	best := Deflate(raw)
+	if x := Deflate(packFloatsXOR(values)); len(x) < len(best) {
+		best = x
+	}
+	vd := preprocess.BuildValueDict(values)
+	// A dictionary only pays when distinct count is well below n.
+	if vd.Len() < len(values)/2 {
+		ranks := make([]int64, len(values))
+		ok := true
+		for i, v := range values {
+			r, found := vd.Rank(v)
+			if !found {
+				ok = false
+				break
+			}
+			ranks[i] = int64(r)
+		}
+		if ok {
+			payload := append([]byte{chunkNumDict}, vd.AppendBinary(nil)...)
+			payload = append(payload, colenc.EncodeBest(ranks)...)
+			if d := Deflate(payload); len(d) < len(best) {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// UnpackFloats inverts PackFloats.
+func UnpackFloats(buf []byte) ([]float64, error) {
+	body, err := Inflate(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("%w: empty float chunk", ErrCorrupt)
+	}
+	switch body[0] {
+	case chunkNumRaw:
+		body = body[1:]
+		if len(body)%8 != 0 {
+			return nil, fmt.Errorf("%w: float chunk length %d", ErrCorrupt, len(body))
+		}
+		out := make([]float64, len(body)/8)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
+		}
+		return out, nil
+	case chunkNumXor:
+		return unpackFloatsXOR(body[1:])
+	case chunkNumDict:
+		vd, used, err := preprocess.DecodeValueDict(body[1:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		ranks, err := colenc.DecodeBest(body[1+used:])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(ranks))
+		for i, r := range ranks {
+			if r < 0 || int(r) >= vd.Len() {
+				return nil, fmt.Errorf("%w: rank %d outside dictionary", ErrCorrupt, r)
+			}
+			out[i] = vd.Value(int(r))
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown float layout %d", ErrCorrupt, body[0])
+	}
+}
+
+// Write serializes t as a parquet-lite file and returns bytes written.
+func Write(w io.Writer, t *dataset.Table) (int64, error) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(version)
+	var tmp []byte
+	tmp = binary.AppendUvarint(tmp, uint64(t.NumRows()))
+	tmp = binary.AppendUvarint(tmp, uint64(t.Schema.NumColumns()))
+	buf.Write(tmp)
+	crc := crc32.NewIEEE()
+	for i, c := range t.Schema.Columns {
+		var hdr []byte
+		hdr = binary.AppendUvarint(hdr, uint64(len(c.Name)))
+		hdr = append(hdr, c.Name...)
+		hdr = append(hdr, byte(c.Type))
+		var chunk []byte
+		if c.Type == dataset.Categorical {
+			chunk = PackStrings(t.Str[i])
+		} else {
+			chunk = PackFloats(t.Num[i])
+		}
+		hdr = binary.AppendUvarint(hdr, uint64(len(chunk)))
+		buf.Write(hdr)
+		buf.Write(chunk)
+		crc.Write(chunk)
+	}
+	var footer [4]byte
+	binary.LittleEndian.PutUint32(footer[:], crc.Sum32())
+	buf.Write(footer[:])
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// Read parses a file produced by Write.
+func Read(r io.Reader) (*dataset.Table, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("colfile: read: %w", err)
+	}
+	if len(data) < len(magic)+1+4 || !bytes.Equal(data[:4], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if data[4] != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, data[4])
+	}
+	pos := 5
+	rows, sz := binary.Uvarint(data[pos:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: missing row count", ErrCorrupt)
+	}
+	pos += sz
+	ncols, sz := binary.Uvarint(data[pos:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: missing column count", ErrCorrupt)
+	}
+	pos += sz
+	if ncols > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: column count %d", ErrCorrupt, ncols)
+	}
+	schema := &dataset.Schema{Columns: make([]dataset.Column, ncols)}
+	chunks := make([][]byte, ncols)
+	crc := crc32.NewIEEE()
+	for i := range schema.Columns {
+		l, sz := binary.Uvarint(data[pos:])
+		if sz <= 0 || uint64(len(data)-pos-sz) < l {
+			return nil, fmt.Errorf("%w: truncated column name", ErrCorrupt)
+		}
+		pos += sz
+		schema.Columns[i].Name = string(data[pos : pos+int(l)])
+		pos += int(l)
+		if pos >= len(data) {
+			return nil, fmt.Errorf("%w: truncated column type", ErrCorrupt)
+		}
+		typ := dataset.ColumnType(data[pos])
+		if typ != dataset.Categorical && typ != dataset.Numeric {
+			return nil, fmt.Errorf("%w: bad column type %d", ErrCorrupt, typ)
+		}
+		schema.Columns[i].Type = typ
+		pos++
+		cl, sz := binary.Uvarint(data[pos:])
+		if sz <= 0 || uint64(len(data)-pos-sz) < cl {
+			return nil, fmt.Errorf("%w: truncated chunk", ErrCorrupt)
+		}
+		pos += sz
+		chunks[i] = data[pos : pos+int(cl)]
+		crc.Write(chunks[i])
+		pos += int(cl)
+	}
+	if len(data)-pos != 4 {
+		return nil, fmt.Errorf("%w: bad footer", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(data[pos:]) != crc.Sum32() {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	t := dataset.NewTable(schema, int(rows))
+	for i, c := range schema.Columns {
+		if c.Type == dataset.Categorical {
+			vals, err := UnpackStrings(chunks[i])
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", c.Name, err)
+			}
+			if uint64(len(vals)) != rows {
+				return nil, fmt.Errorf("%w: column %q has %d rows, want %d", ErrCorrupt, c.Name, len(vals), rows)
+			}
+			t.Str[i] = vals
+		} else {
+			vals, err := UnpackFloats(chunks[i])
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", c.Name, err)
+			}
+			if uint64(len(vals)) != rows {
+				return nil, fmt.Errorf("%w: column %q has %d rows, want %d", ErrCorrupt, c.Name, len(vals), rows)
+			}
+			t.Num[i] = vals
+		}
+	}
+	t.SetNumRows(int(rows))
+	return t, nil
+}
+
+// Size returns the parquet-lite encoded size of t in bytes without
+// retaining the output.
+func Size(t *dataset.Table) (int64, error) {
+	var cw countingWriter
+	return Write(&cw, t)
+}
+
+type countingWriter struct{}
+
+func (countingWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,154 @@
+package colfile
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func xorRoundTrip(t *testing.T, values []float64) []byte {
+	t.Helper()
+	buf := packFloatsXOR(values)
+	got, err := unpackFloatsXOR(buf[1:])
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(values) == 0 {
+		if len(got) != 0 {
+			t.Fatal("empty round trip")
+		}
+		return buf
+	}
+	if !reflect.DeepEqual(got, values) {
+		t.Fatalf("round trip mismatch: %v vs %v", got[:min(4, len(got))], values[:min(4, len(values))])
+	}
+	return buf
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestXorFloatRoundTripBasic(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{0},
+		{1.5},
+		{1.5, 1.5, 1.5, 1.5},
+		{1, 2, 4, 8, 16},
+		{math.Inf(1), math.Inf(-1), 0, -0.0},
+		{math.MaxFloat64, math.SmallestNonzeroFloat64},
+	}
+	for _, c := range cases {
+		xorRoundTrip(t, c)
+	}
+	// NaN payloads must round-trip bit-exactly.
+	nan := math.Float64frombits(0x7FF8000000000DEA)
+	buf := packFloatsXOR([]float64{1, nan, 2})
+	got, err := unpackFloatsXOR(buf[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got[1]) != math.Float64bits(nan) {
+		t.Fatal("NaN payload lost")
+	}
+}
+
+func TestXorFloatCompressesSensorStream(t *testing.T) {
+	// Slowly varying sensor readings: XOR compression should beat 8
+	// bytes/value by a wide margin.
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 10000)
+	cur := 20.0
+	for i := range values {
+		// Quantized sensor steps keep many mantissa bits stable.
+		cur += math.Round(rng.NormFloat64()*4) / 16
+		values[i] = cur
+	}
+	buf := xorRoundTrip(t, values)
+	if len(buf) > 8*len(values)/2 {
+		t.Fatalf("sensor stream: %d bytes for %d values", len(buf), len(values))
+	}
+	// Constant streams collapse to ~1 bit/value.
+	constant := make([]float64, 10000)
+	for i := range constant {
+		constant[i] = 42.5
+	}
+	if buf := xorRoundTrip(t, constant); len(buf) > len(constant)/8+32 {
+		t.Fatalf("constant stream: %d bytes", len(buf))
+	}
+}
+
+func TestXorFloatViaPackFloats(t *testing.T) {
+	// PackFloats must pick the XOR layout for repetitive float streams and
+	// round-trip exactly.
+	values := make([]float64, 5000)
+	cur := 100.0
+	for i := range values {
+		cur += 0.25
+		values[i] = cur
+	}
+	packed := PackFloats(values)
+	got, err := UnpackFloats(packed)
+	if err != nil || !reflect.DeepEqual(got, values) {
+		t.Fatalf("PackFloats round trip: %v", err)
+	}
+	if len(packed) > 8*len(values)/3 {
+		t.Fatalf("ramp stream packed to %d bytes", len(packed))
+	}
+}
+
+func TestXorFloatCorrupt(t *testing.T) {
+	good := packFloatsXOR([]float64{1, 2, 3, 4, 5})[1:]
+	for _, cut := range []int{0, 4, 8, len(good) - 1} {
+		if _, err := unpackFloatsXOR(good[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestQuickXorFloatRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500)
+		values := make([]float64, n)
+		switch rng.Intn(3) {
+		case 0:
+			cur := rng.NormFloat64()
+			for i := range values {
+				cur += rng.NormFloat64() * 0.01
+				values[i] = cur
+			}
+		case 1:
+			for i := range values {
+				values[i] = math.Float64frombits(rng.Uint64())
+			}
+			for i := range values { // avoid NaN != NaN comparison noise
+				if math.IsNaN(values[i]) {
+					values[i] = 0
+				}
+			}
+		default:
+			for i := range values {
+				values[i] = float64(rng.Intn(4))
+			}
+		}
+		buf := packFloatsXOR(values)
+		got, err := unpackFloatsXOR(buf[1:])
+		if err != nil {
+			return false
+		}
+		if n == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, values)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ErrCorrupt is returned when an archive fails validation.
+var ErrCorrupt = errors.New("core: corrupt archive")
+
+var magic = [4]byte{'D', 'S', 'Q', 'Z'}
+
+const archiveVersion = 1
+
+// Archive flags.
+const (
+	flagGrouped       byte = 1 << 0 // tuples stored grouped by expert
+	flagHasModel      byte = 1 << 1 // decoders/codes sections present
+	flagRowOrder      byte = 1 << 2 // original row order recoverable
+	flagExternalModel byte = 1 << 3 // decoders live in a separate model archive
+)
+
+// sectionWriter accumulates length-prefixed sections and tracks per-section
+// sizes for the Fig. 6 breakdown.
+type sectionWriter struct {
+	buf bytes.Buffer
+}
+
+func (w *sectionWriter) raw(b []byte) { w.buf.Write(b) }
+
+func (w *sectionWriter) chunk(b []byte) int64 {
+	var lp []byte
+	lp = binary.AppendUvarint(lp, uint64(len(b)))
+	w.buf.Write(lp)
+	w.buf.Write(b)
+	return int64(len(lp) + len(b))
+}
+
+func (w *sectionWriter) uvarint(v uint64) int64 {
+	var lp []byte
+	lp = binary.AppendUvarint(lp, v)
+	w.buf.Write(lp)
+	return int64(len(lp))
+}
+
+func (w *sectionWriter) finish() []byte {
+	sum := crc32.ChecksumIEEE(w.buf.Bytes())
+	var f [4]byte
+	binary.LittleEndian.PutUint32(f[:], sum)
+	w.buf.Write(f[:])
+	return w.buf.Bytes()
+}
+
+// sectionReader parses the same layout with bounds checking.
+type sectionReader struct {
+	buf []byte
+	pos int
+}
+
+// newSectionReader validates magic, version, and checksum, returning a
+// reader positioned after the version byte, plus the flag byte.
+func newSectionReader(buf []byte) (*sectionReader, byte, error) {
+	if len(buf) < 10 || !bytes.Equal(buf[:4], magic[:]) {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if buf[4] != archiveVersion {
+		return nil, 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, buf[4])
+	}
+	body, tail := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return &sectionReader{buf: body, pos: 6}, buf[5], nil
+}
+
+func (r *sectionReader) uvarint() (uint64, error) {
+	v, sz := binary.Uvarint(r.buf[r.pos:])
+	if sz <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+	}
+	r.pos += sz
+	return v, nil
+}
+
+func (r *sectionReader) chunk() ([]byte, error) {
+	l, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(r.buf)-r.pos) < l {
+		return nil, fmt.Errorf("%w: chunk overruns archive", ErrCorrupt)
+	}
+	out := r.buf[r.pos : r.pos+int(l)]
+	r.pos += int(l)
+	return out, nil
+}
+
+func (r *sectionReader) done() error {
+	if r.pos != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf)-r.pos)
+	}
+	return nil
+}

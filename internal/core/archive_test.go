@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSectionWriterReaderRoundTrip(t *testing.T) {
+	w := &sectionWriter{}
+	w.raw(magic[:])
+	w.raw([]byte{archiveVersion, flagHasModel})
+	w.chunk([]byte("first"))
+	w.uvarint(300)
+	w.chunk(nil)
+	w.chunk(bytes.Repeat([]byte{7}, 1000))
+	buf := w.finish()
+
+	r, flags, err := newSectionReader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flags != flagHasModel {
+		t.Fatalf("flags = %b", flags)
+	}
+	c1, err := r.chunk()
+	if err != nil || string(c1) != "first" {
+		t.Fatalf("chunk 1 = %q, %v", c1, err)
+	}
+	v, err := r.uvarint()
+	if err != nil || v != 300 {
+		t.Fatalf("uvarint = %d, %v", v, err)
+	}
+	c2, err := r.chunk()
+	if err != nil || len(c2) != 0 {
+		t.Fatalf("chunk 2 = %v, %v", c2, err)
+	}
+	c3, err := r.chunk()
+	if err != nil || len(c3) != 1000 {
+		t.Fatalf("chunk 3 len = %d, %v", len(c3), err)
+	}
+	if err := r.done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSectionReaderRejects(t *testing.T) {
+	w := &sectionWriter{}
+	w.raw(magic[:])
+	w.raw([]byte{archiveVersion, 0})
+	w.chunk([]byte("payload"))
+	good := w.finish()
+
+	cases := map[string][]byte{
+		"too short": good[:5],
+		"bad magic": append([]byte("WXYZ"), good[4:]...),
+		"bad version": func() []byte {
+			b := append([]byte{}, good...)
+			b[4] = 99
+			return b
+		}(),
+		"bad crc": func() []byte {
+			b := append([]byte{}, good...)
+			b[len(b)-1] ^= 0xFF
+			return b
+		}(),
+		"flipped payload": func() []byte {
+			b := append([]byte{}, good...)
+			b[8] ^= 0xFF
+			return b
+		}(),
+	}
+	for name, c := range cases {
+		if _, _, err := newSectionReader(c); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Trailing data must fail done().
+	r, _, err := newSectionReader(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.done(); err == nil {
+		t.Error("done() with unread chunk accepted")
+	}
+}
+
+func TestSectionReaderChunkOverrun(t *testing.T) {
+	w := &sectionWriter{}
+	w.raw(magic[:])
+	w.raw([]byte{archiveVersion, 0})
+	w.uvarint(1 << 40) // declared chunk far larger than archive
+	buf := w.finish()
+	r, _, err := newSectionReader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.chunk(); err == nil {
+		t.Fatal("oversized chunk accepted")
+	}
+}
+
+func TestValidatePerm(t *testing.T) {
+	if err := validatePerm([]int{2, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]int{{0, 0}, {0, 2}, {-1, 0}} {
+		if err := validatePerm(bad); err == nil {
+			t.Errorf("perm %v accepted", bad)
+		}
+	}
+}
+
+func TestGroupedPermStable(t *testing.T) {
+	assign := []int{1, 0, 1, 0, 2}
+	perm := groupedPerm(assign)
+	want := []int{1, 3, 0, 2, 4}
+	for i, p := range perm {
+		if p != want[i] {
+			t.Fatalf("groupedPerm = %v, want %v", perm, want)
+		}
+	}
+}
+
+func TestDeflateInflateBytes(t *testing.T) {
+	data := bytes.Repeat([]byte("model weights "), 500)
+	z := deflateBytes(data)
+	if len(z) >= len(data) {
+		t.Fatalf("gzip did not shrink repetitive data: %d vs %d", len(z), len(data))
+	}
+	back, err := inflateBytes(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := inflateBytes([]byte("not gzip")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"deepsqueeze/internal/colfile"
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/nn"
+	"deepsqueeze/internal/preprocess"
+)
+
+// archiveState bundles everything the archive writer materializes.
+type archiveState struct {
+	decoders []*nn.Decoder
+	codeDims [][]int64 // per dimension, stored order
+	codeBits int
+	codeSize int
+	fs       *failureSet
+	perm     []int // stored position → original row
+	assign   []int // original row → expert
+	grouped  bool
+	experts  int
+	// ext, when non-nil, marks a streaming batch archive: the decoders are
+	// not embedded, only the SHA-256 of the model archive's decoder section.
+	ext *externalModelRef
+}
+
+// externalModelRef identifies the model archive a batch archive depends on.
+type externalModelRef struct {
+	Hash [32]byte
+}
+
+// assembleArchive writes the archive and returns it with the per-section
+// size breakdown.
+func assembleArchive(t *dataset.Table, md *modelData, opts Options, st archiveState) ([]byte, Breakdown, error) {
+	var bd Breakdown
+	w := &sectionWriter{}
+	hasModel := len(st.decoders) > 0
+	flags := byte(0)
+	if st.grouped {
+		flags |= flagGrouped
+	}
+	if hasModel {
+		flags |= flagHasModel
+	}
+	if opts.KeepRowOrder || st.experts <= 1 || !st.grouped {
+		flags |= flagRowOrder
+	}
+	if st.ext != nil {
+		flags |= flagExternalModel
+	}
+	w.raw(magic[:])
+	w.raw([]byte{archiveVersion, flags})
+	bd.Header += 6
+
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(md.rows))
+	hdr = md.plan.AppendBinary(hdr)
+	hdr = binary.AppendUvarint(hdr, uint64(st.codeSize))
+	hdr = binary.AppendUvarint(hdr, uint64(st.codeBits))
+	hdr = binary.AppendUvarint(hdr, uint64(st.experts))
+	bd.Header += w.chunk(hdr)
+
+	if hasModel {
+		if st.ext != nil {
+			bd.Decoder += w.chunk(st.ext.Hash[:])
+		} else {
+			var db []byte
+			for _, d := range st.decoders {
+				body := d.AppendBinary(nil)
+				db = binary.AppendUvarint(db, uint64(len(body)))
+				db = append(db, body...)
+			}
+			bd.Decoder += w.chunk(deflateBytes(db))
+		}
+		for _, dim := range st.codeDims {
+			bd.Codes += w.chunk(colfile.PackInts(dim))
+		}
+	}
+
+	if st.experts > 1 {
+		var mb []byte
+		if st.grouped {
+			byExpert := make([][]int64, st.experts)
+			for _, orig := range st.perm {
+				e := st.assign[orig]
+				byExpert[e] = append(byExpert[e], int64(orig))
+			}
+			keepOrder := flags&flagRowOrder != 0
+			for _, idx := range byExpert {
+				mb = binary.AppendUvarint(mb, uint64(len(idx)))
+				if keepOrder {
+					packed := colfile.PackInts(idx)
+					mb = binary.AppendUvarint(mb, uint64(len(packed)))
+					mb = append(mb, packed...)
+				}
+			}
+		} else {
+			labels := make([]int64, len(st.assign))
+			for i, e := range st.assign {
+				labels[i] = int64(e)
+			}
+			mb = colfile.PackInts(labels)
+		}
+		bd.Mapping += w.chunk(mb)
+	}
+
+	// Failure streams, one group of chunks per schema column in order.
+	for col := range md.plan.Cols {
+		cp := &md.plan.Cols[col]
+		switch {
+		case md.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
+			bd.Failures += w.chunk(colfile.PackInts(st.fs.contMask[col]))
+			bd.Failures += w.chunk(colfile.PackFloats(st.fs.contVals[col]))
+		case md.specOfCol[col] >= 0:
+			bd.Failures += w.chunk(colfile.PackInts(st.fs.ints[col]))
+			if md.specs[md.specOfCol[col]].Kind == nn.OutCategorical {
+				bd.Failures += w.chunk(colfile.PackInts(st.fs.exceptions[col]))
+			}
+		case cp.Kind == preprocess.KindFallbackCat:
+			vals := make([]string, md.rows)
+			for s, orig := range st.perm {
+				vals[s] = t.Str[col][orig]
+			}
+			bd.Failures += w.chunk(colfile.PackStrings(vals))
+		case cp.Kind == preprocess.KindFallbackNum:
+			vals := make([]float64, md.rows)
+			for s, orig := range st.perm {
+				vals[s] = t.Num[col][orig]
+			}
+			bd.Failures += w.chunk(colfile.PackFloats(vals))
+		default: // trivial: store the (tiny) code stream directly
+			cc := md.codes[col]
+			vals := make([]int64, md.rows)
+			for s, orig := range st.perm {
+				vals[s] = int64(cc[orig])
+			}
+			bd.Failures += w.chunk(colfile.PackInts(vals))
+		}
+	}
+
+	out := w.finish()
+	bd.Header += 4 // checksum
+	bd.Total = int64(len(out))
+	return out, bd, nil
+}

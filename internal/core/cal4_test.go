@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"deepsqueeze/internal/datagen"
+)
+
+// TestCalibrate4Census is a manual calibration harness: it sweeps training
+// configurations on the census stand-in and logs ratios. Run with
+// DS_CALIBRATE=1; skipped otherwise (it takes minutes on one core).
+func TestCalibrate4Census(t *testing.T) {
+	if os.Getenv("DS_CALIBRATE") == "" {
+		t.Skip("set DS_CALIBRATE=1 to run the calibration sweep")
+	}
+	g, _ := datagen.ByName("census")
+	tb := g.Gen(rand.New(rand.NewSource(1)), g.DefaultRows)
+	raw := tb.CSVSize()
+	thr := datagen.Thresholds(tb, 0)
+	for _, cfg := range []struct {
+		code, experts, epochs, sample int
+		lr                            float64
+	}{
+		{4, 1, 20, 5000, 0},
+		{4, 1, 40, 10000, 0},
+		{4, 1, 40, 10000, 0.003},
+	} {
+		opts := DefaultOptions()
+		opts.CodeSize = cfg.code
+		opts.NumExperts = cfg.experts
+		opts.TrainSampleRows = cfg.sample
+		opts.Train.Epochs = cfg.epochs
+		opts.Train.LR = cfg.lr
+		var hist []float64
+		start := time.Now()
+		res, err := Compress(tb, thr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist = res.TrainHistory
+		first, last := hist[0], hist[len(hist)-1]
+		t.Logf("code=%d ep=%d samp=%d lr=%v: %.2f%% (fail %.2f) loss %.3f→%.3f (%d epochs) in %v",
+			cfg.code, cfg.epochs, cfg.sample, cfg.lr,
+			100*res.Ratio(raw), 100*float64(res.Breakdown.Failures)/float64(raw),
+			first, last, len(hist), time.Since(start))
+	}
+}

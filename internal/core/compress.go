@@ -1,0 +1,400 @@
+package core
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"deepsqueeze/internal/colfile"
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/kmeans"
+	"deepsqueeze/internal/mat"
+	"deepsqueeze/internal/nn"
+	"deepsqueeze/internal/preprocess"
+)
+
+// Compress runs the full DeepSqueeze pipeline on t. thresholds supplies the
+// per-column relative error bounds (0 = lossless; ignored for categorical
+// columns). The returned archive is self-contained.
+func Compress(t *dataset.Table, thresholds []float64, opts Options) (*Result, error) {
+	res, _, _, err := compress(t, thresholds, opts)
+	return res, err
+}
+
+// compress is Compress plus handles on the trained experts and model data,
+// which the streaming path (stream.go) reuses across batches.
+func compress(t *dataset.Table, thresholds []float64, opts Options) (*Result, []*nn.Autoencoder, *modelData, error) {
+	if err := opts.validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	popts := opts.Preproc
+	popts.NoQuantization = popts.NoQuantization || opts.NoQuantization
+	plan, err := preprocess.Fit(t, popts, thresholds)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	md, err := buildModelData(t, plan)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	hasModel := len(md.specs) > 0 && md.rows > 0
+	numExperts := opts.NumExperts
+	if !hasModel || numExperts > md.rows {
+		numExperts = 1
+	}
+
+	var experts []*nn.Autoencoder
+	assign := make([]int, md.rows)
+	var hist []float64
+	if hasModel {
+		experts, assign, hist, err = trainModel(rng, md, numExperts, opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for _, ae := range experts {
+			ae.Decoder.Quantize32()
+		}
+	}
+	res, err := materialize(t, md, opts, experts, assign, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res.TrainHistory = hist
+	return res, experts, md, nil
+}
+
+// materialize runs the post-training half of the pipeline: codes, the
+// truncation search, failures, mapping choice, and archive assembly.
+// experts must already be float32-quantized. When ext is non-nil the
+// archive references an external model (streaming batch archives) instead
+// of embedding the decoders.
+func materialize(t *dataset.Table, md *modelData, opts Options,
+	experts []*nn.Autoencoder, assign []int, ext *externalModelRef) (*Result, error) {
+	hasModel := len(experts) > 0
+	numExperts := len(experts)
+	if numExperts == 0 {
+		numExperts = 1
+	}
+	res := &Result{}
+	origNum := make(map[int][]float64)
+	for col := range md.contVals {
+		origNum[col] = t.Num[col]
+	}
+
+	var decoders []*nn.Decoder
+	var codesF *mat.Matrix
+	if hasModel {
+		decoders = make([]*nn.Decoder, numExperts)
+		for e, ae := range experts {
+			decoders[e] = &ae.Decoder
+		}
+		codesF = encodeCodes(experts, assign, md.x)
+	}
+	res.ExpertUse = make([]int, numExperts)
+	for _, e := range assign {
+		res.ExpertUse[e]++
+	}
+
+	// Stored order: grouped by expert when it pays, original otherwise.
+	identity := make([]int, md.rows)
+	for i := range identity {
+		identity[i] = i
+	}
+	grouped := identity
+	if numExperts > 1 {
+		grouped = groupedPerm(assign)
+	}
+
+	// Iterative code truncation (paper §6.2): evaluate byte-step widths and
+	// keep the one minimizing codes+failures.
+	var bestFS *failureSet
+	var bestDims [][]int64
+	bestBits := 0
+	if hasModel {
+		cand := []int{8, 16, 24, 32}
+		if opts.CodeBits != 0 {
+			cand = []int{opts.CodeBits}
+		}
+		storedCodes := permuteRows(codesF, grouped)
+		bestSize := int64(math.MaxInt64)
+		for _, bits := range cand {
+			dims, rec := quantizeCodes(storedCodes, bits)
+			fs := computeFailures(md, origNum, decoders, assign, rec, grouped)
+			size := packedSize(fs, dims)
+			opts.logf("truncation search: %d-bit codes → %d bytes (codes+failures)", bits, size)
+			if size < bestSize {
+				bestSize, bestBits, bestDims, bestFS = size, bits, dims, fs
+			}
+		}
+	}
+	res.CodeBits = bestBits
+	if bestFS == nil {
+		// Model-less archive (all columns trivial or fallback, or empty
+		// table): failure streams exist but are empty.
+		bestFS = &failureSet{
+			ints:       make(map[int][]int64),
+			exceptions: make(map[int][]int64),
+			contMask:   make(map[int][]int64),
+			contVals:   make(map[int][]float64),
+		}
+		for _, col := range md.specCols {
+			if md.plan.Cols[col].Kind == preprocess.KindNumContinuous {
+				bestFS.contMask[col] = []int64{}
+			} else {
+				bestFS.ints[col] = []int64{}
+			}
+		}
+	}
+
+	// Expert mapping (paper §6.4): grouped storage with delta-coded indexes
+	// versus per-tuple labels — pick the smaller. Without KeepRowOrder the
+	// grouped form needs no indexes at all.
+	perm := grouped
+	groupedMapping := true
+	if numExperts > 1 && hasModel && opts.KeepRowOrder {
+		groupedCost := mappingGroupedSize(assign, grouped, numExperts)
+		labels := make([]int64, md.rows)
+		for i, e := range assign {
+			labels[i] = int64(e)
+		}
+		labelsCost := int64(len(colfile.PackInts(labels)))
+		identCodes := permuteRows(codesF, identity)
+		dimsI, recI := quantizeCodes(identCodes, bestBits)
+		fsI := computeFailures(md, origNum, decoders, assign, recI, identity)
+		sizeI := packedSize(fsI, dimsI)
+		sizeG := packedSize(bestFS, bestDims)
+		opts.logf("mapping: grouped %d+%d vs labels %d+%d bytes",
+			sizeG, groupedCost, sizeI, labelsCost)
+		if sizeI+labelsCost < sizeG+groupedCost {
+			perm, groupedMapping = identity, false
+			bestFS, bestDims = fsI, dimsI
+		}
+	} else if numExperts <= 1 {
+		perm, groupedMapping = identity, false
+	}
+
+	codeSize := 0
+	if hasModel {
+		codeSize = experts[0].CodeSize
+	}
+	archive, bd, err := assembleArchive(t, md, opts, archiveState{
+		decoders: decoders,
+		codeDims: bestDims,
+		codeBits: bestBits,
+		codeSize: codeSize,
+		fs:       bestFS,
+		perm:     perm,
+		assign:   assign,
+		grouped:  groupedMapping,
+		experts:  numExperts,
+		ext:      ext,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Archive = archive
+	res.Breakdown = bd
+	return res, nil
+}
+
+// trainModel builds and fits the model under the selected partitioning.
+func trainModel(rng *rand.Rand, md *modelData, numExperts int, opts Options) ([]*nn.Autoencoder, []int, []float64, error) {
+	trainX, trainTG := md.x, md.targets
+	if opts.TrainSampleRows > 0 && opts.TrainSampleRows < md.rows {
+		idx := rng.Perm(md.rows)[:opts.TrainSampleRows]
+		sort.Ints(idx)
+		trainX, trainTG = md.sampleRows(idx)
+	}
+	cfg := nn.Config{CodeSize: opts.CodeSize, HiddenMult: 2, SingleLayerLinear: opts.SingleLayerLinear}
+
+	if opts.Partition == PartitionKMeans && numExperts > 1 {
+		return trainKMeans(rng, md, trainX, trainTG, cfg, numExperts, opts)
+	}
+	moe, err := nn.NewMoE(rng, md.specs, cfg, numExperts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	topts := opts.Train
+	if opts.Verbose != nil {
+		prev := topts.Progress
+		topts.Progress = func(epoch int, loss float64) {
+			opts.logf("epoch %d: loss %.5f", epoch, loss)
+			if prev != nil {
+				prev(epoch, loss)
+			}
+		}
+	}
+	hist := moe.Train(rng, trainX, trainTG, topts)
+	assign := moe.Assign(md.x, md.targets)
+	return moe.Experts, assign, hist, nil
+}
+
+// trainKMeans implements the Fig. 8 baseline: k-means partitions the data
+// and one autoencoder is trained per cluster.
+func trainKMeans(rng *rand.Rand, md *modelData, trainX *mat.Matrix, trainTG *nn.Targets,
+	cfg nn.Config, k int, opts Options) ([]*nn.Autoencoder, []int, []float64, error) {
+	km, err := kmeans.Run(rng, trainX, k, 25)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	k = km.Centroids.Rows
+	experts := make([]*nn.Autoencoder, k)
+	var hist []float64
+	for e := 0; e < k; e++ {
+		var idx []int
+		for r, a := range km.Assign {
+			if a == e {
+				idx = append(idx, r)
+			}
+		}
+		single, err := nn.NewMoE(rng, md.specs, cfg, 1)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if len(idx) > 0 {
+			sx := mat.New(len(idx), trainX.Cols)
+			for i, r := range idx {
+				copy(sx.Row(i), trainX.Row(r))
+			}
+			stg := subsetTargets(trainTG, idx)
+			h := single.Train(rng, sx, stg, opts.Train)
+			hist = append(hist, h...)
+		}
+		experts[e] = single.Experts[0]
+	}
+	// Full-data assignment: nearest centroid, as a clustering deployment
+	// would route tuples.
+	assign := make([]int, md.rows)
+	for r := 0; r < md.rows; r++ {
+		row := md.x.Row(r)
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < k; c++ {
+			var d float64
+			for j, v := range row {
+				diff := v - km.Centroids.At(c, j)
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[r] = best
+	}
+	return experts, assign, hist, nil
+}
+
+func subsetTargets(tg *nn.Targets, idx []int) *nn.Targets {
+	out := &nn.Targets{
+		Num: mat.New(len(idx), tg.Num.Cols),
+		Bin: mat.New(len(idx), tg.Bin.Cols),
+		Cat: make([][]int, len(tg.Cat)),
+	}
+	for i, r := range idx {
+		copy(out.Num.Row(i), tg.Num.Row(r))
+		copy(out.Bin.Row(i), tg.Bin.Row(r))
+	}
+	for j, col := range tg.Cat {
+		sub := make([]int, len(idx))
+		for i, r := range idx {
+			sub[i] = col[r]
+		}
+		out.Cat[j] = sub
+	}
+	return out
+}
+
+// encodeCodes maps every tuple through its assigned expert's encoder.
+func encodeCodes(experts []*nn.Autoencoder, assign []int, x *mat.Matrix) *mat.Matrix {
+	codeSize := experts[0].CodeSize
+	out := mat.New(x.Rows, codeSize)
+	const batch = 4096
+	for e, ae := range experts {
+		var rows []int
+		for r, a := range assign {
+			if a == e {
+				rows = append(rows, r)
+			}
+		}
+		for lo := 0; lo < len(rows); lo += batch {
+			hi := lo + batch
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			chunk := rows[lo:hi]
+			sub := mat.New(len(chunk), x.Cols)
+			for i, r := range chunk {
+				copy(sub.Row(i), x.Row(r))
+			}
+			codes := ae.Encode(sub)
+			for i, r := range chunk {
+				copy(out.Row(r), codes.Row(i))
+			}
+		}
+	}
+	return out
+}
+
+// groupedPerm returns original row indexes sorted by (expert, row) — the
+// stored order for grouped mapping.
+func groupedPerm(assign []int) []int {
+	perm := make([]int, len(assign))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return assign[perm[a]] < assign[perm[b]] })
+	return perm
+}
+
+// permuteRows returns m reordered so row s of the result is row perm[s].
+func permuteRows(m *mat.Matrix, perm []int) *mat.Matrix {
+	out := mat.New(m.Rows, m.Cols)
+	for s, orig := range perm {
+		copy(out.Row(s), m.Row(orig))
+	}
+	return out
+}
+
+// mappingGroupedSize estimates the grouped mapping's byte cost: per-expert
+// counts plus delta-coded original indexes.
+func mappingGroupedSize(assign, perm []int, numExperts int) int64 {
+	var total int64 = int64(numExperts) // count varints, roughly
+	byExpert := make([][]int64, numExperts)
+	for _, orig := range perm {
+		e := assign[orig]
+		byExpert[e] = append(byExpert[e], int64(orig))
+	}
+	for _, idx := range byExpert {
+		total += int64(len(colfile.PackInts(idx)))
+	}
+	return total
+}
+
+// deflateBytes gzips a buffer (used for the decoder section, paper §6.1).
+func deflateBytes(b []byte) []byte {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(b); err != nil {
+		panic(err) // in-memory write cannot fail
+	}
+	if err := zw.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func inflateBytes(b []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		return nil, fmt.Errorf("%w: decoder section: %v", ErrCorrupt, err)
+	}
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(zr); err != nil {
+		return nil, fmt.Errorf("%w: decoder section: %v", ErrCorrupt, err)
+	}
+	return out.Bytes(), zr.Close()
+}

@@ -1,0 +1,532 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"deepsqueeze/internal/colfile"
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/nn"
+	"deepsqueeze/internal/preprocess"
+)
+
+// Decompress reconstructs the table from an archive produced by Compress.
+// Categorical, binary, value-dictionary, and fallback columns round-trip
+// exactly; quantized and continuous numeric columns land within their
+// archived error thresholds. Row order is preserved unless the archive was
+// written with KeepRowOrder disabled.
+//
+// Streaming batch archives (which reference an external model) must go
+// through DecompressBatch instead.
+func Decompress(archive []byte) (*dataset.Table, error) {
+	return decompressArchive(archive, nil)
+}
+
+// providedModel carries externally-supplied decoders for streaming batch
+// archives, plus the hash of the model archive's decoder section.
+type providedModel struct {
+	decoders []*nn.Decoder
+	hash     [32]byte
+}
+
+func decompressArchive(archive []byte, ext *providedModel) (*dataset.Table, error) {
+	r, flags, err := newSectionReader(archive)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := r.chunk()
+	if err != nil {
+		return nil, err
+	}
+	rows64, sz := binary.Uvarint(hdr)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: missing row count", ErrCorrupt)
+	}
+	rows := int(rows64)
+	plan, used, err := preprocess.DecodePlan(hdr[sz:])
+	if err != nil {
+		return nil, err
+	}
+	pos := sz + used
+	codeSize64, sz := binary.Uvarint(hdr[pos:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: missing code size", ErrCorrupt)
+	}
+	pos += sz
+	codeBits64, sz := binary.Uvarint(hdr[pos:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: missing code bits", ErrCorrupt)
+	}
+	pos += sz
+	experts64, sz := binary.Uvarint(hdr[pos:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: missing expert count", ErrCorrupt)
+	}
+	pos += sz
+	if pos != len(hdr) {
+		return nil, fmt.Errorf("%w: trailing header bytes", ErrCorrupt)
+	}
+	codeSize, codeBits, numExperts := int(codeSize64), int(codeBits64), int(experts64)
+	if numExperts < 1 || numExperts > rows+1 {
+		return nil, fmt.Errorf("%w: %d experts for %d rows", ErrCorrupt, numExperts, rows)
+	}
+
+	lo, err := deriveLayout(plan)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	hasModel := flags&flagHasModel != 0
+	if hasModel != (len(lo.specs) > 0 && rows > 0) {
+		return nil, fmt.Errorf("%w: model flag disagrees with plan", ErrCorrupt)
+	}
+
+	var decoders []*nn.Decoder
+	var dims [][]int64
+	if hasModel {
+		dz, err := r.chunk()
+		if err != nil {
+			return nil, err
+		}
+		if flags&flagExternalModel != 0 {
+			if ext == nil {
+				return nil, fmt.Errorf("%w: streaming batch archive needs its model archive (use DecompressBatch)", ErrCorrupt)
+			}
+			if len(dz) != 32 || !bytes.Equal(dz, ext.hash[:]) {
+				return nil, fmt.Errorf("%w: batch archive references a different model archive", ErrCorrupt)
+			}
+			decoders = ext.decoders
+			if len(decoders) != numExperts {
+				return nil, fmt.Errorf("%w: model archive has %d experts, batch wants %d", ErrCorrupt, len(decoders), numExperts)
+			}
+		} else {
+			decoders, err = parseDecoderSection(dz, numExperts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for e, dec := range decoders {
+			if dec.CodeSize != codeSize || len(dec.Specs) != len(lo.specs) {
+				return nil, fmt.Errorf("%w: decoder %d shape mismatch", ErrCorrupt, e)
+			}
+		}
+		dims = make([][]int64, codeSize)
+		for d := range dims {
+			chunk, err := r.chunk()
+			if err != nil {
+				return nil, err
+			}
+			vals, err := colfile.UnpackInts(chunk)
+			if err != nil {
+				return nil, err
+			}
+			if len(vals) != rows {
+				return nil, fmt.Errorf("%w: code dim %d has %d values, want %d", ErrCorrupt, d, len(vals), rows)
+			}
+			dims[d] = vals
+		}
+	}
+
+	// Mapping → perm (stored position → original row) and per-original-row
+	// expert assignment.
+	perm := make([]int, rows)
+	for i := range perm {
+		perm[i] = i
+	}
+	assign := make([]int, rows)
+	if numExperts > 1 {
+		mb, err := r.chunk()
+		if err != nil {
+			return nil, err
+		}
+		if flags&flagGrouped != 0 {
+			keepOrder := flags&flagRowOrder != 0
+			mpos, s := 0, 0
+			for e := 0; e < numExperts; e++ {
+				cnt64, sz := binary.Uvarint(mb[mpos:])
+				if sz <= 0 {
+					return nil, fmt.Errorf("%w: truncated mapping", ErrCorrupt)
+				}
+				mpos += sz
+				cnt := int(cnt64)
+				if s+cnt > rows {
+					return nil, fmt.Errorf("%w: mapping counts exceed rows", ErrCorrupt)
+				}
+				if keepOrder {
+					l, sz := binary.Uvarint(mb[mpos:])
+					if sz <= 0 || uint64(len(mb)-mpos-sz) < l {
+						return nil, fmt.Errorf("%w: truncated mapping indexes", ErrCorrupt)
+					}
+					mpos += sz
+					idx, err := colfile.UnpackInts(mb[mpos : mpos+int(l)])
+					if err != nil {
+						return nil, err
+					}
+					mpos += int(l)
+					if len(idx) != cnt {
+						return nil, fmt.Errorf("%w: mapping index count", ErrCorrupt)
+					}
+					for _, orig := range idx {
+						if orig < 0 || orig >= int64(rows) {
+							return nil, fmt.Errorf("%w: mapping index %d", ErrCorrupt, orig)
+						}
+						perm[s] = int(orig)
+						assign[orig] = e
+						s++
+					}
+				} else {
+					for k := 0; k < cnt; k++ {
+						perm[s] = s
+						assign[s] = e
+						s++
+					}
+				}
+			}
+			if s != rows || mpos != len(mb) {
+				return nil, fmt.Errorf("%w: mapping does not cover all rows", ErrCorrupt)
+			}
+		} else {
+			labels, err := colfile.UnpackInts(mb)
+			if err != nil {
+				return nil, err
+			}
+			if len(labels) != rows {
+				return nil, fmt.Errorf("%w: %d labels for %d rows", ErrCorrupt, len(labels), rows)
+			}
+			for i, l := range labels {
+				if l < 0 || int(l) >= numExperts {
+					return nil, fmt.Errorf("%w: label %d", ErrCorrupt, l)
+				}
+				assign[i] = int(l)
+			}
+		}
+	}
+	if flags&flagRowOrder == 0 {
+		// Row order was not preserved: the table is reconstructed in stored
+		// order, which the perm above already reflects (identity).
+	} else if err := validatePerm(perm); err != nil {
+		return nil, err
+	}
+
+	// Failure streams per schema column.
+	fInts := make(map[int][]int64)
+	fExc := make(map[int][]int64)
+	fMask := make(map[int][]int64)
+	fVals := make(map[int][]float64)
+	trivialCodes := make(map[int][]int64)
+	fbStr := make(map[int][]string)
+	fbNum := make(map[int][]float64)
+	for col := range plan.Cols {
+		cp := &plan.Cols[col]
+		readInts := func() ([]int64, error) {
+			c, err := r.chunk()
+			if err != nil {
+				return nil, err
+			}
+			return colfile.UnpackInts(c)
+		}
+		switch {
+		case lo.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
+			mask, err := readInts()
+			if err != nil {
+				return nil, err
+			}
+			c, err := r.chunk()
+			if err != nil {
+				return nil, err
+			}
+			vals, err := colfile.UnpackFloats(c)
+			if err != nil {
+				return nil, err
+			}
+			if len(mask) != rows {
+				return nil, fmt.Errorf("%w: column %d mask length", ErrCorrupt, col)
+			}
+			fMask[col], fVals[col] = mask, vals
+		case lo.specOfCol[col] >= 0:
+			ints, err := readInts()
+			if err != nil {
+				return nil, err
+			}
+			if len(ints) != rows {
+				return nil, fmt.Errorf("%w: column %d failure length", ErrCorrupt, col)
+			}
+			fInts[col] = ints
+			if lo.specs[lo.specOfCol[col]].Kind == nn.OutCategorical {
+				exc, err := readInts()
+				if err != nil {
+					return nil, err
+				}
+				fExc[col] = exc
+			}
+		case cp.Kind == preprocess.KindFallbackCat:
+			c, err := r.chunk()
+			if err != nil {
+				return nil, err
+			}
+			vals, err := colfile.UnpackStrings(c)
+			if err != nil {
+				return nil, err
+			}
+			if len(vals) != rows {
+				return nil, fmt.Errorf("%w: fallback column %d length", ErrCorrupt, col)
+			}
+			fbStr[col] = vals
+		case cp.Kind == preprocess.KindFallbackNum:
+			c, err := r.chunk()
+			if err != nil {
+				return nil, err
+			}
+			vals, err := colfile.UnpackFloats(c)
+			if err != nil {
+				return nil, err
+			}
+			if len(vals) != rows {
+				return nil, fmt.Errorf("%w: fallback column %d length", ErrCorrupt, col)
+			}
+			fbNum[col] = vals
+		default:
+			ints, err := readInts()
+			if err != nil {
+				return nil, err
+			}
+			if len(ints) != rows {
+				return nil, fmt.Errorf("%w: trivial column %d length", ErrCorrupt, col)
+			}
+			trivialCodes[col] = ints
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+
+	// Pre-resolve exception and correction queues to stored positions.
+	excAt, err := resolveQueues(lo, plan, fInts, fExc)
+	if err != nil {
+		return nil, err
+	}
+	valAt, err := resolveContQueues(fMask, fVals)
+	if err != nil {
+		return nil, err
+	}
+
+	// Replay predictions and apply corrections.
+	colCodes := make(map[int][]int, len(lo.specCols)) // stored order
+	contOut := make(map[int][]float64)
+	for _, col := range lo.specCols {
+		if plan.Cols[col].Kind == preprocess.KindNumContinuous {
+			contOut[col] = make([]float64, rows)
+		} else {
+			colCodes[col] = make([]int, rows)
+		}
+	}
+	var decodeErr error
+	if hasModel {
+		rec := reconstructCodes(dims, codeBits)
+		scratch := make([]bool, maxCard(lo.specs)+1)
+		forEachExpertBatch(decoders, assign, rec, perm, func(e int, chunk []int, p *nn.Predictions) {
+			if decodeErr != nil {
+				return
+			}
+			dec := decoders[e]
+			for si, spec := range lo.specs {
+				col := lo.specCols[si]
+				cp := &plan.Cols[col]
+				switch spec.Kind {
+				case nn.OutNumeric:
+					np := dec.NumPos(si)
+					if cp.Kind == preprocess.KindNumContinuous {
+						out := contOut[col]
+						for i, s := range chunk {
+							if fMask[col][s] != 0 {
+								out[s] = valAt[col][s]
+							} else {
+								out[s] = cp.Scaler.Unscale(p.Num.At(i, np))
+							}
+						}
+						continue
+					}
+					lv := levels(cp)
+					out := colCodes[col]
+					for i, s := range chunk {
+						code := nearestLevel(cp, p.Num.At(i, np), lv) + int(fInts[col][s])
+						if code < 0 || code >= lv {
+							decodeErr = fmt.Errorf("%w: column %d code %d outside [0,%d)", ErrCorrupt, col, code, lv)
+							return
+						}
+						out[s] = code
+					}
+				case nn.OutBinary:
+					bp := dec.BinPos(si)
+					out := colCodes[col]
+					for i, s := range chunk {
+						predBit := 0
+						if p.Bin.At(i, bp) >= 0.5 {
+							predBit = 1
+						}
+						f := fInts[col][s]
+						if f != 0 && f != 1 {
+							decodeErr = fmt.Errorf("%w: column %d binary failure %d", ErrCorrupt, col, f)
+							return
+						}
+						out[s] = predBit ^ int(f)
+					}
+				case nn.OutCategorical:
+					j := dec.CatPos(si)
+					out := colCodes[col]
+					probs := p.Cat[j]
+					for i, s := range chunk {
+						rank := int(fInts[col][s])
+						switch {
+						case rank == spec.Card: // escape
+							out[s] = int(excAt[col][s])
+						case rank >= 0 && rank < spec.Card:
+							out[s] = codeAtRank(probs.Row(i), rank, scratch)
+						default:
+							decodeErr = fmt.Errorf("%w: column %d rank %d", ErrCorrupt, col, rank)
+							return
+						}
+					}
+				}
+			}
+		})
+	}
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
+
+	// Assemble the output table in original order.
+	out := dataset.NewTable(plan.Schema, rows)
+	unperm := make([]int, rows)
+	for s, orig := range perm {
+		unperm[orig] = s
+	}
+	for col := range plan.Cols {
+		cp := &plan.Cols[col]
+		switch {
+		case lo.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
+			vals := make([]float64, rows)
+			src := contOut[col]
+			for orig := 0; orig < rows; orig++ {
+				vals[orig] = src[unperm[orig]]
+			}
+			out.Num[col] = vals
+		case lo.specOfCol[col] >= 0:
+			codes := make([]int, rows)
+			src := colCodes[col]
+			for orig := 0; orig < rows; orig++ {
+				codes[orig] = src[unperm[orig]]
+			}
+			if err := plan.DecodeColumn(out, col, codes); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		case cp.Kind == preprocess.KindFallbackCat:
+			vals := make([]string, rows)
+			for orig := 0; orig < rows; orig++ {
+				vals[orig] = fbStr[col][unperm[orig]]
+			}
+			out.Str[col] = vals
+		case cp.Kind == preprocess.KindFallbackNum:
+			vals := make([]float64, rows)
+			for orig := 0; orig < rows; orig++ {
+				vals[orig] = fbNum[col][unperm[orig]]
+			}
+			out.Num[col] = vals
+		default: // trivial
+			codes := make([]int, rows)
+			src := trivialCodes[col]
+			for orig := 0; orig < rows; orig++ {
+				v := src[unperm[orig]]
+				if v < 0 || v > math.MaxInt32 {
+					return nil, fmt.Errorf("%w: trivial column %d code %d", ErrCorrupt, col, v)
+				}
+				codes[orig] = int(v)
+			}
+			if err := plan.DecodeColumn(out, col, codes); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+	}
+	out.SetNumRows(rows)
+	return out, nil
+}
+
+// validatePerm checks perm is a permutation of [0, len).
+func validatePerm(perm []int) error {
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			return fmt.Errorf("%w: invalid row permutation", ErrCorrupt)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// resolveQueues maps each categorical escape to its stored position by
+// scanning the failure streams in stored order.
+func resolveQueues(lo *layout, plan *preprocess.Plan, fInts, fExc map[int][]int64) (map[int]map[int]int64, error) {
+	out := make(map[int]map[int]int64)
+	for si, spec := range lo.specs {
+		if spec.Kind != nn.OutCategorical {
+			continue
+		}
+		col := lo.specCols[si]
+		queue := fExc[col]
+		at := make(map[int]int64)
+		qi := 0
+		for s, f := range fInts[col] {
+			if int(f) == spec.Card {
+				if qi >= len(queue) {
+					return nil, fmt.Errorf("%w: column %d exception queue exhausted", ErrCorrupt, col)
+				}
+				v := queue[qi]
+				if v < 0 || int(v) >= plan.Cols[col].Dict.Len() {
+					return nil, fmt.Errorf("%w: column %d exception code %d", ErrCorrupt, col, v)
+				}
+				at[s] = v
+				qi++
+			}
+		}
+		if qi != len(queue) {
+			return nil, fmt.Errorf("%w: column %d has %d unused exceptions", ErrCorrupt, col, len(queue)-qi)
+		}
+		out[col] = at
+	}
+	return out, nil
+}
+
+// resolveContQueues does the same for continuous corrections.
+func resolveContQueues(fMask map[int][]int64, fVals map[int][]float64) (map[int]map[int]float64, error) {
+	out := make(map[int]map[int]float64)
+	for col, mask := range fMask {
+		queue := fVals[col]
+		at := make(map[int]float64)
+		qi := 0
+		for s, m := range mask {
+			if m != 0 {
+				if qi >= len(queue) {
+					return nil, fmt.Errorf("%w: column %d correction queue exhausted", ErrCorrupt, col)
+				}
+				at[s] = queue[qi]
+				qi++
+			}
+		}
+		if qi != len(queue) {
+			return nil, fmt.Errorf("%w: column %d has %d unused corrections", ErrCorrupt, col, len(queue)-qi)
+		}
+		out[col] = at
+	}
+	return out, nil
+}
+
+func maxCard(specs []nn.ColSpec) int {
+	m := 1
+	for _, s := range specs {
+		if s.Kind == nn.OutCategorical && s.Card > m {
+			m = s.Card
+		}
+	}
+	return m
+}

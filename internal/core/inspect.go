@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/preprocess"
+)
+
+// ArchiveInfo summarizes an archive without decompressing it.
+type ArchiveInfo struct {
+	Rows       int
+	Schema     *dataset.Schema
+	ColumnKind []string // preprocessing kind per column
+	CodeSize   int
+	CodeBits   int
+	NumExperts int
+	// Streaming reports whether this is a batch archive that needs its
+	// model archive (DecompressBatch).
+	Streaming bool
+	// RowOrderPreserved reports whether decompression restores the
+	// original tuple order.
+	RowOrderPreserved bool
+	TotalBytes        int
+}
+
+// Inspect parses an archive's header (validating the checksum) and returns
+// its metadata. It does not run the decoder and is cheap even for large
+// archives.
+func Inspect(archive []byte) (*ArchiveInfo, error) {
+	r, flags, err := newSectionReader(archive)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := r.chunk()
+	if err != nil {
+		return nil, err
+	}
+	rows, sz := binary.Uvarint(hdr)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: missing row count", ErrCorrupt)
+	}
+	pos := sz
+	plan, used, err := preprocess.DecodePlan(hdr[pos:])
+	if err != nil {
+		return nil, err
+	}
+	pos += used
+	var vals [3]uint64 // code size, code bits, experts
+	for i := range vals {
+		v, sz := binary.Uvarint(hdr[pos:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+		}
+		vals[i] = v
+		pos += sz
+	}
+	if pos != len(hdr) {
+		return nil, fmt.Errorf("%w: trailing header bytes", ErrCorrupt)
+	}
+	info := &ArchiveInfo{
+		Rows:              int(rows),
+		Schema:            plan.Schema,
+		CodeSize:          int(vals[0]),
+		CodeBits:          int(vals[1]),
+		NumExperts:        int(vals[2]),
+		Streaming:         flags&flagExternalModel != 0,
+		RowOrderPreserved: flags&flagRowOrder != 0,
+		TotalBytes:        len(archive),
+	}
+	info.ColumnKind = make([]string, len(plan.Cols))
+	for i := range plan.Cols {
+		info.ColumnKind[i] = plan.Cols[i].Kind.String()
+	}
+	return info, nil
+}

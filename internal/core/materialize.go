@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"deepsqueeze/internal/colfile"
+	"deepsqueeze/internal/mat"
+	"deepsqueeze/internal/nn"
+	"deepsqueeze/internal/preprocess"
+)
+
+// quantizeCodes rounds each code dimension to bits of precision, returning
+// the integer codes (per dimension, in row order of c) and the reconstructed
+// float codes the decoder will actually see. Codes live in [0,1] (sigmoid
+// code layer), so the grid is uniform with 2^bits−1 steps.
+func quantizeCodes(c *mat.Matrix, bits int) ([][]int64, *mat.Matrix) {
+	scale := float64(uint64(1)<<uint(bits) - 1)
+	dims := make([][]int64, c.Cols)
+	for d := range dims {
+		dims[d] = make([]int64, c.Rows)
+	}
+	rec := mat.New(c.Rows, c.Cols)
+	for r := 0; r < c.Rows; r++ {
+		row := c.Row(r)
+		rrow := rec.Row(r)
+		for d, v := range row {
+			q := math.Round(v * scale)
+			if q < 0 {
+				q = 0
+			}
+			if q > scale {
+				q = scale
+			}
+			dims[d][r] = int64(q)
+			rrow[d] = q / scale
+		}
+	}
+	return dims, rec
+}
+
+// reconstructCodes maps integer codes back to [0,1] floats — the
+// decompression-side twin of quantizeCodes.
+func reconstructCodes(dims [][]int64, bits int) *mat.Matrix {
+	scale := float64(uint64(1)<<uint(bits) - 1)
+	rows := 0
+	if len(dims) > 0 {
+		rows = len(dims[0])
+	}
+	rec := mat.New(rows, len(dims))
+	for d, col := range dims {
+		for r, v := range col {
+			rec.Set(r, d, float64(v)/scale)
+		}
+	}
+	return rec
+}
+
+// rankOf returns the rank of class `actual` when classes are ordered by
+// descending probability with ascending-index tie-break (paper §6.3.1).
+func rankOf(probs []float64, actual int) int {
+	pa := probs[actual]
+	rank := 0
+	for j, p := range probs {
+		if p > pa || (p == pa && j < actual) {
+			rank++
+		}
+	}
+	return rank
+}
+
+// codeAtRank returns the class at the given rank under the same ordering.
+// Ranks concentrate near 0, so iterative argmax-with-exclusion beats a full
+// sort in the common case. excluded is scratch space of at least len(probs).
+func codeAtRank(probs []float64, rank int, excluded []bool) int {
+	for i := range excluded[:len(probs)] {
+		excluded[i] = false
+	}
+	best := -1
+	for k := 0; k <= rank; k++ {
+		best = -1
+		for j, p := range probs {
+			if excluded[j] {
+				continue
+			}
+			if best < 0 || p > probs[best] {
+				best = j
+			}
+		}
+		excluded[best] = true
+	}
+	return best
+}
+
+// forEachExpertBatch routes stored positions to their assigned expert's
+// decoder in batches and invokes fn with the predictions. perm maps stored
+// position → original row; assign is indexed by original row. Iteration is
+// expert-major with ascending stored positions inside each expert, which
+// both compression and decompression follow identically.
+func forEachExpertBatch(decoders []*nn.Decoder, assign []int, recCodes *mat.Matrix, perm []int,
+	fn func(expert int, chunk []int, p *nn.Predictions)) {
+	const batch = 2048
+	n := len(perm)
+	for e := range decoders {
+		var positions []int
+		for s := 0; s < n; s++ {
+			if assign[perm[s]] == e {
+				positions = append(positions, s)
+			}
+		}
+		for lo := 0; lo < len(positions); lo += batch {
+			hi := lo + batch
+			if hi > len(positions) {
+				hi = len(positions)
+			}
+			chunk := positions[lo:hi]
+			codes := mat.New(len(chunk), recCodes.Cols)
+			for i, s := range chunk {
+				copy(codes.Row(i), recCodes.Row(s))
+			}
+			fn(e, chunk, decoders[e].Predict(codes))
+		}
+	}
+}
+
+// failureSet holds per-column correction streams in *stored* order.
+type failureSet struct {
+	// ints: model (non-trivial, discrete) columns → failure integers,
+	// indexed by stored position.
+	ints map[int][]int64
+	// exceptions: categorical columns → escaped actual codes, ordered by
+	// stored position of the escaping tuple.
+	exceptions map[int][]int64
+	// contMask / contVals: continuous columns → 0/1 misprediction flags
+	// (indexed by stored position) and the raw original values of
+	// mispredicted tuples (ordered by stored position).
+	contMask map[int][]int64
+	contVals map[int][]float64
+}
+
+type posVal struct {
+	pos int
+	val int64
+}
+
+type posFloat struct {
+	pos int
+	val float64
+}
+
+// computeFailures runs every tuple through its expert's decoder using the
+// reconstructed codes and derives the per-column failure streams.
+func computeFailures(md *modelData, origNum map[int][]float64, decoders []*nn.Decoder,
+	assign []int, recCodes *mat.Matrix, perm []int) *failureSet {
+	fs := &failureSet{
+		ints:       make(map[int][]int64),
+		exceptions: make(map[int][]int64),
+		contMask:   make(map[int][]int64),
+		contVals:   make(map[int][]float64),
+	}
+	n := len(perm)
+	for _, col := range md.specCols {
+		if md.plan.Cols[col].Kind == preprocess.KindNumContinuous {
+			fs.contMask[col] = make([]int64, n)
+		} else {
+			fs.ints[col] = make([]int64, n)
+		}
+	}
+	excepts := make(map[int][]posVal)
+	contws := make(map[int][]posFloat)
+	forEachExpertBatch(decoders, assign, recCodes, perm, func(e int, chunk []int, p *nn.Predictions) {
+		dec := decoders[e]
+		for si, spec := range md.specs {
+			col := md.specCols[si]
+			cp := &md.plan.Cols[col]
+			switch spec.Kind {
+			case nn.OutNumeric:
+				np := dec.NumPos(si)
+				if cp.Kind == preprocess.KindNumContinuous {
+					vals := md.contVals[col]
+					mask := fs.contMask[col]
+					for i, s := range chunk {
+						orig := perm[s]
+						pred := p.Num.At(i, np)
+						if math.Abs(pred-vals[orig]) <= cp.Threshold {
+							mask[s] = 0
+						} else {
+							mask[s] = 1
+							contws[col] = append(contws[col], posFloat{s, origNum[col][orig]})
+						}
+					}
+					continue
+				}
+				lv := levels(cp)
+				out := fs.ints[col]
+				cc := md.codes[col]
+				for i, s := range chunk {
+					predIdx := nearestLevel(cp, p.Num.At(i, np), lv)
+					out[s] = int64(cc[perm[s]] - predIdx)
+				}
+			case nn.OutBinary:
+				bp := dec.BinPos(si)
+				out := fs.ints[col]
+				cc := md.codes[col]
+				for i, s := range chunk {
+					predBit := 0
+					if p.Bin.At(i, bp) >= 0.5 {
+						predBit = 1
+					}
+					out[s] = int64(predBit ^ cc[perm[s]])
+				}
+			case nn.OutCategorical:
+				j := dec.CatPos(si)
+				out := fs.ints[col]
+				cc := md.codes[col]
+				probs := p.Cat[j]
+				for i, s := range chunk {
+					actual := cc[perm[s]]
+					if actual >= spec.Card {
+						out[s] = int64(spec.Card) // escape
+						excepts[col] = append(excepts[col], posVal{s, int64(actual)})
+						continue
+					}
+					out[s] = int64(rankOf(probs.Row(i), actual))
+				}
+			}
+		}
+	})
+	// Exceptions and continuous corrections are consumed by stored position
+	// during decompression; sort them accordingly.
+	for col, pv := range excepts {
+		sort.Slice(pv, func(i, j int) bool { return pv[i].pos < pv[j].pos })
+		vals := make([]int64, len(pv))
+		for i, e := range pv {
+			vals[i] = e.val
+		}
+		fs.exceptions[col] = vals
+	}
+	for col, pv := range contws {
+		sort.Slice(pv, func(i, j int) bool { return pv[i].pos < pv[j].pos })
+		vals := make([]float64, len(pv))
+		for i, e := range pv {
+			vals[i] = e.val
+		}
+		fs.contVals[col] = vals
+	}
+	return fs
+}
+
+// nearestLevel maps a regression output in [0,1] to the nearest discrete
+// level of the column (bucket index or value rank).
+func nearestLevel(cp *preprocess.ColPlan, pred float64, lv int) int {
+	if cp.Kind == preprocess.KindNumQuant {
+		return cp.Quant.Bucket(pred)
+	}
+	idx := int(math.Round(pred * float64(lv-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= lv {
+		idx = lv - 1
+	}
+	return idx
+}
+
+// packedSize totals the packed byte size of all failure streams plus the
+// given packed code dimensions — the objective of the truncation search.
+func packedSize(fs *failureSet, codeDims [][]int64) int64 {
+	var total int64
+	for _, dim := range codeDims {
+		total += int64(len(colfile.PackInts(dim)))
+	}
+	for _, s := range fs.ints {
+		total += int64(len(colfile.PackInts(s)))
+	}
+	for _, s := range fs.exceptions {
+		total += int64(len(colfile.PackInts(s)))
+	}
+	for _, s := range fs.contMask {
+		total += int64(len(colfile.PackInts(s)))
+	}
+	for _, s := range fs.contVals {
+		total += int64(len(colfile.PackFloats(s)))
+	}
+	return total
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/mat"
+	"deepsqueeze/internal/nn"
+	"deepsqueeze/internal/preprocess"
+)
+
+// layout classifies every schema column and derives the model column specs.
+// It is a pure function of the preprocessing plan, so the decompressor
+// reconstructs the identical layout from the archived plan.
+type layout struct {
+	specs     []nn.ColSpec
+	specCols  []int // spec index → schema column
+	specOfCol []int // schema column → spec index, -1 if not a model column
+
+	trivialCols  []int // in-model columns with ModelCard ≤ 1: always predicted 0
+	fallbackCols []int // stored directly through the columnar format
+}
+
+// isTrivial reports whether an in-model column needs no prediction.
+func isTrivial(cp *preprocess.ColPlan) bool {
+	switch cp.Kind {
+	case preprocess.KindCatModel, preprocess.KindNumQuant, preprocess.KindNumDict:
+		return cp.ModelCard <= 1
+	default:
+		return false
+	}
+}
+
+// deriveLayout classifies the plan's columns.
+func deriveLayout(plan *preprocess.Plan) (*layout, error) {
+	lo := &layout{specOfCol: make([]int, len(plan.Cols))}
+	for i := range lo.specOfCol {
+		lo.specOfCol[i] = -1
+	}
+	for col := range plan.Cols {
+		cp := &plan.Cols[col]
+		switch cp.Kind {
+		case preprocess.KindFallbackCat, preprocess.KindFallbackNum:
+			lo.fallbackCols = append(lo.fallbackCols, col)
+			continue
+		case preprocess.KindNumContinuous:
+			lo.specOfCol[col] = len(lo.specs)
+			lo.specCols = append(lo.specCols, col)
+			lo.specs = append(lo.specs, nn.ColSpec{Kind: nn.OutNumeric})
+			continue
+		}
+		if isTrivial(cp) {
+			lo.trivialCols = append(lo.trivialCols, col)
+			continue
+		}
+		lo.specOfCol[col] = len(lo.specs)
+		lo.specCols = append(lo.specCols, col)
+		switch cp.Kind {
+		case preprocess.KindCatModel:
+			lo.specs = append(lo.specs, nn.ColSpec{Kind: nn.OutCategorical, Card: cp.ModelCard})
+		case preprocess.KindBinary:
+			lo.specs = append(lo.specs, nn.ColSpec{Kind: nn.OutBinary})
+		case preprocess.KindNumQuant, preprocess.KindNumDict:
+			lo.specs = append(lo.specs, nn.ColSpec{Kind: nn.OutNumeric})
+		default:
+			return nil, fmt.Errorf("core: unexpected column kind %v", cp.Kind)
+		}
+	}
+	return lo, nil
+}
+
+// modelData is the compression-side bundle: the layout plus the encoded
+// table, model inputs, and training targets.
+type modelData struct {
+	*layout
+	plan *preprocess.Plan
+	rows int
+
+	codes    map[int][]int     // integer codes for every discrete in-model column (incl. trivial)
+	contVals map[int][]float64 // scaled values for KindNumContinuous columns
+
+	x       *mat.Matrix
+	targets *nn.Targets
+}
+
+// buildModelData encodes the table against the plan and assembles model
+// inputs and targets.
+func buildModelData(t *dataset.Table, plan *preprocess.Plan) (*modelData, error) {
+	lo, err := deriveLayout(plan)
+	if err != nil {
+		return nil, err
+	}
+	md := &modelData{
+		layout:   lo,
+		plan:     plan,
+		rows:     t.NumRows(),
+		codes:    make(map[int][]int),
+		contVals: make(map[int][]float64),
+	}
+	for col := range plan.Cols {
+		cp := &plan.Cols[col]
+		switch cp.Kind {
+		case preprocess.KindFallbackCat, preprocess.KindFallbackNum:
+			// stored directly
+		case preprocess.KindNumContinuous:
+			md.contVals[col] = plan.ScaleColumn(t, col)
+		default:
+			cc, err := plan.Encode(t, col)
+			if err != nil {
+				return nil, err
+			}
+			md.codes[col] = cc
+		}
+	}
+	md.buildTensors()
+	return md, nil
+}
+
+// levels returns the number of discrete levels an OutNumeric model column
+// regresses over (bucket count or value-dict size); 0 for continuous.
+func levels(cp *preprocess.ColPlan) int {
+	switch cp.Kind {
+	case preprocess.KindNumQuant:
+		return cp.Quant.NumBucket
+	case preprocess.KindNumDict:
+		return cp.VDict.Len()
+	default:
+		return 0
+	}
+}
+
+// buildTensors fills x and targets for the full table.
+func (md *modelData) buildTensors() {
+	nSpec := len(md.specs)
+	md.x = mat.New(md.rows, nSpec)
+	var numCols, binCols, catCols int
+	for _, s := range md.specs {
+		switch s.Kind {
+		case nn.OutNumeric:
+			numCols++
+		case nn.OutBinary:
+			binCols++
+		case nn.OutCategorical:
+			catCols++
+		}
+	}
+	md.targets = &nn.Targets{
+		Num: mat.New(md.rows, numCols),
+		Bin: mat.New(md.rows, binCols),
+		Cat: make([][]int, catCols),
+	}
+	for j := range md.targets.Cat {
+		md.targets.Cat[j] = make([]int, md.rows)
+	}
+	ni, bi, ci := 0, 0, 0
+	for si, s := range md.specs {
+		col := md.specCols[si]
+		cp := &md.plan.Cols[col]
+		switch s.Kind {
+		case nn.OutNumeric:
+			if cp.Kind == preprocess.KindNumContinuous {
+				vals := md.contVals[col]
+				for r := 0; r < md.rows; r++ {
+					md.x.Set(r, si, vals[r])
+					md.targets.Num.Set(r, ni, vals[r])
+				}
+			} else {
+				cc := md.codes[col]
+				for r := 0; r < md.rows; r++ {
+					v := md.plan.InputValue(col, cc[r])
+					md.x.Set(r, si, v)
+					md.targets.Num.Set(r, ni, v)
+				}
+			}
+			ni++
+		case nn.OutBinary:
+			cc := md.codes[col]
+			for r := 0; r < md.rows; r++ {
+				md.x.Set(r, si, float64(cc[r]))
+				md.targets.Bin.Set(r, bi, float64(cc[r]))
+			}
+			bi++
+		case nn.OutCategorical:
+			cc := md.codes[col]
+			tgt := md.targets.Cat[ci]
+			for r := 0; r < md.rows; r++ {
+				md.x.Set(r, si, md.plan.InputValue(col, cc[r]))
+				if cc[r] < s.Card {
+					tgt[r] = cc[r]
+				} else {
+					tgt[r] = -1 // rare value: masked from training
+				}
+			}
+			ci++
+		}
+	}
+}
+
+// sampleRows returns the tensors restricted to the given row indexes.
+func (md *modelData) sampleRows(idx []int) (*mat.Matrix, *nn.Targets) {
+	x := mat.New(len(idx), md.x.Cols)
+	for i, r := range idx {
+		copy(x.Row(i), md.x.Row(r))
+	}
+	tg := &nn.Targets{
+		Num: mat.New(len(idx), md.targets.Num.Cols),
+		Bin: mat.New(len(idx), md.targets.Bin.Cols),
+		Cat: make([][]int, len(md.targets.Cat)),
+	}
+	for i, r := range idx {
+		copy(tg.Num.Row(i), md.targets.Num.Row(r))
+		copy(tg.Bin.Row(i), md.targets.Bin.Row(r))
+	}
+	for j, col := range md.targets.Cat {
+		sub := make([]int, len(idx))
+		for i, r := range idx {
+			sub[i] = col[r]
+		}
+		tg.Cat[j] = sub
+	}
+	return x, tg
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deepsqueeze/internal/dataset"
+)
+
+// TestQuickRandomSchemaRoundTrip is the end-to-end property test: random
+// schemas, random data, random thresholds — compression must round-trip
+// with categorical exactness and numeric values inside their bounds.
+func TestQuickRandomSchemaRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nCols := 1 + rng.Intn(6)
+		cols := make([]dataset.Column, nCols)
+		for i := range cols {
+			cols[i].Name = fmt.Sprintf("c%d", i)
+			if rng.Intn(2) == 0 {
+				cols[i].Type = dataset.Categorical
+			} else {
+				cols[i].Type = dataset.Numeric
+			}
+		}
+		schema := dataset.NewSchema(cols...)
+		rows := 20 + rng.Intn(200)
+		tb := dataset.NewTable(schema, rows)
+		thresholds := make([]float64, nCols)
+		for i, c := range cols {
+			if c.Type == dataset.Numeric && rng.Intn(2) == 0 {
+				thresholds[i] = []float64{0.005, 0.05, 0.1, 0.25}[rng.Intn(4)]
+			}
+		}
+		strs := make([]string, 0, nCols)
+		nums := make([]float64, 0, nCols)
+		for r := 0; r < rows; r++ {
+			strs, nums = strs[:0], nums[:0]
+			for _, c := range cols {
+				if c.Type == dataset.Categorical {
+					switch rng.Intn(3) {
+					case 0: // low cardinality
+						strs = append(strs, fmt.Sprintf("v%d", rng.Intn(3)))
+					case 1: // skewed
+						if rng.Float64() < 0.9 {
+							strs = append(strs, "hot")
+						} else {
+							strs = append(strs, fmt.Sprintf("cold%d", rng.Intn(50)))
+						}
+					default: // near unique
+						strs = append(strs, fmt.Sprintf("u%d-%d", r, rng.Intn(10)))
+					}
+				} else {
+					switch rng.Intn(3) {
+					case 0:
+						nums = append(nums, float64(rng.Intn(5)))
+					case 1:
+						nums = append(nums, rng.NormFloat64()*1000)
+					default:
+						nums = append(nums, rng.Float64())
+					}
+				}
+			}
+			tb.AppendRow(strs, nums)
+		}
+		opts := DefaultOptions()
+		opts.CodeSize = 1 + rng.Intn(3)
+		opts.NumExperts = 1 + rng.Intn(3)
+		opts.Train.Epochs = 3
+		opts.Seed = seed
+		res, err := Compress(tb, thresholds, opts)
+		if err != nil {
+			t.Logf("seed %d: compress: %v", seed, err)
+			return false
+		}
+		got, err := Decompress(res.Archive)
+		if err != nil {
+			t.Logf("seed %d: decompress: %v", seed, err)
+			return false
+		}
+		stats := tb.Stats()
+		tol := make([]float64, nCols)
+		for i := range tol {
+			if cols[i].Type == dataset.Numeric {
+				tol[i] = thresholds[i] * (stats[i].Max - stats[i].Min) * (1 + 1e-9)
+			}
+		}
+		if err := tb.EqualWithin(got, tol); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArchiveBitFlipFuzz flips bytes all over a valid archive and requires
+// that decompression either fails cleanly or (never) returns wrong data
+// silently — the CRC must catch every flip.
+func TestArchiveBitFlipFuzz(t *testing.T) {
+	tb := latentTable(200, 21)
+	res, err := Compress(tb, []float64{0, 0, 0.1, 0.1, 0}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 60; i++ {
+		bad := append([]byte{}, res.Archive...)
+		pos := rng.Intn(len(bad))
+		bad[pos] ^= byte(1 + rng.Intn(255))
+		if _, err := Decompress(bad); err == nil {
+			t.Fatalf("flip at byte %d went undetected", pos)
+		}
+	}
+}
+
+// TestErrorBoundTightness documents that quantization uses its full error
+// budget: with a 10% threshold the worst-case observed error should exceed
+// 5% of the range (otherwise we are wasting buckets).
+func TestErrorBoundTightness(t *testing.T) {
+	tb := latentTable(2000, 23)
+	thr := []float64{0, 0, 0.1, 0.1, 0}
+	res, err := Compress(tb, thr, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(res.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := tb.Stats()
+	for _, c := range []int{2, 3} {
+		rangeC := stats[c].Max - stats[c].Min
+		var worst float64
+		for r := 0; r < tb.NumRows(); r++ {
+			if d := math.Abs(got.Num[c][r] - tb.Num[c][r]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 0.1*rangeC*(1+1e-9) {
+			t.Fatalf("column %d worst error %v exceeds bound %v", c, worst, 0.1*rangeC)
+		}
+		if worst < 0.05*rangeC {
+			t.Errorf("column %d worst error %v uses less than half the 10%% budget — quantization too fine", c, worst)
+		}
+	}
+}

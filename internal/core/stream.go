@@ -1,0 +1,266 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/nn"
+	"deepsqueeze/internal/preprocess"
+)
+
+// Stream implements the paper's streaming-archival scenario (§3): the model
+// is trained once on an initial batch, its decoders live in a single *model
+// archive* (the initial batch's own archive), and subsequent message
+// batches compress into small *batch archives* that reference the model by
+// the SHA-256 of its decoder section instead of embedding it. Per batch,
+// only the cheap preprocessing state (dictionaries, scalers, quantizers) is
+// re-fitted; the trained experts are reused, so batch cost is encoding +
+// materialization with no training. Distribution drift surfaces as growing
+// failure streams — the signal to retrain, as the paper suggests.
+type Stream struct {
+	opts       Options
+	thresholds []float64
+	trainPlan  *preprocess.Plan
+	experts    []*nn.Autoencoder
+	specs      []nn.ColSpec
+	model      []byte
+	hash       [32]byte
+}
+
+// NewStream trains on the initial batch and returns the stream compressor
+// together with the initial batch's compression result. The result's
+// archive is the model archive: keep it, every batch needs it to decompress.
+func NewStream(train *dataset.Table, thresholds []float64, opts Options) (*Stream, *Result, error) {
+	res, experts, md, err := compress(train, thresholds, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(experts) == 0 {
+		return nil, nil, fmt.Errorf("core: streaming needs at least one model column and a non-empty training batch")
+	}
+	hash, err := decoderSectionHash(res.Archive)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Stream{
+		opts:       opts,
+		thresholds: append([]float64(nil), thresholds...),
+		trainPlan:  md.plan,
+		experts:    experts,
+		specs:      append([]nn.ColSpec(nil), md.specs...),
+		model:      res.Archive,
+		hash:       hash,
+	}
+	return s, res, nil
+}
+
+// ModelArchive returns the self-contained model archive (the compressed
+// initial batch). DecompressBatch needs it for every batch archive.
+func (s *Stream) ModelArchive() []byte { return s.model }
+
+// CompressBatch compresses one message batch against the trained model.
+// The batch must have the training schema. Batch archives are decompressed
+// with DecompressBatch(model, batch).
+func (s *Stream) CompressBatch(batch *dataset.Table) (*Result, error) {
+	if !batch.Schema.Equal(s.trainPlan.Schema) {
+		return nil, fmt.Errorf("core: batch schema differs from training schema")
+	}
+	plan, err := s.fitBatchPlan(batch)
+	if err != nil {
+		return nil, err
+	}
+	md, err := buildModelData(batch, plan)
+	if err != nil {
+		return nil, err
+	}
+	if len(md.specs) != len(s.specs) {
+		return nil, fmt.Errorf("core: batch produced %d model columns, training had %d (retrain needed)", len(md.specs), len(s.specs))
+	}
+	for i, sp := range md.specs {
+		if sp != s.specs[i] {
+			return nil, fmt.Errorf("core: batch model column %d spec %+v differs from training %+v (retrain needed)", i, sp, s.specs[i])
+		}
+	}
+	assign := make([]int, md.rows)
+	if len(s.experts) > 1 {
+		assign = (&nn.MoE{Experts: s.experts}).Assign(md.x, md.targets)
+	}
+	return materialize(batch, md, s.opts, s.experts, assign, &externalModelRef{Hash: s.hash})
+}
+
+// fitBatchPlan re-fits per-batch preprocessing state while pinning the
+// decisions the trained model depends on: every column keeps its training
+// kind, and categorical model alphabets keep their training size. Values
+// unseen during training become ordinary escape failures.
+func (s *Stream) fitBatchPlan(batch *dataset.Table) (*preprocess.Plan, error) {
+	popts := s.opts.Preproc
+	popts.NoQuantization = popts.NoQuantization || s.opts.NoQuantization
+	fresh, err := preprocess.Fit(batch, popts, s.thresholds)
+	if err != nil {
+		return nil, err
+	}
+	for col := range fresh.Cols {
+		tc := &s.trainPlan.Cols[col]
+		bc := &fresh.Cols[col]
+		switch tc.Kind {
+		case preprocess.KindCatModel:
+			// Force the column back to the categorical-model path with the
+			// trained alphabet size, regardless of the batch's own
+			// statistics (a batch may look high-cardinality or binary).
+			if bc.Dict == nil {
+				bc.Dict = preprocess.BuildDictionary(batch.Str[col])
+			}
+			bc.Kind = preprocess.KindCatModel
+			bc.ModelCard = tc.ModelCard
+		case preprocess.KindBinary:
+			if bc.Dict == nil {
+				bc.Dict = preprocess.BuildDictionary(batch.Str[col])
+			}
+			if bc.Dict.Len() > 2 {
+				return nil, fmt.Errorf("core: column %q was binary at training time but batch has %d distinct values (retrain needed)",
+					batch.Schema.Columns[col].Name, bc.Dict.Len())
+			}
+			bc.Kind = preprocess.KindBinary
+			bc.ModelCard = 2
+		case preprocess.KindNumQuant, preprocess.KindNumContinuous:
+			if bc.Kind != tc.Kind {
+				return nil, fmt.Errorf("core: column %q changed numeric handling (retrain needed)", batch.Schema.Columns[col].Name)
+			}
+		case preprocess.KindNumDict:
+			if bc.Kind == preprocess.KindFallbackNum {
+				return nil, fmt.Errorf("core: column %q exceeded the value-dictionary limit in this batch (retrain needed)",
+					batch.Schema.Columns[col].Name)
+			}
+		case preprocess.KindFallbackCat, preprocess.KindFallbackNum:
+			bc.Kind = tc.Kind
+			bc.ModelCard = 0
+		}
+		// The spec list must keep its training shape: columns trivial at
+		// training time stay trivial, and columns modeled at training time
+		// stay modeled even when a batch happens to be constant.
+		if isTrivial(tc) {
+			bc.ModelCard = tc.ModelCard
+		} else if isTrivial(bc) {
+			bc.ModelCard = 2
+		}
+	}
+	return fresh, nil
+}
+
+// DecompressBatch reconstructs a batch compressed by Stream.CompressBatch,
+// given the stream's model archive.
+func DecompressBatch(modelArchive, batchArchive []byte) (*dataset.Table, error) {
+	decoders, hash, err := extractDecoders(modelArchive)
+	if err != nil {
+		return nil, fmt.Errorf("model archive: %w", err)
+	}
+	return decompressArchive(batchArchive, &providedModel{decoders: decoders, hash: hash})
+}
+
+// parseDecoderSection splits a (inflated-on-demand) decoder section into
+// its per-expert decoders.
+func parseDecoderSection(section []byte, numExperts int) ([]*nn.Decoder, error) {
+	db, err := inflateBytes(section)
+	if err != nil {
+		return nil, err
+	}
+	decoders := make([]*nn.Decoder, numExperts)
+	dpos := 0
+	for e := range decoders {
+		l, sz := binary.Uvarint(db[dpos:])
+		if sz <= 0 || uint64(len(db)-dpos-sz) < l {
+			return nil, fmt.Errorf("%w: truncated decoder %d", ErrCorrupt, e)
+		}
+		dpos += sz
+		dec, used, err := nn.DecodeDecoder(db[dpos : dpos+int(l)])
+		if err != nil {
+			return nil, err
+		}
+		if used != int(l) {
+			return nil, fmt.Errorf("%w: decoder %d has %d stray bytes", ErrCorrupt, e, int(l)-used)
+		}
+		decoders[e] = dec
+		dpos += int(l)
+	}
+	if dpos != len(db) {
+		return nil, fmt.Errorf("%w: trailing decoder bytes", ErrCorrupt)
+	}
+	return decoders, nil
+}
+
+// extractDecoders pulls the decoder section out of a self-contained model
+// archive and returns the decoders plus the section hash batch archives
+// reference.
+func extractDecoders(archive []byte) ([]*nn.Decoder, [32]byte, error) {
+	var zero [32]byte
+	r, flags, err := newSectionReader(archive)
+	if err != nil {
+		return nil, zero, err
+	}
+	if flags&flagHasModel == 0 {
+		return nil, zero, fmt.Errorf("%w: model archive has no model section", ErrCorrupt)
+	}
+	if flags&flagExternalModel != 0 {
+		return nil, zero, fmt.Errorf("%w: a batch archive cannot serve as a model archive", ErrCorrupt)
+	}
+	hdr, err := r.chunk()
+	if err != nil {
+		return nil, zero, err
+	}
+	// Skip rows varint + plan; then read the expert count.
+	_, sz := binary.Uvarint(hdr)
+	if sz <= 0 {
+		return nil, zero, fmt.Errorf("%w: model header", ErrCorrupt)
+	}
+	pos := sz
+	if _, used, err := preprocess.DecodePlan(hdr[pos:]); err != nil {
+		return nil, zero, err
+	} else {
+		pos += used
+	}
+	var vals [3]uint64 // code size, code bits, experts
+	for i := range vals {
+		v, sz := binary.Uvarint(hdr[pos:])
+		if sz <= 0 {
+			return nil, zero, fmt.Errorf("%w: model header", ErrCorrupt)
+		}
+		vals[i] = v
+		pos += sz
+	}
+	section, err := r.chunk()
+	if err != nil {
+		return nil, zero, err
+	}
+	decoders, err := parseDecoderSection(section, int(vals[2]))
+	if err != nil {
+		return nil, zero, err
+	}
+	return decoders, decoderSectionHashBytes(section), nil
+}
+
+// decoderSectionHash locates the decoder section of a model archive and
+// hashes it.
+func decoderSectionHash(archive []byte) ([32]byte, error) {
+	var zero [32]byte
+	r, flags, err := newSectionReader(archive)
+	if err != nil {
+		return zero, err
+	}
+	if flags&flagHasModel == 0 {
+		return zero, fmt.Errorf("%w: archive has no model section", ErrCorrupt)
+	}
+	if _, err := r.chunk(); err != nil { // header
+		return zero, err
+	}
+	section, err := r.chunk()
+	if err != nil {
+		return zero, err
+	}
+	return decoderSectionHashBytes(section), nil
+}
+
+func decoderSectionHashBytes(section []byte) [32]byte {
+	return sha256.Sum256(section)
+}

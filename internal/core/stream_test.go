@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"deepsqueeze/internal/dataset"
+)
+
+// streamBatch generates a telemetry-like batch; drift shifts the latent
+// distribution to simulate a changing fleet.
+func streamBatch(rows int, seed int64, drift float64) *dataset.Table {
+	schema := dataset.NewSchema(
+		dataset.Column{Name: "status", Type: dataset.Categorical},
+		dataset.Column{Name: "bin", Type: dataset.Categorical},
+		dataset.Column{Name: "load", Type: dataset.Numeric},
+		dataset.Column{Name: "temp", Type: dataset.Numeric},
+	)
+	t := dataset.NewTable(schema, rows)
+	rng := rand.New(rand.NewSource(seed))
+	states := []string{"idle", "busy", "hot", "crit"}
+	for i := 0; i < rows; i++ {
+		z := rng.Float64()
+		zd := z*(1-drift) + drift
+		bin := "0"
+		if zd > 0.5 {
+			bin = "1"
+		}
+		t.AppendRow(
+			[]string{states[int(zd*3.999)], bin},
+			[]float64{zd * 100, 30 + zd*50},
+		)
+	}
+	return t
+}
+
+func streamOpts() Options {
+	o := DefaultOptions()
+	o.CodeSize = 2
+	o.Train.Epochs = 10
+	return o
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	train := streamBatch(1000, 1, 0)
+	thr := []float64{0, 0, 0.05, 0.05}
+	s, trainRes, err := NewStream(train, thr, streamOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trainRes.Breakdown.Total == 0 {
+		t.Fatal("empty model archive")
+	}
+	for b := int64(2); b <= 4; b++ {
+		batch := streamBatch(500, b, 0)
+		res, err := s.CompressBatch(batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		got, err := DecompressBatch(s.ModelArchive(), res.Archive)
+		if err != nil {
+			t.Fatalf("batch %d decompress: %v", b, err)
+		}
+		stats := batch.Stats()
+		tol := []float64{0, 0, 0.05 * (stats[2].Max - stats[2].Min), 0.05 * (stats[3].Max - stats[3].Min)}
+		if err := batch.EqualWithin(got, tol); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+}
+
+func TestStreamBatchSmallerThanSelfContained(t *testing.T) {
+	train := streamBatch(2000, 5, 0)
+	thr := []float64{0, 0, 0.05, 0.05}
+	s, _, err := NewStream(train, thr, streamOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := streamBatch(1000, 6, 0)
+	bres, err := s.CompressBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Compress(batch, thr, streamOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The batch archive skips the decoders and training; it must be
+	// smaller than the self-contained archive of the same data.
+	if bres.Breakdown.Total >= full.Breakdown.Total {
+		t.Fatalf("batch archive %d ≥ self-contained %d", bres.Breakdown.Total, full.Breakdown.Total)
+	}
+	if bres.Breakdown.Decoder > 64 {
+		t.Fatalf("batch archive embeds %d decoder bytes; want just a hash", bres.Breakdown.Decoder)
+	}
+}
+
+func TestStreamUnseenValuesRoundTrip(t *testing.T) {
+	train := streamBatch(800, 7, 0)
+	thr := []float64{0, 0, 0.05, 0.05}
+	s, _, err := NewStream(train, thr, streamOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch with categorical values never seen in training and numeric
+	// values outside the training range.
+	batch := streamBatch(400, 8, 0)
+	for i := 0; i < 40; i++ {
+		batch.Str[0][i] = fmt.Sprintf("novel-%d", i%7)
+		batch.Num[2][i] = 500 + float64(i) // far outside training range
+	}
+	res, err := s.CompressBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressBatch(s.ModelArchive(), res.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := batch.Stats()
+	tol := []float64{0, 0, 0.05 * (stats[2].Max - stats[2].Min), 0.05 * (stats[3].Max - stats[3].Min)}
+	if err := batch.EqualWithin(got, tol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamDriftStillBounded(t *testing.T) {
+	train := streamBatch(1000, 9, 0)
+	thr := []float64{0, 0, 0.1, 0.1}
+	s, _, err := NewStream(train, thr, streamOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy drift: the model mispredicts more (bigger failures) but the
+	// error bound must still hold.
+	batch := streamBatch(600, 10, 0.6)
+	res, err := s.CompressBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressBatch(s.ModelArchive(), res.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := batch.Stats()
+	tol := []float64{0, 0, 0.1 * (stats[2].Max - stats[2].Min), 0.1 * (stats[3].Max - stats[3].Min)}
+	if err := batch.EqualWithin(got, tol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	train := streamBatch(500, 11, 0)
+	thr := []float64{0, 0, 0.05, 0.05}
+	s, res, err := NewStream(train, thr, streamOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong schema.
+	other := dataset.NewTable(dataset.NewSchema(
+		dataset.Column{Name: "x", Type: dataset.Numeric},
+	), 1)
+	other.AppendRow(nil, []float64{1})
+	if _, err := s.CompressBatch(other); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+	// Binary column growing a third value must demand a retrain.
+	bad := streamBatch(300, 12, 0)
+	bad.Str[1][0] = "2"
+	if _, err := s.CompressBatch(bad); err == nil {
+		t.Error("binary column with 3 values accepted")
+	}
+	// Batch archives must be rejected by plain Decompress.
+	batch := streamBatch(200, 13, 0)
+	bres, err := s.CompressBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(bres.Archive); err == nil {
+		t.Error("plain Decompress accepted a batch archive")
+	}
+	// And must be rejected against the wrong model archive.
+	otherTrain := streamBatch(500, 14, 0.5)
+	s2, _, err := NewStream(otherTrain, thr, streamOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressBatch(s2.ModelArchive(), bres.Archive); err == nil {
+		t.Error("batch decompressed against the wrong model archive")
+	}
+	// A batch archive cannot serve as a model archive.
+	if _, err := DecompressBatch(bres.Archive, bres.Archive); err == nil {
+		t.Error("batch archive accepted as model archive")
+	}
+	_ = res
+}
+
+func TestStreamModelArchiveIsSelfContained(t *testing.T) {
+	train := streamBatch(600, 15, 0)
+	thr := []float64{0, 0, 0.05, 0.05}
+	s, res, err := NewStream(train, thr, streamOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(s.ModelArchive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != train.NumRows() {
+		t.Fatalf("model archive decodes to %d rows", got.NumRows())
+	}
+	_ = res
+}

@@ -1,0 +1,201 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepsqueeze/internal/dataset"
+)
+
+func TestAllGeneratorsMatchPaperSchema(t *testing.T) {
+	for _, g := range All() {
+		tb := g.Gen(rand.New(rand.NewSource(1)), 200)
+		if tb.NumRows() != 200 {
+			t.Errorf("%s: rows = %d", g.Name, tb.NumRows())
+		}
+		var cat, num int
+		for _, c := range tb.Schema.Columns {
+			if c.Type == dataset.Categorical {
+				cat++
+			} else {
+				num++
+			}
+		}
+		if cat != g.CatCols || num != g.NumCols {
+			t.Errorf("%s: %d cat / %d num columns, Table 1 says %d / %d",
+				g.Name, cat, num, g.CatCols, g.NumCols)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if g, ok := ByName("monitor"); !ok || g.Name != "monitor" {
+		t.Fatal("ByName(monitor) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, g := range All() {
+		a := g.Gen(rand.New(rand.NewSource(7)), 100)
+		b := g.Gen(rand.New(rand.NewSource(7)), 100)
+		if err := a.EqualWithin(b, nil); err != nil {
+			t.Errorf("%s not deterministic: %v", g.Name, err)
+		}
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	g, _ := ByName("forest")
+	tb := g.Gen(rand.New(rand.NewSource(2)), 50)
+	thr := Thresholds(tb, 0.1)
+	for i, c := range tb.Schema.Columns {
+		want := 0.0
+		if c.Type == dataset.Numeric {
+			want = 0.1
+		}
+		if thr[i] != want {
+			t.Fatalf("threshold[%d] = %v, want %v", i, thr[i], want)
+		}
+	}
+}
+
+func TestForestInvariants(t *testing.T) {
+	tb := Forest(rand.New(rand.NewSource(3)), 500)
+	// One-hot groups: exactly one wilderness and one soil flag set per row.
+	wStart, sStart := 10, 14
+	for r := 0; r < tb.NumRows(); r++ {
+		var w, s int
+		for i := 0; i < 4; i++ {
+			if tb.Str[wStart+i][r] == "1" {
+				w++
+			}
+		}
+		for i := 0; i < 40; i++ {
+			if tb.Str[sStart+i][r] == "1" {
+				s++
+			}
+		}
+		if w != 1 || s != 1 {
+			t.Fatalf("row %d: %d wilderness flags, %d soil flags", r, w, s)
+		}
+	}
+	// Hillshade must be in sensor range.
+	for _, col := range []int{6, 7, 8} {
+		for _, v := range tb.Num[col] {
+			if v < 0 || v > 255 {
+				t.Fatalf("hillshade %v outside [0,255]", v)
+			}
+		}
+	}
+}
+
+func TestCensusIsLowEntropy(t *testing.T) {
+	// Persona structure should make rows repeat far more than independent
+	// columns would: the joint entropy must be far below the independent
+	// bound. Cheap proxy: count distinct full rows.
+	tb := Census(rand.New(rand.NewSource(4)), 2000)
+	seen := map[string]struct{}{}
+	for r := 0; r < tb.NumRows(); r++ {
+		key := ""
+		for c := 0; c < 10; c++ { // first 10 attrs suffice
+			key += tb.Str[c][r] + "|"
+		}
+		seen[key] = struct{}{}
+	}
+	// 24 personas × noise: distinct prefixes should be ≪ 2000.
+	if len(seen) > 1200 {
+		t.Fatalf("census rows look independent: %d distinct 10-col prefixes of 2000", len(seen))
+	}
+}
+
+func TestMonitorCorrelations(t *testing.T) {
+	tb := Monitor(rand.New(rand.NewSource(5)), 3000)
+	// cpu_user (col 2) and temp_cpu (col 12) must be strongly correlated.
+	r := pearson(tb.Num[2], tb.Num[12])
+	if r < 0.9 {
+		t.Fatalf("cpu/temp correlation %v, want > 0.9", r)
+	}
+	// Timestamps must be monotone increasing.
+	ts := tb.Num[0]
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatal("timestamps not increasing")
+		}
+	}
+}
+
+func TestCriteoSkewAndCardinality(t *testing.T) {
+	tb := Criteo(rand.New(rand.NewSource(6)), 3000)
+	stats := tb.Stats()
+	// The last hashed-id column (schema index 13+26) must be near-unique to
+	// exercise the fallback path; the Zipf-reused id columns must be
+	// high-cardinality but compressible.
+	if stats[39].Distinct < tb.NumRows()/2 {
+		t.Fatalf("column 39 distinct = %d, want near-unique", stats[39].Distinct)
+	}
+	for _, c := range []int{37, 38} {
+		if stats[c].Distinct < 100 || stats[c].Distinct > tb.NumRows()*9/10 {
+			t.Fatalf("column %d distinct = %d, want skewed-high-cardinality", c, stats[c].Distinct)
+		}
+	}
+	// Early categorical columns must be low-cardinality.
+	if stats[13].Distinct > 100 {
+		t.Fatalf("cat00 distinct = %d", stats[13].Distinct)
+	}
+	// Numeric count features are non-negative.
+	for c := 0; c < 13; c++ {
+		for _, v := range tb.Num[c] {
+			if v < 0 {
+				t.Fatalf("negative count feature %v", v)
+			}
+		}
+	}
+}
+
+func TestCorelBoundedFeatures(t *testing.T) {
+	tb := Corel(rand.New(rand.NewSource(7)), 1000)
+	for c := range tb.Num {
+		for _, v := range tb.Num[c] {
+			if v < 0 || v > 1.6 {
+				t.Fatalf("feature outside [0,1.6]: %v", v)
+			}
+		}
+	}
+	// Latent structure: at least one strongly correlated feature pair.
+	best := 0.0
+	for a := 0; a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			if r := math.Abs(pearson(tb.Num[a], tb.Num[b])); r > best {
+				best = r
+			}
+		}
+	}
+	if best < 0.3 {
+		t.Fatalf("no correlated feature pair found (max |r| = %v)", best)
+	}
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var sa, sb float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

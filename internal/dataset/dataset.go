@@ -1,0 +1,238 @@
+// Package dataset defines the tabular data model DeepSqueeze compresses:
+// a schema of typed columns and a columnar in-memory table holding
+// categorical values as strings and numerical values as float64.
+package dataset
+
+import (
+	"fmt"
+	"math"
+)
+
+// ColumnType distinguishes the two column kinds the paper handles.
+type ColumnType int
+
+const (
+	// Categorical columns hold distinct unordered values (strings).
+	Categorical ColumnType = iota
+	// Numeric columns hold integers or floating-point values.
+	Numeric
+)
+
+// String returns "categorical" or "numeric".
+func (t ColumnType) String() string {
+	switch t {
+	case Categorical:
+		return "categorical"
+	case Numeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("columntype(%d)", int(t))
+	}
+}
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from column descriptors.
+func NewSchema(cols ...Column) *Schema { return &Schema{Columns: cols} }
+
+// NumColumns returns the column count.
+func (s *Schema) NumColumns() int { return len(s.Columns) }
+
+// CategoricalIndexes returns the indexes of categorical columns in order.
+func (s *Schema) CategoricalIndexes() []int {
+	var out []int
+	for i, c := range s.Columns {
+		if c.Type == Categorical {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumericIndexes returns the indexes of numeric columns in order.
+func (s *Schema) NumericIndexes() []int {
+	var out []int
+	for i, c := range s.Columns {
+		if c.Type == Numeric {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two schemas have identical columns.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.Columns) != len(o.Columns) {
+		return false
+	}
+	for i, c := range s.Columns {
+		if o.Columns[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Table is a columnar table. For column i exactly one of Str[i] (categorical)
+// or Num[i] (numeric) is non-nil, and all non-nil slices share one length.
+type Table struct {
+	Schema *Schema
+	Str    [][]string
+	Num    [][]float64
+	rows   int
+}
+
+// NewTable returns an empty table with storage allocated for capacity rows.
+func NewTable(schema *Schema, capacity int) *Table {
+	t := &Table{
+		Schema: schema,
+		Str:    make([][]string, len(schema.Columns)),
+		Num:    make([][]float64, len(schema.Columns)),
+	}
+	for i, c := range schema.Columns {
+		if c.Type == Categorical {
+			t.Str[i] = make([]string, 0, capacity)
+		} else {
+			t.Num[i] = make([]float64, 0, capacity)
+		}
+	}
+	return t
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.rows }
+
+// SetNumRows adjusts the bookkeeping row count after bulk-assigning column
+// slices directly. Every non-nil column slice must have length n.
+func (t *Table) SetNumRows(n int) {
+	for i := range t.Schema.Columns {
+		if t.Str[i] != nil && len(t.Str[i]) != n {
+			panic(fmt.Sprintf("dataset: column %d has %d values, want %d", i, len(t.Str[i]), n))
+		}
+		if t.Num[i] != nil && len(t.Num[i]) != n {
+			panic(fmt.Sprintf("dataset: column %d has %d values, want %d", i, len(t.Num[i]), n))
+		}
+	}
+	t.rows = n
+}
+
+// AppendRow appends one row. strVals and numVals are consumed positionally
+// in schema order for their respective column kinds.
+func (t *Table) AppendRow(strVals []string, numVals []float64) {
+	si, ni := 0, 0
+	for i, c := range t.Schema.Columns {
+		if c.Type == Categorical {
+			t.Str[i] = append(t.Str[i], strVals[si])
+			si++
+		} else {
+			t.Num[i] = append(t.Num[i], numVals[ni])
+			ni++
+		}
+	}
+	if si != len(strVals) || ni != len(numVals) {
+		panic(fmt.Sprintf("dataset: AppendRow got %d str / %d num values, schema wants %d / %d",
+			len(strVals), len(numVals), si, ni))
+	}
+	t.rows++
+}
+
+// Sample returns a new table holding the rows at the given indexes.
+func (t *Table) Sample(indexes []int) *Table {
+	out := NewTable(t.Schema, len(indexes))
+	for i, c := range t.Schema.Columns {
+		if c.Type == Categorical {
+			col := t.Str[i]
+			dst := out.Str[i]
+			for _, idx := range indexes {
+				dst = append(dst, col[idx])
+			}
+			out.Str[i] = dst
+		} else {
+			col := t.Num[i]
+			dst := out.Num[i]
+			for _, idx := range indexes {
+				dst = append(dst, col[idx])
+			}
+			out.Num[i] = dst
+		}
+	}
+	out.rows = len(indexes)
+	return out
+}
+
+// ColumnStats summarizes one column for preprocessing decisions.
+type ColumnStats struct {
+	Distinct int     // categorical: number of distinct values
+	Min, Max float64 // numeric: value range
+}
+
+// Stats computes per-column statistics.
+func (t *Table) Stats() []ColumnStats {
+	out := make([]ColumnStats, len(t.Schema.Columns))
+	for i, c := range t.Schema.Columns {
+		if c.Type == Categorical {
+			seen := make(map[string]struct{})
+			for _, v := range t.Str[i] {
+				seen[v] = struct{}{}
+			}
+			out[i].Distinct = len(seen)
+		} else {
+			min, max := math.Inf(1), math.Inf(-1)
+			for _, v := range t.Num[i] {
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			if t.rows == 0 {
+				min, max = 0, 0
+			}
+			out[i].Min, out[i].Max = min, max
+		}
+	}
+	return out
+}
+
+// EqualWithin reports whether two tables are equal, allowing each numeric
+// column i an absolute tolerance tol[i] (indexed by schema position; ignored
+// for categorical columns). Categorical values must match exactly.
+func (t *Table) EqualWithin(o *Table, tol []float64) error {
+	if !t.Schema.Equal(o.Schema) {
+		return fmt.Errorf("dataset: schema mismatch")
+	}
+	if t.rows != o.rows {
+		return fmt.Errorf("dataset: row count %d vs %d", t.rows, o.rows)
+	}
+	for i, c := range t.Schema.Columns {
+		if c.Type == Categorical {
+			for r, v := range t.Str[i] {
+				if o.Str[i][r] != v {
+					return fmt.Errorf("dataset: column %q row %d: %q vs %q", c.Name, r, v, o.Str[i][r])
+				}
+			}
+			continue
+		}
+		limit := 0.0
+		if tol != nil {
+			limit = tol[i]
+		}
+		for r, v := range t.Num[i] {
+			if d := math.Abs(o.Num[i][r] - v); d > limit+1e-12 {
+				return fmt.Errorf("dataset: column %q row %d: |%v-%v| = %v > %v",
+					c.Name, r, v, o.Num[i][r], d, limit)
+			}
+		}
+	}
+	return nil
+}

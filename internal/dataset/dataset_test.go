@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func twoColSchema() *Schema {
+	return NewSchema(
+		Column{Name: "color", Type: Categorical},
+		Column{Name: "value", Type: Numeric},
+	)
+}
+
+func TestAppendAndAccess(t *testing.T) {
+	tb := NewTable(twoColSchema(), 4)
+	tb.AppendRow([]string{"red"}, []float64{1.5})
+	tb.AppendRow([]string{"blue"}, []float64{-2})
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	if tb.Str[0][1] != "blue" || tb.Num[1][0] != 1.5 {
+		t.Fatal("column values misplaced")
+	}
+}
+
+func TestAppendRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendRow with extra values should panic")
+		}
+	}()
+	NewTable(twoColSchema(), 1).AppendRow([]string{"a", "b"}, []float64{1})
+}
+
+func TestSchemaIndexes(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "a", Type: Numeric},
+		Column{Name: "b", Type: Categorical},
+		Column{Name: "c", Type: Numeric},
+	)
+	if got := s.CategoricalIndexes(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("CategoricalIndexes = %v", got)
+	}
+	if got := s.NumericIndexes(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("NumericIndexes = %v", got)
+	}
+	if !s.Equal(s) {
+		t.Fatal("schema not equal to itself")
+	}
+	if s.Equal(twoColSchema()) {
+		t.Fatal("distinct schemas reported equal")
+	}
+}
+
+func TestSample(t *testing.T) {
+	tb := NewTable(twoColSchema(), 4)
+	for i := 0; i < 5; i++ {
+		tb.AppendRow([]string{string(rune('a' + i))}, []float64{float64(i)})
+	}
+	s := tb.Sample([]int{4, 0, 2})
+	if s.NumRows() != 3 || s.Str[0][0] != "e" || s.Num[1][2] != 2 {
+		t.Fatalf("Sample wrong: %+v", s)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tb := NewTable(twoColSchema(), 4)
+	tb.AppendRow([]string{"x"}, []float64{5})
+	tb.AppendRow([]string{"y"}, []float64{-1})
+	tb.AppendRow([]string{"x"}, []float64{3})
+	st := tb.Stats()
+	if st[0].Distinct != 2 {
+		t.Fatalf("Distinct = %d", st[0].Distinct)
+	}
+	if st[1].Min != -1 || st[1].Max != 5 {
+		t.Fatalf("Min/Max = %v/%v", st[1].Min, st[1].Max)
+	}
+}
+
+func TestEqualWithin(t *testing.T) {
+	a := NewTable(twoColSchema(), 2)
+	a.AppendRow([]string{"x"}, []float64{1.0})
+	b := NewTable(twoColSchema(), 2)
+	b.AppendRow([]string{"x"}, []float64{1.05})
+	if err := a.EqualWithin(b, []float64{0, 0.1}); err != nil {
+		t.Fatalf("within tolerance: %v", err)
+	}
+	if err := a.EqualWithin(b, []float64{0, 0.01}); err == nil {
+		t.Fatal("outside tolerance accepted")
+	}
+	c := NewTable(twoColSchema(), 2)
+	c.AppendRow([]string{"y"}, []float64{1.0})
+	if err := a.EqualWithin(c, nil); err == nil {
+		t.Fatal("categorical mismatch accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := NewTable(twoColSchema(), 4)
+	tb.AppendRow([]string{"plain"}, []float64{1.25})
+	tb.AppendRow([]string{"with,comma"}, []float64{-0.001})
+	tb.AppendRow([]string{`with"quote`}, []float64{1e300})
+	tb.AppendRow([]string{""}, []float64{0})
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, tb.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.EqualWithin(got, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVValidation(t *testing.T) {
+	s := twoColSchema()
+	cases := []string{
+		"",                         // no header
+		"wrong,value\na,1\n",       // header name mismatch
+		"color\na\n",               // column count mismatch
+		"color,value\na,notanum\n", // bad float
+		"color,value\na,1\nb\n",    // ragged row
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), s); err == nil {
+			t.Errorf("case %d: invalid CSV accepted", i)
+		}
+	}
+}
+
+func TestCSVSizeMatchesBuffer(t *testing.T) {
+	tb := NewTable(twoColSchema(), 2)
+	tb.AppendRow([]string{"abc"}, []float64{3.14159})
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.CSVSize(); got != int64(buf.Len()) {
+		t.Fatalf("CSVSize = %d, buffer = %d", got, buf.Len())
+	}
+}
+
+func TestSetNumRows(t *testing.T) {
+	tb := NewTable(twoColSchema(), 0)
+	tb.Str[0] = []string{"a", "b"}
+	tb.Num[1] = []float64{1, 2}
+	tb.SetNumRows(2)
+	if tb.NumRows() != 2 {
+		t.Fatal("SetNumRows failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched SetNumRows should panic")
+		}
+	}()
+	tb.SetNumRows(3)
+}
+
+// Property: CSV round trip preserves any table of random printable strings
+// and floats exactly.
+func TestQuickCSVRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := NewTable(twoColSchema(), 8)
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			s := strconv.FormatInt(rng.Int63(), 36)
+			tb.AppendRow([]string{s}, []float64{rng.NormFloat64() * 1e6})
+		}
+		var buf bytes.Buffer
+		if err := tb.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf, tb.Schema)
+		if err != nil {
+			return false
+		}
+		return tb.EqualWithin(got, nil) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

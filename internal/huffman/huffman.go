@@ -1,0 +1,263 @@
+// Package huffman implements a canonical Huffman coder over small integer
+// alphabets. DeepSqueeze uses it for the rank-coded categorical failure
+// streams, where rank 0 ("the model's top prediction was right") dominates
+// and earns a 1-bit code.
+//
+// The encoded form is self-describing: a header carries the alphabet and
+// per-symbol code lengths, from which the decoder rebuilds the identical
+// canonical code. Codes are assigned in (length, symbol) order, so
+// construction is deterministic.
+package huffman
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"deepsqueeze/internal/bitio"
+)
+
+// zigzag and unzigzag mirror colenc's mapping; duplicated here (they are
+// two-liners) to keep huffman importable by colenc without a cycle.
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// ErrCorrupt is returned when an encoded buffer fails validation.
+var ErrCorrupt = errors.New("huffman: corrupt buffer")
+
+// maxCodeLen caps code lengths; with package-limited alphabet sizes
+// (≤ 1<<20 symbols) depths stay far below this in practice.
+const maxCodeLen = 58
+
+type node struct {
+	freq        uint64
+	symbol      int64 // valid for leaves
+	left, right *node
+	order       int // insertion order, for deterministic tie-breaks
+}
+
+// codeLengths computes Huffman code lengths for each distinct symbol.
+func codeLengths(freq map[int64]uint64) map[int64]uint {
+	if len(freq) == 0 {
+		return map[int64]uint{}
+	}
+	if len(freq) == 1 {
+		for s := range freq {
+			return map[int64]uint{s: 1}
+		}
+	}
+	nodes := make([]*node, 0, len(freq))
+	for s, f := range freq {
+		nodes = append(nodes, &node{freq: f, symbol: s})
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].freq != nodes[j].freq {
+			return nodes[i].freq < nodes[j].freq
+		}
+		return nodes[i].symbol < nodes[j].symbol
+	})
+	for i, n := range nodes {
+		n.order = i
+	}
+	// Simple two-queue merge: sorted leaves plus a FIFO of internal nodes
+	// yields O(n log n) overall (dominated by the sort).
+	leaves, internal := nodes, []*node{}
+	next := len(nodes)
+	pop := func() *node {
+		switch {
+		case len(leaves) == 0:
+			n := internal[0]
+			internal = internal[1:]
+			return n
+		case len(internal) == 0:
+			n := leaves[0]
+			leaves = leaves[1:]
+			return n
+		case leaves[0].freq < internal[0].freq ||
+			(leaves[0].freq == internal[0].freq && leaves[0].order < internal[0].order):
+			n := leaves[0]
+			leaves = leaves[1:]
+			return n
+		default:
+			n := internal[0]
+			internal = internal[1:]
+			return n
+		}
+	}
+	for len(leaves)+len(internal) > 1 {
+		a, b := pop(), pop()
+		internal = append(internal, &node{freq: a.freq + b.freq, left: a, right: b, order: next})
+		next++
+	}
+	root := pop()
+	lengths := make(map[int64]uint, len(freq))
+	var walk func(n *node, depth uint)
+	walk = func(n *node, depth uint) {
+		if n.left == nil {
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+type symCode struct {
+	symbol int64
+	length uint
+	code   uint64
+}
+
+// canonicalCodes assigns canonical codes given per-symbol lengths,
+// in (length, symbol) order.
+func canonicalCodes(lengths map[int64]uint) []symCode {
+	codes := make([]symCode, 0, len(lengths))
+	for s, l := range lengths {
+		codes = append(codes, symCode{symbol: s, length: l})
+	}
+	sort.Slice(codes, func(i, j int) bool {
+		if codes[i].length != codes[j].length {
+			return codes[i].length < codes[j].length
+		}
+		return codes[i].symbol < codes[j].symbol
+	})
+	var code uint64
+	var prevLen uint
+	for i := range codes {
+		code <<= codes[i].length - prevLen
+		codes[i].code = code
+		prevLen = codes[i].length
+		code++
+	}
+	return codes
+}
+
+// Encode Huffman-codes values. Layout:
+// count varint | alphabet size varint | symbols (delta-coded varints) |
+// lengths (bytes) | packed bitstream.
+func Encode(values []int64) []byte {
+	freq := make(map[int64]uint64)
+	for _, v := range values {
+		freq[v]++
+	}
+	lengths := codeLengths(freq)
+	codes := canonicalCodes(lengths)
+	bySym := make(map[int64]symCode, len(codes))
+	out := binary.AppendUvarint(nil, uint64(len(values)))
+	out = binary.AppendUvarint(out, uint64(len(codes)))
+	// Symbols in canonical order, delta-within-length keeps them small;
+	// here we simply zigzag-varint them in canonical order.
+	for _, c := range codes {
+		out = binary.AppendUvarint(out, zigzag(c.symbol))
+		bySym[c.symbol] = c
+	}
+	for _, c := range codes {
+		out = append(out, byte(c.length))
+	}
+	w := bitio.NewWriter()
+	for _, v := range values {
+		c := bySym[v]
+		w.WriteBits(c.code, c.length)
+	}
+	return append(out, w.Bytes()...)
+}
+
+// Decode inverts Encode.
+func Decode(buf []byte) ([]int64, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: missing count", ErrCorrupt)
+	}
+	buf = buf[sz:]
+	alpha, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: missing alphabet size", ErrCorrupt)
+	}
+	buf = buf[sz:]
+	if n > 0 && alpha == 0 {
+		return nil, fmt.Errorf("%w: empty alphabet with %d values", ErrCorrupt, n)
+	}
+	if alpha > uint64(len(buf)) {
+		return nil, fmt.Errorf("%w: alphabet %d exceeds buffer", ErrCorrupt, alpha)
+	}
+	symbols := make([]int64, alpha)
+	for i := range symbols {
+		z, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return nil, fmt.Errorf("%w: truncated symbol table", ErrCorrupt)
+		}
+		symbols[i] = unzigzag(z)
+		buf = buf[sz:]
+	}
+	if uint64(len(buf)) < alpha {
+		return nil, fmt.Errorf("%w: truncated length table", ErrCorrupt)
+	}
+	codes := make([]symCode, alpha)
+	for i := range codes {
+		l := uint(buf[i])
+		if l == 0 || l > maxCodeLen {
+			return nil, fmt.Errorf("%w: code length %d", ErrCorrupt, l)
+		}
+		codes[i] = symCode{symbol: symbols[i], length: l}
+	}
+	buf = buf[alpha:]
+	// Rebuild canonical codes. The header stores entries already in
+	// canonical (length, symbol) order; verify rather than trust.
+	for i := 1; i < len(codes); i++ {
+		a, b := codes[i-1], codes[i]
+		if a.length > b.length || (a.length == b.length && a.symbol >= b.symbol) {
+			return nil, fmt.Errorf("%w: symbol table not canonical", ErrCorrupt)
+		}
+	}
+	var code uint64
+	var prevLen uint
+	for i := range codes {
+		code <<= codes[i].length - prevLen
+		codes[i].code = code
+		prevLen = codes[i].length
+		code++
+	}
+	// Decode with a (length → first code, offset) table.
+	type lenGroup struct {
+		first uint64 // canonical first code of this length
+		start int    // index into codes of the first symbol of this length
+		count int
+	}
+	groups := make(map[uint]lenGroup)
+	for i, c := range codes {
+		g, ok := groups[c.length]
+		if !ok {
+			g = lenGroup{first: c.code, start: i}
+		}
+		g.count++
+		groups[c.length] = g
+	}
+	r := bitio.NewReader(buf)
+	out := make([]int64, n)
+	for i := range out {
+		var acc uint64
+		var l uint
+		for {
+			bit, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated bitstream", ErrCorrupt)
+			}
+			acc = acc<<1 | uint64(bit)
+			l++
+			if g, ok := groups[l]; ok && acc >= g.first && acc < g.first+uint64(g.count) {
+				out[i] = codes[g.start+int(acc-g.first)].symbol
+				break
+			}
+			if l > maxCodeLen {
+				return nil, fmt.Errorf("%w: no code within %d bits", ErrCorrupt, maxCodeLen)
+			}
+		}
+	}
+	if r.Remaining() >= 8 {
+		return nil, fmt.Errorf("%w: %d trailing bits", ErrCorrupt, r.Remaining())
+	}
+	return out, nil
+}

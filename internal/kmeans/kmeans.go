@@ -1,0 +1,140 @@
+// Package kmeans implements k-means++ initialization and Lloyd's algorithm.
+// It exists to reproduce the paper's Fig. 8 comparison, which pits a
+// traditional distance-based clustering partition against DeepSqueeze's
+// learned mixture-of-experts partition.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"deepsqueeze/internal/mat"
+)
+
+// Result holds the fitted clustering.
+type Result struct {
+	Centroids *mat.Matrix // k × dims
+	Assign    []int       // row → cluster
+	Inertia   float64     // sum of squared distances to assigned centroids
+	Iters     int
+}
+
+// Run clusters the rows of x into k clusters. maxIters bounds Lloyd
+// iterations (20 is plenty for the small k used here).
+func Run(rng *rand.Rand, x *mat.Matrix, k, maxIters int) (*Result, error) {
+	n := x.Rows
+	if k < 1 {
+		return nil, fmt.Errorf("kmeans: k=%d", k)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("kmeans: empty input")
+	}
+	if k > n {
+		k = n
+	}
+	if maxIters < 1 {
+		maxIters = 20
+	}
+	cent := initPlusPlus(rng, x, k)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	var inertia float64
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		// Assignment step.
+		changed := false
+		inertia = 0
+		for r := 0; r < n; r++ {
+			row := x.Row(r)
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				dist := sqDist(row, cent.Row(c))
+				if dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if assign[r] != best {
+				assign[r] = best
+				changed = true
+			}
+			inertia += bestD
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		// Update step.
+		cent.Zero()
+		for i := range counts {
+			counts[i] = 0
+		}
+		for r := 0; r < n; r++ {
+			c := assign[r]
+			counts[c]++
+			crow := cent.Row(c)
+			for j, v := range x.Row(r) {
+				crow[j] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(cent.Row(c), x.Row(rng.Intn(n)))
+				continue
+			}
+			crow := cent.Row(c)
+			inv := 1 / float64(counts[c])
+			for j := range crow {
+				crow[j] *= inv
+			}
+		}
+	}
+	return &Result{Centroids: cent, Assign: assign, Inertia: inertia, Iters: iters}, nil
+}
+
+// initPlusPlus seeds centroids with the k-means++ strategy.
+func initPlusPlus(rng *rand.Rand, x *mat.Matrix, k int) *mat.Matrix {
+	n := x.Rows
+	cent := mat.New(k, x.Cols)
+	copy(cent.Row(0), x.Row(rng.Intn(n)))
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = sqDist(x.Row(i), cent.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range dist {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			var acc float64
+			for i, d := range dist {
+				acc += d
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(cent.Row(c), x.Row(pick))
+		for i := range dist {
+			if d := sqDist(x.Row(i), cent.Row(c)); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+	return cent
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}

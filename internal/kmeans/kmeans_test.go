@@ -1,0 +1,111 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"deepsqueeze/internal/mat"
+)
+
+func blobs(rng *rand.Rand, centers [][]float64, per int, spread float64) *mat.Matrix {
+	d := len(centers[0])
+	x := mat.New(len(centers)*per, d)
+	for i := 0; i < x.Rows; i++ {
+		c := centers[i/per]
+		row := x.Row(i)
+		for j := 0; j < d; j++ {
+			row[j] = c[j] + rng.NormFloat64()*spread
+		}
+	}
+	return x
+}
+
+func TestSeparatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := blobs(rng, [][]float64{{0, 0}, {10, 10}, {-10, 10}}, 100, 0.5)
+	res, err := Run(rng, x, 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every ground-truth blob must map to a single cluster.
+	for b := 0; b < 3; b++ {
+		want := res.Assign[b*100]
+		for i := 0; i < 100; i++ {
+			if res.Assign[b*100+i] != want {
+				t.Fatalf("blob %d split across clusters", b)
+			}
+		}
+	}
+	if res.Inertia > 3*100*3*0.5*0.5*4 {
+		t.Fatalf("inertia too high: %v", res.Inertia)
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := blobs(rng, [][]float64{{0, 0}, {5, 5}, {-5, 5}, {5, -5}}, 50, 1)
+	prev := -1.0
+	for _, k := range []int{1, 2, 4, 8} {
+		res, err := Run(rand.New(rand.NewSource(3)), x, k, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && res.Inertia > prev*1.01 {
+			t.Fatalf("inertia rose from %v to %v at k=%d", prev, res.Inertia, k)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestKOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := blobs(rng, [][]float64{{1, 2}}, 30, 1)
+	res, err := Run(rng, x, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assign {
+		if a != 0 {
+			t.Fatal("k=1 produced non-zero assignment")
+		}
+	}
+	// Centroid ≈ mean.
+	if c := res.Centroids.Row(0); c[0] < 0 || c[0] > 2 || c[1] < 1 || c[1] > 3 {
+		t.Fatalf("centroid %v far from mean (1,2)", c)
+	}
+}
+
+func TestKLargerThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := mat.FromSlice(2, 1, []float64{0, 1})
+	res, err := Run(rng, x, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centroids.Rows != 2 {
+		t.Fatalf("k should clamp to n: %d", res.Centroids.Rows)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := Run(rng, mat.New(0, 2), 2, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Run(rng, mat.New(2, 2), 0, 10); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := mat.New(20, 2)
+	x.Fill(3)
+	res, err := Run(rng, x, 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("identical points inertia %v", res.Inertia)
+	}
+}

@@ -1,0 +1,253 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("New(2,3) = %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	row := m.Row(1)
+	if row[2] != 7.5 {
+		t.Fatalf("Row(1)[2] = %v, want 7.5", row[2])
+	}
+	row[0] = 3 // Row aliases the backing store
+	if m.At(1, 0) != 3 {
+		t.Fatal("Row must alias the matrix data")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 2) should panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	m := FromSlice(2, 3, d)
+	if m.At(0, 2) != 3 || m.At(1, 0) != 4 {
+		t.Fatalf("FromSlice layout wrong: %+v", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with wrong length should panic")
+		}
+	}()
+	FromSlice(3, 3, d)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromSlice(1, 2, []float64{1, 2})
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias the original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.T()
+	want := FromSlice(3, 2, []float64{1, 4, 2, 5, 3, 6})
+	if !Equal(tr, want, 0) {
+		t.Fatalf("T() = %+v, want %+v", tr, want)
+	}
+}
+
+func TestAddSubHadamard(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	if got := Add(a, b); !Equal(got, FromSlice(2, 2, []float64{6, 8, 10, 12}), 0) {
+		t.Fatalf("Add = %+v", got)
+	}
+	if got := Sub(b, a); !Equal(got, FromSlice(2, 2, []float64{4, 4, 4, 4}), 0) {
+		t.Fatalf("Sub = %+v", got)
+	}
+	if got := Hadamard(a, b); !Equal(got, FromSlice(2, 2, []float64{5, 12, 21, 32}), 0) {
+		t.Fatalf("Hadamard = %+v", got)
+	}
+	c := a.Clone()
+	AddInPlace(c, b)
+	if !Equal(c, FromSlice(2, 2, []float64{6, 8, 10, 12}), 0) {
+		t.Fatalf("AddInPlace = %+v", c)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	a, b := New(2, 2), New(3, 2)
+	for name, f := range map[string]func(){
+		"Add":      func() { Add(a, b) },
+		"Sub":      func() { Sub(a, b) },
+		"Hadamard": func() { Hadamard(a, b) },
+		"Mul":      func() { Mul(a, b) },
+		"TMul":     func() { TMul(New(2, 2), New(3, 2)) },
+		"MulT":     func() { MulT(New(2, 2), New(2, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched dims should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMulSmall(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := Mul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("Mul = %+v, want %+v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandUniform(rng, 5, 5, -1, 1)
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	if got := Mul(a, id); !Equal(got, a, 1e-12) {
+		t.Fatal("A*I != A")
+	}
+	if got := Mul(id, a); !Equal(got, a, 1e-12) {
+		t.Fatal("I*A != A")
+	}
+}
+
+func TestMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Large enough to cross mulParallelThreshold.
+	a := RandUniform(rng, 64, 48, -1, 1)
+	b := RandUniform(rng, 48, 64, -1, 1)
+	got := Mul(a, b)
+	want := New(64, 64)
+	mulRange(a, b, want, 0, 64)
+	if !Equal(got, want, 1e-9) {
+		t.Fatal("parallel Mul disagrees with serial kernel")
+	}
+}
+
+func TestMulTAndTMulAgainstExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandUniform(rng, 7, 4, -1, 1)
+	b := RandUniform(rng, 9, 4, -1, 1)
+	if got, want := MulT(a, b), Mul(a, b.T()); !Equal(got, want, 1e-12) {
+		t.Fatal("MulT(a,b) != a*bᵀ")
+	}
+	c := RandUniform(rng, 7, 5, -1, 1)
+	if got, want := TMul(a, c), Mul(a.T(), c); !Equal(got, want, 1e-12) {
+		t.Fatal("TMul(a,c) != aᵀ*c")
+	}
+}
+
+func TestScaleApplyZeroFill(t *testing.T) {
+	m := FromSlice(1, 3, []float64{1, -2, 3})
+	m.Scale(2)
+	if !Equal(m, FromSlice(1, 3, []float64{2, -4, 6}), 0) {
+		t.Fatalf("Scale = %+v", m)
+	}
+	m.Apply(math.Abs)
+	if !Equal(m, FromSlice(1, 3, []float64{2, 4, 6}), 0) {
+		t.Fatalf("Apply = %+v", m)
+	}
+	if got := m.MaxAbs(); got != 6 {
+		t.Fatalf("MaxAbs = %v", got)
+	}
+	m.Fill(1.5)
+	if m.At(0, 1) != 1.5 {
+		t.Fatal("Fill failed")
+	}
+	m.Zero()
+	if m.MaxAbs() != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if Equal(New(1, 2), New(2, 1), 1) {
+		t.Fatal("Equal must reject shape mismatch")
+	}
+}
+
+// Property: matrix multiplication distributes over addition,
+// A*(B+C) == A*B + A*C.
+func TestMulDistributesOverAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m, p := 2+rng.Intn(6), 2+rng.Intn(6), 2+rng.Intn(6)
+		a := RandUniform(rng, n, m, -2, 2)
+		b := RandUniform(rng, m, p, -2, 2)
+		c := RandUniform(rng, m, p, -2, 2)
+		left := Mul(a, Add(b, c))
+		right := Add(Mul(a, b), Mul(a, c))
+		return Equal(left, right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A*B)ᵀ == Bᵀ*Aᵀ.
+func TestMulTransposeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m, p := 2+rng.Intn(5), 2+rng.Intn(5), 2+rng.Intn(5)
+		a := RandUniform(rng, n, m, -2, 2)
+		b := RandUniform(rng, m, p, -2, 2)
+		return Equal(Mul(a, b).T(), Mul(b.T(), a.T()), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlorotHeBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := GlorotUniform(rng, 10, 20)
+	limit := math.Sqrt(6.0 / 30.0)
+	if g.MaxAbs() > limit {
+		t.Fatalf("Glorot value %v outside limit %v", g.MaxAbs(), limit)
+	}
+	h := HeUniform(rng, 10, 20)
+	if h.MaxAbs() > math.Sqrt(6.0/20.0) {
+		t.Fatal("He value outside limit")
+	}
+}
+
+func BenchmarkMul64x64(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := RandUniform(rng, 64, 64, -1, 1)
+	y := RandUniform(rng, 64, 64, -1, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkMul256x256(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x := RandUniform(rng, 256, 256, -1, 1)
+	y := RandUniform(rng, 256, 256, -1, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}

@@ -1,0 +1,160 @@
+// Package mat provides dense float64 matrices and vectors sized for the
+// small multilayer perceptrons DeepSqueeze trains. It is deliberately
+// minimal: row-major storage, explicit dimensions, and the handful of
+// operations backpropagation needs. Operations that combine matrices check
+// dimensions and panic on mismatch, since a mismatch is always a programming
+// error in the caller rather than a data-dependent condition.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zero-valued matrix with the given dimensions.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) in a Matrix without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a slice aliasing row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+func checkSame(a, b *Matrix, op string) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: %s dimension mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Add returns a+b element-wise.
+func Add(a, b *Matrix) *Matrix {
+	checkSame(a, b, "Add")
+	c := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		c.Data[i] = v + b.Data[i]
+	}
+	return c
+}
+
+// AddInPlace adds b into a element-wise.
+func AddInPlace(a, b *Matrix) {
+	checkSame(a, b, "AddInPlace")
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// Sub returns a-b element-wise.
+func Sub(a, b *Matrix) *Matrix {
+	checkSame(a, b, "Sub")
+	c := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		c.Data[i] = v - b.Data[i]
+	}
+	return c
+}
+
+// Hadamard returns the element-wise product of a and b.
+func Hadamard(a, b *Matrix) *Matrix {
+	checkSame(a, b, "Hadamard")
+	c := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		c.Data[i] = v * b.Data[i]
+	}
+	return c
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Apply replaces each element x of m with f(x) in place.
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// MaxAbs returns the largest absolute element value in m, or 0 for an empty
+// matrix.
+func (m *Matrix) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Equal reports whether a and b have identical shape and every pair of
+// elements differs by at most tol.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// mulParallelThreshold is the minimum number of scalar multiplications at
+// which Mul fans work out across goroutines. Below it the goroutine overhead
+// dominates the arithmetic.
+const mulParallelThreshold = 1 << 16
+
+// Mul returns the matrix product a*b.
+//
+// The kernel iterates k in the middle loop so the inner loop walks both the
+// output row and the b row sequentially (an ikj loop order), which keeps the
+// accesses cache-friendly without explicit blocking at the sizes DeepSqueeze
+// uses. Large products are split across rows onto all CPUs.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Rows, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	if work < mulParallelThreshold || a.Rows < 2 {
+		mulRange(a, b, c, 0, a.Rows)
+		return c
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(a, b, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return c
+}
+
+func mulRange(a, b, c *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulT returns a * bᵀ without materializing the transpose.
+func MulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulT dimension mismatch %dx%d * (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			crow[j] = sum
+		}
+	}
+	return c
+}
+
+// TMul returns aᵀ * b without materializing the transpose.
+func TMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: TMul dimension mismatch (%dx%d)ᵀ * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Row(i)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}

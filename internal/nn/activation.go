@@ -1,0 +1,121 @@
+// Package nn is a from-scratch neural-network substrate sized for
+// DeepSqueeze's models: dense layers, the activations and losses the paper
+// uses, SGD/Adam optimizers, full backpropagation, a mixed-type autoencoder
+// with a parameter-sharing categorical output head (paper §5.1), and a
+// sparsely-gated mixture of experts (paper §5.2). Everything is float64 and
+// deterministic given a seed, which the materialization contract relies on.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"deepsqueeze/internal/mat"
+)
+
+// Activation selects a layer's nonlinearity. Values are part of the model
+// serialization format; do not renumber.
+type Activation byte
+
+const (
+	// Identity applies no nonlinearity.
+	Identity Activation = iota
+	// ReLU is max(0, x), used in hidden layers.
+	ReLU
+	// Sigmoid is 1/(1+e^-x), used for code layers (bounded codes), binary
+	// outputs, and numeric regression outputs in [0,1].
+	Sigmoid
+	// Tanh is used for the categorical auxiliary layer.
+	Tanh
+)
+
+// String names the activation.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("activation(%d)", byte(a))
+	}
+}
+
+// apply computes the activation element-wise in place.
+func (a Activation) apply(m *mat.Matrix) {
+	switch a {
+	case Identity:
+	case ReLU:
+		for i, v := range m.Data {
+			if v < 0 {
+				m.Data[i] = 0
+			}
+		}
+	case Sigmoid:
+		for i, v := range m.Data {
+			m.Data[i] = 1 / (1 + math.Exp(-v))
+		}
+	case Tanh:
+		for i, v := range m.Data {
+			m.Data[i] = math.Tanh(v)
+		}
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", a))
+	}
+}
+
+// backprop scales grad in place by the activation derivative, expressed in
+// terms of the activation *output* out (all four supported activations admit
+// this form).
+func (a Activation) backprop(grad, out *mat.Matrix) {
+	switch a {
+	case Identity:
+	case ReLU:
+		for i, o := range out.Data {
+			if o <= 0 {
+				grad.Data[i] = 0
+			}
+		}
+	case Sigmoid:
+		for i, o := range out.Data {
+			grad.Data[i] *= o * (1 - o)
+		}
+	case Tanh:
+		for i, o := range out.Data {
+			grad.Data[i] *= 1 - o*o
+		}
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", a))
+	}
+}
+
+// Softmax replaces each row of m with its softmax over the first width
+// columns, leaving any remaining columns untouched. Numerically stabilized
+// by max subtraction.
+func Softmax(m *mat.Matrix, width int) {
+	if width <= 0 || width > m.Cols {
+		panic(fmt.Sprintf("nn: softmax width %d over %d columns", width, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)[:width]
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - max)
+			row[j] = e
+			sum += e
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+}

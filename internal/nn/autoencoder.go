@@ -1,0 +1,498 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"deepsqueeze/internal/mat"
+)
+
+// OutputKind classifies how the autoencoder predicts one column.
+type OutputKind byte
+
+const (
+	// OutNumeric regresses a [0,1] value with MSE (quantized numeric and
+	// value-dictionary columns).
+	OutNumeric OutputKind = iota
+	// OutBinary predicts a single probability with binary cross-entropy
+	// (paper §5.3).
+	OutBinary
+	// OutCategorical predicts a distribution over Card values through the
+	// shared parameter-sharing output layer with softmax cross-entropy.
+	OutCategorical
+)
+
+// ColSpec describes one model column.
+type ColSpec struct {
+	Kind OutputKind
+	Card int // OutCategorical: softmax width (≥1); others ignored
+}
+
+// Predictions holds the decoder outputs for a batch.
+type Predictions struct {
+	// Num holds sigmoid outputs in [0,1] for OutNumeric columns, batch
+	// rows × numeric column position.
+	Num *mat.Matrix
+	// Bin holds probabilities for OutBinary columns.
+	Bin *mat.Matrix
+	// Cat holds one batch×Card softmax matrix per OutCategorical column.
+	Cat []*mat.Matrix
+}
+
+// Targets holds training targets in the same layout as Predictions. Cat
+// entries of -1 mark rare values masked out of the loss (paper §4.1).
+type Targets struct {
+	Num *mat.Matrix
+	Bin *mat.Matrix
+	Cat [][]int
+}
+
+// Decoder is the half of the autoencoder that survives into the archive:
+// hidden stack from codes, a sigmoid head for numeric and binary columns,
+// and the auxiliary + shared output layers for categorical columns
+// (paper Fig. 3).
+type Decoder struct {
+	Specs    []ColSpec
+	CodeSize int
+	Hidden   []*Dense // code → hidden (ReLU)
+	HeadNum  *Dense   // hidden → #numeric+#binary, Identity (sigmoid applied manually)
+	Aux      *Dense   // hidden → #categorical, Tanh
+	// SharedHidden and Shared form the parameter-shared categorical output
+	// stack: the auxiliary activations plus the signal node pass through a
+	// small shared hidden layer and then the shared output layer sized by
+	// the largest column cardinality. The hidden layer gives the stack the
+	// capacity to decode (auxiliary value, signal) pairs into per-column
+	// distributions; a purely linear shared layer cannot separate columns.
+	SharedHidden *Dense // #categorical+1 → sharedWidth, ReLU
+	Shared       *Dense // sharedWidth → maxCard, Identity (softmax applied per column)
+
+	numPos, binPos, catPos []int // spec index → head position, -1 if other kind
+	numCols, binCols       int
+	catCols, maxCard       int
+}
+
+// indexSpecs fills the position maps from Specs.
+func (d *Decoder) indexSpecs() error {
+	n := len(d.Specs)
+	d.numPos = make([]int, n)
+	d.binPos = make([]int, n)
+	d.catPos = make([]int, n)
+	d.numCols, d.binCols, d.catCols, d.maxCard = 0, 0, 0, 0
+	for i, s := range d.Specs {
+		d.numPos[i], d.binPos[i], d.catPos[i] = -1, -1, -1
+		switch s.Kind {
+		case OutNumeric:
+			d.numPos[i] = d.numCols
+			d.numCols++
+		case OutBinary:
+			d.binPos[i] = d.binCols
+			d.binCols++
+		case OutCategorical:
+			if s.Card < 1 {
+				return fmt.Errorf("nn: categorical spec %d has card %d", i, s.Card)
+			}
+			d.catPos[i] = d.catCols
+			d.catCols++
+			if s.Card > d.maxCard {
+				d.maxCard = s.Card
+			}
+		default:
+			return fmt.Errorf("nn: unknown output kind %d", s.Kind)
+		}
+	}
+	return nil
+}
+
+// NumPos returns the numeric-head position of spec i, or -1.
+func (d *Decoder) NumPos(i int) int { return d.numPos[i] }
+
+// BinPos returns the binary-head position of spec i, or -1.
+func (d *Decoder) BinPos(i int) int { return d.binPos[i] }
+
+// CatPos returns the categorical position of spec i, or -1.
+func (d *Decoder) CatPos(i int) int { return d.catPos[i] }
+
+// sharedWidth returns the input width of the shared stack: the auxiliary
+// activations plus the signal block.
+//
+// The paper's Fig. 3 describes a single signal node carrying the column
+// index. A scalar signal forces the shared stack to multiplex every
+// column's decoding through one input dimension, which trains very poorly
+// once tables have tens of categorical columns (gradient interference —
+// measured directly in this package's diagnostics). We therefore widen the
+// signal to a one-hot block, one node per categorical column: the stack is
+// still fully parameter-shared and still sized by the largest cardinality
+// rather than the sum of cardinalities (the paper's goal), but each column
+// can now learn its own interpretation of the auxiliary values.
+func (d *Decoder) sharedWidth() int { return 2 * d.catCols }
+
+// sharedInput assembles the shared-stack input for categorical column j:
+// the auxiliary activations followed by the one-hot signal block.
+func (d *Decoder) sharedInput(aux *mat.Matrix, j int) *mat.Matrix {
+	z := mat.New(aux.Rows, d.sharedWidth())
+	for r := 0; r < aux.Rows; r++ {
+		row := z.Row(r)
+		copy(row, aux.Row(r))
+		row[d.catCols+j] = 1
+	}
+	return z
+}
+
+// hiddenInfer runs the decoder hidden stack without caching.
+func (d *Decoder) hiddenInfer(codes *mat.Matrix) *mat.Matrix {
+	h := codes
+	for _, l := range d.Hidden {
+		h = l.Infer(h)
+	}
+	return h
+}
+
+// Predict decodes a batch of codes into per-column predictions without
+// touching training caches. This is the exact computation decompression
+// replays.
+func (d *Decoder) Predict(codes *mat.Matrix) *Predictions {
+	if codes.Cols != d.CodeSize {
+		panic(fmt.Sprintf("nn: predict with %d-wide codes, want %d", codes.Cols, d.CodeSize))
+	}
+	h := d.hiddenInfer(codes)
+	p := &Predictions{}
+	if d.numCols+d.binCols > 0 {
+		z := d.HeadNum.Infer(h)
+		z.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+		p.Num = mat.New(codes.Rows, d.numCols)
+		p.Bin = mat.New(codes.Rows, d.binCols)
+		splitHead(z, p.Num, p.Bin, d.numCols)
+	} else {
+		p.Num = mat.New(codes.Rows, 0)
+		p.Bin = mat.New(codes.Rows, 0)
+	}
+	p.Cat = make([]*mat.Matrix, d.catCols)
+	if d.catCols > 0 {
+		aux := d.Aux.Infer(h)
+		cardOf := make([]int, d.catCols)
+		for i, s := range d.Specs {
+			if j := d.catPos[i]; j >= 0 {
+				cardOf[j] = s.Card
+			}
+		}
+		// Evaluate the shared stack for several columns per matmul by
+		// stacking their inputs vertically; slabs bound peak memory.
+		b := codes.Rows
+		grp := 1
+		if b > 0 {
+			grp = (1 << 15) / b
+		}
+		if grp < 1 {
+			grp = 1
+		}
+		for j0 := 0; j0 < d.catCols; j0 += grp {
+			j1 := j0 + grp
+			if j1 > d.catCols {
+				j1 = d.catCols
+			}
+			z := d.stackedSharedInput(aux, j0, j1)
+			logits := d.Shared.Infer(d.SharedHidden.Infer(z))
+			for j := j0; j < j1; j++ {
+				card := cardOf[j]
+				probs := mat.New(b, card)
+				for r := 0; r < b; r++ {
+					row := logits.Row((j-j0)*b + r)
+					copy(probs.Row(r), row[:card])
+				}
+				Softmax(probs, card)
+				p.Cat[j] = probs
+			}
+		}
+	}
+	return p
+}
+
+// stackedSharedInput assembles the shared-stack inputs for categorical
+// columns [j0, j1) stacked vertically: row (j-j0)*B + r carries row r's
+// auxiliary activations with column j's one-hot signal.
+func (d *Decoder) stackedSharedInput(aux *mat.Matrix, j0, j1 int) *mat.Matrix {
+	b := aux.Rows
+	z := mat.New((j1-j0)*b, d.sharedWidth())
+	for j := j0; j < j1; j++ {
+		for r := 0; r < b; r++ {
+			row := z.Row((j-j0)*b + r)
+			copy(row, aux.Row(r))
+			row[d.catCols+j] = 1
+		}
+	}
+	return z
+}
+
+// splitHead copies the combined numeric+binary head output into its parts:
+// columns [0,numCols) are numeric, the rest binary.
+func splitHead(z, num, bin *mat.Matrix, numCols int) {
+	for r := 0; r < z.Rows; r++ {
+		row := z.Row(r)
+		copy(num.Row(r), row[:numCols])
+		copy(bin.Row(r), row[numCols:])
+	}
+}
+
+// Layers returns every parameterized layer of the decoder.
+func (d *Decoder) Layers() []*Dense {
+	out := append([]*Dense{}, d.Hidden...)
+	if d.HeadNum != nil {
+		out = append(out, d.HeadNum)
+	}
+	if d.Aux != nil {
+		out = append(out, d.Aux)
+	}
+	if d.SharedHidden != nil {
+		out = append(out, d.SharedHidden)
+	}
+	if d.Shared != nil {
+		out = append(out, d.Shared)
+	}
+	return out
+}
+
+// Quantize32 rounds all decoder parameters to float32 precision.
+func (d *Decoder) Quantize32() {
+	for _, l := range d.Layers() {
+		l.Quantize32()
+	}
+}
+
+// ParamCount returns the number of scalar parameters in the decoder.
+func (d *Decoder) ParamCount() int {
+	n := 0
+	for _, l := range d.Layers() {
+		n += l.ParamCount()
+	}
+	return n
+}
+
+// Autoencoder is the full model: encoder stack producing codes plus the
+// decoder above (paper Fig. 2).
+type Autoencoder struct {
+	Decoder
+	Encoder []*Dense // input → hidden (ReLU) → code (Sigmoid)
+}
+
+// Config controls autoencoder construction.
+type Config struct {
+	CodeSize   int
+	HiddenMult int // hidden width = HiddenMult × #columns (paper uses 2)
+	// SingleLayerLinear builds the paper's Fig. 7 baseline: one linear
+	// encoder layer straight to the code and one linear decoder layer, no
+	// hidden nonlinearity.
+	SingleLayerLinear bool
+}
+
+// NewAutoencoder builds a model for the given column specs.
+func NewAutoencoder(rng *rand.Rand, specs []ColSpec, cfg Config) (*Autoencoder, error) {
+	n := len(specs)
+	if n == 0 {
+		return nil, fmt.Errorf("nn: no model columns")
+	}
+	if cfg.CodeSize < 1 {
+		return nil, fmt.Errorf("nn: code size %d", cfg.CodeSize)
+	}
+	if cfg.HiddenMult < 1 {
+		cfg.HiddenMult = 2
+	}
+	hidden := cfg.HiddenMult * n
+	a := &Autoencoder{}
+	a.Specs = append([]ColSpec{}, specs...)
+	a.CodeSize = cfg.CodeSize
+	if err := a.indexSpecs(); err != nil {
+		return nil, err
+	}
+	if cfg.SingleLayerLinear {
+		a.Encoder = []*Dense{NewDense(rng, n, cfg.CodeSize, Sigmoid)}
+		a.Hidden = []*Dense{NewDense(rng, cfg.CodeSize, hidden, Identity)}
+	} else {
+		a.Encoder = []*Dense{
+			NewDense(rng, n, hidden, ReLU),
+			NewDense(rng, hidden, cfg.CodeSize, Sigmoid),
+		}
+		a.Hidden = []*Dense{NewDense(rng, cfg.CodeSize, hidden, ReLU)}
+	}
+	if a.numCols+a.binCols > 0 {
+		a.HeadNum = NewDense(rng, hidden, a.numCols+a.binCols, Identity)
+	}
+	if a.catCols > 0 {
+		a.Aux = NewDense(rng, hidden, a.catCols, Tanh)
+		// Width scales with both the shared alphabet and the number of
+		// columns multiplexed through the stack (the signal node selects
+		// among catCols different decodings), capped: past ~128 units the
+		// extra capacity stops paying for its compute and its contribution
+		// to decoder size.
+		sw := 2 * a.maxCard
+		if 2*a.catCols > sw {
+			sw = 2 * a.catCols
+		}
+		if sw < 16 {
+			sw = 16
+		}
+		if sw > 128 {
+			sw = 128
+		}
+		a.SharedHidden = NewDense(rng, a.sharedWidth(), sw, ReLU)
+		a.Shared = NewDense(rng, sw, a.maxCard, Identity)
+	}
+	return a, nil
+}
+
+// AllLayers returns every parameterized layer (encoder + decoder).
+func (a *Autoencoder) AllLayers() []*Dense {
+	return append(append([]*Dense{}, a.Encoder...), a.Decoder.Layers()...)
+}
+
+// Encode maps inputs (batch × #columns) to codes without caching.
+func (a *Autoencoder) Encode(x *mat.Matrix) *mat.Matrix {
+	h := x
+	for _, l := range a.Encoder {
+		h = l.Infer(h)
+	}
+	return h
+}
+
+// TrainBatch runs one forward/backward pass on a batch and applies the
+// optimizer. Returns the batch's mean loss (summed over columns).
+func (a *Autoencoder) TrainBatch(x *mat.Matrix, tg *Targets, opt Optimizer) float64 {
+	b := float64(x.Rows)
+	if x.Rows == 0 {
+		return 0
+	}
+	// Forward with caching.
+	h := x
+	for _, l := range a.Encoder {
+		h = l.Forward(h)
+	}
+	code := h
+	h = code
+	for _, l := range a.Hidden {
+		h = l.Forward(h)
+	}
+
+	var loss float64
+	dH := mat.New(h.Rows, h.Cols)
+
+	if a.HeadNum != nil {
+		z := a.HeadNum.Forward(h)
+		y := z.Clone()
+		y.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+		// Gradient w.r.t. pre-activation z (HeadNum uses Identity).
+		gz := mat.New(z.Rows, z.Cols)
+		for r := 0; r < z.Rows; r++ {
+			yr, gr := y.Row(r), gz.Row(r)
+			for c := 0; c < a.numCols; c++ {
+				t := tg.Num.At(r, c)
+				diff := yr[c] - t
+				loss += diff * diff / b
+				gr[c] = 2 * diff * yr[c] * (1 - yr[c]) / b
+			}
+			for c := 0; c < a.binCols; c++ {
+				t := tg.Bin.At(r, c)
+				p := yr[a.numCols+c]
+				loss += bce(p, t) / b
+				gr[a.numCols+c] = (p - t) / b
+			}
+		}
+		mat.AddInPlace(dH, a.HeadNum.Backward(gz))
+	}
+
+	if a.Aux != nil {
+		aux := a.Aux.Forward(h)
+		dAux := mat.New(aux.Rows, aux.Cols)
+		// All categorical columns go through the shared stack in one
+		// vertically-stacked forward/backward pass: rows j*B..(j+1)*B-1
+		// carry column j's evaluation.
+		cardOf := make([]int, a.catCols)
+		for i, s := range a.Specs {
+			if j := a.catPos[i]; j >= 0 {
+				cardOf[j] = s.Card
+			}
+		}
+		rows := x.Rows
+		z := a.stackedSharedInput(aux, 0, a.catCols)
+		logits := a.Shared.Forward(a.SharedHidden.Forward(z))
+		gl := mat.New(logits.Rows, logits.Cols)
+		for j := 0; j < a.catCols; j++ {
+			card := cardOf[j]
+			probs := mat.New(rows, card)
+			for r := 0; r < rows; r++ {
+				copy(probs.Row(r), logits.Row(j*rows + r)[:card])
+			}
+			Softmax(probs, card)
+			for r := 0; r < rows; r++ {
+				cls := tg.Cat[j][r]
+				if cls < 0 || cls >= card {
+					continue // rare value masked out of training
+				}
+				pr, gr := probs.Row(r), gl.Row(j*rows+r)
+				loss += -math.Log(math.Max(pr[cls], 1e-12)) / b
+				for c := 0; c < card; c++ {
+					gr[c] = pr[c] / b
+				}
+				gr[cls] -= 1 / b
+			}
+		}
+		dz := a.SharedHidden.Backward(a.Shared.Backward(gl))
+		for j := 0; j < a.catCols; j++ {
+			for r := 0; r < rows; r++ {
+				dr, ar := dz.Row(j*rows+r), dAux.Row(r)
+				for c := 0; c < a.catCols; c++ {
+					ar[c] += dr[c]
+				}
+				// The signal node is an input, not a parameter: its
+				// gradient is discarded.
+			}
+		}
+		mat.AddInPlace(dH, a.Aux.Backward(dAux))
+	}
+
+	// Backprop through decoder hidden stack, then encoder.
+	g := dH
+	for i := len(a.Hidden) - 1; i >= 0; i-- {
+		g = a.Hidden[i].Backward(g)
+	}
+	for i := len(a.Encoder) - 1; i >= 0; i-- {
+		g = a.Encoder[i].Backward(g)
+	}
+	ClipGrads(a.AllLayers(), 5)
+	opt.Step(a.AllLayers())
+	return loss
+}
+
+// Losses computes each tuple's reconstruction loss (summed over columns)
+// without training. Used by the mixture-of-experts assignment.
+func (a *Autoencoder) Losses(x *mat.Matrix, tg *Targets) []float64 {
+	out := make([]float64, x.Rows)
+	if x.Rows == 0 {
+		return out
+	}
+	p := a.Predict(a.Encode(x))
+	for r := 0; r < x.Rows; r++ {
+		var l float64
+		for c := 0; c < a.numCols; c++ {
+			diff := p.Num.At(r, c) - tg.Num.At(r, c)
+			l += diff * diff
+		}
+		for c := 0; c < a.binCols; c++ {
+			l += bce(p.Bin.At(r, c), tg.Bin.At(r, c))
+		}
+		for j := 0; j < a.catCols; j++ {
+			cls := tg.Cat[j][r]
+			if cls < 0 || cls >= p.Cat[j].Cols {
+				continue
+			}
+			l += -math.Log(math.Max(p.Cat[j].At(r, cls), 1e-12))
+		}
+		out[r] = l
+	}
+	return out
+}
+
+// bce is binary cross-entropy with clamped probabilities.
+func bce(p, t float64) float64 {
+	p = math.Min(math.Max(p, 1e-12), 1-1e-12)
+	return -(t*math.Log(p) + (1-t)*math.Log(1-p))
+}

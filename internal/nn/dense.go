@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deepsqueeze/internal/mat"
+)
+
+// Dense is a fully connected layer Y = act(X·Wᵀ + b) over row-major batches
+// (rows are tuples). Weights are stored out×in so each output node's weights
+// are contiguous.
+type Dense struct {
+	In, Out int
+	Act     Activation
+	W       *mat.Matrix // Out×In
+	B       []float64   // Out
+
+	// Gradient accumulators, filled by Backward and consumed by optimizers.
+	GradW *mat.Matrix
+	GradB []float64
+
+	// Cached forward-pass state for backprop.
+	lastIn  *mat.Matrix
+	lastOut *mat.Matrix
+}
+
+// NewDense constructs a layer with activation-appropriate initialization.
+func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: dense dims %d→%d", in, out))
+	}
+	var w *mat.Matrix
+	if act == ReLU {
+		w = mat.HeUniform(rng, out, in)
+	} else {
+		w = mat.GlorotUniform(rng, out, in)
+	}
+	return &Dense{
+		In: in, Out: out, Act: act,
+		W: w, B: make([]float64, out),
+		GradW: mat.New(out, in), GradB: make([]float64, out),
+	}
+}
+
+// Forward computes the layer output for a batch x (rows×In) and caches the
+// values Backward needs.
+func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: dense forward input %d cols, want %d", x.Cols, d.In))
+	}
+	out := mat.MulT(x, d.W) // rows×Out
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += d.B[j]
+		}
+	}
+	d.Act.apply(out)
+	d.lastIn, d.lastOut = x, out
+	return out
+}
+
+// Infer computes the layer output without caching backprop state, for
+// inference paths that must not disturb training caches.
+func (d *Dense) Infer(x *mat.Matrix) *mat.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: dense infer input %d cols, want %d", x.Cols, d.In))
+	}
+	out := mat.MulT(x, d.W)
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += d.B[j]
+		}
+	}
+	d.Act.apply(out)
+	return out
+}
+
+// Backward takes ∂L/∂out (same shape as the last Forward output), adds this
+// batch's weight gradients into GradW/GradB, and returns ∂L/∂in. The caller
+// may mutate grad.
+func (d *Dense) Backward(grad *mat.Matrix) *mat.Matrix {
+	if d.lastIn == nil {
+		panic("nn: Backward before Forward")
+	}
+	if grad.Rows != d.lastOut.Rows || grad.Cols != d.Out {
+		panic(fmt.Sprintf("nn: dense backward grad %dx%d, want %dx%d", grad.Rows, grad.Cols, d.lastOut.Rows, d.Out))
+	}
+	d.Act.backprop(grad, d.lastOut)
+	// dW += gradᵀ · x ; db += column sums of grad ; dX = grad · W
+	mat.AddInPlace(d.GradW, mat.TMul(grad, d.lastIn))
+	for i := 0; i < grad.Rows; i++ {
+		row := grad.Row(i)
+		for j, v := range row {
+			d.GradB[j] += v
+		}
+	}
+	return mat.Mul(grad, d.W)
+}
+
+// ZeroGrad clears the gradient accumulators.
+func (d *Dense) ZeroGrad() {
+	d.GradW.Zero()
+	for i := range d.GradB {
+		d.GradB[i] = 0
+	}
+}
+
+// ParamCount returns the number of scalar parameters.
+func (d *Dense) ParamCount() int { return d.In*d.Out + d.Out }
+
+// Quantize32 rounds every parameter to float32 precision in place. The
+// compressor calls this before materialization so that the predictions used
+// to compute failures are exactly reproducible from the serialized
+// (float32) decoder.
+func (d *Dense) Quantize32() {
+	for i, v := range d.W.Data {
+		d.W.Data[i] = float64(float32(v))
+	}
+	for i, v := range d.B {
+		d.B[i] = float64(float32(v))
+	}
+}
+
+// Clone returns a deep copy of the layer's parameters (gradients and caches
+// are fresh).
+func (d *Dense) Clone() *Dense {
+	c := &Dense{
+		In: d.In, Out: d.Out, Act: d.Act,
+		W: d.W.Clone(), B: append([]float64(nil), d.B...),
+		GradW: mat.New(d.Out, d.In), GradB: make([]float64, d.Out),
+	}
+	return c
+}

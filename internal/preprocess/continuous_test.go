@@ -1,0 +1,118 @@
+package preprocess
+
+import (
+	"math/rand"
+	"testing"
+
+	"deepsqueeze/internal/dataset"
+)
+
+func TestNoQuantizationProducesContinuous(t *testing.T) {
+	schema := dataset.NewSchema(
+		dataset.Column{Name: "n", Type: dataset.Numeric},
+	)
+	tb := dataset.NewTable(schema, 10)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		tb.AppendRow(nil, []float64{rng.Float64() * 100})
+	}
+	opts := DefaultOptions()
+	opts.NoQuantization = true
+	plan, err := Fit(tb, opts, []float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := plan.Cols[0]
+	if cp.Kind != KindNumContinuous {
+		t.Fatalf("kind = %v", cp.Kind)
+	}
+	if !cp.Kind.InModel() {
+		t.Fatal("continuous column must be a model column")
+	}
+	// ScaleColumn must map into [0,1].
+	for _, v := range plan.ScaleColumn(tb, 0) {
+		if v < 0 || v > 1 {
+			t.Fatalf("scaled value %v outside [0,1]", v)
+		}
+	}
+	// Tolerance is threshold × range.
+	tol := plan.Tolerances()
+	want := 0.1 * cp.Scaler.Range()
+	if tol[0] != want {
+		t.Fatalf("tolerance = %v, want %v", tol[0], want)
+	}
+	// Continuous columns have no integer encoding.
+	if _, err := plan.Encode(tb, 0); err == nil {
+		t.Fatal("Encode on continuous column should fail")
+	}
+	// Serialization round trip preserves kind and scaler.
+	buf := plan.AppendBinary(nil)
+	got, used, err := DecodePlan(buf)
+	if err != nil || used != len(buf) {
+		t.Fatalf("DecodePlan: %v", err)
+	}
+	gc := got.Cols[0]
+	if gc.Kind != KindNumContinuous || gc.Scaler != cp.Scaler || gc.Threshold != cp.Threshold {
+		t.Fatalf("round trip: %+v vs %+v", gc, cp)
+	}
+	// Lossless columns are unaffected by NoQuantization.
+	plan0, err := Fit(tb, opts, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan0.Cols[0].Kind == KindNumContinuous {
+		t.Fatal("threshold 0 must not produce a continuous column")
+	}
+}
+
+func TestFallbackDictNotSerialized(t *testing.T) {
+	schema := dataset.NewSchema(dataset.Column{Name: "id", Type: dataset.Categorical})
+	tb := dataset.NewTable(schema, 100)
+	for i := 0; i < 100; i++ {
+		tb.AppendRow([]string{string(rune('a'+i%26)) + string(rune('0'+i/26))}, nil)
+	}
+	opts := DefaultOptions()
+	opts.FallbackDistinctRatio = 0.1 // force fallback
+	plan, err := Fit(tb, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cols[0].Kind != KindFallbackCat {
+		t.Fatalf("kind = %v", plan.Cols[0].Kind)
+	}
+	buf := plan.AppendBinary(nil)
+	// A serialized fallback column must not carry its dictionary: the plan
+	// bytes should stay tiny even though the column has many values.
+	if len(buf) > 96 {
+		t.Fatalf("fallback plan serialized to %d bytes; dictionary leaked", len(buf))
+	}
+	got, _, err := DecodePlan(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cols[0].Kind != KindFallbackCat || got.Cols[0].Dict != nil {
+		t.Fatalf("decoded fallback column: %+v", got.Cols[0])
+	}
+}
+
+func TestColKindStrings(t *testing.T) {
+	for k, want := range map[ColKind]string{
+		KindCatModel:      "categorical",
+		KindBinary:        "binary",
+		KindNumQuant:      "quantized",
+		KindNumDict:       "numdict",
+		KindFallbackCat:   "fallback-categorical",
+		KindFallbackNum:   "fallback-numeric",
+		KindNumContinuous: "continuous",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if KindFallbackCat.InModel() || KindFallbackNum.InModel() {
+		t.Error("fallback kinds must not be model columns")
+	}
+	if !KindNumContinuous.InModel() || !KindCatModel.InModel() {
+		t.Error("model kinds misclassified")
+	}
+}

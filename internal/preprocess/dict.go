@@ -1,0 +1,129 @@
+// Package preprocess implements the first stage of DeepSqueeze's pipeline
+// (paper §4): dictionary encoding for categorical columns, min-max scaling
+// and error-bounded quantization for numerical columns, skew-aware model
+// alphabets, and high-cardinality fallback detection. Every transformation
+// is invertible (exactly for categorical data, within the error bound for
+// quantized numerics) and serializable into the archive header.
+package preprocess
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrCorrupt is returned when serialized preprocessing metadata fails
+// validation.
+var ErrCorrupt = errors.New("preprocess: corrupt metadata")
+
+// Dictionary maps distinct categorical values to dense integer codes.
+// Codes are assigned by descending frequency (ties broken lexicographically)
+// so that code magnitude correlates with rarity — the skew-handling and
+// rank-coding stages both rely on "small code = frequent value".
+type Dictionary struct {
+	values []string
+	codes  map[string]int
+}
+
+// BuildDictionary constructs a dictionary from a column of values.
+func BuildDictionary(column []string) *Dictionary {
+	freq := make(map[string]int)
+	for _, v := range column {
+		freq[v]++
+	}
+	values := make([]string, 0, len(freq))
+	for v := range freq {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool {
+		if freq[values[i]] != freq[values[j]] {
+			return freq[values[i]] > freq[values[j]]
+		}
+		return values[i] < values[j]
+	})
+	return newDictionary(values)
+}
+
+func newDictionary(values []string) *Dictionary {
+	codes := make(map[string]int, len(values))
+	for i, v := range values {
+		codes[v] = i
+	}
+	return &Dictionary{values: values, codes: codes}
+}
+
+// Len returns the number of distinct values.
+func (d *Dictionary) Len() int { return len(d.values) }
+
+// Code returns the code for v; the boolean reports membership.
+func (d *Dictionary) Code(v string) (int, bool) {
+	c, ok := d.codes[v]
+	return c, ok
+}
+
+// Value returns the value for code c.
+func (d *Dictionary) Value(c int) string { return d.values[c] }
+
+// Encode maps a column to codes. Every value must be in the dictionary.
+func (d *Dictionary) Encode(column []string) ([]int, error) {
+	out := make([]int, len(column))
+	for i, v := range column {
+		c, ok := d.codes[v]
+		if !ok {
+			return nil, fmt.Errorf("preprocess: value %q not in dictionary", v)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Decode maps codes back to values.
+func (d *Dictionary) Decode(codes []int) ([]string, error) {
+	out := make([]string, len(codes))
+	for i, c := range codes {
+		if c < 0 || c >= len(d.values) {
+			return nil, fmt.Errorf("preprocess: code %d outside dictionary of %d", c, len(d.values))
+		}
+		out[i] = d.values[c]
+	}
+	return out, nil
+}
+
+// AppendBinary serializes the dictionary: count varint, then
+// length-prefixed strings in code order.
+func (d *Dictionary) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(d.values)))
+	for _, v := range d.values {
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// DecodeDictionary parses a dictionary serialized by AppendBinary and
+// returns it with the number of bytes consumed.
+func DecodeDictionary(buf []byte) (*Dictionary, int, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("%w: missing dictionary count", ErrCorrupt)
+	}
+	pos := sz
+	if n > uint64(len(buf)) {
+		return nil, 0, fmt.Errorf("%w: dictionary count %d exceeds buffer", ErrCorrupt, n)
+	}
+	values := make([]string, n)
+	for i := range values {
+		l, sz := binary.Uvarint(buf[pos:])
+		if sz <= 0 {
+			return nil, 0, fmt.Errorf("%w: truncated dictionary entry", ErrCorrupt)
+		}
+		pos += sz
+		if uint64(len(buf)-pos) < l {
+			return nil, 0, fmt.Errorf("%w: dictionary entry overruns buffer", ErrCorrupt)
+		}
+		values[i] = string(buf[pos : pos+int(l)])
+		pos += int(l)
+	}
+	return newDictionary(values), pos, nil
+}

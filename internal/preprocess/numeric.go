@@ -1,0 +1,164 @@
+package preprocess
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MinMaxScaler normalizes a numeric column to [0,1] (paper §4.2). A
+// degenerate column (max == min) scales every value to 0.
+type MinMaxScaler struct {
+	Min, Max float64
+}
+
+// FitMinMax computes the scaler for a column.
+func FitMinMax(column []float64) MinMaxScaler {
+	if len(column) == 0 {
+		return MinMaxScaler{}
+	}
+	s := MinMaxScaler{Min: column[0], Max: column[0]}
+	for _, v := range column[1:] {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	return s
+}
+
+// Range returns max-min.
+func (s MinMaxScaler) Range() float64 { return s.Max - s.Min }
+
+// Scale maps v into [0,1].
+func (s MinMaxScaler) Scale(v float64) float64 {
+	if s.Max == s.Min {
+		return 0
+	}
+	return (v - s.Min) / (s.Max - s.Min)
+}
+
+// Unscale inverts Scale.
+func (s MinMaxScaler) Unscale(u float64) float64 {
+	return s.Min + u*(s.Max-s.Min)
+}
+
+// Quantizer buckets a [0,1]-scaled value so that reconstructing the bucket
+// midpoint stays within the user's error threshold: with threshold t
+// (a fraction of the column range), bucket width is 2t and the midpoint of
+// any bucket is at most t away from every value in it (paper §4.2).
+type Quantizer struct {
+	Threshold float64 // relative error threshold t, 0 < t
+	NumBucket int
+}
+
+// NewQuantizer builds a quantizer for threshold t in (0, 0.5].
+func NewQuantizer(t float64) (Quantizer, error) {
+	if t <= 0 || t > 0.5 {
+		return Quantizer{}, fmt.Errorf("preprocess: quantizer threshold %v outside (0, 0.5]", t)
+	}
+	n := int(math.Ceil(1 / (2 * t)))
+	return Quantizer{Threshold: t, NumBucket: n}, nil
+}
+
+// Bucket maps a scaled value u ∈ [0,1] to its bucket index.
+func (q Quantizer) Bucket(u float64) int {
+	idx := int(u / (2 * q.Threshold))
+	if idx >= q.NumBucket {
+		idx = q.NumBucket - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}
+
+// Midpoint returns the scaled-space midpoint of bucket idx, clamped to 1 so
+// a final narrow bucket never reconstructs outside the data range by more
+// than the threshold.
+func (q Quantizer) Midpoint(idx int) float64 {
+	m := (float64(idx) + 0.5) * 2 * q.Threshold
+	if m > 1 {
+		m = 1
+	}
+	return m
+}
+
+// ValueDict supports lossless handling of numeric columns with few distinct
+// values (including prequantized data like the paper's Census variant and
+// integer sensor readings at a 0% threshold). Distinct values are sorted
+// ascending so the model's regression output maps to a *rank*, preserving
+// the closeness property the delta-coded failures rely on.
+type ValueDict struct {
+	Values []float64 // sorted ascending, distinct
+	index  map[float64]int
+}
+
+// BuildValueDict constructs a ValueDict from a column.
+func BuildValueDict(column []float64) *ValueDict {
+	seen := make(map[float64]struct{})
+	for _, v := range column {
+		seen[v] = struct{}{}
+	}
+	values := make([]float64, 0, len(seen))
+	for v := range seen {
+		values = append(values, v)
+	}
+	sort.Float64s(values)
+	return newValueDict(values)
+}
+
+func newValueDict(values []float64) *ValueDict {
+	idx := make(map[float64]int, len(values))
+	for i, v := range values {
+		idx[v] = i
+	}
+	return &ValueDict{Values: values, index: idx}
+}
+
+// Len returns the number of distinct values.
+func (d *ValueDict) Len() int { return len(d.Values) }
+
+// Rank returns the rank of v; the boolean reports membership.
+func (d *ValueDict) Rank(v float64) (int, bool) {
+	r, ok := d.index[v]
+	return r, ok
+}
+
+// Value returns the value at rank r.
+func (d *ValueDict) Value(r int) float64 { return d.Values[r] }
+
+// AppendBinary serializes the ValueDict.
+func (d *ValueDict) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(d.Values)))
+	for _, v := range d.Values {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// DecodeValueDict parses a ValueDict and returns bytes consumed.
+func DecodeValueDict(buf []byte) (*ValueDict, int, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("%w: missing value dict count", ErrCorrupt)
+	}
+	pos := sz
+	if uint64(len(buf)-pos) < n*8 {
+		return nil, 0, fmt.Errorf("%w: value dict overruns buffer", ErrCorrupt)
+	}
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+		pos += 8
+	}
+	for i := 1; i < len(values); i++ {
+		if !(values[i] > values[i-1]) {
+			return nil, 0, fmt.Errorf("%w: value dict not strictly sorted", ErrCorrupt)
+		}
+	}
+	return newValueDict(values), pos, nil
+}

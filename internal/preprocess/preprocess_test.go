@@ -1,0 +1,351 @@
+package preprocess
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"deepsqueeze/internal/dataset"
+)
+
+func TestDictionaryFrequencyOrder(t *testing.T) {
+	col := []string{"b", "a", "b", "c", "b", "a"}
+	d := BuildDictionary(col)
+	// b (3) → 0, a (2) → 1, c (1) → 2
+	for v, want := range map[string]int{"b": 0, "a": 1, "c": 2} {
+		if got, ok := d.Code(v); !ok || got != want {
+			t.Errorf("Code(%q) = %d,%v want %d", v, got, ok, want)
+		}
+	}
+	if d.Value(0) != "b" {
+		t.Errorf("Value(0) = %q", d.Value(0))
+	}
+}
+
+func TestDictionaryTieBreakLexicographic(t *testing.T) {
+	d := BuildDictionary([]string{"z", "a", "m"})
+	if d.Value(0) != "a" || d.Value(1) != "m" || d.Value(2) != "z" {
+		t.Fatalf("ties not lexicographic: %v %v %v", d.Value(0), d.Value(1), d.Value(2))
+	}
+}
+
+func TestDictionaryEncodeDecode(t *testing.T) {
+	col := []string{"x", "y", "x", "z"}
+	d := BuildDictionary(col)
+	codes, err := d.Encode(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.Decode(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, col) {
+		t.Fatalf("round trip %v != %v", back, col)
+	}
+	if _, err := d.Encode([]string{"missing"}); err == nil {
+		t.Fatal("unknown value accepted")
+	}
+	if _, err := d.Decode([]int{99}); err == nil {
+		t.Fatal("out-of-range code accepted")
+	}
+}
+
+func TestDictionarySerialization(t *testing.T) {
+	d := BuildDictionary([]string{"aa", "", "aa", "b\x00c"})
+	buf := d.AppendBinary(nil)
+	got, used, err := DecodeDictionary(buf)
+	if err != nil || used != len(buf) {
+		t.Fatalf("decode: %v, used %d/%d", err, used, len(buf))
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("len %d != %d", got.Len(), d.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if got.Value(i) != d.Value(i) {
+			t.Fatalf("value %d: %q != %q", i, got.Value(i), d.Value(i))
+		}
+	}
+	if _, _, err := DecodeDictionary(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated dictionary accepted")
+	}
+}
+
+func TestMinMaxScaler(t *testing.T) {
+	s := FitMinMax([]float64{-10, 0, 30})
+	if s.Min != -10 || s.Max != 30 {
+		t.Fatalf("fit = %+v", s)
+	}
+	if got := s.Scale(-10); got != 0 {
+		t.Fatalf("Scale(min) = %v", got)
+	}
+	if got := s.Scale(30); got != 1 {
+		t.Fatalf("Scale(max) = %v", got)
+	}
+	if got := s.Unscale(s.Scale(17.5)); math.Abs(got-17.5) > 1e-12 {
+		t.Fatalf("Unscale∘Scale = %v", got)
+	}
+	deg := FitMinMax([]float64{5, 5})
+	if deg.Scale(5) != 0 || deg.Unscale(0) != 5 {
+		t.Fatal("degenerate scaler wrong")
+	}
+}
+
+func TestQuantizerPaperExample(t *testing.T) {
+	// Paper §4.2: range [0,100], threshold 10% → midpoints {10,30,50,70,90}.
+	s := MinMaxScaler{Min: 0, Max: 100}
+	q, err := NewQuantizer(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumBucket != 5 {
+		t.Fatalf("NumBucket = %d, want 5", q.NumBucket)
+	}
+	wantMid := []float64{10, 30, 50, 70, 90}
+	for i, want := range wantMid {
+		if got := s.Unscale(q.Midpoint(i)); math.Abs(got-want) > 1e-9 {
+			t.Errorf("midpoint %d = %v, want %v", i, got, want)
+		}
+	}
+	for v, want := range map[float64]int{0: 0, 19.9: 0, 20: 1, 55: 2, 99: 4, 100: 4} {
+		if got := q.Bucket(s.Scale(v)); got != want {
+			t.Errorf("Bucket(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// Property: the quantizer's reconstruction error never exceeds
+// threshold × range (the paper's hard guarantee).
+func TestQuantizerErrorBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		thr := 0.001 + rng.Float64()*0.499
+		q, err := NewQuantizer(thr)
+		if err != nil {
+			return false
+		}
+		lo := rng.NormFloat64() * 100
+		hi := lo + rng.Float64()*1000 + 1e-6
+		s := MinMaxScaler{Min: lo, Max: hi}
+		for i := 0; i < 200; i++ {
+			v := lo + rng.Float64()*(hi-lo)
+			rec := s.Unscale(q.Midpoint(q.Bucket(s.Scale(v))))
+			if math.Abs(rec-v) > thr*(hi-lo)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizerRejectsBadThreshold(t *testing.T) {
+	for _, thr := range []float64{0, -0.1, 0.6} {
+		if _, err := NewQuantizer(thr); err == nil {
+			t.Errorf("threshold %v accepted", thr)
+		}
+	}
+}
+
+func TestValueDict(t *testing.T) {
+	vd := BuildValueDict([]float64{3, 1, 3, 2, 1})
+	if vd.Len() != 3 || vd.Value(0) != 1 || vd.Value(2) != 3 {
+		t.Fatalf("value dict wrong: %+v", vd.Values)
+	}
+	if r, ok := vd.Rank(2); !ok || r != 1 {
+		t.Fatalf("Rank(2) = %d,%v", r, ok)
+	}
+	if _, ok := vd.Rank(5); ok {
+		t.Fatal("missing value found")
+	}
+	buf := vd.AppendBinary(nil)
+	got, used, err := DecodeValueDict(buf)
+	if err != nil || used != len(buf) || !reflect.DeepEqual(got.Values, vd.Values) {
+		t.Fatalf("serialization: %v %d %v", err, used, got)
+	}
+	// Unsorted dict must be rejected.
+	bad := newValueDict([]float64{2, 1})
+	if _, _, err := DecodeValueDict(bad.AppendBinary(nil)); err == nil {
+		t.Fatal("unsorted value dict accepted")
+	}
+}
+
+func mixedTable(rows int) *dataset.Table {
+	schema := dataset.NewSchema(
+		dataset.Column{Name: "cat", Type: dataset.Categorical},
+		dataset.Column{Name: "bin", Type: dataset.Categorical},
+		dataset.Column{Name: "key", Type: dataset.Categorical},
+		dataset.Column{Name: "reading", Type: dataset.Numeric},
+		dataset.Column{Name: "grade", Type: dataset.Numeric},
+	)
+	tb := dataset.NewTable(schema, rows)
+	rng := rand.New(rand.NewSource(7))
+	cats := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < rows; i++ {
+		tb.AppendRow(
+			[]string{
+				cats[rng.Intn(len(cats))],
+				fmt.Sprintf("%d", rng.Intn(2)),
+				fmt.Sprintf("key-%d", i), // unique → fallback
+			},
+			[]float64{
+				rng.Float64() * 50,
+				float64(rng.Intn(5)), // few distinct → value dict at t=0
+			},
+		)
+	}
+	return tb
+}
+
+func TestFitKinds(t *testing.T) {
+	tb := mixedTable(500)
+	plan, err := Fit(tb, DefaultOptions(), []float64{0, 0, 0, 0.05, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []ColKind{KindCatModel, KindBinary, KindFallbackCat, KindNumQuant, KindNumDict}
+	for i, want := range wantKinds {
+		if plan.Cols[i].Kind != want {
+			t.Errorf("column %d kind = %v, want %v", i, plan.Cols[i].Kind, want)
+		}
+	}
+	if plan.NumModelColumns() != 4 {
+		t.Errorf("NumModelColumns = %d", plan.NumModelColumns())
+	}
+	if got := plan.ModelColumnIndexes(); !reflect.DeepEqual(got, []int{0, 1, 3, 4}) {
+		t.Errorf("ModelColumnIndexes = %v", got)
+	}
+	if plan.Cols[3].ModelCard != plan.Cols[3].Quant.NumBucket {
+		t.Errorf("quantized ModelCard = %d, buckets %d", plan.Cols[3].ModelCard, plan.Cols[3].Quant.NumBucket)
+	}
+}
+
+func TestFitSkewCoverage(t *testing.T) {
+	// 96% of values are "hot"; coverage 0.95 should shrink the alphabet to 1.
+	col := make([]string, 1000)
+	for i := range col {
+		if i < 960 {
+			col[i] = "hot"
+		} else {
+			col[i] = fmt.Sprintf("cold-%d", i%20)
+		}
+	}
+	opts := DefaultOptions()
+	cp, err := fitCategorical(col, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Kind != KindCatModel || cp.ModelCard != 1 {
+		t.Fatalf("kind %v card %d, want catmodel card 1", cp.Kind, cp.ModelCard)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	tb := mixedTable(10)
+	if _, err := Fit(tb, DefaultOptions(), []float64{0, 0}); err == nil {
+		t.Fatal("wrong threshold count accepted")
+	}
+	if _, err := Fit(tb, DefaultOptions(), []float64{0, 0, 0, 0.9, 0}); err == nil {
+		t.Fatal("threshold > 0.5 accepted")
+	}
+	bad := dataset.NewTable(dataset.NewSchema(dataset.Column{Name: "n", Type: dataset.Numeric}), 1)
+	bad.AppendRow(nil, []float64{math.NaN()})
+	if _, err := Fit(bad, DefaultOptions(), nil); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestEncodeDecodeColumnRoundTrip(t *testing.T) {
+	tb := mixedTable(300)
+	plan, err := Fit(tb, DefaultOptions(), []float64{0, 0, 0, 0.05, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dataset.NewTable(tb.Schema, tb.NumRows())
+	tol := plan.Tolerances()
+	for _, col := range []int{0, 1, 2, 3, 4} {
+		codes, err := plan.Encode(tb, col)
+		if err != nil {
+			t.Fatalf("encode col %d: %v", col, err)
+		}
+		if err := plan.DecodeColumn(out, col, codes); err != nil {
+			t.Fatalf("decode col %d: %v", col, err)
+		}
+	}
+	out.SetNumRows(tb.NumRows())
+	if err := tb.EqualWithin(out, tol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputValueRange(t *testing.T) {
+	tb := mixedTable(300)
+	plan, err := Fit(tb, DefaultOptions(), []float64{0, 0, 0, 0.05, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range plan.ModelColumnIndexes() {
+		codes, err := plan.Encode(tb, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range codes {
+			v := plan.InputValue(col, c)
+			if v < 0 || v > 1 {
+				t.Fatalf("InputValue(col %d, code %d) = %v outside [0,1]", col, c, v)
+			}
+		}
+	}
+}
+
+func TestPlanSerializationRoundTrip(t *testing.T) {
+	tb := mixedTable(200)
+	plan, err := Fit(tb, DefaultOptions(), []float64{0, 0, 0, 0.1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := plan.AppendBinary(nil)
+	got, used, err := DecodePlan(buf)
+	if err != nil || used != len(buf) {
+		t.Fatalf("DecodePlan: %v, used %d/%d", err, used, len(buf))
+	}
+	if !got.Schema.Equal(plan.Schema) {
+		t.Fatal("schema mismatch after round trip")
+	}
+	for i := range plan.Cols {
+		a, b := &plan.Cols[i], &got.Cols[i]
+		if a.Kind != b.Kind || a.ModelCard != b.ModelCard || a.Threshold != b.Threshold {
+			t.Fatalf("column %d: %+v vs %+v", i, a, b)
+		}
+	}
+	// Re-encoding the decoded plan must be byte-identical (canonical form).
+	if !reflect.DeepEqual(got.AppendBinary(nil), buf) {
+		t.Fatal("re-serialization differs")
+	}
+	if _, _, err := DecodePlan(buf[:len(buf)/2]); err == nil {
+		t.Fatal("truncated plan accepted")
+	}
+}
+
+func TestTolerances(t *testing.T) {
+	tb := mixedTable(100)
+	plan, err := Fit(tb, DefaultOptions(), []float64{0, 0, 0, 0.1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := plan.Tolerances()
+	want := 0.1 * plan.Cols[3].Scaler.Range()
+	if math.Abs(tol[3]-want) > 1e-12 {
+		t.Fatalf("tolerance[3] = %v, want %v", tol[3], want)
+	}
+	for _, i := range []int{0, 1, 2, 4} {
+		if tol[i] != 0 {
+			t.Fatalf("tolerance[%d] = %v, want 0", i, tol[i])
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package rangecoder
+
+import "fmt"
+
+// AdaptiveModel maintains per-symbol frequencies over a fixed alphabet with
+// a Fenwick (binary indexed) tree for O(log n) cumulative queries, updates,
+// and symbol lookup. Every symbol starts with frequency 1 so the decoder can
+// always make progress; Update bumps the observed symbol and rescales when
+// the total approaches the coder's limit.
+//
+// Encoder and decoder must perform identical Update calls in the same order,
+// which keeps their models in lockstep.
+type AdaptiveModel struct {
+	n     int
+	tree  []uint32 // 1-based Fenwick tree over frequencies
+	total uint32
+	inc   uint32
+}
+
+// NewAdaptiveModel returns a model over an alphabet of n symbols, all with
+// initial frequency 1. inc controls adaptation speed; 32 is a good default
+// for the column alphabets Squish sees.
+func NewAdaptiveModel(n int, inc uint32) *AdaptiveModel {
+	if n <= 0 {
+		panic(fmt.Sprintf("rangecoder: alphabet size %d", n))
+	}
+	if inc == 0 {
+		inc = 1
+	}
+	m := &AdaptiveModel{n: n, tree: make([]uint32, n+1), inc: inc}
+	for s := 0; s < n; s++ {
+		m.add(s, 1)
+	}
+	m.total = uint32(n)
+	if m.total > MaxTotal {
+		panic(fmt.Sprintf("rangecoder: alphabet %d exceeds MaxTotal", n))
+	}
+	return m
+}
+
+// N returns the alphabet size.
+func (m *AdaptiveModel) N() int { return m.n }
+
+// Total returns the current cumulative frequency total.
+func (m *AdaptiveModel) Total() uint32 { return m.total }
+
+func (m *AdaptiveModel) add(sym int, delta uint32) {
+	for i := sym + 1; i <= m.n; i += i & (-i) {
+		m.tree[i] += delta
+	}
+}
+
+// cum returns the cumulative frequency of symbols < sym.
+func (m *AdaptiveModel) cum(sym int) uint32 {
+	var s uint32
+	for i := sym; i > 0; i -= i & (-i) {
+		s += m.tree[i]
+	}
+	return s
+}
+
+// Freq returns (cumFreq, freq) for sym.
+func (m *AdaptiveModel) Freq(sym int) (uint32, uint32) {
+	if sym < 0 || sym >= m.n {
+		panic(fmt.Sprintf("rangecoder: symbol %d outside alphabet %d", sym, m.n))
+	}
+	c := m.cum(sym)
+	return c, m.cum(sym+1) - c
+}
+
+// FindSymbol locates the symbol whose cumulative range contains target and
+// returns (sym, cumFreq, freq). It descends the Fenwick tree in O(log n).
+func (m *AdaptiveModel) FindSymbol(target uint32) (int, uint32, uint32) {
+	idx := 0
+	var cum uint32
+	// Highest power of two ≤ n.
+	mask := 1
+	for mask<<1 <= m.n {
+		mask <<= 1
+	}
+	for ; mask > 0; mask >>= 1 {
+		next := idx + mask
+		if next <= m.n && cum+m.tree[next] <= target {
+			idx = next
+			cum += m.tree[next]
+		}
+	}
+	// idx symbols have cumulative frequency ≤ target, so idx is the symbol.
+	if idx >= m.n {
+		idx = m.n - 1
+		cum -= 0 // target was clamped by the decoder; keep last symbol
+		cum = m.cum(idx)
+	}
+	return idx, cum, m.cum(idx+1) - cum
+}
+
+// Update increases sym's frequency, rescaling all frequencies (halving,
+// floored at 1) when the total would exceed the coder limit.
+func (m *AdaptiveModel) Update(sym int) {
+	if sym < 0 || sym >= m.n {
+		panic(fmt.Sprintf("rangecoder: symbol %d outside alphabet %d", sym, m.n))
+	}
+	if m.total+m.inc > MaxTotal {
+		m.rescale()
+	}
+	m.add(sym, m.inc)
+	m.total += m.inc
+}
+
+func (m *AdaptiveModel) rescale() {
+	freqs := make([]uint32, m.n)
+	for s := 0; s < m.n; s++ {
+		_, f := m.Freq(s)
+		freqs[s] = (f + 1) / 2
+	}
+	for i := range m.tree {
+		m.tree[i] = 0
+	}
+	m.total = 0
+	for s, f := range freqs {
+		m.add(s, f)
+		m.total += f
+	}
+}
+
+// EncodeSymbol encodes sym with the model's current statistics, then adapts.
+func (m *AdaptiveModel) EncodeSymbol(e *Encoder, sym int) {
+	c, f := m.Freq(sym)
+	e.Encode(c, f, m.total)
+	m.Update(sym)
+}
+
+// DecodeSymbol decodes one symbol and adapts, mirroring EncodeSymbol.
+func (m *AdaptiveModel) DecodeSymbol(d *Decoder) int {
+	target := d.DecodeFreq(m.total)
+	sym, c, f := m.FindSymbol(target)
+	d.Update(c, f, m.total)
+	m.Update(sym)
+	return sym
+}

@@ -1,0 +1,432 @@
+// Package squish implements the Squish semantic compressor (Gao &
+// Parameswaran, SIGKDD 2016), the state-of-the-art baseline the paper
+// compares against. Squish couples a Bayesian network over columns with
+// arithmetic coding: each column is entropy-coded conditioned on its
+// parents, so pairwise/few-column dependencies compress to almost nothing,
+// while relationships spanning many columns (DeepSqueeze's strength) are
+// invisible to it.
+//
+// Our implementation learns the network structure greedily by mutual
+// information (up to MaxParents parents per column, chosen among earlier
+// columns so decoding order is well-defined), learns quantized conditional
+// probability tables, ships the model inside the compressed output exactly
+// as the published system does, and codes statically against those tables
+// with a range coder (the practical arithmetic-coding variant). Numeric
+// columns honor the same error-threshold quantization contract as
+// DeepSqueeze.
+package squish
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"deepsqueeze/internal/colfile"
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/preprocess"
+	"deepsqueeze/internal/rangecoder"
+)
+
+// ErrCorrupt is returned when a compressed buffer fails validation.
+var ErrCorrupt = errors.New("squish: corrupt archive")
+
+var magic = [4]byte{'S', 'Q', 'S', 'H'}
+
+const version = 1
+
+// maxAlphabet bounds per-column alphabets so cumulative frequencies fit the
+// range coder.
+const maxAlphabet = 16384
+
+// Options controls structure learning.
+type Options struct {
+	// MaxParents bounds the number of parents per column (Squish uses
+	// small in-degrees; 2 is the sweet spot).
+	MaxParents int
+	// SampleRows bounds the rows used for mutual-information estimation.
+	SampleRows int
+	// MinMI is the minimum mutual information (nats) a parent must provide.
+	MinMI float64
+	// MaxParentConfigs bounds the product of parent cardinalities to keep
+	// the number of adaptive contexts manageable.
+	MaxParentConfigs int
+	// Seed drives sampling.
+	Seed int64
+}
+
+// DefaultOptions returns production defaults.
+func DefaultOptions() Options {
+	return Options{
+		MaxParents:       2,
+		SampleRows:       20000,
+		MinMI:            0.01,
+		MaxParentConfigs: 1 << 16,
+		Seed:             1,
+	}
+}
+
+func (o *Options) defaults() {
+	d := DefaultOptions()
+	if o.MaxParents <= 0 {
+		o.MaxParents = d.MaxParents
+	}
+	if o.SampleRows <= 0 {
+		o.SampleRows = d.SampleRows
+	}
+	if o.MinMI <= 0 {
+		o.MinMI = d.MinMI
+	}
+	if o.MaxParentConfigs <= 0 {
+		o.MaxParentConfigs = d.MaxParentConfigs
+	}
+}
+
+// preprocOptions adapts the shared preprocessing to Squish's needs: the
+// arithmetic coder's alphabet must cover every value (no skew escapes), and
+// alphabets must fit the range coder's frequency budget.
+func preprocOptions() preprocess.Options {
+	return preprocess.Options{
+		MaxModelCardinality:   maxAlphabet,
+		SkewCoverage:          1, // disabled
+		FallbackMaxDistinct:   maxAlphabet,
+		FallbackDistinctRatio: 0.5,
+		MaxValueDictLen:       4096,
+	}
+}
+
+// Compress compresses t with per-column error thresholds (same contract as
+// DeepSqueeze: threshold is a fraction of the column range; 0 = lossless).
+func Compress(t *dataset.Table, thresholds []float64, opts Options) ([]byte, error) {
+	opts.defaults()
+	plan, err := preprocess.Fit(t, preprocOptions(), thresholds)
+	if err != nil {
+		return nil, err
+	}
+	cols := plan.ModelColumnIndexes()
+	codes := make(map[int][]int, len(cols))
+	alpha := make(map[int]int, len(cols))
+	for _, c := range cols {
+		cc, err := plan.Encode(t, c)
+		if err != nil {
+			return nil, err
+		}
+		codes[c] = cc
+		alpha[c] = alphabetSize(&plan.Cols[c])
+	}
+	parents := learnStructure(t.NumRows(), cols, codes, alpha, opts)
+	models := learnCPTs(t.NumRows(), cols, parents, alpha, codes)
+
+	var out bytes.Buffer
+	out.Write(magic[:])
+	out.WriteByte(version)
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(t.NumRows()))
+	hdr = plan.AppendBinary(hdr)
+	// Structure: per model column, parent count + parent schema indexes.
+	hdr = binary.AppendUvarint(hdr, uint64(len(cols)))
+	for _, c := range cols {
+		hdr = binary.AppendUvarint(hdr, uint64(c))
+		hdr = binary.AppendUvarint(hdr, uint64(len(parents[c])))
+		for _, p := range parents[c] {
+			hdr = binary.AppendUvarint(hdr, uint64(p))
+		}
+	}
+	out.Write(hdr)
+
+	// The learned model ships inside the output, as published Squish does;
+	// its (deflated) size is part of the compression ratio.
+	modelBlock := colfile.Deflate(appendModels(nil, cols, models))
+	var mlp []byte
+	mlp = binary.AppendUvarint(mlp, uint64(len(modelBlock)))
+	out.Write(mlp)
+	out.Write(modelBlock)
+
+	// Fallback columns are stored through the columnar format, as Squish
+	// does for unmodelable data.
+	for i, cp := range plan.Cols {
+		var chunk []byte
+		switch cp.Kind {
+		case preprocess.KindFallbackCat:
+			chunk = colfile.PackStrings(t.Str[i])
+		case preprocess.KindFallbackNum:
+			chunk = colfile.PackFloats(t.Num[i])
+		default:
+			continue
+		}
+		var lp []byte
+		lp = binary.AppendUvarint(lp, uint64(len(chunk)))
+		out.Write(lp)
+		out.Write(chunk)
+	}
+
+	// Arithmetic-coded body: row-major, each column coded against the
+	// stored static table of its parents' configuration in the same row.
+	enc := rangecoder.NewEncoder()
+	for r := 0; r < t.NumRows(); r++ {
+		for _, c := range cols {
+			tab := models[c].marginal
+			if len(parents[c]) > 0 {
+				tab = models[c].table(configKey(parents[c], alpha, codes, r))
+			}
+			tab.encode(enc, codes[c][r])
+		}
+	}
+	body := enc.Bytes()
+	var lp []byte
+	lp = binary.AppendUvarint(lp, uint64(len(body)))
+	out.Write(lp)
+	out.Write(body)
+	return out.Bytes(), nil
+}
+
+// Decompress inverts Compress.
+func Decompress(buf []byte) (*dataset.Table, error) {
+	if len(buf) < 5 || !bytes.Equal(buf[:4], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if buf[4] != version {
+		return nil, fmt.Errorf("%w: version %d", ErrCorrupt, buf[4])
+	}
+	pos := 5
+	rows64, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 {
+		return nil, fmt.Errorf("%w: missing row count", ErrCorrupt)
+	}
+	pos += sz
+	rows := int(rows64)
+	plan, used, err := preprocess.DecodePlan(buf[pos:])
+	if err != nil {
+		return nil, err
+	}
+	pos += used
+	nmc, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 || nmc > uint64(len(plan.Cols)) {
+		return nil, fmt.Errorf("%w: model column count", ErrCorrupt)
+	}
+	pos += sz
+	cols := make([]int, nmc)
+	parents := make(map[int][]int, nmc)
+	for i := range cols {
+		c64, sz := binary.Uvarint(buf[pos:])
+		if sz <= 0 || c64 >= uint64(len(plan.Cols)) {
+			return nil, fmt.Errorf("%w: model column index", ErrCorrupt)
+		}
+		pos += sz
+		cols[i] = int(c64)
+		np, sz := binary.Uvarint(buf[pos:])
+		if sz <= 0 || np > 16 {
+			return nil, fmt.Errorf("%w: parent count", ErrCorrupt)
+		}
+		pos += sz
+		ps := make([]int, np)
+		for j := range ps {
+			p64, sz := binary.Uvarint(buf[pos:])
+			if sz <= 0 || p64 >= uint64(len(plan.Cols)) {
+				return nil, fmt.Errorf("%w: parent index", ErrCorrupt)
+			}
+			pos += sz
+			ps[j] = int(p64)
+		}
+		parents[cols[i]] = ps
+	}
+
+	alpha := make(map[int]int, len(cols))
+	for _, c := range cols {
+		alpha[c] = alphabetSize(&plan.Cols[c])
+		if alpha[c] <= 0 && rows > 0 {
+			return nil, fmt.Errorf("%w: column %d alphabet %d", ErrCorrupt, c, alpha[c])
+		}
+	}
+	ml, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 || uint64(len(buf)-pos-sz) < ml {
+		return nil, fmt.Errorf("%w: truncated model block", ErrCorrupt)
+	}
+	pos += sz
+	modelBlock, err := colfile.Inflate(buf[pos : pos+int(ml)])
+	if err != nil {
+		return nil, err
+	}
+	pos += int(ml)
+	models, used, err := decodeModels(modelBlock, cols, alpha)
+	if err != nil {
+		return nil, err
+	}
+	if used != len(modelBlock) {
+		return nil, fmt.Errorf("%w: %d trailing model bytes", ErrCorrupt, len(modelBlock)-used)
+	}
+
+	out := dataset.NewTable(plan.Schema, rows)
+	for i, cp := range plan.Cols {
+		switch cp.Kind {
+		case preprocess.KindFallbackCat, preprocess.KindFallbackNum:
+			l, sz := binary.Uvarint(buf[pos:])
+			if sz <= 0 || uint64(len(buf)-pos-sz) < l {
+				return nil, fmt.Errorf("%w: truncated fallback chunk", ErrCorrupt)
+			}
+			pos += sz
+			chunk := buf[pos : pos+int(l)]
+			pos += int(l)
+			if cp.Kind == preprocess.KindFallbackCat {
+				vals, err := colfile.UnpackStrings(chunk)
+				if err != nil {
+					return nil, err
+				}
+				if len(vals) != rows {
+					return nil, fmt.Errorf("%w: fallback rows %d, want %d", ErrCorrupt, len(vals), rows)
+				}
+				out.Str[i] = vals
+			} else {
+				vals, err := colfile.UnpackFloats(chunk)
+				if err != nil {
+					return nil, err
+				}
+				if len(vals) != rows {
+					return nil, fmt.Errorf("%w: fallback rows %d, want %d", ErrCorrupt, len(vals), rows)
+				}
+				out.Num[i] = vals
+			}
+		}
+	}
+
+	bl, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 || uint64(len(buf)-pos-sz) < bl {
+		return nil, fmt.Errorf("%w: truncated body", ErrCorrupt)
+	}
+	pos += sz
+	body := buf[pos : pos+int(bl)]
+	if len(buf)-pos-int(bl) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+
+	dec := rangecoder.NewDecoder(body)
+	codes := make(map[int][]int, len(cols))
+	for _, c := range cols {
+		codes[c] = make([]int, rows)
+	}
+	for r := 0; r < rows; r++ {
+		for _, c := range cols {
+			tab := models[c].marginal
+			if len(parents[c]) > 0 {
+				tab = models[c].table(configKey(parents[c], alpha, codes, r))
+			}
+			codes[c][r] = tab.decode(dec)
+		}
+	}
+	if dec.Overrun() {
+		return nil, fmt.Errorf("%w: arithmetic stream overrun", ErrCorrupt)
+	}
+	for _, c := range cols {
+		if err := plan.DecodeColumn(out, c, codes[c]); err != nil {
+			return nil, err
+		}
+	}
+	out.SetNumRows(rows)
+	return out, nil
+}
+
+// alphabetSize returns the symbol count for a model column.
+func alphabetSize(cp *preprocess.ColPlan) int {
+	switch cp.Kind {
+	case preprocess.KindCatModel, preprocess.KindBinary:
+		return cp.Dict.Len()
+	case preprocess.KindNumQuant:
+		return cp.Quant.NumBucket
+	case preprocess.KindNumDict:
+		return cp.VDict.Len()
+	default:
+		return 0
+	}
+}
+
+// learnStructure greedily selects up to MaxParents earlier columns per
+// column by mutual information on a row sample.
+func learnStructure(rows int, cols []int, codes map[int][]int, alpha map[int]int, opts Options) map[int][]int {
+	parents := make(map[int][]int, len(cols))
+	sample := sampleIndexes(rows, opts.SampleRows, opts.Seed)
+	for i, c := range cols {
+		var chosen []int
+		configs := 1
+		type cand struct {
+			col int
+			mi  float64
+		}
+		var cands []cand
+		for j := 0; j < i; j++ {
+			p := cols[j]
+			mi := mutualInformation(codes[c], codes[p], alpha[c], alpha[p], sample)
+			if mi >= opts.MinMI {
+				cands = append(cands, cand{p, mi})
+			}
+		}
+		// Highest MI first; stable order for determinism.
+		for a := 0; a < len(cands); a++ {
+			for b := a + 1; b < len(cands); b++ {
+				if cands[b].mi > cands[a].mi {
+					cands[a], cands[b] = cands[b], cands[a]
+				}
+			}
+		}
+		for _, cd := range cands {
+			if len(chosen) >= opts.MaxParents {
+				break
+			}
+			if configs*alpha[cd.col] > opts.MaxParentConfigs {
+				continue
+			}
+			chosen = append(chosen, cd.col)
+			configs *= alpha[cd.col]
+		}
+		parents[c] = chosen
+	}
+	return parents
+}
+
+// sampleIndexes returns up to limit row indexes (all rows when they fit).
+func sampleIndexes(rows, limit int, seed int64) []int {
+	if rows <= limit {
+		idx := make([]int, rows)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int, limit)
+	for i := range idx {
+		idx[i] = rng.Intn(rows)
+	}
+	return idx
+}
+
+// mutualInformation estimates MI (nats) between two code columns on the
+// sampled rows.
+func mutualInformation(a, b []int, alphaA, alphaB int, sample []int) float64 {
+	if alphaA <= 1 || alphaB <= 1 {
+		return 0
+	}
+	joint := make(map[uint64]int)
+	ca := make(map[int]int)
+	cb := make(map[int]int)
+	for _, r := range sample {
+		x, y := a[r], b[r]
+		joint[uint64(x)<<32|uint64(uint32(y))]++
+		ca[x]++
+		cb[y]++
+	}
+	n := float64(len(sample))
+	var mi float64
+	for k, c := range joint {
+		x, y := int(k>>32), int(uint32(k))
+		pxy := float64(c) / n
+		px := float64(ca[x]) / n
+		py := float64(cb[y]) / n
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}

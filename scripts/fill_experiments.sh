@@ -1,0 +1,48 @@
+#!/bin/sh
+# Splices recorded results from results/ into EXPERIMENTS.md placeholders.
+# Idempotent: rerun after regenerating any result file.
+set -e
+cd "$(dirname "$0")/.."
+python3 - <<'EOF'
+import glob, re
+
+md = open('EXPERIMENTS.md').read()
+
+def block(path):
+    try:
+        body = open(path).read().strip()
+    except FileNotFoundError:
+        return None
+    return "```\n" + body + "\n```"
+
+def fill(marker, path, note=""):
+    global md
+    b = block(path)
+    if b is None:
+        return
+    repl = (note + "\n\n" if note else "") + b
+    md = md.replace(f"<!-- {marker} -->", repl)
+
+fill("FIG6_RESULTS", "results/fig6-scale1.txt")
+fill("TABLE2_RESULTS", "results/table2-scale0.5.txt",
+     "Measured (`dsbench -exp table2 -scale 0.5`):")
+fill("FIG7_RESULTS", "results/fig7-scale0.5.txt",
+     "Measured (`dsbench -exp fig7 -scale 0.5`):")
+fill("FIG8_RESULTS", "results/fig8-scale1.txt",
+     "Measured (`dsbench -exp fig8 -scale 1`):")
+fill("FIG9_RESULTS", "results/fig9-scale0.3.txt",
+     "Measured (`dsbench -exp fig9 -scale 0.3`):")
+fill("FIG10_RESULTS", "results/fig10-scale1.txt",
+     "Measured (`dsbench -exp fig10 -scale 1`):")
+
+abl = []
+for p in ("results/ablation-truncation-scale1.txt", "results/ablation-mapping-scale1.txt"):
+    b = block(p)
+    if b:
+        abl.append(b)
+if abl:
+    md = md.replace("<!-- ABLATION_RESULTS -->", "\n\n".join(abl))
+
+open('EXPERIMENTS.md','w').write(md)
+print("filled:", [m for m in ["FIG6","TABLE2","FIG7","FIG8","FIG9","FIG10","ABLATION"] if f"<!-- {m}_RESULTS -->" not in md])
+EOF

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Regenerates every paper table/figure and stores the reports under
+# results/. Scales are trimmed so the whole suite finishes on a small
+# machine; pass a scale as $1 to override the default.
+set -e
+cd "$(dirname "$0")/.."
+SCALE="${1:-0.25}"
+SMALL="${2:-0.15}"
+mkdir -p results
+go build -o /tmp/dsbench ./cmd/dsbench
+
+run() {
+  exp="$1"; scale="$2"
+  echo ">>> $exp (scale $scale)" >&2
+  /tmp/dsbench -exp "$exp" -scale "$scale" -seed 1 -csv results | tee "results/$exp.txt"
+}
+
+run table1 "$SCALE"
+run fig6a "$SCALE"
+run fig6 "$SCALE"
+run fig7 "$SCALE"
+run fig8 "$SCALE"
+run fig10 "$SCALE"
+run ablation-truncation "$SCALE"
+run ablation-mapping "$SCALE"
+run table2 "$SMALL"
+run fig9 "$SMALL"
+echo "all experiments done" >&2

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Quick-mode sweep: every experiment at reduced thresholds/epochs, for a
+# fast end-to-end regeneration pass (single-digit minutes on one core).
+set -e
+cd "$(dirname "$0")/.."
+SCALE="${1:-0.25}"
+mkdir -p results
+go build -o /tmp/dsbench ./cmd/dsbench
+for exp in table1 fig6a fig6 fig7 fig8 fig10 ablation-truncation ablation-mapping table2 fig9; do
+  echo ">>> $exp" >&2
+  /tmp/dsbench -exp "$exp" -scale "$SCALE" -seed 1 -quick -csv results | tee "results/quick-$exp.txt"
+done
+echo "quick sweep done" >&2

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Remaining recorded experiments after fig6: micro-benchmarks and runtimes.
+# Scales are chosen so each experiment completes on one core in minutes;
+# EXPERIMENTS.md notes the scale per experiment.
+set -e
+cd "$(dirname "$0")/.."
+mkdir -p results
+go build -o /tmp/dsbench ./cmd/dsbench
+run() {
+  exp="$1"; scale="$2"; shift 2
+  echo ">>> $exp (scale $scale)" >&2
+  /tmp/dsbench -exp "$exp" -scale "$scale" -seed 1 "$@" > "results/$exp-scale$scale.txt" 2>&1
+}
+run fig8 1
+run fig10 1
+run ablation-truncation 1
+run ablation-mapping 1
+run fig7 0.5
+run table2 0.5
+run fig9 0.3
+echo "remaining experiments done" >&2
