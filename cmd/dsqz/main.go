@@ -16,14 +16,24 @@
 //	-sample 0          training sample rows (0 = full data)
 //	-tune              run Bayesian hyperparameter tuning first
 //	-seed 1            random seed
-//	-v                 verbose progress
+//	-p 0               pipeline parallelism (0 = all CPUs)
+//	-v                 verbose progress + per-stage pipeline report
+//
+// SIGINT/SIGTERM cancel an in-flight compression cleanly: the staged
+// pipeline returns promptly with the context's error and no partial
+// archive is left behind (the output file is only written on success).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"deepsqueeze"
 	"deepsqueeze/internal/core"
@@ -34,10 +44,12 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "compress":
-		err = runCompress(os.Args[2:])
+		err = runCompress(ctx, os.Args[2:])
 	case "decompress":
 		err = runDecompress(os.Args[2:])
 	case "inspect":
@@ -45,6 +57,10 @@ func main() {
 	default:
 		usage()
 		os.Exit(2)
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "dsqz: interrupted")
+		os.Exit(130)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsqz:", err)
@@ -80,7 +96,7 @@ func parseSchema(s string) (*deepsqueeze.Schema, error) {
 	return deepsqueeze.NewSchema(cols...), nil
 }
 
-func runCompress(args []string) error {
+func runCompress(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV file")
 	out := fs.String("out", "", "output archive file")
@@ -91,7 +107,8 @@ func runCompress(args []string) error {
 	sample := fs.Int("sample", 0, "training sample rows (0 = all)")
 	tune := fs.Bool("tune", false, "run hyperparameter tuning before compressing")
 	seed := fs.Int64("seed", 1, "random seed")
-	verbose := fs.Bool("v", false, "verbose progress")
+	parallel := fs.Int("p", 0, "pipeline parallelism (0 = all CPUs)")
+	verbose := fs.Bool("v", false, "verbose progress + per-stage pipeline report")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("compress needs -in and -out")
@@ -115,6 +132,7 @@ func runCompress(args []string) error {
 	opts.NumExperts = *experts
 	opts.TrainSampleRows = *sample
 	opts.Seed = *seed
+	opts.Parallelism = *parallel
 	if *verbose {
 		opts.Verbose = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
@@ -123,7 +141,7 @@ func runCompress(args []string) error {
 	if *tune {
 		topts := deepsqueeze.DefaultTuneOptions()
 		topts.Base = opts
-		tres, err := deepsqueeze.Tune(table, thresholds, topts)
+		tres, err := deepsqueeze.TuneContext(ctx, table, thresholds, topts)
 		if err != nil {
 			return fmt.Errorf("tuning: %w", err)
 		}
@@ -131,20 +149,33 @@ func runCompress(args []string) error {
 		fmt.Fprintf(os.Stderr, "tuned: code=%d experts=%d sample=%d (%d trials)\n",
 			opts.CodeSize, opts.NumExperts, opts.TrainSampleRows, len(tres.Trials))
 	}
-	of, err := os.Create(*out)
+	res, err := deepsqueeze.CompressContext(ctx, table, thresholds, opts)
 	if err != nil {
 		return err
 	}
-	defer of.Close()
-	res, err := deepsqueeze.CompressTo(of, table, thresholds, opts)
-	if err != nil {
+	if *verbose {
+		printStages(res.Stages)
+	}
+	if err := os.WriteFile(*out, res.Archive, 0o644); err != nil {
 		return err
 	}
 	raw := table.CSVSize()
 	fmt.Printf("compressed %d rows: %d → %d bytes (%.2f%%), code bits %d\n",
 		table.NumRows(), raw, res.Breakdown.Total, 100*res.Ratio(raw), res.CodeBits)
 	printBreakdown(res.Breakdown)
-	return of.Close()
+	return nil
+}
+
+// printStages renders the per-stage pipeline report (-v).
+func printStages(stages []deepsqueeze.StageStats) {
+	fmt.Fprintln(os.Stderr, "pipeline stages:")
+	for _, st := range stages {
+		if st.Bytes > 0 {
+			fmt.Fprintf(os.Stderr, "  %-18s %12v %10d bytes\n", st.Name, st.Wall.Round(time.Microsecond), st.Bytes)
+		} else {
+			fmt.Fprintf(os.Stderr, "  %-18s %12v\n", st.Name, st.Wall.Round(time.Microsecond))
+		}
+	}
 }
 
 func runDecompress(args []string) error {

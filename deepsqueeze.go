@@ -22,6 +22,7 @@
 package deepsqueeze
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -66,6 +67,9 @@ type (
 	TuneResult = core.TuneResult
 	// Trial is one hyperparameter evaluation.
 	Trial = core.Trial
+	// StageStats is one pipeline stage's wall-clock and byte instrumentation
+	// (Result.Stages, TuneResult.Stages).
+	StageStats = core.StageStats
 )
 
 // Partitioning modes.
@@ -113,6 +117,15 @@ func Compress(t *Table, thresholds []float64, opts Options) (*Result, error) {
 	return core.Compress(t, thresholds, opts)
 }
 
+// CompressContext is Compress with cancellation: the staged pipeline checks
+// ctx between stages, between parallel work items, and between training
+// batches, and returns ctx.Err() promptly once the context is done. Archives
+// are byte-for-byte identical at every Options.Parallelism level for a fixed
+// seed.
+func CompressContext(ctx context.Context, t *Table, thresholds []float64, opts Options) (*Result, error) {
+	return core.CompressContext(ctx, t, thresholds, opts)
+}
+
 // Decompress reconstructs a table from an archive produced by Compress.
 // Categorical columns are exact; lossy numeric columns are within their
 // archived error bounds.
@@ -147,6 +160,13 @@ func DecompressFrom(r io.Reader) (*Table, error) {
 // to Compress.
 func Tune(t *Table, thresholds []float64, topts TuneOptions) (*TuneResult, error) {
 	return core.Tune(t, thresholds, topts)
+}
+
+// TuneContext is Tune with cancellation and concurrent trial evaluation over
+// a pool sized by topts.Base.Parallelism. The tuner's outcome is
+// deterministic for a fixed (seed, Parallelism) pair.
+func TuneContext(ctx context.Context, t *Table, thresholds []float64, topts TuneOptions) (*TuneResult, error) {
+	return core.TuneContext(ctx, t, thresholds, topts)
 }
 
 // Stream is the paper's streaming-archival mode (§3): train once on an

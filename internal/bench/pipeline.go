@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"deepsqueeze/internal/core"
+	"deepsqueeze/internal/datagen"
+)
+
+// pipelineResult is the JSON record one parallelism level contributes to
+// BENCH_pipeline.json.
+type pipelineResult struct {
+	Parallelism  int     `json:"parallelism"`
+	CompressSecs float64 `json:"compress_secs"`
+	SearchSecs   float64 `json:"truncation_search_secs"`
+	ArchiveBytes int64   `json:"archive_bytes"`
+	Speedup      float64 `json:"speedup_vs_p1"`
+}
+
+// pipelineBenchFile is the top-level BENCH_pipeline.json document.
+type pipelineBenchFile struct {
+	Dataset   string           `json:"dataset"`
+	Rows      int              `json:"rows"`
+	NumCPU    int              `json:"num_cpu"`
+	Identical bool             `json:"archives_identical"`
+	Results   []pipelineResult `json:"results"`
+}
+
+// PipelineSpeedup micro-benchmarks the staged pipeline at Parallelism=1
+// versus runtime.NumCPU() on Monitor, isolating the truncation-search stage
+// (the pipeline's widest fan-out: four independent quantize→failures→size
+// passes). It verifies the two archives are byte-identical — parallelism
+// must never change output — and writes the speedup trajectory to
+// BENCH_pipeline.json in the working directory.
+func PipelineSpeedup(cfg Config) (*Report, error) {
+	tc := newTableCache(cfg)
+	t, _, err := tc.get("monitor")
+	if err != nil {
+		return nil, err
+	}
+	th := datagen.Thresholds(t, 0.1)
+	levels := []int{1, runtime.NumCPU()}
+	if levels[1] == 1 {
+		// Single-core machine: still exercise the pool machinery with
+		// explicit oversubscription so the two code paths diverge.
+		levels[1] = 4
+	}
+	rep := &Report{
+		ID:      "pipeline",
+		Title:   "Staged pipeline speedup: Parallelism=1 vs NumCPU on Monitor",
+		Columns: []string{"parallelism", "compress_s", "truncation_search_s", "archive_bytes", "speedup"},
+	}
+	file := pipelineBenchFile{Dataset: "monitor", Rows: t.NumRows(), NumCPU: runtime.NumCPU()}
+	var baseline float64
+	var firstArchive []byte
+	for _, p := range levels {
+		opts := dsOptions("monitor", cfg)
+		opts.Parallelism = p
+		start := time.Now()
+		res, err := core.Compress(t, th, opts)
+		if err != nil {
+			return nil, err
+		}
+		total := time.Since(start).Seconds()
+		var search float64
+		for _, st := range res.Stages {
+			if st.Name == "truncation-search" {
+				search = st.Wall.Seconds()
+			}
+		}
+		if firstArchive == nil {
+			firstArchive = res.Archive
+			baseline = total
+		} else if !bytes.Equal(firstArchive, res.Archive) {
+			return nil, fmt.Errorf("bench: archives differ between parallelism 1 and %d", p)
+		}
+		file.Identical = true
+		speedup := baseline / total
+		file.Results = append(file.Results, pipelineResult{
+			Parallelism:  p,
+			CompressSecs: total,
+			SearchSecs:   search,
+			ArchiveBytes: res.Breakdown.Total,
+			Speedup:      speedup,
+		})
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.3f", total),
+			fmt.Sprintf("%.3f", search),
+			fmt.Sprintf("%d", res.Breakdown.Total),
+			fmt.Sprintf("%.2fx", speedup),
+		})
+		cfg.logf("pipeline p=%d: %.3fs total, %.3fs truncation search", p, total, search)
+	}
+	rep.Notes = append(rep.Notes,
+		"archives byte-identical across parallelism levels",
+		"speedup trajectory written to BENCH_pipeline.json")
+	buf, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile("BENCH_pipeline.json", append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

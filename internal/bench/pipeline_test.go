@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPipelineSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	orig, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(orig) })
+	rep, err := PipelineSpeedup(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("want 2 parallelism levels, got %d rows", len(rep.Rows))
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, "BENCH_pipeline.json"))
+	if err != nil {
+		t.Fatalf("BENCH_pipeline.json not written: %v", err)
+	}
+	var file pipelineBenchFile
+	if err := json.Unmarshal(buf, &file); err != nil {
+		t.Fatalf("BENCH_pipeline.json malformed: %v", err)
+	}
+	if !file.Identical {
+		t.Fatal("archives not identical across parallelism levels")
+	}
+	if len(file.Results) != 2 || file.Results[0].Parallelism != 1 {
+		t.Fatalf("results = %+v", file.Results)
+	}
+	if file.Results[0].ArchiveBytes <= 0 {
+		t.Fatal("zero archive size recorded")
+	}
+}

@@ -26,6 +26,7 @@ func Experiments() []Experiment {
 		{"fig10", "Training sample-size sensitivity", Fig10},
 		{"ablation-truncation", "Code truncation search", func(c Config) (*Report, error) { return AblationCodeTruncation(c) }},
 		{"ablation-mapping", "Expert mapping strategies", func(c Config) (*Report, error) { return AblationExpertMapping(c) }},
+		{"pipeline", "Staged pipeline parallel speedup", PipelineSpeedup},
 	}
 }
 

@@ -123,7 +123,10 @@ func TestGroupedPermStable(t *testing.T) {
 
 func TestDeflateInflateBytes(t *testing.T) {
 	data := bytes.Repeat([]byte("model weights "), 500)
-	z := deflateBytes(data)
+	z, err := deflateBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(z) >= len(data) {
 		t.Fatalf("gzip did not shrink repetitive data: %d vs %d", len(z), len(data))
 	}

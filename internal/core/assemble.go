@@ -71,7 +71,11 @@ func assembleArchive(t *dataset.Table, md *modelData, opts Options, st archiveSt
 				db = binary.AppendUvarint(db, uint64(len(body)))
 				db = append(db, body...)
 			}
-			bd.Decoder += w.chunk(deflateBytes(db))
+			zdb, err := deflateBytes(db)
+			if err != nil {
+				return nil, bd, err
+			}
+			bd.Decoder += w.chunk(zdb)
 		}
 		for _, dim := range st.codeDims {
 			bd.Codes += w.chunk(colfile.PackInts(dim))

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -13,6 +14,7 @@ import (
 	"deepsqueeze/internal/kmeans"
 	"deepsqueeze/internal/mat"
 	"deepsqueeze/internal/nn"
+	"deepsqueeze/internal/pipeline"
 	"deepsqueeze/internal/preprocess"
 )
 
@@ -20,23 +22,43 @@ import (
 // per-column relative error bounds (0 = lossless; ignored for categorical
 // columns). The returned archive is self-contained.
 func Compress(t *dataset.Table, thresholds []float64, opts Options) (*Result, error) {
-	res, _, _, err := compress(t, thresholds, opts)
+	return CompressContext(context.Background(), t, thresholds, opts)
+}
+
+// CompressContext is Compress with cancellation: the pipeline checks ctx
+// between stages, between parallel work items, and between training batches,
+// and returns ctx.Err() promptly once the context is done.
+func CompressContext(ctx context.Context, t *dataset.Table, thresholds []float64, opts Options) (*Result, error) {
+	res, _, _, err := compress(ctx, nil, t, thresholds, opts)
 	return res, err
 }
 
-// compress is Compress plus handles on the trained experts and model data,
-// which the streaming path (stream.go) reuses across batches.
-func compress(t *dataset.Table, thresholds []float64, opts Options) (*Result, []*nn.Autoencoder, *modelData, error) {
+// compress is the staged pipeline behind Compress, plus handles on the
+// trained experts and model data, which the streaming path (stream.go)
+// reuses across batches. pool may be nil (a fresh pool sized by
+// opts.Parallelism); the tuner passes a shared pool so concurrent trials
+// never oversubscribe the machine.
+func compress(ctx context.Context, pool *pipeline.Pool, t *dataset.Table, thresholds []float64,
+	opts Options) (*Result, []*nn.Autoencoder, *modelData, error) {
 	if err := opts.validate(); err != nil {
 		return nil, nil, nil, err
 	}
-	popts := opts.Preproc
-	popts.NoQuantization = popts.NoQuantization || opts.NoQuantization
-	plan, err := preprocess.Fit(t, popts, thresholds)
-	if err != nil {
-		return nil, nil, nil, err
+	if pool == nil {
+		pool = pipeline.NewPool(opts.Parallelism)
 	}
-	md, err := buildModelData(t, plan)
+	run := pipeline.NewWithPool(ctx, pool)
+
+	var md *modelData
+	err := run.Stage("preprocess", func() error {
+		popts := opts.Preproc
+		popts.NoQuantization = popts.NoQuantization || opts.NoQuantization
+		plan, err := preprocess.Fit(t, popts, thresholds)
+		if err != nil {
+			return err
+		}
+		md, err = buildModelData(t, plan)
+		return err
+	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -52,28 +74,36 @@ func compress(t *dataset.Table, thresholds []float64, opts Options) (*Result, []
 	assign := make([]int, md.rows)
 	var hist []float64
 	if hasModel {
-		experts, assign, hist, err = trainModel(rng, md, numExperts, opts)
+		err := run.Stage("train", func() error {
+			var err error
+			experts, assign, hist, err = trainModel(run, rng, md, numExperts, opts)
+			if err != nil {
+				return err
+			}
+			for _, ae := range experts {
+				ae.Decoder.Quantize32()
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		for _, ae := range experts {
-			ae.Decoder.Quantize32()
-		}
 	}
-	res, err := materialize(t, md, opts, experts, assign, nil)
+	res, err := materialize(run, t, md, opts, experts, assign, nil)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	res.TrainHistory = hist
+	res.Stages = run.Stats()
 	return res, experts, md, nil
 }
 
-// materialize runs the post-training half of the pipeline: codes, the
-// truncation search, failures, mapping choice, and archive assembly.
-// experts must already be float32-quantized. When ext is non-nil the
-// archive references an external model (streaming batch archives) instead
-// of embedding the decoders.
-func materialize(t *dataset.Table, md *modelData, opts Options,
+// materialize runs the post-training half of the pipeline as stages over
+// run: codes, the truncation search, failures, mapping choice, and archive
+// assembly. experts must already be float32-quantized. When ext is non-nil
+// the archive references an external model (streaming batch archives)
+// instead of embedding the decoders.
+func materialize(run *pipeline.Run, t *dataset.Table, md *modelData, opts Options,
 	experts []*nn.Autoencoder, assign []int, ext *externalModelRef) (*Result, error) {
 	hasModel := len(experts) > 0
 	numExperts := len(experts)
@@ -93,7 +123,14 @@ func materialize(t *dataset.Table, md *modelData, opts Options,
 		for e, ae := range experts {
 			decoders[e] = &ae.Decoder
 		}
-		codesF = encodeCodes(experts, assign, md.x)
+		err := run.Stage("encode", func() error {
+			var err error
+			codesF, err = encodeCodes(run, experts, assign, md.x)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	res.ExpertUse = make([]int, numExperts)
 	for _, e := range assign {
@@ -111,7 +148,10 @@ func materialize(t *dataset.Table, md *modelData, opts Options,
 	}
 
 	// Iterative code truncation (paper §6.2): evaluate byte-step widths and
-	// keep the one minimizing codes+failures.
+	// keep the one minimizing codes+failures. Every candidate width is an
+	// independent quantize→failures→size pass, so the candidates run
+	// concurrently over the pool and the winner is picked deterministically
+	// in candidate order afterwards.
 	var bestFS *failureSet
 	var bestDims [][]int64
 	bestBits := 0
@@ -121,15 +161,40 @@ func materialize(t *dataset.Table, md *modelData, opts Options,
 			cand = []int{opts.CodeBits}
 		}
 		storedCodes := permuteRows(codesF, grouped)
-		bestSize := int64(math.MaxInt64)
-		for _, bits := range cand {
-			dims, rec := quantizeCodes(storedCodes, bits)
-			fs := computeFailures(md, origNum, decoders, assign, rec, grouped)
-			size := packedSize(fs, dims)
-			opts.logf("truncation search: %d-bit codes → %d bytes (codes+failures)", bits, size)
-			if size < bestSize {
-				bestSize, bestBits, bestDims, bestFS = size, bits, dims, fs
+		type candidate struct {
+			dims [][]int64
+			fs   *failureSet
+			size int64
+		}
+		results := make([]candidate, len(cand))
+		err := run.StageBytes("truncation-search", func() (int64, error) {
+			err := run.ForEach(len(cand), func(i int) error {
+				dims, rec := quantizeCodes(storedCodes, cand[i])
+				fs, err := computeFailures(run, md, origNum, decoders, assign, rec, grouped)
+				if err != nil {
+					return err
+				}
+				size, err := packedSize(run, fs, dims)
+				if err != nil {
+					return err
+				}
+				results[i] = candidate{dims, fs, size}
+				return nil
+			})
+			if err != nil {
+				return 0, err
 			}
+			bestSize := int64(math.MaxInt64)
+			for i, bits := range cand {
+				opts.logf("truncation search: %d-bit codes → %d bytes (codes+failures)", bits, results[i].size)
+				if results[i].size < bestSize {
+					bestSize, bestBits, bestDims, bestFS = results[i].size, bits, results[i].dims, results[i].fs
+				}
+			}
+			return bestSize, nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	res.CodeBits = bestBits
@@ -157,22 +222,37 @@ func materialize(t *dataset.Table, md *modelData, opts Options,
 	perm := grouped
 	groupedMapping := true
 	if numExperts > 1 && hasModel && opts.KeepRowOrder {
-		groupedCost := mappingGroupedSize(assign, grouped, numExperts)
-		labels := make([]int64, md.rows)
-		for i, e := range assign {
-			labels[i] = int64(e)
-		}
-		labelsCost := int64(len(colfile.PackInts(labels)))
-		identCodes := permuteRows(codesF, identity)
-		dimsI, recI := quantizeCodes(identCodes, bestBits)
-		fsI := computeFailures(md, origNum, decoders, assign, recI, identity)
-		sizeI := packedSize(fsI, dimsI)
-		sizeG := packedSize(bestFS, bestDims)
-		opts.logf("mapping: grouped %d+%d vs labels %d+%d bytes",
-			sizeG, groupedCost, sizeI, labelsCost)
-		if sizeI+labelsCost < sizeG+groupedCost {
-			perm, groupedMapping = identity, false
-			bestFS, bestDims = fsI, dimsI
+		err := run.Stage("mapping", func() error {
+			groupedCost := mappingGroupedSize(assign, grouped, numExperts)
+			labels := make([]int64, md.rows)
+			for i, e := range assign {
+				labels[i] = int64(e)
+			}
+			labelsCost := int64(len(colfile.PackInts(labels)))
+			identCodes := permuteRows(codesF, identity)
+			dimsI, recI := quantizeCodes(identCodes, bestBits)
+			fsI, err := computeFailures(run, md, origNum, decoders, assign, recI, identity)
+			if err != nil {
+				return err
+			}
+			sizeI, err := packedSize(run, fsI, dimsI)
+			if err != nil {
+				return err
+			}
+			sizeG, err := packedSize(run, bestFS, bestDims)
+			if err != nil {
+				return err
+			}
+			opts.logf("mapping: grouped %d+%d vs labels %d+%d bytes",
+				sizeG, groupedCost, sizeI, labelsCost)
+			if sizeI+labelsCost < sizeG+groupedCost {
+				perm, groupedMapping = identity, false
+				bestFS, bestDims = fsI, dimsI
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	} else if numExperts <= 1 {
 		perm, groupedMapping = identity, false
@@ -182,17 +262,23 @@ func materialize(t *dataset.Table, md *modelData, opts Options,
 	if hasModel {
 		codeSize = experts[0].CodeSize
 	}
-	archive, bd, err := assembleArchive(t, md, opts, archiveState{
-		decoders: decoders,
-		codeDims: bestDims,
-		codeBits: bestBits,
-		codeSize: codeSize,
-		fs:       bestFS,
-		perm:     perm,
-		assign:   assign,
-		grouped:  groupedMapping,
-		experts:  numExperts,
-		ext:      ext,
+	var archive []byte
+	var bd Breakdown
+	err := run.StageBytes("assemble", func() (int64, error) {
+		var err error
+		archive, bd, err = assembleArchive(t, md, opts, archiveState{
+			decoders: decoders,
+			codeDims: bestDims,
+			codeBits: bestBits,
+			codeSize: codeSize,
+			fs:       bestFS,
+			perm:     perm,
+			assign:   assign,
+			grouped:  groupedMapping,
+			experts:  numExperts,
+			ext:      ext,
+		})
+		return int64(len(archive)), err
 	})
 	if err != nil {
 		return nil, err
@@ -203,7 +289,9 @@ func materialize(t *dataset.Table, md *modelData, opts Options,
 }
 
 // trainModel builds and fits the model under the selected partitioning.
-func trainModel(rng *rand.Rand, md *modelData, numExperts int, opts Options) ([]*nn.Autoencoder, []int, []float64, error) {
+// Training honors the run's cancellation between batches.
+func trainModel(run *pipeline.Run, rng *rand.Rand, md *modelData, numExperts int,
+	opts Options) ([]*nn.Autoencoder, []int, []float64, error) {
 	trainX, trainTG := md.x, md.targets
 	if opts.TrainSampleRows > 0 && opts.TrainSampleRows < md.rows {
 		idx := rng.Perm(md.rows)[:opts.TrainSampleRows]
@@ -213,13 +301,13 @@ func trainModel(rng *rand.Rand, md *modelData, numExperts int, opts Options) ([]
 	cfg := nn.Config{CodeSize: opts.CodeSize, HiddenMult: 2, SingleLayerLinear: opts.SingleLayerLinear}
 
 	if opts.Partition == PartitionKMeans && numExperts > 1 {
-		return trainKMeans(rng, md, trainX, trainTG, cfg, numExperts, opts)
+		return trainKMeans(run, rng, md, trainX, trainTG, cfg, numExperts, opts)
 	}
 	moe, err := nn.NewMoE(rng, md.specs, cfg, numExperts)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	topts := opts.Train
+	topts := trainOptions(run, opts)
 	if opts.Verbose != nil {
 		prev := topts.Progress
 		topts.Progress = func(epoch int, loss float64) {
@@ -230,60 +318,92 @@ func trainModel(rng *rand.Rand, md *modelData, numExperts int, opts Options) ([]
 		}
 	}
 	hist := moe.Train(rng, trainX, trainTG, topts)
+	if err := run.Err(); err != nil {
+		return nil, nil, nil, err
+	}
 	assign := moe.Assign(md.x, md.targets)
 	return moe.Experts, assign, hist, nil
 }
 
+// trainOptions wires the run's cancellation into the training loop.
+func trainOptions(run *pipeline.Run, opts Options) nn.TrainOptions {
+	topts := opts.Train
+	topts.Stop = func() bool { return run.Err() != nil }
+	return topts
+}
+
 // trainKMeans implements the Fig. 8 baseline: k-means partitions the data
-// and one autoencoder is trained per cluster.
-func trainKMeans(rng *rand.Rand, md *modelData, trainX *mat.Matrix, trainTG *nn.Targets,
+// and one autoencoder is trained per cluster. Per-expert training is
+// independent, so experts train concurrently over the pool, each from a
+// seed pre-drawn from rng so results are identical at every parallelism
+// level.
+func trainKMeans(run *pipeline.Run, rng *rand.Rand, md *modelData, trainX *mat.Matrix, trainTG *nn.Targets,
 	cfg nn.Config, k int, opts Options) ([]*nn.Autoencoder, []int, []float64, error) {
 	km, err := kmeans.Run(rng, trainX, k, 25)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	k = km.Centroids.Rows
+	// One grouped pass over the assignment, then one seed per expert drawn
+	// sequentially before the fan-out.
+	idxByCluster := make([][]int, k)
+	for r, a := range km.Assign {
+		idxByCluster[a] = append(idxByCluster[a], r)
+	}
+	seeds := make([]int64, k)
+	for e := range seeds {
+		seeds[e] = rng.Int63()
+	}
 	experts := make([]*nn.Autoencoder, k)
-	var hist []float64
-	for e := 0; e < k; e++ {
-		var idx []int
-		for r, a := range km.Assign {
-			if a == e {
-				idx = append(idx, r)
-			}
-		}
-		single, err := nn.NewMoE(rng, md.specs, cfg, 1)
+	hists := make([][]float64, k)
+	err = run.ForEach(k, func(e int) error {
+		erng := rand.New(rand.NewSource(seeds[e]))
+		single, err := nn.NewMoE(erng, md.specs, cfg, 1)
 		if err != nil {
-			return nil, nil, nil, err
+			return err
 		}
-		if len(idx) > 0 {
+		if idx := idxByCluster[e]; len(idx) > 0 {
 			sx := mat.New(len(idx), trainX.Cols)
 			for i, r := range idx {
 				copy(sx.Row(i), trainX.Row(r))
 			}
 			stg := subsetTargets(trainTG, idx)
-			h := single.Train(rng, sx, stg, opts.Train)
-			hist = append(hist, h...)
+			hists[e] = single.Train(erng, sx, stg, trainOptions(run, opts))
 		}
 		experts[e] = single.Experts[0]
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var hist []float64
+	for _, h := range hists {
+		hist = append(hist, h...)
 	}
 	// Full-data assignment: nearest centroid, as a clustering deployment
-	// would route tuples.
+	// would route tuples. Chunked over rows; chunk boundaries are fixed so
+	// the (disjoint) writes are parallelism-independent.
 	assign := make([]int, md.rows)
-	for r := 0; r < md.rows; r++ {
-		row := md.x.Row(r)
-		best, bestD := 0, math.Inf(1)
-		for c := 0; c < k; c++ {
-			var d float64
-			for j, v := range row {
-				diff := v - km.Centroids.At(c, j)
-				d += diff * diff
+	err = run.ForEachChunk(md.rows, 2048, func(lo, hi int) error {
+		for r := lo; r < hi; r++ {
+			row := md.x.Row(r)
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				var d float64
+				for j, v := range row {
+					diff := v - km.Centroids.At(c, j)
+					d += diff * diff
+				}
+				if d < bestD {
+					best, bestD = c, d
+				}
 			}
-			if d < bestD {
-				best, bestD = c, d
-			}
+			assign[r] = best
 		}
-		assign[r] = best
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	return experts, assign, hist, nil
 }
@@ -308,25 +428,34 @@ func subsetTargets(tg *nn.Targets, idx []int) *nn.Targets {
 	return out
 }
 
+// encodeBatchRows is the chunk size per encoder matmul.
+const encodeBatchRows = 4096
+
 // encodeCodes maps every tuple through its assigned expert's encoder.
-func encodeCodes(experts []*nn.Autoencoder, assign []int, x *mat.Matrix) *mat.Matrix {
+// Experts encode concurrently over the pool into disjoint rows of the
+// output; within an expert, one scratch batch matrix is reused across
+// chunks, and the expert→rows index is built in a single grouped pass
+// instead of rescanning assign per expert.
+func encodeCodes(run *pipeline.Run, experts []*nn.Autoencoder, assign []int, x *mat.Matrix) (*mat.Matrix, error) {
 	codeSize := experts[0].CodeSize
 	out := mat.New(x.Rows, codeSize)
-	const batch = 4096
-	for e, ae := range experts {
-		var rows []int
-		for r, a := range assign {
-			if a == e {
-				rows = append(rows, r)
-			}
+	rowsByExpert := make([][]int, len(experts))
+	for r, a := range assign {
+		rowsByExpert[a] = append(rowsByExpert[a], r)
+	}
+	err := run.ForEach(len(experts), func(e int) error {
+		rows := rowsByExpert[e]
+		if len(rows) == 0 {
+			return nil
 		}
-		for lo := 0; lo < len(rows); lo += batch {
-			hi := lo + batch
-			if hi > len(rows) {
-				hi = len(rows)
+		ae := experts[e]
+		scratch := make([]float64, min(encodeBatchRows, len(rows))*x.Cols)
+		for lo := 0; lo < len(rows); lo += encodeBatchRows {
+			if err := run.Err(); err != nil {
+				return err
 			}
-			chunk := rows[lo:hi]
-			sub := mat.New(len(chunk), x.Cols)
+			chunk := rows[lo:min(lo+encodeBatchRows, len(rows))]
+			sub := mat.FromSlice(len(chunk), x.Cols, scratch[:len(chunk)*x.Cols])
 			for i, r := range chunk {
 				copy(sub.Row(i), x.Row(r))
 			}
@@ -335,8 +464,12 @@ func encodeCodes(experts []*nn.Autoencoder, assign []int, x *mat.Matrix) *mat.Ma
 				copy(out.Row(r), codes.Row(i))
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // groupedPerm returns original row indexes sorted by (expert, row) — the
@@ -375,16 +508,16 @@ func mappingGroupedSize(assign, perm []int, numExperts int) int64 {
 }
 
 // deflateBytes gzips a buffer (used for the decoder section, paper §6.1).
-func deflateBytes(b []byte) []byte {
+func deflateBytes(b []byte) ([]byte, error) {
 	var buf bytes.Buffer
 	zw := gzip.NewWriter(&buf)
 	if _, err := zw.Write(b); err != nil {
-		panic(err) // in-memory write cannot fail
+		return nil, fmt.Errorf("core: deflate decoder section: %w", err)
 	}
 	if err := zw.Close(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("core: deflate decoder section: %w", err)
 	}
-	return buf.Bytes()
+	return buf.Bytes(), nil
 }
 
 func inflateBytes(b []byte) ([]byte, error) {

@@ -7,6 +7,7 @@ import (
 	"deepsqueeze/internal/colfile"
 	"deepsqueeze/internal/mat"
 	"deepsqueeze/internal/nn"
+	"deepsqueeze/internal/pipeline"
 	"deepsqueeze/internal/preprocess"
 )
 
@@ -92,34 +93,50 @@ func codeAtRank(probs []float64, rank int, excluded []bool) int {
 	return best
 }
 
+// decodeBatchRows is the chunk size per decoder matmul.
+const decodeBatchRows = 2048
+
+// expertPositions groups the stored positions by assigned expert in one pass.
+// perm maps stored position → original row; assign is indexed by original
+// row. Positions come out ascending within each expert.
+func expertPositions(assign []int, perm []int, numExperts int) [][]int {
+	posBy := make([][]int, numExperts)
+	for s, orig := range perm {
+		e := assign[orig]
+		posBy[e] = append(posBy[e], s)
+	}
+	return posBy
+}
+
 // forEachExpertBatch routes stored positions to their assigned expert's
-// decoder in batches and invokes fn with the predictions. perm maps stored
-// position → original row; assign is indexed by original row. Iteration is
+// decoder in batches and invokes fn with the predictions. Iteration is
 // expert-major with ascending stored positions inside each expert, which
-// both compression and decompression follow identically.
+// both compression and decompression follow identically. One scratch batch
+// matrix is reused across an expert's chunks.
 func forEachExpertBatch(decoders []*nn.Decoder, assign []int, recCodes *mat.Matrix, perm []int,
 	fn func(expert int, chunk []int, p *nn.Predictions)) {
-	const batch = 2048
-	n := len(perm)
-	for e := range decoders {
-		var positions []int
-		for s := 0; s < n; s++ {
-			if assign[perm[s]] == e {
-				positions = append(positions, s)
-			}
+	for e, positions := range expertPositions(assign, perm, len(decoders)) {
+		expertBatches(decoders[e], recCodes, positions, func(chunk []int, p *nn.Predictions) {
+			fn(e, chunk, p)
+		})
+	}
+}
+
+// expertBatches feeds one expert's stored positions through its decoder in
+// decodeBatchRows-sized chunks, reusing a single scratch matrix.
+func expertBatches(dec *nn.Decoder, recCodes *mat.Matrix, positions []int,
+	fn func(chunk []int, p *nn.Predictions)) {
+	if len(positions) == 0 {
+		return
+	}
+	scratch := make([]float64, min(decodeBatchRows, len(positions))*recCodes.Cols)
+	for lo := 0; lo < len(positions); lo += decodeBatchRows {
+		chunk := positions[lo:min(lo+decodeBatchRows, len(positions))]
+		codes := mat.FromSlice(len(chunk), recCodes.Cols, scratch[:len(chunk)*recCodes.Cols])
+		for i, s := range chunk {
+			copy(codes.Row(i), recCodes.Row(s))
 		}
-		for lo := 0; lo < len(positions); lo += batch {
-			hi := lo + batch
-			if hi > len(positions) {
-				hi = len(positions)
-			}
-			chunk := positions[lo:hi]
-			codes := mat.New(len(chunk), recCodes.Cols)
-			for i, s := range chunk {
-				copy(codes.Row(i), recCodes.Row(s))
-			}
-			fn(e, chunk, decoders[e].Predict(codes))
-		}
+		fn(chunk, dec.Predict(codes))
 	}
 }
 
@@ -149,9 +166,14 @@ type posFloat struct {
 }
 
 // computeFailures runs every tuple through its expert's decoder using the
-// reconstructed codes and derives the per-column failure streams.
-func computeFailures(md *modelData, origNum map[int][]float64, decoders []*nn.Decoder,
-	assign []int, recCodes *mat.Matrix, perm []int) *failureSet {
+// reconstructed codes and derives the per-column failure streams. Experts are
+// processed concurrently over the run's pool: the dense streams are written
+// into disjoint stored-position slots (the column maps are fully keyed before
+// the fan-out, so workers only read the maps), and the sparse exception /
+// continuous-correction streams are collected per expert and merged by stored
+// position afterwards — the result is identical at every parallelism level.
+func computeFailures(run *pipeline.Run, md *modelData, origNum map[int][]float64, decoders []*nn.Decoder,
+	assign []int, recCodes *mat.Matrix, perm []int) (*failureSet, error) {
 	fs := &failureSet{
 		ints:       make(map[int][]int64),
 		exceptions: make(map[int][]int64),
@@ -166,68 +188,90 @@ func computeFailures(md *modelData, origNum map[int][]float64, decoders []*nn.De
 			fs.ints[col] = make([]int64, n)
 		}
 	}
-	excepts := make(map[int][]posVal)
-	contws := make(map[int][]posFloat)
-	forEachExpertBatch(decoders, assign, recCodes, perm, func(e int, chunk []int, p *nn.Predictions) {
+	posBy := expertPositions(assign, perm, len(decoders))
+	perExcepts := make([]map[int][]posVal, len(decoders))
+	perContws := make([]map[int][]posFloat, len(decoders))
+	err := run.ForEach(len(decoders), func(e int) error {
+		excepts := make(map[int][]posVal)
+		contws := make(map[int][]posFloat)
 		dec := decoders[e]
-		for si, spec := range md.specs {
-			col := md.specCols[si]
-			cp := &md.plan.Cols[col]
-			switch spec.Kind {
-			case nn.OutNumeric:
-				np := dec.NumPos(si)
-				if cp.Kind == preprocess.KindNumContinuous {
-					vals := md.contVals[col]
-					mask := fs.contMask[col]
-					for i, s := range chunk {
-						orig := perm[s]
-						pred := p.Num.At(i, np)
-						if math.Abs(pred-vals[orig]) <= cp.Threshold {
-							mask[s] = 0
-						} else {
-							mask[s] = 1
-							contws[col] = append(contws[col], posFloat{s, origNum[col][orig]})
+		expertBatches(dec, recCodes, posBy[e], func(chunk []int, p *nn.Predictions) {
+			for si, spec := range md.specs {
+				col := md.specCols[si]
+				cp := &md.plan.Cols[col]
+				switch spec.Kind {
+				case nn.OutNumeric:
+					np := dec.NumPos(si)
+					if cp.Kind == preprocess.KindNumContinuous {
+						vals := md.contVals[col]
+						mask := fs.contMask[col]
+						for i, s := range chunk {
+							orig := perm[s]
+							pred := p.Num.At(i, np)
+							if math.Abs(pred-vals[orig]) <= cp.Threshold {
+								mask[s] = 0
+							} else {
+								mask[s] = 1
+								contws[col] = append(contws[col], posFloat{s, origNum[col][orig]})
+							}
 						}
-					}
-					continue
-				}
-				lv := levels(cp)
-				out := fs.ints[col]
-				cc := md.codes[col]
-				for i, s := range chunk {
-					predIdx := nearestLevel(cp, p.Num.At(i, np), lv)
-					out[s] = int64(cc[perm[s]] - predIdx)
-				}
-			case nn.OutBinary:
-				bp := dec.BinPos(si)
-				out := fs.ints[col]
-				cc := md.codes[col]
-				for i, s := range chunk {
-					predBit := 0
-					if p.Bin.At(i, bp) >= 0.5 {
-						predBit = 1
-					}
-					out[s] = int64(predBit ^ cc[perm[s]])
-				}
-			case nn.OutCategorical:
-				j := dec.CatPos(si)
-				out := fs.ints[col]
-				cc := md.codes[col]
-				probs := p.Cat[j]
-				for i, s := range chunk {
-					actual := cc[perm[s]]
-					if actual >= spec.Card {
-						out[s] = int64(spec.Card) // escape
-						excepts[col] = append(excepts[col], posVal{s, int64(actual)})
 						continue
 					}
-					out[s] = int64(rankOf(probs.Row(i), actual))
+					lv := levels(cp)
+					out := fs.ints[col]
+					cc := md.codes[col]
+					for i, s := range chunk {
+						predIdx := nearestLevel(cp, p.Num.At(i, np), lv)
+						out[s] = int64(cc[perm[s]] - predIdx)
+					}
+				case nn.OutBinary:
+					bp := dec.BinPos(si)
+					out := fs.ints[col]
+					cc := md.codes[col]
+					for i, s := range chunk {
+						predBit := 0
+						if p.Bin.At(i, bp) >= 0.5 {
+							predBit = 1
+						}
+						out[s] = int64(predBit ^ cc[perm[s]])
+					}
+				case nn.OutCategorical:
+					j := dec.CatPos(si)
+					out := fs.ints[col]
+					cc := md.codes[col]
+					probs := p.Cat[j]
+					for i, s := range chunk {
+						actual := cc[perm[s]]
+						if actual >= spec.Card {
+							out[s] = int64(spec.Card) // escape
+							excepts[col] = append(excepts[col], posVal{s, int64(actual)})
+							continue
+						}
+						out[s] = int64(rankOf(probs.Row(i), actual))
+					}
 				}
 			}
-		}
+		})
+		perExcepts[e] = excepts
+		perContws[e] = contws
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Exceptions and continuous corrections are consumed by stored position
-	// during decompression; sort them accordingly.
+	// during decompression; merge the per-expert collections and sort them
+	// accordingly (stored positions are unique, so the order is total).
+	excepts := make(map[int][]posVal)
+	contws := make(map[int][]posFloat)
+	for e := range decoders {
+		for col, pv := range perExcepts[e] {
+			excepts[col] = append(excepts[col], pv...)
+		}
+		for col, pv := range perContws[e] {
+			contws[col] = append(contws[col], pv...)
+		}
+	}
 	for col, pv := range excepts {
 		sort.Slice(pv, func(i, j int) bool { return pv[i].pos < pv[j].pos })
 		vals := make([]int64, len(pv))
@@ -244,7 +288,7 @@ func computeFailures(md *modelData, origNum map[int][]float64, decoders []*nn.De
 		}
 		fs.contVals[col] = vals
 	}
-	return fs
+	return fs, nil
 }
 
 // nearestLevel maps a regression output in [0,1] to the nearest discrete
@@ -265,22 +309,40 @@ func nearestLevel(cp *preprocess.ColPlan, pred float64, lv int) int {
 
 // packedSize totals the packed byte size of all failure streams plus the
 // given packed code dimensions — the objective of the truncation search.
-func packedSize(fs *failureSet, codeDims [][]int64) int64 {
-	var total int64
-	for _, dim := range codeDims {
-		total += int64(len(colfile.PackInts(dim)))
-	}
+// Every stream packs independently, so the streams are flattened into a
+// work list and packed concurrently over the run's pool; the sum is
+// commutative, so map iteration order does not affect the result.
+func packedSize(run *pipeline.Run, fs *failureSet, codeDims [][]int64) (int64, error) {
+	var ints [][]int64
+	var floats [][]float64
+	ints = append(ints, codeDims...)
 	for _, s := range fs.ints {
-		total += int64(len(colfile.PackInts(s)))
+		ints = append(ints, s)
 	}
 	for _, s := range fs.exceptions {
-		total += int64(len(colfile.PackInts(s)))
+		ints = append(ints, s)
 	}
 	for _, s := range fs.contMask {
-		total += int64(len(colfile.PackInts(s)))
+		ints = append(ints, s)
 	}
 	for _, s := range fs.contVals {
-		total += int64(len(colfile.PackFloats(s)))
+		floats = append(floats, s)
 	}
-	return total
+	sizes := make([]int64, len(ints)+len(floats))
+	err := run.ForEach(len(sizes), func(i int) error {
+		if i < len(ints) {
+			sizes[i] = int64(len(colfile.PackInts(ints[i])))
+		} else {
+			sizes[i] = int64(len(colfile.PackFloats(floats[i-len(ints)])))
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, s := range sizes {
+		total += s
+	}
+	return total, nil
 }

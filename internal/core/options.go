@@ -9,8 +9,13 @@ import (
 	"fmt"
 
 	"deepsqueeze/internal/nn"
+	"deepsqueeze/internal/pipeline"
 	"deepsqueeze/internal/preprocess"
 )
+
+// StageStats is one pipeline stage's wall-clock and byte instrumentation,
+// reported in Result.Stages.
+type StageStats = pipeline.StageStats
 
 // PartitionMode selects how tuples are split across experts.
 type PartitionMode int
@@ -48,6 +53,12 @@ type Options struct {
 	SingleLayerLinear bool
 	// NoQuantization disables numeric quantization (Fig. 7 ablation).
 	NoQuantization bool
+	// Parallelism bounds the pipeline's worker pool: the number of
+	// goroutines scheduling independent stage work (truncation-search
+	// candidates, per-expert training and encoding, per-column packing,
+	// tuning trials). 0 selects runtime.NumCPU(). Archives are byte-for-byte
+	// identical at every parallelism level for a fixed seed.
+	Parallelism int
 	// Preproc tunes preprocessing decisions.
 	Preproc preprocess.Options
 	// Train tunes the training loop.
@@ -85,6 +96,9 @@ func (o *Options) validate() error {
 	if o.TrainSampleRows < 0 {
 		return fmt.Errorf("core: negative sample size")
 	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("core: negative parallelism")
+	}
 	return nil
 }
 
@@ -115,6 +129,9 @@ type Result struct {
 	TrainHistory []float64
 	// ExpertUse counts tuples per expert.
 	ExpertUse []int
+	// Stages reports per-stage wall-clock time and output bytes for the
+	// compression pipeline, in completion order.
+	Stages []StageStats
 }
 
 // Ratio returns compressed size / raw size as a fraction.

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 
 	"deepsqueeze/internal/dataset"
 	"deepsqueeze/internal/nn"
+	"deepsqueeze/internal/pipeline"
 	"deepsqueeze/internal/preprocess"
 )
 
@@ -33,7 +35,7 @@ type Stream struct {
 // together with the initial batch's compression result. The result's
 // archive is the model archive: keep it, every batch needs it to decompress.
 func NewStream(train *dataset.Table, thresholds []float64, opts Options) (*Stream, *Result, error) {
-	res, experts, md, err := compress(train, thresholds, opts)
+	res, experts, md, err := compress(context.Background(), nil, train, thresholds, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -64,30 +66,57 @@ func (s *Stream) ModelArchive() []byte { return s.model }
 // The batch must have the training schema. Batch archives are decompressed
 // with DecompressBatch(model, batch).
 func (s *Stream) CompressBatch(batch *dataset.Table) (*Result, error) {
+	return s.CompressBatchContext(context.Background(), batch)
+}
+
+// CompressBatchContext is CompressBatch with cancellation: the batch
+// pipeline (preprocess → assign → materialize) checks ctx between stages and
+// between parallel work items and returns ctx.Err() promptly once the
+// context is done.
+func (s *Stream) CompressBatchContext(ctx context.Context, batch *dataset.Table) (*Result, error) {
 	if !batch.Schema.Equal(s.trainPlan.Schema) {
 		return nil, fmt.Errorf("core: batch schema differs from training schema")
 	}
-	plan, err := s.fitBatchPlan(batch)
-	if err != nil {
-		return nil, err
-	}
-	md, err := buildModelData(batch, plan)
-	if err != nil {
-		return nil, err
-	}
-	if len(md.specs) != len(s.specs) {
-		return nil, fmt.Errorf("core: batch produced %d model columns, training had %d (retrain needed)", len(md.specs), len(s.specs))
-	}
-	for i, sp := range md.specs {
-		if sp != s.specs[i] {
-			return nil, fmt.Errorf("core: batch model column %d spec %+v differs from training %+v (retrain needed)", i, sp, s.specs[i])
+	run := pipeline.New(ctx, s.opts.Parallelism)
+	var md *modelData
+	err := run.Stage("preprocess", func() error {
+		plan, err := s.fitBatchPlan(batch)
+		if err != nil {
+			return err
 		}
+		md, err = buildModelData(batch, plan)
+		if err != nil {
+			return err
+		}
+		if len(md.specs) != len(s.specs) {
+			return fmt.Errorf("core: batch produced %d model columns, training had %d (retrain needed)", len(md.specs), len(s.specs))
+		}
+		for i, sp := range md.specs {
+			if sp != s.specs[i] {
+				return fmt.Errorf("core: batch model column %d spec %+v differs from training %+v (retrain needed)", i, sp, s.specs[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	assign := make([]int, md.rows)
 	if len(s.experts) > 1 {
-		assign = (&nn.MoE{Experts: s.experts}).Assign(md.x, md.targets)
+		err := run.Stage("assign", func() error {
+			assign = (&nn.MoE{Experts: s.experts}).Assign(md.x, md.targets)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return materialize(batch, md, s.opts, s.experts, assign, &externalModelRef{Hash: s.hash})
+	res, err := materialize(run, batch, md, s.opts, s.experts, assign, &externalModelRef{Hash: s.hash})
+	if err != nil {
+		return nil, err
+	}
+	res.Stages = run.Stats()
+	return res, nil
 }
 
 // fitBatchPlan re-fits per-batch preprocessing state while pinning the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 
 	"deepsqueeze/internal/bayesopt"
 	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/pipeline"
 )
 
 // TuneOptions configures the iterative Bayesian-optimization tuner of paper
@@ -24,8 +26,10 @@ type TuneOptions struct {
 	Eps float64
 	// Budget bounds the number of objective evaluations per sample size.
 	Budget int
-	// Base supplies everything else (seed, training options, preprocessing).
-	// CodeSize/NumExperts/TrainSampleRows are overwritten by the tuner.
+	// Base supplies everything else (seed, training options, preprocessing,
+	// parallelism). CodeSize/NumExperts/TrainSampleRows are overwritten by
+	// the tuner. Base.Parallelism sizes one worker pool shared by every
+	// concurrent trial, so trials never oversubscribe the machine.
 	Base Options
 }
 
@@ -63,6 +67,9 @@ type TuneResult struct {
 	SampleUsed int
 	// Converged reports whether the eps cross-validation test passed.
 	Converged bool
+	// Stages reports per-stage wall-clock time for the tuning pipeline (one
+	// stage per sample size plus its cross-validation), in completion order.
+	Stages []StageStats
 }
 
 // Tune implements the paper's tune() pseudocode (Fig. 5): for growing
@@ -76,6 +83,16 @@ type TuneResult struct {
 // entry point). The eps test still measures exactly what the paper wants —
 // whether results at this sample size are stable across samples.
 func Tune(t *dataset.Table, thresholds []float64, topts TuneOptions) (*TuneResult, error) {
+	return TuneContext(context.Background(), t, thresholds, topts)
+}
+
+// TuneContext is Tune with cancellation and parallel trial evaluation.
+// Trials proposed together by the Bayesian optimizer run concurrently over
+// one pool sized by topts.Base.Parallelism (shared with the trials' own
+// internal stage parallelism), so the tuner's outcome is deterministic for a
+// fixed (seed, Parallelism) pair; individual Compress results remain
+// parallelism-independent.
+func TuneContext(ctx context.Context, t *dataset.Table, thresholds []float64, topts TuneOptions) (*TuneResult, error) {
 	if len(topts.Codes) == 0 || len(topts.Experts) == 0 {
 		return nil, fmt.Errorf("core: tune needs candidate codes and experts")
 	}
@@ -87,6 +104,7 @@ func Tune(t *dataset.Table, thresholds []float64, topts TuneOptions) (*TuneResul
 		topts.Budget = 10
 	}
 	rng := rand.New(rand.NewSource(topts.Base.Seed + 7919))
+	run := pipeline.New(ctx, topts.Base.Parallelism)
 	res := &TuneResult{}
 	rawSize := t.CSVSize()
 
@@ -94,7 +112,12 @@ func Tune(t *dataset.Table, thresholds []float64, topts TuneOptions) (*TuneResul
 	lastSample := t.NumRows()
 	for _, s := range topts.Samples {
 		if s >= t.NumRows() {
-			best, err := minimizeSample(t, thresholds, topts, rng, t.NumRows(), res)
+			var best Options
+			err := run.Stage(fmt.Sprintf("tune-full-%d", t.NumRows()), func() error {
+				var err error
+				best, err = minimizeSample(run, t, thresholds, topts, rng, t.NumRows(), res)
+				return err
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -102,29 +125,47 @@ func Tune(t *dataset.Table, thresholds []float64, topts TuneOptions) (*TuneResul
 			res.Best = best
 			res.SampleUsed = t.NumRows()
 			res.Converged = true
+			res.Stages = run.Stats()
 			return res, nil
 		}
-		x1 := sampleTable(t, rng, s)
-		best, err := minimizeSample(x1, thresholds, topts, rng, s, res)
+		var diff float64
+		var best Options
+		err := run.Stage(fmt.Sprintf("tune-sample-%d", s), func() error {
+			x1 := sampleTable(t, rng, s)
+			var err error
+			best, err = minimizeSample(run, x1, thresholds, topts, rng, s, res)
+			if err != nil {
+				return err
+			}
+			// Cross-validate on an independent sample; both compressions are
+			// independent, so they run as a concurrent pair over the pool.
+			x2 := sampleTable(t, rng, s)
+			pair := [2]*dataset.Table{x1, x2}
+			var sizes [2]int64
+			err = run.ForEach(2, func(i int) error {
+				r, _, _, err := compress(run.Context(), run.Pool(), pair[i], thresholds, best)
+				if err != nil {
+					return err
+				}
+				sizes[i] = r.Breakdown.Total
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			diff = math.Abs(float64(sizes[1]-sizes[0])) / float64(rawSize)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		y1, err := Compress(x1, thresholds, best)
-		if err != nil {
-			return nil, err
-		}
-		x2 := sampleTable(t, rng, s)
-		y2, err := Compress(x2, thresholds, best)
-		if err != nil {
-			return nil, err
-		}
-		diff := math.Abs(float64(y2.Breakdown.Total-y1.Breakdown.Total)) / float64(rawSize)
 		lastBest, lastSample = best, s
 		if diff < topts.Eps {
 			best.TrainSampleRows = s
 			res.Best = best
 			res.SampleUsed = s
 			res.Converged = true
+			res.Stages = run.Stats()
 			return res, nil
 		}
 	}
@@ -132,12 +173,16 @@ func Tune(t *dataset.Table, thresholds []float64, topts TuneOptions) (*TuneResul
 	lastBest.TrainSampleRows = lastSample
 	res.Best = lastBest
 	res.SampleUsed = lastSample
+	res.Stages = run.Stats()
 	return res, nil
 }
 
 // minimizeSample runs Bayesian optimization of (code size, experts) on the
-// given table (a sample or the full data).
-func minimizeSample(sample *dataset.Table, thresholds []float64, topts TuneOptions,
+// given table (a sample or the full data). Proposals come in batches of up
+// to the run's parallelism; each batch evaluates concurrently over the
+// shared pool and is observed in proposal order, keeping the optimizer's
+// trajectory deterministic for a fixed (seed, Parallelism) pair.
+func minimizeSample(run *pipeline.Run, sample *dataset.Table, thresholds []float64, topts TuneOptions,
 	rng *rand.Rand, sampleRows int, res *TuneResult) (Options, error) {
 	grid := make([][]float64, 0, len(topts.Codes)*len(topts.Experts))
 	type cell struct{ code, experts int }
@@ -162,25 +207,36 @@ func minimizeSample(sample *dataset.Table, thresholds []float64, topts TuneOptio
 		budget = len(grid)
 	}
 	rawSize := sample.CSVSize()
-	for trial := 0; trial < budget; trial++ {
-		idx := bo.Next()
-		opts := topts.Base
-		opts.CodeSize = cells[idx].code
-		opts.NumExperts = cells[idx].experts
-		r, err := Compress(sample, thresholds, opts)
+	for done := 0; done < budget; {
+		batch := bo.NextBatch(min(run.Parallelism(), budget-done))
+		sizes := make([]int64, len(batch))
+		err := run.ForEach(len(batch), func(i int) error {
+			opts := topts.Base
+			opts.CodeSize = cells[batch[i]].code
+			opts.NumExperts = cells[batch[i]].experts
+			r, _, _, err := compress(run.Context(), run.Pool(), sample, thresholds, opts)
+			if err != nil {
+				return err
+			}
+			sizes[i] = r.Breakdown.Total
+			return nil
+		})
 		if err != nil {
 			return Options{}, err
 		}
-		bo.Observe(idx, float64(r.Breakdown.Total))
-		res.Trials = append(res.Trials, Trial{
-			CodeSize:   cells[idx].code,
-			NumExperts: cells[idx].experts,
-			SampleRows: sampleRows,
-			Size:       r.Breakdown.Total,
-			Ratio:      float64(r.Breakdown.Total) / float64(rawSize),
-		})
-		opts.logf("tune trial %d: code=%d experts=%d → %d bytes",
-			trial, cells[idx].code, cells[idx].experts, r.Breakdown.Total)
+		for i, idx := range batch {
+			bo.Observe(idx, float64(sizes[i]))
+			res.Trials = append(res.Trials, Trial{
+				CodeSize:   cells[idx].code,
+				NumExperts: cells[idx].experts,
+				SampleRows: sampleRows,
+				Size:       sizes[i],
+				Ratio:      float64(sizes[i]) / float64(rawSize),
+			})
+			topts.Base.logf("tune trial %d: code=%d experts=%d → %d bytes",
+				done+i, cells[idx].code, cells[idx].experts, sizes[i])
+		}
+		done += len(batch)
 	}
 	bestIdx, _ := bo.Best()
 	out := topts.Base

@@ -107,6 +107,11 @@ type TrainOptions struct {
 	LR          float64 // Adam learning rate (default 0.01)
 	ConvergeEps float64 // stop when relative loss improvement < this for 2 epochs (default 0.002)
 	Progress    func(epoch int, loss float64)
+	// Stop, when non-nil, is polled between batches; training returns early
+	// (with the history so far) once it reports true. The compression
+	// pipeline wires this to its context so cancellation interrupts the
+	// dominant training stage promptly rather than at the next epoch.
+	Stop func() bool
 }
 
 func (o *TrainOptions) defaults() {
@@ -154,6 +159,9 @@ func (m *MoE) Train(rng *rand.Rand, x *mat.Matrix, tg *Targets, opts TrainOption
 		var epochLoss float64
 		var tuples int
 		for lo := 0; lo < n; lo += opts.BatchSize {
+			if opts.Stop != nil && opts.Stop() {
+				return history
+			}
 			hi := lo + opts.BatchSize
 			if hi > n {
 				hi = n

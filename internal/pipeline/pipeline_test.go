@@ -1,0 +1,175 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, par := range []int{1, 2, 8} {
+		r := New(context.Background(), par)
+		const n = 1000
+		hits := make([]atomic.Int32, n)
+		if err := r.ForEach(n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("par %d: %v", par, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("par %d: index %d ran %d times", par, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	r := New(context.Background(), 4)
+	boom := func(i int) error { return fmt.Errorf("item %d", i) }
+	err := r.ForEach(16, func(i int) error {
+		if i == 3 || i == 7 {
+			return boom(i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// With early bail-out either failing index may be the only one recorded,
+	// but whichever errors were recorded, the reported one has the lowest
+	// index among them — re-running single-threaded must give item 3.
+	r1 := New(context.Background(), 1)
+	err = r1.ForEach(16, func(i int) error {
+		if i == 3 || i == 7 {
+			return boom(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "item 3" {
+		t.Fatalf("sequential error = %v, want item 3", err)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := New(ctx, 4)
+	var done atomic.Int32
+	cancel()
+	err := r.ForEach(100, func(i int) error {
+		done.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if done.Load() != 0 {
+		t.Fatalf("%d items ran after cancellation", done.Load())
+	}
+}
+
+func TestNestedForEachDoesNotDeadlock(t *testing.T) {
+	r := New(context.Background(), 2)
+	donec := make(chan error, 1)
+	go func() {
+		donec <- r.ForEach(8, func(i int) error {
+			// Inner fan-out competes for the same tokens; must degrade to
+			// caller-runs, never block.
+			return r.ForEach(8, func(j int) error { return nil })
+		})
+	}()
+	select {
+	case err := <-donec:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested ForEach deadlocked")
+	}
+}
+
+func TestStageStats(t *testing.T) {
+	r := New(context.Background(), 1)
+	if err := r.Stage("alpha", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StageBytes("beta", func() (int64, error) { return 42, nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if len(st) != 2 || st[0].Name != "alpha" || st[1].Name != "beta" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st[1].Bytes != 42 {
+		t.Fatalf("beta bytes = %d", st[1].Bytes)
+	}
+}
+
+func TestStageSurfacesCancellationAfterFn(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := New(ctx, 1)
+	err := r.Stage("quiet", func() error {
+		cancel() // stage observes cancellation and returns nil anyway
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachChunkBoundaries(t *testing.T) {
+	r := New(context.Background(), 4)
+	const n = 1003
+	seen := make([]atomic.Int32, n)
+	if err := r.ForEachChunk(n, 128, func(lo, hi int) error {
+		if lo < 0 || hi > n || lo >= hi {
+			return fmt.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			seen[i].Add(1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, seen[i].Load())
+		}
+	}
+}
+
+func TestSharedPoolBoundsConcurrency(t *testing.T) {
+	pool := NewPool(3)
+	r1 := NewWithPool(context.Background(), pool)
+	r2 := NewWithPool(context.Background(), pool)
+	var cur, peak atomic.Int32
+	body := func(i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}
+	done := make(chan error, 2)
+	go func() { done <- r1.ForEach(50, body) }()
+	go func() { done <- r2.ForEach(50, body) }()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two caller goroutines plus pool-1 helper tokens.
+	if got := peak.Load(); got > int32(2+pool.Size()-1) {
+		t.Fatalf("peak concurrency %d exceeds bound %d", got, 2+pool.Size()-1)
+	}
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: vet, formatting, build, and the full test suite under the
+# race detector (the pipeline worker pool introduces real concurrency, so
+# -race is mandatory, not optional). Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "all checks passed"
