@@ -4,7 +4,7 @@
 // Usage:
 //
 //	dsqz compress   -in data.csv -schema "city:cat,temp:num" -out data.dsqz [flags]
-//	dsqz decompress -in data.dsqz -out data.csv -schema "city:cat,temp:num"
+//	dsqz decompress -in data.dsqz -out data.csv [-cols city,temp] [-rows 0:1000] [-p 4] [-v]
 //	dsqz inspect    -in data.dsqz
 //
 // The schema flag lists column name:type pairs in file order, where type is
@@ -18,6 +18,13 @@
 //	-seed 1            random seed
 //	-p 0               pipeline parallelism (0 = all CPUs)
 //	-v                 verbose progress + per-stage pipeline report
+//
+// Decompression flags:
+//
+//	-cols a,b          decode only the named columns (projection)
+//	-rows lo:hi        decode only the half-open row span, original order
+//	-p 0               pipeline parallelism (0 = all CPUs)
+//	-v                 per-stage pipeline report
 //
 // SIGINT/SIGTERM cancel an in-flight compression cleanly: the staged
 // pipeline returns promptly with the context's error and no partial
@@ -51,7 +58,7 @@ func main() {
 	case "compress":
 		err = runCompress(ctx, os.Args[2:])
 	case "decompress":
-		err = runDecompress(os.Args[2:])
+		err = runDecompress(ctx, os.Args[2:])
 	case "inspect":
 		err = runInspect(os.Args[2:])
 	default:
@@ -178,10 +185,14 @@ func printStages(stages []deepsqueeze.StageStats) {
 	}
 }
 
-func runDecompress(args []string) error {
+func runDecompress(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	in := fs.String("in", "", "input archive file")
 	out := fs.String("out", "", "output CSV file")
+	cols := fs.String("cols", "", "comma-separated column names to decode (default: all)")
+	rows := fs.String("rows", "", "row span lo:hi (half-open, original order; default: all)")
+	parallel := fs.Int("p", 0, "pipeline parallelism (0 = all CPUs)")
+	verbose := fs.Bool("v", false, "per-stage pipeline report")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("decompress needs -in and -out")
@@ -190,10 +201,35 @@ func runDecompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	table, err := deepsqueeze.Decompress(buf)
+	opts := deepsqueeze.DecompressOptions{Parallelism: *parallel}
+	if *cols != "" {
+		for _, name := range strings.Split(*cols, ",") {
+			opts.Columns = append(opts.Columns, strings.TrimSpace(name))
+		}
+	}
+	if *rows != "" {
+		lo, hi, ok := strings.Cut(*rows, ":")
+		var rr deepsqueeze.RowRange
+		if ok {
+			_, errLo := fmt.Sscanf(lo, "%d", &rr.Lo)
+			_, errHi := fmt.Sscanf(hi, "%d", &rr.Hi)
+			if errLo != nil || errHi != nil {
+				ok = false
+			}
+		}
+		if !ok {
+			return fmt.Errorf("bad -rows %q (want lo:hi, e.g. 1000:2000)", *rows)
+		}
+		opts.RowRange = rr
+	}
+	res, err := deepsqueeze.DecompressContext(ctx, buf, opts)
 	if err != nil {
 		return err
 	}
+	if *verbose {
+		printStages(res.Stages)
+	}
+	table := res.Table
 	of, err := os.Create(*out)
 	if err != nil {
 		return err

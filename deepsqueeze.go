@@ -70,6 +70,14 @@ type (
 	// StageStats is one pipeline stage's wall-clock and byte instrumentation
 	// (Result.Stages, TuneResult.Stages).
 	StageStats = core.StageStats
+	// DecompressOptions configures DecompressContext: parallelism, column
+	// projection, row range, and an untrusted-input row cap.
+	DecompressOptions = core.DecompressOptions
+	// DecompressResult is a decompression outcome: the (possibly projected)
+	// table plus per-stage instrumentation.
+	DecompressResult = core.DecompressResult
+	// RowRange selects a half-open [Lo, Hi) span of rows in original order.
+	RowRange = core.RowRange
 )
 
 // Partitioning modes.
@@ -133,6 +141,15 @@ func Decompress(archive []byte) (*Table, error) {
 	return core.Decompress(archive)
 }
 
+// DecompressContext is Decompress with cancellation, bounded parallelism,
+// and query-aware projection: opts.Columns decodes only the named columns
+// (skipping the other columns' failure streams and decoder heads) and
+// opts.RowRange restricts decoder inference and assembly to a row span.
+// Output is byte-for-byte identical at every parallelism level.
+func DecompressContext(ctx context.Context, archive []byte, opts DecompressOptions) (*DecompressResult, error) {
+	return core.DecompressContext(ctx, archive, opts)
+}
+
 // CompressTo compresses t and writes the archive to w, returning the result
 // metadata.
 func CompressTo(w io.Writer, t *Table, thresholds []float64, opts Options) (*Result, error) {
@@ -186,6 +203,12 @@ func NewStream(train *Table, thresholds []float64, opts Options) (*Stream, *Resu
 // given the stream's model archive.
 func DecompressBatch(modelArchive, batchArchive []byte) (*Table, error) {
 	return core.DecompressBatch(modelArchive, batchArchive)
+}
+
+// DecompressBatchContext is DecompressBatch with cancellation and
+// query-aware projection (see DecompressContext).
+func DecompressBatchContext(ctx context.Context, modelArchive, batchArchive []byte, opts DecompressOptions) (*DecompressResult, error) {
+	return core.DecompressBatchContext(ctx, modelArchive, batchArchive, opts)
 }
 
 // ArchiveInfo summarizes an archive without decompressing it.

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"deepsqueeze/internal/core"
+	"deepsqueeze/internal/datagen"
+	"deepsqueeze/internal/dataset"
+)
+
+// decompressRun is the JSON record one decompression configuration
+// contributes to BENCH_decompress.json.
+type decompressRun struct {
+	Mode        string  `json:"mode"` // "full" or "projection"
+	Parallelism int     `json:"parallelism"`
+	Columns     int     `json:"columns"`
+	Secs        float64 `json:"secs"`
+	DecodeSecs  float64 `json:"decode_stage_secs"`
+	Speedup     float64 `json:"speedup_vs_full_p1"`
+}
+
+// decompressBenchFile is the top-level BENCH_decompress.json document.
+type decompressBenchFile struct {
+	Dataset   string          `json:"dataset"`
+	Rows      int             `json:"rows"`
+	Cols      int             `json:"cols"`
+	NumCPU    int             `json:"num_cpu"`
+	Identical bool            `json:"tables_identical"`
+	Results   []decompressRun `json:"results"`
+}
+
+// DecompressSpeedup micro-benchmarks the staged decompression pipeline on
+// Census (68 categorical columns — the per-column shared-stack inference is
+// the dominant, projection-skippable cost): full decode at Parallelism=1
+// versus NumCPU, plus a single-column projection. It verifies the decoded
+// tables are identical across parallelism levels and that the projection
+// matches the corresponding column of the full decode, then writes the
+// timings to BENCH_decompress.json in the working directory.
+func DecompressSpeedup(cfg Config) (*Report, error) {
+	tc := newTableCache(cfg)
+	t, _, err := tc.get("census")
+	if err != nil {
+		return nil, err
+	}
+	th := datagen.Thresholds(t, 0) // census is evaluated lossless
+	opts := dsOptions("census", cfg)
+	if cfg.Quick {
+		// Decompression timing is the subject; a barely-trained model decodes
+		// through the same code paths, so don't pay for convergence here.
+		opts.Train.Epochs = 2
+		opts.TrainSampleRows = 1000
+	}
+	res, err := core.Compress(t, th, opts)
+	if err != nil {
+		return nil, err
+	}
+	levels := []int{1, runtime.NumCPU()}
+	if levels[1] == 1 {
+		// Single-core machine: still exercise the pool machinery with
+		// explicit oversubscription so the two code paths diverge.
+		levels[1] = 4
+	}
+	rep := &Report{
+		ID:      "decompress",
+		Title:   "Decompression speedup: parallelism and column projection on Census",
+		Columns: []string{"mode", "parallelism", "columns", "secs", "decode_stage_s", "speedup"},
+	}
+	file := decompressBenchFile{
+		Dataset: "census",
+		Rows:    t.NumRows(),
+		Cols:    t.Schema.NumColumns(),
+		NumCPU:  runtime.NumCPU(),
+	}
+	record := func(mode string, p, cols int, secs, decodeSecs, baseline float64) {
+		speedup := baseline / secs
+		file.Results = append(file.Results, decompressRun{
+			Mode: mode, Parallelism: p, Columns: cols,
+			Secs: secs, DecodeSecs: decodeSecs, Speedup: speedup,
+		})
+		rep.Rows = append(rep.Rows, []string{
+			mode,
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%d", cols),
+			fmt.Sprintf("%.3f", secs),
+			fmt.Sprintf("%.3f", decodeSecs),
+			fmt.Sprintf("%.2fx", speedup),
+		})
+	}
+
+	var baseline float64
+	var firstCSV []byte
+	for _, p := range levels {
+		start := time.Now()
+		dres, err := core.DecompressContext(context.Background(), res.Archive,
+			core.DecompressOptions{Parallelism: p})
+		if err != nil {
+			return nil, err
+		}
+		secs := time.Since(start).Seconds()
+		csv, err := tableCSV(dres.Table)
+		if err != nil {
+			return nil, err
+		}
+		if firstCSV == nil {
+			firstCSV = csv
+			baseline = secs
+		} else if !bytes.Equal(firstCSV, csv) {
+			return nil, fmt.Errorf("bench: decoded tables differ between parallelism %d and %d", levels[0], p)
+		}
+		file.Identical = true
+		record("full", p, t.Schema.NumColumns(), secs, stageSecs(dres.Stages, "decode"), baseline)
+		cfg.logf("decompress full p=%d: %.3fs", p, secs)
+	}
+
+	// One-column projection at full parallelism: decoder inference runs only
+	// the projected column's head, and the other columns' failure streams
+	// are skipped outright.
+	proj := []string{t.Schema.Columns[0].Name}
+	start := time.Now()
+	pres, err := core.DecompressContext(context.Background(), res.Archive,
+		core.DecompressOptions{Parallelism: levels[1], Columns: proj})
+	if err != nil {
+		return nil, err
+	}
+	secs := time.Since(start).Seconds()
+	full, err := core.Decompress(res.Archive)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < full.NumRows(); r++ {
+		if pres.Table.Str[0][r] != full.Str[0][r] {
+			return nil, fmt.Errorf("bench: projection differs from full decode at row %d", r)
+		}
+	}
+	record("projection", levels[1], 1, secs, stageSecs(pres.Stages, "decode"), baseline)
+	cfg.logf("decompress 1-col projection p=%d: %.3fs", levels[1], secs)
+
+	rep.Notes = append(rep.Notes,
+		"decoded tables byte-identical across parallelism levels",
+		"projection verified against the full decode",
+		"timings written to BENCH_decompress.json")
+	buf, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile("BENCH_decompress.json", append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// tableCSV renders a table to CSV bytes for byte-identity comparison.
+func tableCSV(t *dataset.Table) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := t.WriteCSV(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// stageSecs returns the wall-clock seconds of the named pipeline stage.
+func stageSecs(stages []core.StageStats, name string) float64 {
+	for _, st := range stages {
+		if st.Name == name {
+			return st.Wall.Seconds()
+		}
+	}
+	return 0
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDecompressSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	orig, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(orig) })
+	rep, err := DecompressSpeedup(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("want 2 full + 1 projection rows, got %d", len(rep.Rows))
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, "BENCH_decompress.json"))
+	if err != nil {
+		t.Fatalf("BENCH_decompress.json not written: %v", err)
+	}
+	var file decompressBenchFile
+	if err := json.Unmarshal(buf, &file); err != nil {
+		t.Fatalf("BENCH_decompress.json malformed: %v", err)
+	}
+	if !file.Identical {
+		t.Fatal("decoded tables not identical across parallelism levels")
+	}
+	if len(file.Results) != 3 || file.Results[0].Parallelism != 1 || file.Results[0].Mode != "full" {
+		t.Fatalf("results = %+v", file.Results)
+	}
+	if proj := file.Results[2]; proj.Mode != "projection" || proj.Columns != 1 {
+		t.Fatalf("projection record = %+v", proj)
+	}
+}

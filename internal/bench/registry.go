@@ -27,6 +27,7 @@ func Experiments() []Experiment {
 		{"ablation-truncation", "Code truncation search", func(c Config) (*Report, error) { return AblationCodeTruncation(c) }},
 		{"ablation-mapping", "Expert mapping strategies", func(c Config) (*Report, error) { return AblationExpertMapping(c) }},
 		{"pipeline", "Staged pipeline parallel speedup", PipelineSpeedup},
+		{"decompress", "Parallel projection-aware decompression speedup", DecompressSpeedup},
 	}
 }
 

@@ -15,11 +15,19 @@ import (
 // ErrUnexpectedEOF is returned when a read requests more bits than remain.
 var ErrUnexpectedEOF = errors.New("bitio: unexpected end of input")
 
-// Writer accumulates bits into an in-memory byte buffer.
+// ErrBitCount is returned when a bit count outside [0, 64] is requested.
+// Decode paths must surface this as data corruption rather than panic: bit
+// widths often come straight from untrusted archive bytes.
+var ErrBitCount = errors.New("bitio: bit count out of range")
+
+// Writer accumulates bits into an in-memory byte buffer. Invalid writes
+// (bit counts over 64) set a sticky error reported by Err; they never
+// panic. Callers must check Err before trusting Bytes.
 type Writer struct {
 	buf  []byte
 	cur  byte
 	nCur uint // number of bits currently held in cur (0..7)
+	err  error
 }
 
 // NewWriter returns an empty bit writer.
@@ -39,15 +47,24 @@ func (w *Writer) WriteBit(b int) {
 }
 
 // WriteBits appends the low n bits of v, most significant first. n must be
-// in [0, 64].
+// in [0, 64]; larger counts write nothing and set the writer's sticky
+// ErrBitCount error.
 func (w *Writer) WriteBits(v uint64, n uint) {
 	if n > 64 {
-		panic(fmt.Sprintf("bitio: WriteBits n=%d > 64", n))
+		if w.err == nil {
+			w.err = fmt.Errorf("%w: WriteBits n=%d > 64", ErrBitCount, n)
+		}
+		return
 	}
 	for i := int(n) - 1; i >= 0; i-- {
 		w.WriteBit(int((v >> uint(i)) & 1))
 	}
 }
+
+// Err returns the first invalid-write error, or nil. A writer with a
+// non-nil Err has dropped at least one WriteBits call; its output must be
+// discarded.
+func (w *Writer) Err() error { return w.err }
 
 // Len returns the number of whole and partial bits written so far.
 func (w *Writer) Len() int { return len(w.buf)*8 + int(w.nCur) }
@@ -91,10 +108,11 @@ func (r *Reader) ReadBit() (int, error) {
 }
 
 // ReadBits reads n bits into the low bits of the result. n must be in
-// [0, 64].
+// [0, 64]; larger counts return ErrBitCount (never panic — n is typically
+// decoded from untrusted input).
 func (r *Reader) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
-		panic(fmt.Sprintf("bitio: ReadBits n=%d > 64", n))
+		return 0, fmt.Errorf("%w: ReadBits n=%d > 64", ErrBitCount, n)
 	}
 	var v uint64
 	for i := uint(0); i < n; i++ {

@@ -1,6 +1,7 @@
 package bitio
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -60,13 +61,45 @@ func TestReadPastEnd(t *testing.T) {
 	}
 }
 
-func TestWidthPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("WriteBits(65) should panic")
-		}
-	}()
-	NewWriter().WriteBits(0, 65)
+func TestWriteBitsOverwideSetsStickyError(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(1, 3)
+	w.WriteBits(0, 65)
+	if err := w.Err(); !errors.Is(err, ErrBitCount) {
+		t.Fatalf("Err = %v, want ErrBitCount", err)
+	}
+	// The invalid write is dropped; earlier valid bits are untouched.
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (overwide write must emit nothing)", w.Len())
+	}
+	// Sticky: the first error survives later writes, valid or not.
+	first := w.Err()
+	w.WriteBits(0, 70)
+	w.WriteBits(1, 1)
+	if w.Err() != first {
+		t.Fatalf("Err changed from %v to %v", first, w.Err())
+	}
+}
+
+func TestWriterErrNilOnValidWrites(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 64)
+	if err := w.Err(); err != nil {
+		t.Fatalf("Err = %v, want nil", err)
+	}
+}
+
+func TestReadBitsOverwideReturnsError(t *testing.T) {
+	r := NewReader([]byte{0xAB, 0xCD, 0xEF})
+	if _, err := r.ReadBits(65); !errors.Is(err, ErrBitCount) {
+		t.Fatalf("ReadBits(65) err = %v, want ErrBitCount", err)
+	}
+	// The failed read must not consume input.
+	got, err := r.ReadBits(8)
+	if err != nil || got != 0xAB {
+		t.Fatalf("ReadBits(8) after failed read = %x, %v; want ab", got, err)
+	}
 }
 
 func TestRemaining(t *testing.T) {

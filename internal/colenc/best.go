@@ -71,8 +71,18 @@ func EncodeBest(values []int64) []byte {
 	return append(out, best...)
 }
 
-// DecodeBest inverts EncodeBest.
+// DecodeBest inverts EncodeBest with no expected-count bound. Prefer
+// DecodeBestMax when the caller knows how many values the stream should
+// hold: several encodings (RLE runs, zero-width FOR) can declare counts far
+// beyond what their buffer size implies, and only an external bound stops a
+// corrupt buffer from forcing a huge allocation.
 func DecodeBest(buf []byte) ([]int64, error) {
+	return DecodeBestMax(buf, -1)
+}
+
+// DecodeBestMax inverts EncodeBest, rejecting streams that declare more than
+// max values before allocating for them. max < 0 disables the bound.
+func DecodeBestMax(buf []byte, max int) ([]int64, error) {
 	if len(buf) == 0 {
 		return nil, fmt.Errorf("%w: empty buffer", ErrCorrupt)
 	}
@@ -83,16 +93,25 @@ func DecodeBest(buf []byte) ([]int64, error) {
 	case EncDelta:
 		return DecodeDelta(body)
 	case EncRLE:
-		return DecodeRLE(body)
+		return DecodeRLEMax(body, max)
 	case EncFOR:
-		return DecodeFOR(body)
+		return DecodeFORMax(body, max)
 	case EncHuffman:
 		return huffman.Decode(body)
 	case EncBitmap:
-		return DecodeBitmap(body)
+		return DecodeBitmapMax(body, max)
 	default:
 		return nil, fmt.Errorf("%w: unknown encoding tag %d", ErrCorrupt, buf[0])
 	}
+}
+
+// checkCount validates a declared value count against an optional external
+// bound, shared by the Max decode variants.
+func checkCount(n uint64, max int) error {
+	if max >= 0 && n > uint64(max) {
+		return fmt.Errorf("%w: count %d exceeds expected maximum %d", ErrCorrupt, n, max)
+	}
+	return nil
 }
 
 // distinctUpTo counts distinct values, stopping early once limit is reached.

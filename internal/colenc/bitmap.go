@@ -106,11 +106,20 @@ func runPairs(ones []uint16) [][2]uint16 {
 	return runs
 }
 
-// DecodeBitmap inverts EncodeBitmap.
-func DecodeBitmap(buf []byte) ([]int64, error) {
+// DecodeBitmap inverts EncodeBitmap with no expected-count bound.
+func DecodeBitmap(buf []byte) ([]int64, error) { return DecodeBitmapMax(buf, -1) }
+
+// DecodeBitmapMax inverts EncodeBitmap, rejecting counts above max (max < 0
+// disables the bound). Before allocating the output it also requires the
+// buffer to be at least large enough to hold every declared block's minimal
+// framing, so a short corrupt buffer cannot command a huge allocation.
+func DecodeBitmapMax(buf []byte, max int) ([]int64, error) {
 	n, sz := binary.Uvarint(buf)
 	if sz <= 0 {
 		return nil, fmt.Errorf("%w: bitmap count", ErrCorrupt)
+	}
+	if err := checkCount(n, max); err != nil {
+		return nil, err
 	}
 	pos := sz
 	nBlocks, sz := binary.Uvarint(buf[pos:])
@@ -120,6 +129,11 @@ func DecodeBitmap(buf []byte) ([]int64, error) {
 	pos += sz
 	if want := (n + blockBits - 1) / blockBits; nBlocks != want && !(n == 0 && nBlocks == 0) {
 		return nil, fmt.Errorf("%w: %d blocks for %d values", ErrCorrupt, nBlocks, n)
+	}
+	// Every block needs at least a key varint, a kind byte, and one payload
+	// byte (a container count varint): 3 bytes of framing minimum.
+	if nBlocks > uint64(len(buf)-pos)/3 {
+		return nil, fmt.Errorf("%w: %d blocks exceed buffer", ErrCorrupt, nBlocks)
 	}
 	out := make([]int64, n)
 	for b := uint64(0); b < nBlocks; b++ {

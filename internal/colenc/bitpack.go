@@ -40,11 +40,20 @@ func EncodeFOR(values []int64) []byte {
 	return append(out, w.Bytes()...)
 }
 
-// DecodeFOR inverts EncodeFOR.
-func DecodeFOR(buf []byte) ([]int64, error) {
+// DecodeFOR inverts EncodeFOR with no expected-count bound.
+func DecodeFOR(buf []byte) ([]int64, error) { return DecodeFORMax(buf, -1) }
+
+// DecodeFORMax inverts EncodeFOR, rejecting counts above max (max < 0
+// disables the bound). The bound matters most at width 0 — all-equal values
+// pack into zero bits, so the buffer length puts no ceiling on the declared
+// count and a corrupt count would otherwise drive an arbitrary allocation.
+func DecodeFORMax(buf []byte, max int) ([]int64, error) {
 	n, sz := binary.Uvarint(buf)
 	if sz <= 0 {
 		return nil, fmt.Errorf("%w: missing count", ErrCorrupt)
+	}
+	if err := checkCount(n, max); err != nil {
+		return nil, err
 	}
 	buf = buf[sz:]
 	if n == 0 {
@@ -66,6 +75,10 @@ func DecodeFOR(buf []byte) ([]int64, error) {
 		return nil, fmt.Errorf("%w: width %d", ErrCorrupt, width)
 	}
 	buf = buf[1:]
+	if width > 0 && n > uint64(len(buf))*8/uint64(width) {
+		// Also guards the n*width product below against overflow.
+		return nil, fmt.Errorf("%w: count %d exceeds packed section", ErrCorrupt, n)
+	}
 	need := (n*uint64(width) + 7) / 8
 	if uint64(len(buf)) != need {
 		return nil, fmt.Errorf("%w: packed section %d bytes, want %d", ErrCorrupt, len(buf), need)

@@ -23,11 +23,20 @@ func EncodeRLE(values []int64) []byte {
 	return out
 }
 
-// DecodeRLE inverts EncodeRLE.
-func DecodeRLE(buf []byte) ([]int64, error) {
+// DecodeRLE inverts EncodeRLE with no expected-count bound.
+func DecodeRLE(buf []byte) ([]int64, error) { return DecodeRLEMax(buf, -1) }
+
+// DecodeRLEMax inverts EncodeRLE, rejecting counts above max (max < 0
+// disables the bound). A single run pair a few bytes long can legally cover
+// the whole declared count, so without an external bound a corrupt count
+// drives an arbitrarily large output allocation.
+func DecodeRLEMax(buf []byte, max int) ([]int64, error) {
 	n, sz := binary.Uvarint(buf)
 	if sz <= 0 {
 		return nil, fmt.Errorf("%w: missing count", ErrCorrupt)
+	}
+	if err := checkCount(n, max); err != nil {
+		return nil, err
 	}
 	buf = buf[sz:]
 	const maxPrealloc = 1 << 24

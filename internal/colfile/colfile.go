@@ -42,21 +42,32 @@ const (
 // Deflate wraps payload with a 1-byte tag: 0 = stored, 1 = DEFLATE. The
 // compressed form is kept only when strictly smaller.
 func Deflate(payload []byte) []byte {
+	return deflateLevel(payload, flate.BestCompression)
+}
+
+// deflateLevel is Deflate at an explicit compression level. Any writer
+// failure — including an invalid level — falls back to the stored form, so
+// the result is always a valid chunk and the encoder never panics.
+func deflateLevel(payload []byte, level int) []byte {
 	var buf bytes.Buffer
 	buf.WriteByte(1)
-	fw, err := flate.NewWriter(&buf, flate.BestCompression)
-	if err != nil {
-		panic(err) // only fails on invalid level
-	}
-	if _, err := fw.Write(payload); err == nil {
-		if err := fw.Close(); err == nil && buf.Len() < len(payload)+1 {
-			return buf.Bytes()
+	if fw, err := flate.NewWriter(&buf, level); err == nil {
+		if _, err := fw.Write(payload); err == nil {
+			if err := fw.Close(); err == nil && buf.Len() < len(payload)+1 {
+				return buf.Bytes()
+			}
 		}
 	}
 	out := make([]byte, 0, len(payload)+1)
 	out = append(out, 0)
 	return append(out, payload...)
 }
+
+// maxInflatedBytes caps the output of a single DEFLATE chunk. DEFLATE tops
+// out near 1032:1, so reaching this cap takes a ~256 KiB compressed chunk —
+// far beyond anything this codebase writes — while a crafted bomb in a
+// corrupt archive is cut off instead of exhausting memory.
+const maxInflatedBytes = 1 << 28
 
 // Inflate inverts Deflate.
 func Inflate(buf []byte) ([]byte, error) {
@@ -68,9 +79,12 @@ func Inflate(buf []byte) ([]byte, error) {
 		return buf[1:], nil
 	case 1:
 		fr := flate.NewReader(bytes.NewReader(buf[1:]))
-		out, err := io.ReadAll(fr)
+		out, err := io.ReadAll(io.LimitReader(fr, maxInflatedBytes+1))
 		if err != nil {
 			return nil, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
+		}
+		if len(out) > maxInflatedBytes {
+			return nil, fmt.Errorf("%w: inflated chunk exceeds %d bytes", ErrCorrupt, maxInflatedBytes)
 		}
 		return out, fr.Close()
 	default:
@@ -85,13 +99,18 @@ func PackInts(values []int64) []byte {
 	return Deflate(colenc.EncodeBest(values))
 }
 
-// UnpackInts inverts PackInts.
-func UnpackInts(buf []byte) ([]int64, error) {
+// UnpackInts inverts PackInts with no expected-count bound. Prefer
+// UnpackIntsMax when decoding untrusted bytes with a known value count.
+func UnpackInts(buf []byte) ([]int64, error) { return UnpackIntsMax(buf, -1) }
+
+// UnpackIntsMax inverts PackInts, rejecting streams that declare more than
+// max values before allocating for them. max < 0 disables the bound.
+func UnpackIntsMax(buf []byte, max int) ([]int64, error) {
 	body, err := Inflate(buf)
 	if err != nil {
 		return nil, err
 	}
-	return colenc.DecodeBest(body)
+	return colenc.DecodeBestMax(body, max)
 }
 
 // PackStrings encodes a string column, choosing between a dictionary layout
@@ -120,8 +139,13 @@ func PackStrings(values []string) []byte {
 	return b
 }
 
-// UnpackStrings inverts PackStrings.
-func UnpackStrings(buf []byte) ([]string, error) {
+// UnpackStrings inverts PackStrings with no expected-count bound. Prefer
+// UnpackStringsMax when decoding untrusted bytes with a known value count.
+func UnpackStrings(buf []byte) ([]string, error) { return UnpackStringsMax(buf, -1) }
+
+// UnpackStringsMax inverts PackStrings, rejecting streams that declare more
+// than max values before allocating for them. max < 0 disables the bound.
+func UnpackStringsMax(buf []byte, max int) ([]string, error) {
 	body, err := Inflate(buf)
 	if err != nil {
 		return nil, err
@@ -135,7 +159,7 @@ func UnpackStrings(buf []byte) ([]string, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
-		codes64, err := colenc.DecodeBest(body[1+used:])
+		codes64, err := colenc.DecodeBestMax(body[1+used:], max)
 		if err != nil {
 			return nil, err
 		}
@@ -157,6 +181,9 @@ func UnpackStrings(buf []byte) ([]string, error) {
 		pos += sz
 		if n > uint64(len(body)) {
 			return nil, fmt.Errorf("%w: string count %d exceeds chunk", ErrCorrupt, n)
+		}
+		if max >= 0 && n > uint64(max) {
+			return nil, fmt.Errorf("%w: string count %d exceeds expected maximum %d", ErrCorrupt, n, max)
 		}
 		out := make([]string, n)
 		for i := range out {
@@ -210,8 +237,13 @@ func PackFloats(values []float64) []byte {
 	return best
 }
 
-// UnpackFloats inverts PackFloats.
-func UnpackFloats(buf []byte) ([]float64, error) {
+// UnpackFloats inverts PackFloats with no expected-count bound. Prefer
+// UnpackFloatsMax when decoding untrusted bytes with a known value count.
+func UnpackFloats(buf []byte) ([]float64, error) { return UnpackFloatsMax(buf, -1) }
+
+// UnpackFloatsMax inverts PackFloats, rejecting streams that declare more
+// than max values before allocating for them. max < 0 disables the bound.
+func UnpackFloatsMax(buf []byte, max int) ([]float64, error) {
 	body, err := Inflate(buf)
 	if err != nil {
 		return nil, err
@@ -225,19 +257,22 @@ func UnpackFloats(buf []byte) ([]float64, error) {
 		if len(body)%8 != 0 {
 			return nil, fmt.Errorf("%w: float chunk length %d", ErrCorrupt, len(body))
 		}
+		if max >= 0 && len(body)/8 > max {
+			return nil, fmt.Errorf("%w: float count %d exceeds expected maximum %d", ErrCorrupt, len(body)/8, max)
+		}
 		out := make([]float64, len(body)/8)
 		for i := range out {
 			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
 		}
 		return out, nil
 	case chunkNumXor:
-		return unpackFloatsXOR(body[1:])
+		return unpackFloatsXOR(body[1:], max)
 	case chunkNumDict:
 		vd, used, err := preprocess.DecodeValueDict(body[1:])
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
-		ranks, err := colenc.DecodeBest(body[1+used:])
+		ranks, err := colenc.DecodeBestMax(body[1+used:], max)
 		if err != nil {
 			return nil, err
 		}

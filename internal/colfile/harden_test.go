@@ -1,0 +1,112 @@
+package colfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"deepsqueeze/internal/colenc"
+)
+
+// TestDeflateInvalidLevelFallsBack: a bad compression level must degrade to
+// the stored form, not panic.
+func TestDeflateInvalidLevelFallsBack(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	got := deflateLevel(payload, 42)
+	if len(got) == 0 || got[0] != 0 {
+		t.Fatalf("invalid level should produce stored form, got tag %d", got[0])
+	}
+	out, err := Inflate(got)
+	if err != nil || !bytes.Equal(out, payload) {
+		t.Fatalf("stored fallback round-trip = %q, %v", out, err)
+	}
+}
+
+// TestDeflateValidLevelStillCompresses guards the refactor: compressible
+// input at a valid level keeps the DEFLATE form.
+func TestDeflateValidLevelStillCompresses(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcd"), 256)
+	got := Deflate(payload)
+	if got[0] != 1 {
+		t.Fatalf("compressible payload should keep DEFLATE form, got tag %d", got[0])
+	}
+	out, err := Inflate(got)
+	if err != nil || !bytes.Equal(out, payload) {
+		t.Fatalf("round-trip failed: %v", err)
+	}
+}
+
+// isCorrupt reports whether err is a corruption error from this package or
+// from the colenc layer it delegates to (the Max bound can trip in either).
+func isCorrupt(err error) bool {
+	return errors.Is(err, ErrCorrupt) || errors.Is(err, colenc.ErrCorrupt)
+}
+
+// TestUnpackMaxRejectsOversizedCounts covers each typed unpacker's
+// expected-count bound.
+func TestUnpackMaxRejectsOversizedCounts(t *testing.T) {
+	ints := PackInts([]int64{1, 1, 1, 1, 1, 1, 1, 1})
+	if _, err := UnpackIntsMax(ints, 3); !isCorrupt(err) {
+		t.Fatalf("UnpackIntsMax(8 values, max 3) = %v, want corrupt error", err)
+	}
+	if got, err := UnpackIntsMax(ints, 8); err != nil || len(got) != 8 {
+		t.Fatalf("UnpackIntsMax at exact bound = %d values, %v", len(got), err)
+	}
+
+	strs := PackStrings([]string{"a", "b", "c", "d"})
+	if _, err := UnpackStringsMax(strs, 2); !isCorrupt(err) {
+		t.Fatalf("UnpackStringsMax(4 values, max 2) = %v, want corrupt error", err)
+	}
+	if got, err := UnpackStringsMax(strs, 4); err != nil || len(got) != 4 {
+		t.Fatalf("UnpackStringsMax at exact bound = %d values, %v", len(got), err)
+	}
+
+	floats := PackFloats([]float64{1.5, 2.5, 3.5, 4.5, 5.5})
+	if _, err := UnpackFloatsMax(floats, 2); !isCorrupt(err) {
+		t.Fatalf("UnpackFloatsMax(5 values, max 2) = %v, want corrupt error", err)
+	}
+	if got, err := UnpackFloatsMax(floats, 5); err != nil || len(got) != 5 {
+		t.Fatalf("UnpackFloatsMax at exact bound = %d values, %v", len(got), err)
+	}
+}
+
+// TestXORFloatCountBounds: the XOR layout's declared count is bounded both
+// by the bitstream length and by the caller's max, before allocation.
+func TestXORFloatCountBounds(t *testing.T) {
+	// A crafted chunk declaring 2^50 values with an 8-byte body.
+	body := binary.AppendUvarint(nil, uint64(1)<<50)
+	body = binary.LittleEndian.AppendUint64(body, math.Float64bits(1.0))
+	if _, err := unpackFloatsXOR(body, -1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unpackFloatsXOR(n=2^50, empty stream) = %v, want ErrCorrupt", err)
+	}
+
+	// A genuine XOR chunk hits the max bound.
+	vals := []float64{1.0, 1.0, 1.0, 2.0, 2.0, 4.0}
+	packed := packFloatsXOR(vals)
+	if _, err := unpackFloatsXOR(packed[1:], 3); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unpackFloatsXOR(6 values, max 3) = %v, want ErrCorrupt", err)
+	}
+	got, err := unpackFloatsXOR(packed[1:], len(vals))
+	if err != nil || len(got) != len(vals) {
+		t.Fatalf("unpackFloatsXOR at exact bound = %d values, %v", len(got), err)
+	}
+}
+
+// TestInflateBombCap: a chunk inflating past maxInflatedBytes is rejected
+// instead of exhausting memory. Built by deflating all-zero input, whose
+// compressed form is tiny relative to its expansion.
+func TestInflateBombCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates maxInflatedBytes once")
+	}
+	payload := make([]byte, maxInflatedBytes+1)
+	chunk := Deflate(payload)
+	if chunk[0] != 1 {
+		t.Fatal("zero payload should have taken the DEFLATE form")
+	}
+	if _, err := Inflate(chunk); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Inflate(bomb) = %v, want ErrCorrupt", err)
+	}
+}

@@ -49,11 +49,16 @@ func packFloatsXOR(values []float64) []byte {
 }
 
 // unpackFloatsXOR inverts packFloatsXOR (excluding the leading layout tag,
-// which the caller has consumed).
-func unpackFloatsXOR(body []byte) ([]float64, error) {
+// which the caller has consumed). max < 0 disables the expected-count bound;
+// either way the declared count is checked against the bitstream length
+// (every value after the first costs at least one bit) before allocating.
+func unpackFloatsXOR(body []byte, max int) ([]float64, error) {
 	n, sz := binary.Uvarint(body)
 	if sz <= 0 {
 		return nil, fmt.Errorf("%w: xor float count", ErrCorrupt)
+	}
+	if max >= 0 && n > uint64(max) {
+		return nil, fmt.Errorf("%w: xor float count %d exceeds expected maximum %d", ErrCorrupt, n, max)
 	}
 	body = body[sz:]
 	if n == 0 {
@@ -64,6 +69,9 @@ func unpackFloatsXOR(body []byte) ([]float64, error) {
 	}
 	if len(body) < 8 {
 		return nil, fmt.Errorf("%w: missing first value", ErrCorrupt)
+	}
+	if n-1 > uint64(len(body)-8)*8 {
+		return nil, fmt.Errorf("%w: xor float count %d exceeds bitstream", ErrCorrupt, n)
 	}
 	prev := binary.LittleEndian.Uint64(body)
 	r := bitio.NewReader(body[8:])

@@ -11,7 +11,7 @@ import (
 func xorRoundTrip(t *testing.T, values []float64) []byte {
 	t.Helper()
 	buf := packFloatsXOR(values)
-	got, err := unpackFloatsXOR(buf[1:])
+	got, err := unpackFloatsXOR(buf[1:], -1)
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
@@ -50,7 +50,7 @@ func TestXorFloatRoundTripBasic(t *testing.T) {
 	// NaN payloads must round-trip bit-exactly.
 	nan := math.Float64frombits(0x7FF8000000000DEA)
 	buf := packFloatsXOR([]float64{1, nan, 2})
-	got, err := unpackFloatsXOR(buf[1:])
+	got, err := unpackFloatsXOR(buf[1:], -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestXorFloatViaPackFloats(t *testing.T) {
 func TestXorFloatCorrupt(t *testing.T) {
 	good := packFloatsXOR([]float64{1, 2, 3, 4, 5})[1:]
 	for _, cut := range []int{0, 4, 8, len(good) - 1} {
-		if _, err := unpackFloatsXOR(good[:cut]); err == nil {
+		if _, err := unpackFloatsXOR(good[:cut], -1); err == nil {
 			t.Errorf("truncation at %d accepted", cut)
 		}
 	}
@@ -139,7 +139,7 @@ func TestQuickXorFloatRoundTrip(t *testing.T) {
 			}
 		}
 		buf := packFloatsXOR(values)
-		got, err := unpackFloatsXOR(buf[1:])
+		got, err := unpackFloatsXOR(buf[1:], -1)
 		if err != nil {
 			return false
 		}

@@ -98,6 +98,21 @@ func (r *sectionReader) chunk() ([]byte, error) {
 	return out, nil
 }
 
+// skip advances past the next chunk without retaining it, returning the
+// chunk's payload length. Projection uses it to walk over sections whose
+// contents the caller does not need.
+func (r *sectionReader) skip() (int64, error) {
+	l, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if uint64(len(r.buf)-r.pos) < l {
+		return 0, fmt.Errorf("%w: chunk overruns archive", ErrCorrupt)
+	}
+	r.pos += int(l)
+	return int64(l), nil
+}
+
 func (r *sectionReader) done() error {
 	if r.pos != len(r.buf) {
 		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf)-r.pos)

@@ -2,15 +2,65 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
 	"deepsqueeze/internal/colfile"
 	"deepsqueeze/internal/dataset"
 	"deepsqueeze/internal/nn"
+	"deepsqueeze/internal/pipeline"
 	"deepsqueeze/internal/preprocess"
 )
+
+// RowRange selects the half-open span [Lo, Hi) of rows in original row
+// order. The zero value selects every row. For archives written with
+// KeepRowOrder disabled, "original order" is the stored (expert-grouped)
+// order the full decompression would produce.
+type RowRange struct {
+	Lo, Hi int
+}
+
+// isFull reports whether the range is the zero value (select everything).
+func (rr RowRange) isFull() bool { return rr.Lo == 0 && rr.Hi == 0 }
+
+// DecompressOptions configures DecompressContext. The zero value decompresses
+// everything at NumCPU parallelism — equivalent to plain Decompress.
+type DecompressOptions struct {
+	// Parallelism bounds the worker pool; <= 0 selects runtime.NumCPU().
+	// Output is byte-for-byte identical at every parallelism level.
+	Parallelism int
+
+	// Columns projects the output onto the named schema columns. nil selects
+	// every column. The output table's schema lists the selected columns in
+	// archive schema order (not request order). Unselected columns' failure
+	// streams are skipped without decoding, and decoder heads that only feed
+	// unselected columns are never evaluated.
+	Columns []string
+
+	// RowRange restricts the output to a span of rows in original order.
+	// Failure streams still decode fully (escape queues resolve by scanning
+	// from position zero), but decoder inference and assembly run only for
+	// the selected rows.
+	RowRange RowRange
+
+	// MaxRows, when positive, rejects archives declaring more rows as
+	// corrupt before any row-proportional allocation happens. Intended for
+	// fuzzing and for callers handling untrusted archives.
+	MaxRows int
+}
+
+// DecompressResult is a decompression outcome: the (possibly projected)
+// table plus per-stage instrumentation.
+type DecompressResult struct {
+	Table *dataset.Table
+	// Stages reports wall clock and bytes per pipeline stage in execution
+	// order: parse, scan (bytes = archive bytes skipped by projection),
+	// unpack (bytes = encoded bytes decoded), resolve, decode, assemble.
+	Stages []StageStats
+}
 
 // Decompress reconstructs the table from an archive produced by Compress.
 // Categorical, binary, value-dictionary, and fallback columns round-trip
@@ -21,7 +71,20 @@ import (
 // Streaming batch archives (which reference an external model) must go
 // through DecompressBatch instead.
 func Decompress(archive []byte) (*dataset.Table, error) {
-	return decompressArchive(archive, nil)
+	res, err := DecompressContext(context.Background(), archive, DecompressOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
+}
+
+// DecompressContext is Decompress with cancellation, bounded parallelism,
+// and query-aware projection: opts.Columns and opts.RowRange restrict the
+// work to what the caller will read. The stages run over a shared worker
+// pool and check ctx between stages and between parallel work items; output
+// is byte-for-byte identical at every parallelism level.
+func DecompressContext(ctx context.Context, archive []byte, opts DecompressOptions) (*DecompressResult, error) {
+	return decompressPipeline(ctx, archive, opts, nil)
 }
 
 // providedModel carries externally-supplied decoders for streaming batch
@@ -31,425 +94,777 @@ type providedModel struct {
 	hash     [32]byte
 }
 
-func decompressArchive(archive []byte, ext *providedModel) (*dataset.Table, error) {
-	r, flags, err := newSectionReader(archive)
-	if err != nil {
-		return nil, err
+// corrupt classifies an error from a decoding sub-package as archive
+// corruption, leaving already-classified and cancellation errors untouched.
+func corrupt(err error) error {
+	if err == nil || errors.Is(err, ErrCorrupt) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
 	}
+	return fmt.Errorf("%w: %v", ErrCorrupt, err)
+}
+
+// decompressor carries the state threaded through the decompression stages.
+// Parallel stages write into disjoint per-column or per-expert slots of the
+// slices below, which keeps the result independent of scheduling.
+type decompressor struct {
+	run  *pipeline.Run
+	opts DecompressOptions
+	ext  *providedModel
+
+	archive []byte
+	r       *sectionReader
+	flags   byte
+
+	rows       int
+	plan       *preprocess.Plan
+	lo         *layout
+	codeSize   int
+	codeBits   int
+	numExperts int
+	hasModel   bool
+
+	sel       []bool // schema column → selected
+	selCols   []int  // selected schema columns, ascending
+	wantSpec  []bool // spec position → selected
+	needModel bool   // any selected column needs decoder inference
+	rlo, rhi  int    // selected original-row span [rlo, rhi)
+
+	// Raw chunk slices gathered by scan (views into archive, no copies).
+	decoderChunk []byte
+	dimChunks    [][]byte
+	mappingChunk []byte
+	needMapping  bool
+	colChunks    [][2][]byte // per schema column; unselected stay nil
+
+	// Unpacked streams, indexed by schema column (spec streams) or code
+	// dimension; all in stored order.
+	decoders []*nn.Decoder
+	dims     [][]int64
+	perm     []int // stored position → original row
+	assign   []int // original row → expert
+	fInts    [][]int64
+	fExc     [][]int64
+	fMask    [][]int64
+	fVals    [][]float64
+	fbStr    [][]string
+	fbNum    [][]float64
+	trivial  [][]int64
+
+	// Resolved escape/correction queues, indexed by spec position.
+	excAt  []map[int]int64
+	valAt  []map[int]float64
+	unperm []int // original row → stored position
+
+	// Decoded model-column values in stored order, indexed by schema column.
+	colCodes [][]int
+	contOut  [][]float64
+}
+
+// decompressPipeline runs the staged decompression: parse → scan → unpack →
+// resolve → decode → assemble. ext supplies decoders for streaming batch
+// archives (flagExternalModel); nil otherwise.
+func decompressPipeline(ctx context.Context, archive []byte, opts DecompressOptions, ext *providedModel) (*DecompressResult, error) {
+	run := pipeline.New(ctx, opts.Parallelism)
+	d := &decompressor{run: run, opts: opts, ext: ext, archive: archive}
+	var out *dataset.Table
+	stages := []struct {
+		name string
+		fn   func() (int64, error)
+	}{
+		{"parse", func() (int64, error) { return 0, d.parse() }},
+		{"scan", d.scan},
+		{"unpack", d.unpack},
+		{"resolve", func() (int64, error) { return 0, d.resolve() }},
+		{"decode", func() (int64, error) { return 0, d.decode() }},
+		{"assemble", func() (int64, error) {
+			t, err := d.assemble()
+			out = t
+			return 0, err
+		}},
+	}
+	for _, st := range stages {
+		if err := run.StageBytes(st.name, st.fn); err != nil {
+			return nil, err
+		}
+	}
+	return &DecompressResult{Table: out, Stages: run.Stats()}, nil
+}
+
+// parse validates the envelope, decodes the header chunk, derives the
+// layout, and resolves the projection (columns, row range, model need).
+func (d *decompressor) parse() error {
+	r, flags, err := newSectionReader(d.archive)
+	if err != nil {
+		return err
+	}
+	d.r, d.flags = r, flags
 	hdr, err := r.chunk()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	rows64, sz := binary.Uvarint(hdr)
 	if sz <= 0 {
-		return nil, fmt.Errorf("%w: missing row count", ErrCorrupt)
+		return fmt.Errorf("%w: missing row count", ErrCorrupt)
 	}
-	rows := int(rows64)
+	if rows64 > math.MaxInt32 {
+		return fmt.Errorf("%w: %d rows exceeds the format limit", ErrCorrupt, rows64)
+	}
+	if d.opts.MaxRows > 0 && rows64 > uint64(d.opts.MaxRows) {
+		return fmt.Errorf("%w: %d rows exceeds caller limit %d", ErrCorrupt, rows64, d.opts.MaxRows)
+	}
+	d.rows = int(rows64)
 	plan, used, err := preprocess.DecodePlan(hdr[sz:])
 	if err != nil {
-		return nil, err
+		return corrupt(err)
 	}
+	d.plan = plan
 	pos := sz + used
 	codeSize64, sz := binary.Uvarint(hdr[pos:])
 	if sz <= 0 {
-		return nil, fmt.Errorf("%w: missing code size", ErrCorrupt)
+		return fmt.Errorf("%w: missing code size", ErrCorrupt)
 	}
 	pos += sz
 	codeBits64, sz := binary.Uvarint(hdr[pos:])
 	if sz <= 0 {
-		return nil, fmt.Errorf("%w: missing code bits", ErrCorrupt)
+		return fmt.Errorf("%w: missing code bits", ErrCorrupt)
 	}
 	pos += sz
 	experts64, sz := binary.Uvarint(hdr[pos:])
 	if sz <= 0 {
-		return nil, fmt.Errorf("%w: missing expert count", ErrCorrupt)
+		return fmt.Errorf("%w: missing expert count", ErrCorrupt)
 	}
 	pos += sz
 	if pos != len(hdr) {
-		return nil, fmt.Errorf("%w: trailing header bytes", ErrCorrupt)
+		return fmt.Errorf("%w: trailing header bytes", ErrCorrupt)
 	}
-	codeSize, codeBits, numExperts := int(codeSize64), int(codeBits64), int(experts64)
-	if numExperts < 1 || numExperts > rows+1 {
-		return nil, fmt.Errorf("%w: %d experts for %d rows", ErrCorrupt, numExperts, rows)
+	d.codeSize, d.codeBits, d.numExperts = int(codeSize64), int(codeBits64), int(experts64)
+	if d.numExperts < 1 || d.numExperts > d.rows+1 {
+		return fmt.Errorf("%w: %d experts for %d rows", ErrCorrupt, d.numExperts, d.rows)
 	}
 
 	lo, err := deriveLayout(plan)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	hasModel := flags&flagHasModel != 0
-	if hasModel != (len(lo.specs) > 0 && rows > 0) {
-		return nil, fmt.Errorf("%w: model flag disagrees with plan", ErrCorrupt)
+	d.lo = lo
+	d.hasModel = d.flags&flagHasModel != 0
+	if d.hasModel != (len(lo.specs) > 0 && d.rows > 0) {
+		return fmt.Errorf("%w: model flag disagrees with plan", ErrCorrupt)
 	}
-
-	var decoders []*nn.Decoder
-	var dims [][]int64
-	if hasModel {
-		dz, err := r.chunk()
-		if err != nil {
-			return nil, err
+	if d.hasModel {
+		// Each code dimension occupies at least one archive byte, so a code
+		// size past the archive length cannot be honest; code bits outside
+		// [1, 32] would overflow the reconstruction grid.
+		if codeSize64 > uint64(len(d.archive)) {
+			return fmt.Errorf("%w: code size %d exceeds archive", ErrCorrupt, codeSize64)
 		}
-		if flags&flagExternalModel != 0 {
-			if ext == nil {
-				return nil, fmt.Errorf("%w: streaming batch archive needs its model archive (use DecompressBatch)", ErrCorrupt)
-			}
-			if len(dz) != 32 || !bytes.Equal(dz, ext.hash[:]) {
-				return nil, fmt.Errorf("%w: batch archive references a different model archive", ErrCorrupt)
-			}
-			decoders = ext.decoders
-			if len(decoders) != numExperts {
-				return nil, fmt.Errorf("%w: model archive has %d experts, batch wants %d", ErrCorrupt, len(decoders), numExperts)
-			}
-		} else {
-			decoders, err = parseDecoderSection(dz, numExperts)
-			if err != nil {
-				return nil, err
-			}
-		}
-		for e, dec := range decoders {
-			if dec.CodeSize != codeSize || len(dec.Specs) != len(lo.specs) {
-				return nil, fmt.Errorf("%w: decoder %d shape mismatch", ErrCorrupt, e)
-			}
-		}
-		dims = make([][]int64, codeSize)
-		for d := range dims {
-			chunk, err := r.chunk()
-			if err != nil {
-				return nil, err
-			}
-			vals, err := colfile.UnpackInts(chunk)
-			if err != nil {
-				return nil, err
-			}
-			if len(vals) != rows {
-				return nil, fmt.Errorf("%w: code dim %d has %d values, want %d", ErrCorrupt, d, len(vals), rows)
-			}
-			dims[d] = vals
+		if d.codeBits < 1 || d.codeBits > 32 {
+			return fmt.Errorf("%w: code bits %d outside [1,32]", ErrCorrupt, d.codeBits)
 		}
 	}
 
-	// Mapping → perm (stored position → original row) and per-original-row
-	// expert assignment.
-	perm := make([]int, rows)
-	for i := range perm {
-		perm[i] = i
-	}
-	assign := make([]int, rows)
-	if numExperts > 1 {
-		mb, err := r.chunk()
-		if err != nil {
-			return nil, err
+	// Column projection.
+	ncols := len(plan.Cols)
+	d.sel = make([]bool, ncols)
+	if d.opts.Columns == nil {
+		for col := range d.sel {
+			d.sel[col] = true
 		}
-		if flags&flagGrouped != 0 {
-			keepOrder := flags&flagRowOrder != 0
-			mpos, s := 0, 0
-			for e := 0; e < numExperts; e++ {
-				cnt64, sz := binary.Uvarint(mb[mpos:])
-				if sz <= 0 {
-					return nil, fmt.Errorf("%w: truncated mapping", ErrCorrupt)
+	} else {
+		byName := make(map[string]int, ncols)
+		for col, c := range plan.Schema.Columns {
+			byName[c.Name] = col
+		}
+		for _, name := range d.opts.Columns {
+			col, ok := byName[name]
+			if !ok {
+				return fmt.Errorf("core: unknown column %q", name)
+			}
+			d.sel[col] = true
+		}
+	}
+	for col, s := range d.sel {
+		if s {
+			d.selCols = append(d.selCols, col)
+		}
+	}
+	if len(d.selCols) == 0 {
+		return fmt.Errorf("core: no columns selected")
+	}
+	d.wantSpec = make([]bool, len(lo.specs))
+	for si, col := range lo.specCols {
+		d.wantSpec[si] = d.sel[col]
+	}
+	d.needModel = false
+	if d.hasModel {
+		for _, w := range d.wantSpec {
+			if w {
+				d.needModel = true
+				break
+			}
+		}
+	}
+	// Mapping is needed for expert routing (decode) and, when rows were
+	// stored expert-grouped with original order preserved, for assembly of
+	// any column. A projection touching neither can skip it.
+	d.needMapping = d.numExperts > 1 &&
+		(d.needModel || (d.flags&flagGrouped != 0 && d.flags&flagRowOrder != 0))
+
+	// Row range.
+	d.rlo, d.rhi = 0, d.rows
+	if !d.opts.RowRange.isFull() {
+		rr := d.opts.RowRange
+		if rr.Lo < 0 || rr.Hi < rr.Lo || rr.Hi > d.rows {
+			return fmt.Errorf("core: row range [%d,%d) outside table of %d rows", rr.Lo, rr.Hi, d.rows)
+		}
+		d.rlo, d.rhi = rr.Lo, rr.Hi
+	}
+	return nil
+}
+
+// scan walks the archive's chunk skeleton sequentially, retaining slices
+// for sections the projection needs and skipping the rest without touching
+// their contents. Returns the number of payload bytes skipped.
+func (d *decompressor) scan() (int64, error) {
+	var skipped int64
+	take := func(dst *[]byte, needed bool) error {
+		if needed {
+			c, err := d.r.chunk()
+			if err != nil {
+				return err
+			}
+			*dst = c
+			return nil
+		}
+		n, err := d.r.skip()
+		skipped += n
+		return err
+	}
+	if d.hasModel {
+		if err := take(&d.decoderChunk, d.needModel); err != nil {
+			return skipped, err
+		}
+		d.dimChunks = make([][]byte, d.codeSize)
+		for i := range d.dimChunks {
+			if err := take(&d.dimChunks[i], d.needModel); err != nil {
+				return skipped, err
+			}
+		}
+	}
+	if d.numExperts > 1 {
+		if err := take(&d.mappingChunk, d.needMapping); err != nil {
+			return skipped, err
+		}
+	}
+	d.colChunks = make([][2][]byte, len(d.plan.Cols))
+	for col := range d.plan.Cols {
+		cp := &d.plan.Cols[col]
+		// Chunk count per column mirrors the writer: continuous model
+		// columns store mask+values, categorical model columns store
+		// ranks+exceptions, everything else stores one chunk.
+		two := d.lo.specOfCol[col] >= 0 &&
+			(cp.Kind == preprocess.KindNumContinuous ||
+				d.lo.specs[d.lo.specOfCol[col]].Kind == nn.OutCategorical)
+		if err := take(&d.colChunks[col][0], d.sel[col]); err != nil {
+			return skipped, err
+		}
+		if two {
+			if err := take(&d.colChunks[col][1], d.sel[col]); err != nil {
+				return skipped, err
+			}
+		}
+	}
+	return skipped, d.r.done()
+}
+
+// unpack decodes every retained section concurrently: decoder parse, code
+// dimensions, the expert mapping, and the selected columns' failure
+// streams. Each work item writes its own slot. Returns the number of
+// encoded bytes decoded.
+func (d *decompressor) unpack() (int64, error) {
+	ncols := len(d.plan.Cols)
+	d.fInts = make([][]int64, ncols)
+	d.fExc = make([][]int64, ncols)
+	d.fMask = make([][]int64, ncols)
+	d.fVals = make([][]float64, ncols)
+	d.fbStr = make([][]string, ncols)
+	d.fbNum = make([][]float64, ncols)
+	d.trivial = make([][]int64, ncols)
+	d.perm = make([]int, d.rows)
+	for i := range d.perm {
+		d.perm[i] = i
+	}
+	d.assign = make([]int, d.rows)
+
+	var bytes int64
+	var items []func() error
+	add := func(chunk []byte, fn func() error) {
+		bytes += int64(len(chunk))
+		items = append(items, fn)
+	}
+	if d.needModel {
+		add(d.decoderChunk, d.unpackDecoders)
+		d.dims = make([][]int64, d.codeSize)
+		for i, chunk := range d.dimChunks {
+			i, chunk := i, chunk
+			add(chunk, func() error {
+				vals, err := colfile.UnpackIntsMax(chunk, d.rows)
+				if err != nil {
+					return corrupt(err)
+				}
+				if len(vals) != d.rows {
+					return fmt.Errorf("%w: code dim %d has %d values, want %d", ErrCorrupt, i, len(vals), d.rows)
+				}
+				d.dims[i] = vals
+				return nil
+			})
+		}
+	}
+	if d.needMapping {
+		add(d.mappingChunk, d.unpackMapping)
+	}
+	for _, col := range d.selCols {
+		col := col
+		cp := &d.plan.Cols[col]
+		a, b := d.colChunks[col][0], d.colChunks[col][1]
+		switch {
+		case d.lo.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
+			add(a, func() error {
+				mask, err := colfile.UnpackIntsMax(a, d.rows)
+				if err != nil {
+					return corrupt(err)
+				}
+				if len(mask) != d.rows {
+					return fmt.Errorf("%w: column %d mask length", ErrCorrupt, col)
+				}
+				d.fMask[col] = mask
+				return nil
+			})
+			add(b, func() error {
+				vals, err := colfile.UnpackFloatsMax(b, d.rows)
+				if err != nil {
+					return corrupt(err)
+				}
+				d.fVals[col] = vals
+				return nil
+			})
+		case d.lo.specOfCol[col] >= 0:
+			add(a, func() error {
+				ints, err := colfile.UnpackIntsMax(a, d.rows)
+				if err != nil {
+					return corrupt(err)
+				}
+				if len(ints) != d.rows {
+					return fmt.Errorf("%w: column %d failure length", ErrCorrupt, col)
+				}
+				d.fInts[col] = ints
+				return nil
+			})
+			if d.lo.specs[d.lo.specOfCol[col]].Kind == nn.OutCategorical {
+				add(b, func() error {
+					exc, err := colfile.UnpackIntsMax(b, d.rows)
+					if err != nil {
+						return corrupt(err)
+					}
+					d.fExc[col] = exc
+					return nil
+				})
+			}
+		case cp.Kind == preprocess.KindFallbackCat:
+			add(a, func() error {
+				vals, err := colfile.UnpackStringsMax(a, d.rows)
+				if err != nil {
+					return corrupt(err)
+				}
+				if len(vals) != d.rows {
+					return fmt.Errorf("%w: fallback column %d length", ErrCorrupt, col)
+				}
+				d.fbStr[col] = vals
+				return nil
+			})
+		case cp.Kind == preprocess.KindFallbackNum:
+			add(a, func() error {
+				vals, err := colfile.UnpackFloatsMax(a, d.rows)
+				if err != nil {
+					return corrupt(err)
+				}
+				if len(vals) != d.rows {
+					return fmt.Errorf("%w: fallback column %d length", ErrCorrupt, col)
+				}
+				d.fbNum[col] = vals
+				return nil
+			})
+		default: // trivial
+			add(a, func() error {
+				ints, err := colfile.UnpackIntsMax(a, d.rows)
+				if err != nil {
+					return corrupt(err)
+				}
+				if len(ints) != d.rows {
+					return fmt.Errorf("%w: trivial column %d length", ErrCorrupt, col)
+				}
+				d.trivial[col] = ints
+				return nil
+			})
+		}
+	}
+	err := d.run.ForEach(len(items), func(i int) error { return items[i]() })
+	return bytes, err
+}
+
+// unpackDecoders parses (or adopts) the decoder section and checks its
+// shape against the header.
+func (d *decompressor) unpackDecoders() error {
+	if d.flags&flagExternalModel != 0 {
+		if d.ext == nil {
+			return fmt.Errorf("%w: streaming batch archive needs its model archive (use DecompressBatch)", ErrCorrupt)
+		}
+		if len(d.decoderChunk) != 32 || !bytes.Equal(d.decoderChunk, d.ext.hash[:]) {
+			return fmt.Errorf("%w: batch archive references a different model archive", ErrCorrupt)
+		}
+		d.decoders = d.ext.decoders
+		if len(d.decoders) != d.numExperts {
+			return fmt.Errorf("%w: model archive has %d experts, batch wants %d", ErrCorrupt, len(d.decoders), d.numExperts)
+		}
+	} else {
+		decoders, err := parseDecoderSection(d.decoderChunk, d.numExperts)
+		if err != nil {
+			return corrupt(err)
+		}
+		d.decoders = decoders
+	}
+	for e, dec := range d.decoders {
+		if dec.CodeSize != d.codeSize || len(dec.Specs) != len(d.lo.specs) {
+			return fmt.Errorf("%w: decoder %d shape mismatch", ErrCorrupt, e)
+		}
+	}
+	return nil
+}
+
+// unpackMapping decodes the mapping chunk into perm (stored position →
+// original row) and assign (original row → expert).
+func (d *decompressor) unpackMapping() error {
+	mb := d.mappingChunk
+	if d.flags&flagGrouped != 0 {
+		keepOrder := d.flags&flagRowOrder != 0
+		mpos, s := 0, 0
+		for e := 0; e < d.numExperts; e++ {
+			cnt64, sz := binary.Uvarint(mb[mpos:])
+			if sz <= 0 {
+				return fmt.Errorf("%w: truncated mapping", ErrCorrupt)
+			}
+			mpos += sz
+			if cnt64 > uint64(d.rows) {
+				return fmt.Errorf("%w: mapping counts exceed rows", ErrCorrupt)
+			}
+			cnt := int(cnt64)
+			if s+cnt > d.rows {
+				return fmt.Errorf("%w: mapping counts exceed rows", ErrCorrupt)
+			}
+			if keepOrder {
+				l, sz := binary.Uvarint(mb[mpos:])
+				if sz <= 0 || uint64(len(mb)-mpos-sz) < l {
+					return fmt.Errorf("%w: truncated mapping indexes", ErrCorrupt)
 				}
 				mpos += sz
-				cnt := int(cnt64)
-				if s+cnt > rows {
-					return nil, fmt.Errorf("%w: mapping counts exceed rows", ErrCorrupt)
-				}
-				if keepOrder {
-					l, sz := binary.Uvarint(mb[mpos:])
-					if sz <= 0 || uint64(len(mb)-mpos-sz) < l {
-						return nil, fmt.Errorf("%w: truncated mapping indexes", ErrCorrupt)
-					}
-					mpos += sz
-					idx, err := colfile.UnpackInts(mb[mpos : mpos+int(l)])
-					if err != nil {
-						return nil, err
-					}
-					mpos += int(l)
-					if len(idx) != cnt {
-						return nil, fmt.Errorf("%w: mapping index count", ErrCorrupt)
-					}
-					for _, orig := range idx {
-						if orig < 0 || orig >= int64(rows) {
-							return nil, fmt.Errorf("%w: mapping index %d", ErrCorrupt, orig)
-						}
-						perm[s] = int(orig)
-						assign[orig] = e
-						s++
-					}
-				} else {
-					for k := 0; k < cnt; k++ {
-						perm[s] = s
-						assign[s] = e
-						s++
-					}
-				}
-			}
-			if s != rows || mpos != len(mb) {
-				return nil, fmt.Errorf("%w: mapping does not cover all rows", ErrCorrupt)
-			}
-		} else {
-			labels, err := colfile.UnpackInts(mb)
-			if err != nil {
-				return nil, err
-			}
-			if len(labels) != rows {
-				return nil, fmt.Errorf("%w: %d labels for %d rows", ErrCorrupt, len(labels), rows)
-			}
-			for i, l := range labels {
-				if l < 0 || int(l) >= numExperts {
-					return nil, fmt.Errorf("%w: label %d", ErrCorrupt, l)
-				}
-				assign[i] = int(l)
-			}
-		}
-	}
-	if flags&flagRowOrder == 0 {
-		// Row order was not preserved: the table is reconstructed in stored
-		// order, which the perm above already reflects (identity).
-	} else if err := validatePerm(perm); err != nil {
-		return nil, err
-	}
-
-	// Failure streams per schema column.
-	fInts := make(map[int][]int64)
-	fExc := make(map[int][]int64)
-	fMask := make(map[int][]int64)
-	fVals := make(map[int][]float64)
-	trivialCodes := make(map[int][]int64)
-	fbStr := make(map[int][]string)
-	fbNum := make(map[int][]float64)
-	for col := range plan.Cols {
-		cp := &plan.Cols[col]
-		readInts := func() ([]int64, error) {
-			c, err := r.chunk()
-			if err != nil {
-				return nil, err
-			}
-			return colfile.UnpackInts(c)
-		}
-		switch {
-		case lo.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
-			mask, err := readInts()
-			if err != nil {
-				return nil, err
-			}
-			c, err := r.chunk()
-			if err != nil {
-				return nil, err
-			}
-			vals, err := colfile.UnpackFloats(c)
-			if err != nil {
-				return nil, err
-			}
-			if len(mask) != rows {
-				return nil, fmt.Errorf("%w: column %d mask length", ErrCorrupt, col)
-			}
-			fMask[col], fVals[col] = mask, vals
-		case lo.specOfCol[col] >= 0:
-			ints, err := readInts()
-			if err != nil {
-				return nil, err
-			}
-			if len(ints) != rows {
-				return nil, fmt.Errorf("%w: column %d failure length", ErrCorrupt, col)
-			}
-			fInts[col] = ints
-			if lo.specs[lo.specOfCol[col]].Kind == nn.OutCategorical {
-				exc, err := readInts()
+				idx, err := colfile.UnpackIntsMax(mb[mpos:mpos+int(l)], cnt)
 				if err != nil {
-					return nil, err
+					return corrupt(err)
 				}
-				fExc[col] = exc
+				mpos += int(l)
+				if len(idx) != cnt {
+					return fmt.Errorf("%w: mapping index count", ErrCorrupt)
+				}
+				for _, orig := range idx {
+					if orig < 0 || orig >= int64(d.rows) {
+						return fmt.Errorf("%w: mapping index %d", ErrCorrupt, orig)
+					}
+					d.perm[s] = int(orig)
+					d.assign[orig] = e
+					s++
+				}
+			} else {
+				for k := 0; k < cnt; k++ {
+					d.perm[s] = s
+					d.assign[s] = e
+					s++
+				}
 			}
-		case cp.Kind == preprocess.KindFallbackCat:
-			c, err := r.chunk()
-			if err != nil {
-				return nil, err
+		}
+		if s != d.rows || mpos != len(mb) {
+			return fmt.Errorf("%w: mapping does not cover all rows", ErrCorrupt)
+		}
+	} else {
+		labels, err := colfile.UnpackIntsMax(mb, d.rows)
+		if err != nil {
+			return corrupt(err)
+		}
+		if len(labels) != d.rows {
+			return fmt.Errorf("%w: %d labels for %d rows", ErrCorrupt, len(labels), d.rows)
+		}
+		for i, l := range labels {
+			if l < 0 || int(l) >= d.numExperts {
+				return fmt.Errorf("%w: label %d", ErrCorrupt, l)
 			}
-			vals, err := colfile.UnpackStrings(c)
-			if err != nil {
-				return nil, err
-			}
-			if len(vals) != rows {
-				return nil, fmt.Errorf("%w: fallback column %d length", ErrCorrupt, col)
-			}
-			fbStr[col] = vals
-		case cp.Kind == preprocess.KindFallbackNum:
-			c, err := r.chunk()
-			if err != nil {
-				return nil, err
-			}
-			vals, err := colfile.UnpackFloats(c)
-			if err != nil {
-				return nil, err
-			}
-			if len(vals) != rows {
-				return nil, fmt.Errorf("%w: fallback column %d length", ErrCorrupt, col)
-			}
-			fbNum[col] = vals
-		default:
-			ints, err := readInts()
-			if err != nil {
-				return nil, err
-			}
-			if len(ints) != rows {
-				return nil, fmt.Errorf("%w: trivial column %d length", ErrCorrupt, col)
-			}
-			trivialCodes[col] = ints
+			d.assign[i] = int(l)
 		}
 	}
-	if err := r.done(); err != nil {
-		return nil, err
+	if d.flags&flagRowOrder == 0 {
+		// Row order was not preserved: the table is reconstructed in stored
+		// order, which perm already reflects (identity).
+		return nil
 	}
+	return validatePerm(d.perm)
+}
 
-	// Pre-resolve exception and correction queues to stored positions.
-	excAt, err := resolveQueues(lo, plan, fInts, fExc)
-	if err != nil {
-		return nil, err
+// resolve maps each selected column's sparse escape/correction queue to
+// stored positions, one column per work item, inverts perm, and allocates
+// the decode output slots.
+func (d *decompressor) resolve() error {
+	d.unperm = make([]int, d.rows)
+	for s, orig := range d.perm {
+		d.unperm[orig] = s
 	}
-	valAt, err := resolveContQueues(fMask, fVals)
-	if err != nil {
-		return nil, err
-	}
-
-	// Replay predictions and apply corrections.
-	colCodes := make(map[int][]int, len(lo.specCols)) // stored order
-	contOut := make(map[int][]float64)
-	for _, col := range lo.specCols {
-		if plan.Cols[col].Kind == preprocess.KindNumContinuous {
-			contOut[col] = make([]float64, rows)
+	d.colCodes = make([][]int, len(d.plan.Cols))
+	d.contOut = make([][]float64, len(d.plan.Cols))
+	for si, col := range d.lo.specCols {
+		if !d.wantSpec[si] {
+			continue
+		}
+		if d.plan.Cols[col].Kind == preprocess.KindNumContinuous {
+			d.contOut[col] = make([]float64, d.rows)
 		} else {
-			colCodes[col] = make([]int, rows)
+			d.colCodes[col] = make([]int, d.rows)
 		}
 	}
-	var decodeErr error
-	if hasModel {
-		rec := reconstructCodes(dims, codeBits)
-		scratch := make([]bool, maxCard(lo.specs)+1)
-		forEachExpertBatch(decoders, assign, rec, perm, func(e int, chunk []int, p *nn.Predictions) {
-			if decodeErr != nil {
+	d.excAt = make([]map[int]int64, len(d.lo.specs))
+	d.valAt = make([]map[int]float64, len(d.lo.specs))
+	return d.run.ForEach(len(d.lo.specs), func(si int) error {
+		if !d.wantSpec[si] {
+			return nil
+		}
+		spec := d.lo.specs[si]
+		col := d.lo.specCols[si]
+		if d.plan.Cols[col].Kind == preprocess.KindNumContinuous {
+			at := make(map[int]float64)
+			queue := d.fVals[col]
+			qi := 0
+			for s, m := range d.fMask[col] {
+				if m != 0 {
+					if qi >= len(queue) {
+						return fmt.Errorf("%w: column %d correction queue exhausted", ErrCorrupt, col)
+					}
+					at[s] = queue[qi]
+					qi++
+				}
+			}
+			if qi != len(queue) {
+				return fmt.Errorf("%w: column %d has %d unused corrections", ErrCorrupt, col, len(queue)-qi)
+			}
+			d.valAt[si] = at
+			return nil
+		}
+		if spec.Kind != nn.OutCategorical {
+			return nil
+		}
+		at := make(map[int]int64)
+		queue := d.fExc[col]
+		qi := 0
+		for s, f := range d.fInts[col] {
+			if int(f) == spec.Card {
+				if qi >= len(queue) {
+					return fmt.Errorf("%w: column %d exception queue exhausted", ErrCorrupt, col)
+				}
+				v := queue[qi]
+				if v < 0 || int(v) >= d.plan.Cols[col].Dict.Len() {
+					return fmt.Errorf("%w: column %d exception code %d", ErrCorrupt, col, v)
+				}
+				at[s] = v
+				qi++
+			}
+		}
+		if qi != len(queue) {
+			return fmt.Errorf("%w: column %d has %d unused exceptions", ErrCorrupt, col, len(queue)-qi)
+		}
+		d.excAt[si] = at
+		return nil
+	})
+}
+
+// decode replays decoder inference expert-by-expert over the pool, applying
+// the failure streams to recover the selected model columns' codes in
+// stored order. Only selected spec columns are inferred (PredictCols) and
+// only stored positions inside the row range are fed through.
+func (d *decompressor) decode() error {
+	if !d.needModel {
+		return nil
+	}
+	rec := reconstructCodes(d.dims, d.codeBits)
+	posBy := expertPositionsRange(d.assign, d.perm, d.numExperts, d.rlo, d.rhi)
+	return d.run.ForEach(d.numExperts, func(e int) error {
+		scratch := make([]bool, maxCard(d.lo.specs)+1)
+		var derr error
+		expertBatches(d.decoders[e], rec, posBy[e], d.wantSpec, func(chunk []int, p *nn.Predictions) {
+			if derr != nil {
 				return
 			}
-			dec := decoders[e]
-			for si, spec := range lo.specs {
-				col := lo.specCols[si]
-				cp := &plan.Cols[col]
-				switch spec.Kind {
-				case nn.OutNumeric:
-					np := dec.NumPos(si)
-					if cp.Kind == preprocess.KindNumContinuous {
-						out := contOut[col]
-						for i, s := range chunk {
-							if fMask[col][s] != 0 {
-								out[s] = valAt[col][s]
-							} else {
-								out[s] = cp.Scaler.Unscale(p.Num.At(i, np))
-							}
-						}
-						continue
-					}
-					lv := levels(cp)
-					out := colCodes[col]
-					for i, s := range chunk {
-						code := nearestLevel(cp, p.Num.At(i, np), lv) + int(fInts[col][s])
-						if code < 0 || code >= lv {
-							decodeErr = fmt.Errorf("%w: column %d code %d outside [0,%d)", ErrCorrupt, col, code, lv)
-							return
-						}
-						out[s] = code
-					}
-				case nn.OutBinary:
-					bp := dec.BinPos(si)
-					out := colCodes[col]
-					for i, s := range chunk {
-						predBit := 0
-						if p.Bin.At(i, bp) >= 0.5 {
-							predBit = 1
-						}
-						f := fInts[col][s]
-						if f != 0 && f != 1 {
-							decodeErr = fmt.Errorf("%w: column %d binary failure %d", ErrCorrupt, col, f)
-							return
-						}
-						out[s] = predBit ^ int(f)
-					}
-				case nn.OutCategorical:
-					j := dec.CatPos(si)
-					out := colCodes[col]
-					probs := p.Cat[j]
-					for i, s := range chunk {
-						rank := int(fInts[col][s])
-						switch {
-						case rank == spec.Card: // escape
-							out[s] = int(excAt[col][s])
-						case rank >= 0 && rank < spec.Card:
-							out[s] = codeAtRank(probs.Row(i), rank, scratch)
-						default:
-							decodeErr = fmt.Errorf("%w: column %d rank %d", ErrCorrupt, col, rank)
-							return
-						}
-					}
-				}
-			}
+			derr = d.applyChunk(d.decoders[e], chunk, p, scratch)
 		})
-	}
-	if decodeErr != nil {
-		return nil, decodeErr
-	}
+		return derr
+	})
+}
 
-	// Assemble the output table in original order.
-	out := dataset.NewTable(plan.Schema, rows)
-	unperm := make([]int, rows)
-	for s, orig := range perm {
-		unperm[orig] = s
-	}
-	for col := range plan.Cols {
-		cp := &plan.Cols[col]
-		switch {
-		case lo.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
-			vals := make([]float64, rows)
-			src := contOut[col]
-			for orig := 0; orig < rows; orig++ {
-				vals[orig] = src[unperm[orig]]
-			}
-			out.Num[col] = vals
-		case lo.specOfCol[col] >= 0:
-			codes := make([]int, rows)
-			src := colCodes[col]
-			for orig := 0; orig < rows; orig++ {
-				codes[orig] = src[unperm[orig]]
-			}
-			if err := plan.DecodeColumn(out, col, codes); err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-			}
-		case cp.Kind == preprocess.KindFallbackCat:
-			vals := make([]string, rows)
-			for orig := 0; orig < rows; orig++ {
-				vals[orig] = fbStr[col][unperm[orig]]
-			}
-			out.Str[col] = vals
-		case cp.Kind == preprocess.KindFallbackNum:
-			vals := make([]float64, rows)
-			for orig := 0; orig < rows; orig++ {
-				vals[orig] = fbNum[col][unperm[orig]]
-			}
-			out.Num[col] = vals
-		default: // trivial
-			codes := make([]int, rows)
-			src := trivialCodes[col]
-			for orig := 0; orig < rows; orig++ {
-				v := src[unperm[orig]]
-				if v < 0 || v > math.MaxInt32 {
-					return nil, fmt.Errorf("%w: trivial column %d code %d", ErrCorrupt, col, v)
+// applyChunk merges one batch of predictions with the failure streams.
+func (d *decompressor) applyChunk(dec *nn.Decoder, chunk []int, p *nn.Predictions, scratch []bool) error {
+	for si, spec := range d.lo.specs {
+		if !d.wantSpec[si] {
+			continue
+		}
+		col := d.lo.specCols[si]
+		cp := &d.plan.Cols[col]
+		switch spec.Kind {
+		case nn.OutNumeric:
+			np := dec.NumPos(si)
+			if cp.Kind == preprocess.KindNumContinuous {
+				out := d.contOut[col]
+				for i, s := range chunk {
+					if d.fMask[col][s] != 0 {
+						out[s] = d.valAt[si][s]
+					} else {
+						out[s] = cp.Scaler.Unscale(p.Num.At(i, np))
+					}
 				}
-				codes[orig] = int(v)
+				continue
 			}
-			if err := plan.DecodeColumn(out, col, codes); err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			lv := levels(cp)
+			out := d.colCodes[col]
+			for i, s := range chunk {
+				code := nearestLevel(cp, p.Num.At(i, np), lv) + int(d.fInts[col][s])
+				if code < 0 || code >= lv {
+					return fmt.Errorf("%w: column %d code %d outside [0,%d)", ErrCorrupt, col, code, lv)
+				}
+				out[s] = code
+			}
+		case nn.OutBinary:
+			bp := dec.BinPos(si)
+			out := d.colCodes[col]
+			for i, s := range chunk {
+				predBit := 0
+				if p.Bin.At(i, bp) >= 0.5 {
+					predBit = 1
+				}
+				f := d.fInts[col][s]
+				if f != 0 && f != 1 {
+					return fmt.Errorf("%w: column %d binary failure %d", ErrCorrupt, col, f)
+				}
+				out[s] = predBit ^ int(f)
+			}
+		case nn.OutCategorical:
+			j := dec.CatPos(si)
+			out := d.colCodes[col]
+			probs := p.Cat[j]
+			for i, s := range chunk {
+				rank := int(d.fInts[col][s])
+				switch {
+				case rank == spec.Card: // escape
+					out[s] = int(d.excAt[si][s])
+				case rank >= 0 && rank < spec.Card:
+					out[s] = codeAtRank(probs.Row(i), rank, scratch)
+				default:
+					return fmt.Errorf("%w: column %d rank %d", ErrCorrupt, col, rank)
+				}
 			}
 		}
 	}
-	out.SetNumRows(rows)
+	return nil
+}
+
+// assemble materializes the selected columns in original row order, one
+// column per work item, and builds the (possibly projected) output table.
+func (d *decompressor) assemble() (*dataset.Table, error) {
+	n := d.rhi - d.rlo
+	// Columns decode into a full-schema scratch table because
+	// plan.DecodeColumn addresses columns by schema index; the projected
+	// output then adopts the scratch slices without copying.
+	scratch := dataset.NewTable(d.plan.Schema, 0)
+	err := d.run.ForEach(len(d.selCols), func(k int) error {
+		col := d.selCols[k]
+		cp := &d.plan.Cols[col]
+		switch {
+		case d.lo.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
+			vals := make([]float64, n)
+			src := d.contOut[col]
+			for i := range vals {
+				vals[i] = src[d.unperm[d.rlo+i]]
+			}
+			scratch.Num[col] = vals
+		case d.lo.specOfCol[col] >= 0:
+			codes := make([]int, n)
+			src := d.colCodes[col]
+			for i := range codes {
+				codes[i] = src[d.unperm[d.rlo+i]]
+			}
+			if err := decodeColumnChecked(d.plan, scratch, col, codes); err != nil {
+				return err
+			}
+		case cp.Kind == preprocess.KindFallbackCat:
+			vals := make([]string, n)
+			for i := range vals {
+				vals[i] = d.fbStr[col][d.unperm[d.rlo+i]]
+			}
+			scratch.Str[col] = vals
+		case cp.Kind == preprocess.KindFallbackNum:
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = d.fbNum[col][d.unperm[d.rlo+i]]
+			}
+			scratch.Num[col] = vals
+		default: // trivial
+			codes := make([]int, n)
+			src := d.trivial[col]
+			for i := range codes {
+				v := src[d.unperm[d.rlo+i]]
+				if v < 0 || v > math.MaxInt32 {
+					return fmt.Errorf("%w: trivial column %d code %d", ErrCorrupt, col, v)
+				}
+				codes[i] = int(v)
+			}
+			if err := decodeColumnChecked(d.plan, scratch, col, codes); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if d.opts.Columns == nil {
+		scratch.SetNumRows(n)
+		return scratch, nil
+	}
+	cols := make([]dataset.Column, len(d.selCols))
+	for k, col := range d.selCols {
+		cols[k] = d.plan.Schema.Columns[col]
+	}
+	out := dataset.NewTable(dataset.NewSchema(cols...), 0)
+	for k, col := range d.selCols {
+		if d.plan.Schema.Columns[col].Type == dataset.Categorical {
+			out.Str[k] = scratch.Str[col]
+		} else {
+			out.Num[k] = scratch.Num[col]
+		}
+	}
+	out.SetNumRows(n)
 	return out, nil
+}
+
+// decodeColumnChecked wraps Plan.DecodeColumn with corruption classification.
+func decodeColumnChecked(plan *preprocess.Plan, dst *dataset.Table, col int, codes []int) error {
+	if err := plan.DecodeColumn(dst, col, codes); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return nil
 }
 
 // validatePerm checks perm is a permutation of [0, len).
@@ -462,63 +877,6 @@ func validatePerm(perm []int) error {
 		seen[p] = true
 	}
 	return nil
-}
-
-// resolveQueues maps each categorical escape to its stored position by
-// scanning the failure streams in stored order.
-func resolveQueues(lo *layout, plan *preprocess.Plan, fInts, fExc map[int][]int64) (map[int]map[int]int64, error) {
-	out := make(map[int]map[int]int64)
-	for si, spec := range lo.specs {
-		if spec.Kind != nn.OutCategorical {
-			continue
-		}
-		col := lo.specCols[si]
-		queue := fExc[col]
-		at := make(map[int]int64)
-		qi := 0
-		for s, f := range fInts[col] {
-			if int(f) == spec.Card {
-				if qi >= len(queue) {
-					return nil, fmt.Errorf("%w: column %d exception queue exhausted", ErrCorrupt, col)
-				}
-				v := queue[qi]
-				if v < 0 || int(v) >= plan.Cols[col].Dict.Len() {
-					return nil, fmt.Errorf("%w: column %d exception code %d", ErrCorrupt, col, v)
-				}
-				at[s] = v
-				qi++
-			}
-		}
-		if qi != len(queue) {
-			return nil, fmt.Errorf("%w: column %d has %d unused exceptions", ErrCorrupt, col, len(queue)-qi)
-		}
-		out[col] = at
-	}
-	return out, nil
-}
-
-// resolveContQueues does the same for continuous corrections.
-func resolveContQueues(fMask map[int][]int64, fVals map[int][]float64) (map[int]map[int]float64, error) {
-	out := make(map[int]map[int]float64)
-	for col, mask := range fMask {
-		queue := fVals[col]
-		at := make(map[int]float64)
-		qi := 0
-		for s, m := range mask {
-			if m != 0 {
-				if qi >= len(queue) {
-					return nil, fmt.Errorf("%w: column %d correction queue exhausted", ErrCorrupt, col)
-				}
-				at[s] = queue[qi]
-				qi++
-			}
-		}
-		if qi != len(queue) {
-			return nil, fmt.Errorf("%w: column %d has %d unused corrections", ErrCorrupt, col, len(queue)-qi)
-		}
-		out[col] = at
-	}
-	return out, nil
 }
 
 func maxCard(specs []nn.ColSpec) int {

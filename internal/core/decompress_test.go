@@ -1,0 +1,292 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"deepsqueeze/internal/dataset"
+)
+
+// compressLatent compresses a latentTable archive once for the projection
+// and row-range tests below.
+func compressLatent(t *testing.T, rows int, seed int64, opts Options) ([]byte, *dataset.Table) {
+	t.Helper()
+	tb := latentTable(rows, seed)
+	res, err := Compress(tb, []float64{0, 0, 0.1, 0.1, 0}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Archive, tb
+}
+
+// decodeOpts decompresses with options, failing the test on error.
+func decodeOpts(t *testing.T, archive []byte, opts DecompressOptions) *dataset.Table {
+	t.Helper()
+	res, err := DecompressContext(context.Background(), archive, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Table
+}
+
+// columnEqual compares one column of got against the full decode's column,
+// over the full-decode rows [lo, lo+got.NumRows()).
+func columnEqual(full, got *dataset.Table, fullCol, gotCol, lo int) error {
+	typ := full.Schema.Columns[fullCol].Type
+	for i := 0; i < got.NumRows(); i++ {
+		if typ == dataset.Categorical {
+			if full.Str[fullCol][lo+i] != got.Str[gotCol][i] {
+				return fmt.Errorf("col %d row %d: %q != %q", fullCol, i, got.Str[gotCol][i], full.Str[fullCol][lo+i])
+			}
+		} else if full.Num[fullCol][lo+i] != got.Num[gotCol][i] {
+			return fmt.Errorf("col %d row %d: %v != %v", fullCol, i, got.Num[gotCol][i], full.Num[fullCol][lo+i])
+		}
+	}
+	return nil
+}
+
+func TestDecompressColumnProjection(t *testing.T) {
+	archive, tb := compressLatent(t, 800, 31, quickOpts())
+	full := decodeOpts(t, archive, DecompressOptions{})
+
+	// Every single-column projection, plus a two-column and an
+	// out-of-request-order selection.
+	var sets [][]string
+	for _, c := range tb.Schema.Columns {
+		sets = append(sets, []string{c.Name})
+	}
+	sets = append(sets, []string{"cat", "grade"}, []string{"m2", "bin"})
+	for _, names := range sets {
+		got := decodeOpts(t, archive, DecompressOptions{Columns: names})
+		if got.NumRows() != full.NumRows() {
+			t.Fatalf("cols %v: %d rows, want %d", names, got.NumRows(), full.NumRows())
+		}
+		if got.Schema.NumColumns() != len(names) {
+			t.Fatalf("cols %v: schema has %d columns", names, got.Schema.NumColumns())
+		}
+		// Output schema lists selected columns in archive order.
+		want := map[string]bool{}
+		for _, n := range names {
+			want[n] = true
+		}
+		gi := 0
+		for fi, c := range full.Schema.Columns {
+			if !want[c.Name] {
+				continue
+			}
+			if got.Schema.Columns[gi].Name != c.Name || got.Schema.Columns[gi].Type != c.Type {
+				t.Fatalf("cols %v: schema[%d] = %+v, want %+v", names, gi, got.Schema.Columns[gi], c)
+			}
+			if err := columnEqual(full, got, fi, gi, 0); err != nil {
+				t.Fatalf("cols %v: %v", names, err)
+			}
+			gi++
+		}
+	}
+}
+
+func TestDecompressProjectionFallbackColumns(t *testing.T) {
+	// Fallback-heavy table: projections must work on columns that bypass the
+	// model entirely, and on escape-heavy model columns.
+	schema := dataset.NewSchema(
+		dataset.Column{Name: "id", Type: dataset.Categorical},   // unique → fallback strings
+		dataset.Column{Name: "skew", Type: dataset.Categorical}, // skewed → model + escapes
+		dataset.Column{Name: "wild", Type: dataset.Numeric},     // t=0, many distinct → fallback floats
+	)
+	rows := 900
+	tb := dataset.NewTable(schema, rows)
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < rows; i++ {
+		skew := "common"
+		if rng.Float64() < 0.04 {
+			skew = fmt.Sprintf("rare-%d", rng.Intn(30))
+		}
+		tb.AppendRow([]string{fmt.Sprintf("id-%06d", i), skew}, []float64{rng.NormFloat64() * 1e6})
+	}
+	opts := quickOpts()
+	opts.Preproc.MaxValueDictLen = 64
+	res, err := Compress(tb, []float64{0, 0, 0}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := decodeOpts(t, res.Archive, DecompressOptions{})
+	for fi, c := range schema.Columns {
+		got := decodeOpts(t, res.Archive, DecompressOptions{Columns: []string{c.Name}})
+		if err := columnEqual(full, got, fi, 0, 0); err != nil {
+			t.Fatalf("projection %q: %v", c.Name, err)
+		}
+	}
+}
+
+func TestDecompressRowRange(t *testing.T) {
+	archive, _ := compressLatent(t, 700, 33, quickOpts())
+	full := decodeOpts(t, archive, DecompressOptions{})
+	for _, rr := range []RowRange{{0, 700}, {0, 1}, {699, 700}, {123, 456}, {350, 350}} {
+		got := decodeOpts(t, archive, DecompressOptions{RowRange: rr})
+		if got.NumRows() != rr.Hi-rr.Lo {
+			t.Fatalf("range %v: %d rows", rr, got.NumRows())
+		}
+		for col := range full.Schema.Columns {
+			if err := columnEqual(full, got, col, col, rr.Lo); err != nil {
+				t.Fatalf("range %v: %v", rr, err)
+			}
+		}
+	}
+}
+
+func TestDecompressRowRangeWithProjectionMoE(t *testing.T) {
+	opts := quickOpts()
+	opts.NumExperts = 3
+	archive, _ := compressLatent(t, 800, 34, opts)
+	full := decodeOpts(t, archive, DecompressOptions{})
+	got := decodeOpts(t, archive, DecompressOptions{
+		Columns:  []string{"bin", "m1"},
+		RowRange: RowRange{Lo: 200, Hi: 500},
+	})
+	if got.NumRows() != 300 || got.Schema.NumColumns() != 2 {
+		t.Fatalf("got %d rows × %d cols", got.NumRows(), got.Schema.NumColumns())
+	}
+	if err := columnEqual(full, got, 1, 0, 200); err != nil { // bin
+		t.Fatal(err)
+	}
+	if err := columnEqual(full, got, 2, 1, 200); err != nil { // m1
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressParallelDeterminism(t *testing.T) {
+	opts := quickOpts()
+	opts.NumExperts = 2
+	archive, _ := compressLatent(t, 900, 35, opts)
+	levels := []int{1, 2, 3, runtime.NumCPU()}
+	var want []byte
+	for _, p := range levels {
+		got := decodeOpts(t, archive, DecompressOptions{Parallelism: p})
+		var buf bytes.Buffer
+		if err := got.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+		} else if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("parallelism %d decoded a different table than parallelism %d", p, levels[0])
+		}
+	}
+}
+
+func TestDecompressContextCancellation(t *testing.T) {
+	archive, _ := compressLatent(t, 400, 36, quickOpts())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := DecompressContext(ctx, archive, DecompressOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDecompressOptionErrors(t *testing.T) {
+	archive, _ := compressLatent(t, 300, 37, quickOpts())
+	cases := []struct {
+		name string
+		opts DecompressOptions
+		want string
+	}{
+		{"unknown column", DecompressOptions{Columns: []string{"nope"}}, `unknown column "nope"`},
+		{"empty selection", DecompressOptions{Columns: []string{}}, "no columns selected"},
+		{"negative lo", DecompressOptions{RowRange: RowRange{Lo: -1, Hi: 5}}, "row range"},
+		{"hi past end", DecompressOptions{RowRange: RowRange{Lo: 0, Hi: 301}}, "row range"},
+		{"inverted", DecompressOptions{RowRange: RowRange{Lo: 20, Hi: 10}}, "row range"},
+	}
+	for _, c := range cases {
+		_, err := DecompressContext(context.Background(), archive, c.opts)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+		if errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: usage error misclassified as corruption: %v", c.name, err)
+		}
+	}
+}
+
+func TestDecompressMaxRows(t *testing.T) {
+	archive, _ := compressLatent(t, 300, 38, quickOpts())
+	_, err := DecompressContext(context.Background(), archive, DecompressOptions{MaxRows: 100})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if _, err := DecompressContext(context.Background(), archive, DecompressOptions{MaxRows: 300}); err != nil {
+		t.Fatalf("MaxRows at the exact row count rejected: %v", err)
+	}
+}
+
+func TestDecompressStagesReported(t *testing.T) {
+	archive, _ := compressLatent(t, 500, 39, quickOpts())
+	res, err := DecompressContext(context.Background(), archive, DecompressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStages := []string{"parse", "scan", "unpack", "resolve", "decode", "assemble"}
+	if len(res.Stages) != len(wantStages) {
+		t.Fatalf("got %d stages, want %d", len(res.Stages), len(wantStages))
+	}
+	for i, name := range wantStages {
+		if res.Stages[i].Name != name {
+			t.Fatalf("stage %d = %q, want %q", i, res.Stages[i].Name, name)
+		}
+	}
+	if res.Stages[1].Bytes != 0 {
+		t.Fatalf("full decode skipped %d bytes", res.Stages[1].Bytes)
+	}
+	// A projection must actually skip archive bytes (unselected failure
+	// streams) — that is the point of being projection-aware.
+	proj, err := DecompressContext(context.Background(), archive, DecompressOptions{Columns: []string{"cat"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Stages[1].Bytes == 0 {
+		t.Fatal("projection skipped no archive bytes")
+	}
+}
+
+func TestDecompressBatchContextProjection(t *testing.T) {
+	train := latentTable(600, 40)
+	st, model, err := NewStream(train, []float64{0, 0, 0.1, 0.1, 0}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchTable := latentTable(250, 41)
+	bres, err := st.CompressBatch(batchTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DecompressBatch(model.Archive, bres.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DecompressBatchContext(context.Background(), model.Archive, bres.Archive,
+		DecompressOptions{Columns: []string{"cat", "m2"}, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Table
+	if got.Schema.NumColumns() != 2 || got.NumRows() != full.NumRows() {
+		t.Fatalf("got %d rows × %d cols", got.NumRows(), got.Schema.NumColumns())
+	}
+	if err := columnEqual(full, got, 0, 0, 0); err != nil { // cat
+		t.Fatal(err)
+	}
+	if err := columnEqual(full, got, 3, 1, 0); err != nil { // m2
+		t.Fatal(err)
+	}
+	// A plain archive is not a batch, and a batch archive is not
+	// self-contained: both directions must fail cleanly.
+	if _, err := DecompressContext(context.Background(), bres.Archive, DecompressOptions{}); err == nil {
+		t.Fatal("batch archive decompressed without its model")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+// refreshCRC rewrites the archive's CRC32-IEEE trailer so fuzz mutations of
+// the body reach the parser instead of dying at the checksum gate. Inputs
+// too short to carry a trailer pass through unchanged.
+func refreshCRC(data []byte) []byte {
+	if len(data) < 10 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	sum := crc32.ChecksumIEEE(out[:len(out)-4])
+	binary.LittleEndian.PutUint32(out[len(out)-4:], sum)
+	return out
+}
+
+// fuzzSeedArchives compresses a few tiny tables covering the format's
+// branches: plain, mixture of experts, fallback-heavy, and empty.
+func fuzzSeedArchives(f *testing.F) [][]byte {
+	f.Helper()
+	opts := quickOpts()
+	opts.Train.Epochs = 2
+	var seeds [][]byte
+	add := func(res *Result, err error) {
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, res.Archive)
+	}
+	add(Compress(latentTable(60, 51), []float64{0, 0, 0.1, 0.1, 0}, opts))
+	moe := opts
+	moe.NumExperts = 2
+	add(Compress(latentTable(80, 52), []float64{0, 0, 0, 0, 0}, moe))
+	add(Compress(latentTable(0, 53), []float64{0, 0, 0.1, 0.1, 0}, opts))
+	return seeds
+}
+
+// FuzzDecompress feeds mutated archives (with a refreshed checksum, so the
+// mutation penetrates past the CRC) to the full decompression pipeline. The
+// invariant: any input either decodes or fails with an ErrCorrupt-classified
+// error — never a panic, and never an unclassified error. MaxRows caps
+// row-proportional allocation so the fuzzer cannot claim OOMs as crashes.
+func FuzzDecompress(f *testing.F) {
+	for _, a := range fuzzSeedArchives(f) {
+		f.Add(a)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("DSQZ\x01\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		archive := refreshCRC(data)
+		res, err := DecompressContext(context.Background(), archive,
+			DecompressOptions{MaxRows: 4096, Parallelism: 2})
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unclassified error: %v", err)
+			}
+			return
+		}
+		if res.Table.NumRows() > 4096 {
+			t.Fatalf("decoded %d rows past the MaxRows cap", res.Table.NumRows())
+		}
+	})
+}
+
+// FuzzSectionReader drives the low-level chunk walker over arbitrary bytes:
+// a mix of chunk reads and skips (chosen by the ops byte string) must never
+// panic, never read past the buffer, and fail only with ErrCorrupt.
+func FuzzSectionReader(f *testing.F) {
+	for _, a := range fuzzSeedArchives(f) {
+		f.Add(a, []byte{0, 1, 0, 1, 0, 1})
+	}
+	f.Add([]byte("DSQZ\x01\x00\x00\x00\x00\x00"), []byte{1, 1})
+	f.Fuzz(func(t *testing.T, data, ops []byte) {
+		archive := refreshCRC(data)
+		r, _, err := newSectionReader(archive)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unclassified envelope error: %v", err)
+			}
+			return
+		}
+		for _, op := range ops {
+			if op%2 == 0 {
+				c, err := r.chunk()
+				if err != nil {
+					if !errors.Is(err, ErrCorrupt) {
+						t.Fatalf("unclassified chunk error: %v", err)
+					}
+					return
+				}
+				if len(c) > len(archive) {
+					t.Fatalf("chunk of %d bytes from a %d-byte archive", len(c), len(archive))
+				}
+			} else {
+				n, err := r.skip()
+				if err != nil {
+					if !errors.Is(err, ErrCorrupt) {
+						t.Fatalf("unclassified skip error: %v", err)
+					}
+					return
+				}
+				if n < 0 || n > int64(len(archive)) {
+					t.Fatalf("skip reported %d bytes", n)
+				}
+			}
+		}
+		if err := r.done(); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("unclassified done error: %v", err)
+		}
+	})
+}

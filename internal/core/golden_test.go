@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"deepsqueeze/internal/dataset"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate golden archive fixtures")
+
+// goldenCase is one committed archive fixture: a deterministic table, the
+// options it was compressed with, and the fixture's base name under
+// testdata/. The committed .dsqz bytes are the format-stability contract:
+// decoder changes must keep decoding them to the committed .csv exactly.
+type goldenCase struct {
+	name  string
+	build func() (*dataset.Table, []float64, Options)
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{"categorical", func() (*dataset.Table, []float64, Options) {
+			// Pure categorical: model columns with escapes plus a
+			// high-cardinality fallback column.
+			schema := dataset.NewSchema(
+				dataset.Column{Name: "city", Type: dataset.Categorical},
+				dataset.Column{Name: "tier", Type: dataset.Categorical},
+				dataset.Column{Name: "code", Type: dataset.Categorical},
+			)
+			tb := dataset.NewTable(schema, 150)
+			rng := rand.New(rand.NewSource(101))
+			cities := []string{"ankara", "bergen", "cusco", "dakar"}
+			for i := 0; i < 150; i++ {
+				city := cities[rng.Intn(len(cities))]
+				tier := "std"
+				if rng.Float64() < 0.05 {
+					tier = fmt.Sprintf("rare%d", rng.Intn(9))
+				}
+				tb.AppendRow([]string{city, tier, fmt.Sprintf("K-%04d", i)}, nil)
+			}
+			return tb, []float64{0, 0, 0}, goldenOpts(1)
+		}},
+		{"numerical", func() (*dataset.Table, []float64, Options) {
+			// Numeric kinds side by side: quantized lossy, exact value
+			// dictionary, and t=0 high-cardinality fallback.
+			schema := dataset.NewSchema(
+				dataset.Column{Name: "temp", Type: dataset.Numeric},
+				dataset.Column{Name: "grade", Type: dataset.Numeric},
+				dataset.Column{Name: "reading", Type: dataset.Numeric},
+			)
+			tb := dataset.NewTable(schema, 150)
+			rng := rand.New(rand.NewSource(102))
+			for i := 0; i < 150; i++ {
+				z := rng.Float64()
+				tb.AppendRow(nil, []float64{
+					z*40 - 10 + rng.NormFloat64(),
+					float64(int(z * 6)),
+					rng.NormFloat64() * 1e4,
+				})
+			}
+			opts := goldenOpts(1)
+			opts.Preproc.MaxValueDictLen = 16
+			return tb, []float64{0.1, 0, 0}, opts
+		}},
+		{"moe", func() (*dataset.Table, []float64, Options) {
+			// Mixed table through a two-expert mixture, exercising the
+			// mapping chunk and expert-grouped assembly.
+			return latentTable(180, 103), []float64{0, 0, 0.1, 0.1, 0}, goldenOpts(2)
+		}},
+	}
+}
+
+func goldenOpts(experts int) Options {
+	o := DefaultOptions()
+	o.CodeSize = 2
+	o.NumExperts = experts
+	o.Train.Epochs = 4
+	o.Train.BatchSize = 64
+	o.Seed = 7
+	return o
+}
+
+// TestGoldenArchives is the format-stability gate: every committed .dsqz
+// fixture must still parse as version 1 and decode byte-for-byte to its
+// committed .csv. Run with -update to regenerate fixtures after a
+// deliberate, versioned format change.
+func TestGoldenArchives(t *testing.T) {
+	for _, gc := range goldenCases() {
+		t.Run(gc.name, func(t *testing.T) {
+			arcPath := filepath.Join("testdata", gc.name+".dsqz")
+			csvPath := filepath.Join("testdata", gc.name+".csv")
+			if *updateGolden {
+				tb, thresholds, opts := gc.build()
+				res, err := Compress(tb, thresholds, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := Decompress(res.Archive)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := got.WriteCSV(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(arcPath, res.Archive, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(csvPath, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes) and %s", arcPath, len(res.Archive), csvPath)
+			}
+			archive, err := os.ReadFile(arcPath)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			wantCSV, err := os.ReadFile(csvPath)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if len(archive) < 6 || string(archive[:4]) != "DSQZ" || archive[4] != 1 {
+				t.Fatalf("fixture is not a version-1 archive (header % x)", archive[:6])
+			}
+			got, err := Decompress(archive)
+			if err != nil {
+				t.Fatalf("golden archive no longer decodes: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := got.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), wantCSV) {
+				t.Fatalf("golden archive %s decoded differently than when committed", gc.name)
+			}
+			// The projected decode of the first column must agree with the
+			// committed full decode, pinning projection semantics too.
+			name := got.Schema.Columns[0].Name
+			proj := decodeOpts(t, archive, DecompressOptions{Columns: []string{name}})
+			if err := columnEqual(got, proj, 0, 0, 0); err != nil {
+				t.Fatalf("projection drifted from golden decode: %v", err)
+			}
+		})
+	}
+}

@@ -100,31 +100,30 @@ const decodeBatchRows = 2048
 // perm maps stored position → original row; assign is indexed by original
 // row. Positions come out ascending within each expert.
 func expertPositions(assign []int, perm []int, numExperts int) [][]int {
+	return expertPositionsRange(assign, perm, numExperts, 0, len(perm))
+}
+
+// expertPositionsRange is expertPositions restricted to stored positions
+// whose original row falls in [lo, hi) — how a row-ranged decompression
+// avoids running decoder inference for rows it will not materialize.
+func expertPositionsRange(assign []int, perm []int, numExperts, lo, hi int) [][]int {
 	posBy := make([][]int, numExperts)
 	for s, orig := range perm {
-		e := assign[orig]
-		posBy[e] = append(posBy[e], s)
+		if orig < lo || orig >= hi {
+			continue
+		}
+		posBy[assign[orig]] = append(posBy[assign[orig]], s)
 	}
 	return posBy
 }
 
-// forEachExpertBatch routes stored positions to their assigned expert's
-// decoder in batches and invokes fn with the predictions. Iteration is
-// expert-major with ascending stored positions inside each expert, which
-// both compression and decompression follow identically. One scratch batch
-// matrix is reused across an expert's chunks.
-func forEachExpertBatch(decoders []*nn.Decoder, assign []int, recCodes *mat.Matrix, perm []int,
-	fn func(expert int, chunk []int, p *nn.Predictions)) {
-	for e, positions := range expertPositions(assign, perm, len(decoders)) {
-		expertBatches(decoders[e], recCodes, positions, func(chunk []int, p *nn.Predictions) {
-			fn(e, chunk, p)
-		})
-	}
-}
-
 // expertBatches feeds one expert's stored positions through its decoder in
-// decodeBatchRows-sized chunks, reusing a single scratch matrix.
-func expertBatches(dec *nn.Decoder, recCodes *mat.Matrix, positions []int,
+// decodeBatchRows-sized chunks, reusing a single scratch matrix. want
+// restricts inference to a subset of spec columns (nil = all); see
+// nn.Decoder.PredictCols. Iteration is expert-major with ascending stored
+// positions inside each expert, which both compression and decompression
+// follow identically.
+func expertBatches(dec *nn.Decoder, recCodes *mat.Matrix, positions []int, want []bool,
 	fn func(chunk []int, p *nn.Predictions)) {
 	if len(positions) == 0 {
 		return
@@ -136,7 +135,7 @@ func expertBatches(dec *nn.Decoder, recCodes *mat.Matrix, positions []int,
 		for i, s := range chunk {
 			copy(codes.Row(i), recCodes.Row(s))
 		}
-		fn(chunk, dec.Predict(codes))
+		fn(chunk, dec.PredictCols(codes, want))
 	}
 }
 
@@ -195,7 +194,7 @@ func computeFailures(run *pipeline.Run, md *modelData, origNum map[int][]float64
 		excepts := make(map[int][]posVal)
 		contws := make(map[int][]posFloat)
 		dec := decoders[e]
-		expertBatches(dec, recCodes, posBy[e], func(chunk []int, p *nn.Predictions) {
+		expertBatches(dec, recCodes, posBy[e], nil, func(chunk []int, p *nn.Predictions) {
 			for si, spec := range md.specs {
 				col := md.specCols[si]
 				cp := &md.plan.Cols[col]

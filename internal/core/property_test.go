@@ -1,76 +1,87 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
 	"deepsqueeze/internal/dataset"
 )
 
+// genRandomTable derives a random schema, table, thresholds, and options
+// from a seed — the shared generator for the quick properties below.
+func genRandomTable(seed int64) (*dataset.Table, []float64, Options) {
+	rng := rand.New(rand.NewSource(seed))
+	nCols := 1 + rng.Intn(6)
+	cols := make([]dataset.Column, nCols)
+	for i := range cols {
+		cols[i].Name = fmt.Sprintf("c%d", i)
+		if rng.Intn(2) == 0 {
+			cols[i].Type = dataset.Categorical
+		} else {
+			cols[i].Type = dataset.Numeric
+		}
+	}
+	schema := dataset.NewSchema(cols...)
+	rows := 20 + rng.Intn(200)
+	tb := dataset.NewTable(schema, rows)
+	thresholds := make([]float64, nCols)
+	for i, c := range cols {
+		if c.Type == dataset.Numeric && rng.Intn(2) == 0 {
+			thresholds[i] = []float64{0.005, 0.05, 0.1, 0.25}[rng.Intn(4)]
+		}
+	}
+	strs := make([]string, 0, nCols)
+	nums := make([]float64, 0, nCols)
+	for r := 0; r < rows; r++ {
+		strs, nums = strs[:0], nums[:0]
+		for _, c := range cols {
+			if c.Type == dataset.Categorical {
+				switch rng.Intn(3) {
+				case 0: // low cardinality
+					strs = append(strs, fmt.Sprintf("v%d", rng.Intn(3)))
+				case 1: // skewed
+					if rng.Float64() < 0.9 {
+						strs = append(strs, "hot")
+					} else {
+						strs = append(strs, fmt.Sprintf("cold%d", rng.Intn(50)))
+					}
+				default: // near unique
+					strs = append(strs, fmt.Sprintf("u%d-%d", r, rng.Intn(10)))
+				}
+			} else {
+				switch rng.Intn(3) {
+				case 0:
+					nums = append(nums, float64(rng.Intn(5)))
+				case 1:
+					nums = append(nums, rng.NormFloat64()*1000)
+				default:
+					nums = append(nums, rng.Float64())
+				}
+			}
+		}
+		tb.AppendRow(strs, nums)
+	}
+	opts := DefaultOptions()
+	opts.CodeSize = 1 + rng.Intn(3)
+	opts.NumExperts = 1 + rng.Intn(3)
+	opts.Train.Epochs = 3
+	opts.Seed = seed
+	return tb, thresholds, opts
+}
+
 // TestQuickRandomSchemaRoundTrip is the end-to-end property test: random
 // schemas, random data, random thresholds — compression must round-trip
 // with categorical exactness and numeric values inside their bounds.
 func TestQuickRandomSchemaRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		nCols := 1 + rng.Intn(6)
-		cols := make([]dataset.Column, nCols)
-		for i := range cols {
-			cols[i].Name = fmt.Sprintf("c%d", i)
-			if rng.Intn(2) == 0 {
-				cols[i].Type = dataset.Categorical
-			} else {
-				cols[i].Type = dataset.Numeric
-			}
-		}
-		schema := dataset.NewSchema(cols...)
-		rows := 20 + rng.Intn(200)
-		tb := dataset.NewTable(schema, rows)
-		thresholds := make([]float64, nCols)
-		for i, c := range cols {
-			if c.Type == dataset.Numeric && rng.Intn(2) == 0 {
-				thresholds[i] = []float64{0.005, 0.05, 0.1, 0.25}[rng.Intn(4)]
-			}
-		}
-		strs := make([]string, 0, nCols)
-		nums := make([]float64, 0, nCols)
-		for r := 0; r < rows; r++ {
-			strs, nums = strs[:0], nums[:0]
-			for _, c := range cols {
-				if c.Type == dataset.Categorical {
-					switch rng.Intn(3) {
-					case 0: // low cardinality
-						strs = append(strs, fmt.Sprintf("v%d", rng.Intn(3)))
-					case 1: // skewed
-						if rng.Float64() < 0.9 {
-							strs = append(strs, "hot")
-						} else {
-							strs = append(strs, fmt.Sprintf("cold%d", rng.Intn(50)))
-						}
-					default: // near unique
-						strs = append(strs, fmt.Sprintf("u%d-%d", r, rng.Intn(10)))
-					}
-				} else {
-					switch rng.Intn(3) {
-					case 0:
-						nums = append(nums, float64(rng.Intn(5)))
-					case 1:
-						nums = append(nums, rng.NormFloat64()*1000)
-					default:
-						nums = append(nums, rng.Float64())
-					}
-				}
-			}
-			tb.AppendRow(strs, nums)
-		}
-		opts := DefaultOptions()
-		opts.CodeSize = 1 + rng.Intn(3)
-		opts.NumExperts = 1 + rng.Intn(3)
-		opts.Train.Epochs = 3
-		opts.Seed = seed
+		tb, thresholds, opts := genRandomTable(seed)
+		cols := tb.Schema.Columns
+		nCols := len(cols)
 		res, err := Compress(tb, thresholds, opts)
 		if err != nil {
 			t.Logf("seed %d: compress: %v", seed, err)
@@ -97,6 +108,79 @@ func TestQuickRandomSchemaRoundTrip(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 12}
 	if testing.Short() {
 		cfg.MaxCount = 4
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickProjectionMatchesFull is the projection property: for random
+// tables, DecompressContext with a random column subset must equal the
+// column subset of the full decompression byte-for-byte, at parallelism 1,
+// 4, and NumCPU.
+func TestQuickProjectionMatchesFull(t *testing.T) {
+	f := func(seed int64) bool {
+		tb, thresholds, opts := genRandomTable(seed)
+		res, err := Compress(tb, thresholds, opts)
+		if err != nil {
+			t.Logf("seed %d: compress: %v", seed, err)
+			return false
+		}
+		full, err := Decompress(res.Archive)
+		if err != nil {
+			t.Logf("seed %d: decompress: %v", seed, err)
+			return false
+		}
+		// Random non-empty column subset, in archive order.
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		var names []string
+		var fullIdx []int
+		for col, c := range tb.Schema.Columns {
+			if rng.Intn(2) == 0 {
+				names = append(names, c.Name)
+				fullIdx = append(fullIdx, col)
+			}
+		}
+		if names == nil {
+			names = []string{tb.Schema.Columns[0].Name}
+			fullIdx = []int{0}
+		}
+		for _, p := range []int{1, 4, runtime.NumCPU()} {
+			pres, err := DecompressContext(context.Background(), res.Archive,
+				DecompressOptions{Columns: names, Parallelism: p})
+			if err != nil {
+				t.Logf("seed %d p=%d: projection: %v", seed, p, err)
+				return false
+			}
+			got := pres.Table
+			if got.NumRows() != full.NumRows() || got.Schema.NumColumns() != len(names) {
+				t.Logf("seed %d p=%d: got %d rows × %d cols", seed, p, got.NumRows(), got.Schema.NumColumns())
+				return false
+			}
+			for gi, col := range fullIdx {
+				for r := 0; r < full.NumRows(); r++ {
+					if tb.Schema.Columns[col].Type == dataset.Categorical {
+						if got.Str[gi][r] != full.Str[col][r] {
+							t.Logf("seed %d p=%d: col %q row %d: %q != %q",
+								seed, p, names[gi], r, got.Str[gi][r], full.Str[col][r])
+							return false
+						}
+					} else if got.Num[gi][r] != full.Num[col][r] {
+						// Byte-for-byte: projection must reproduce the exact
+						// float the full decode produced, not merely one
+						// within the error bound.
+						t.Logf("seed %d p=%d: col %q row %d: %v != %v",
+							seed, p, names[gi], r, got.Num[gi][r], full.Num[col][r])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 10}
+	if testing.Short() {
+		cfg.MaxCount = 3
 	}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)

@@ -181,11 +181,23 @@ func (s *Stream) fitBatchPlan(batch *dataset.Table) (*preprocess.Plan, error) {
 // DecompressBatch reconstructs a batch compressed by Stream.CompressBatch,
 // given the stream's model archive.
 func DecompressBatch(modelArchive, batchArchive []byte) (*dataset.Table, error) {
+	res, err := DecompressBatchContext(context.Background(), modelArchive, batchArchive, DecompressOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
+}
+
+// DecompressBatchContext is DecompressBatch with cancellation and
+// query-aware projection — the batch archive runs through the same staged
+// pipeline as DecompressContext, with the model archive supplying the
+// decoders.
+func DecompressBatchContext(ctx context.Context, modelArchive, batchArchive []byte, opts DecompressOptions) (*DecompressResult, error) {
 	decoders, hash, err := extractDecoders(modelArchive)
 	if err != nil {
 		return nil, fmt.Errorf("model archive: %w", err)
 	}
-	return decompressArchive(batchArchive, &providedModel{decoders: decoders, hash: hash})
+	return decompressPipeline(ctx, batchArchive, opts, &providedModel{decoders: decoders, hash: hash})
 }
 
 // parseDecoderSection splits a (inflated-on-demand) decoder section into

@@ -204,6 +204,12 @@ func Decode(buf []byte) ([]int64, error) {
 		codes[i] = symCode{symbol: symbols[i], length: l}
 	}
 	buf = buf[alpha:]
+	// Every code is at least one bit, so the bitstream length bounds the
+	// value count; checking here keeps a corrupt count from driving the
+	// output allocation below.
+	if n > uint64(len(buf))*8 {
+		return nil, fmt.Errorf("%w: count %d exceeds bitstream", ErrCorrupt, n)
+	}
 	// Rebuild canonical codes. The header stores entries already in
 	// canonical (length, symbol) order; verify rather than trust.
 	for i := 1; i < len(codes); i++ {

@@ -152,12 +152,43 @@ func (d *Decoder) hiddenInfer(codes *mat.Matrix) *mat.Matrix {
 // touching training caches. This is the exact computation decompression
 // replays.
 func (d *Decoder) Predict(codes *mat.Matrix) *Predictions {
+	return d.PredictCols(codes, nil)
+}
+
+// PredictCols is Predict restricted to a subset of spec columns: want is
+// indexed by spec position, and nil selects everything. The numeric/binary
+// head is one matmul for all such columns, so it runs whenever at least one
+// of them is wanted and is skipped entirely otherwise. The shared
+// categorical stack — the dominant per-column inference cost — is evaluated
+// only for wanted categorical columns; Cat entries of skipped columns stay
+// nil. Per-row outputs are identical to a full Predict because every layer
+// computes row-independently.
+func (d *Decoder) PredictCols(codes *mat.Matrix, want []bool) *Predictions {
 	if codes.Cols != d.CodeSize {
 		panic(fmt.Sprintf("nn: predict with %d-wide codes, want %d", codes.Cols, d.CodeSize))
 	}
+	wantNumBin := want == nil
+	var wantJ []int // categorical positions to evaluate, ascending
+	if want == nil {
+		for j := 0; j < d.catCols; j++ {
+			wantJ = append(wantJ, j)
+		}
+	} else {
+		for i, s := range d.Specs {
+			if i >= len(want) || !want[i] {
+				continue
+			}
+			switch s.Kind {
+			case OutNumeric, OutBinary:
+				wantNumBin = true
+			case OutCategorical:
+				wantJ = append(wantJ, d.catPos[i])
+			}
+		}
+	}
 	h := d.hiddenInfer(codes)
 	p := &Predictions{}
-	if d.numCols+d.binCols > 0 {
+	if wantNumBin && d.numCols+d.binCols > 0 {
 		z := d.HeadNum.Infer(h)
 		z.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
 		p.Num = mat.New(codes.Rows, d.numCols)
@@ -168,7 +199,7 @@ func (d *Decoder) Predict(codes *mat.Matrix) *Predictions {
 		p.Bin = mat.New(codes.Rows, 0)
 	}
 	p.Cat = make([]*mat.Matrix, d.catCols)
-	if d.catCols > 0 {
+	if len(wantJ) > 0 {
 		aux := d.Aux.Infer(h)
 		cardOf := make([]int, d.catCols)
 		for i, s := range d.Specs {
@@ -186,18 +217,19 @@ func (d *Decoder) Predict(codes *mat.Matrix) *Predictions {
 		if grp < 1 {
 			grp = 1
 		}
-		for j0 := 0; j0 < d.catCols; j0 += grp {
-			j1 := j0 + grp
-			if j1 > d.catCols {
-				j1 = d.catCols
+		for g0 := 0; g0 < len(wantJ); g0 += grp {
+			g1 := g0 + grp
+			if g1 > len(wantJ) {
+				g1 = len(wantJ)
 			}
-			z := d.stackedSharedInput(aux, j0, j1)
+			js := wantJ[g0:g1]
+			z := d.stackedSharedInput(aux, js)
 			logits := d.Shared.Infer(d.SharedHidden.Infer(z))
-			for j := j0; j < j1; j++ {
+			for k, j := range js {
 				card := cardOf[j]
 				probs := mat.New(b, card)
 				for r := 0; r < b; r++ {
-					row := logits.Row((j-j0)*b + r)
+					row := logits.Row(k*b + r)
 					copy(probs.Row(r), row[:card])
 				}
 				Softmax(probs, card)
@@ -208,20 +240,30 @@ func (d *Decoder) Predict(codes *mat.Matrix) *Predictions {
 	return p
 }
 
-// stackedSharedInput assembles the shared-stack inputs for categorical
-// columns [j0, j1) stacked vertically: row (j-j0)*B + r carries row r's
-// auxiliary activations with column j's one-hot signal.
-func (d *Decoder) stackedSharedInput(aux *mat.Matrix, j0, j1 int) *mat.Matrix {
+// stackedSharedInput assembles the shared-stack inputs for the listed
+// categorical columns stacked vertically: row k*B + r carries row r's
+// auxiliary activations with column js[k]'s one-hot signal.
+func (d *Decoder) stackedSharedInput(aux *mat.Matrix, js []int) *mat.Matrix {
 	b := aux.Rows
-	z := mat.New((j1-j0)*b, d.sharedWidth())
-	for j := j0; j < j1; j++ {
+	z := mat.New(len(js)*b, d.sharedWidth())
+	for k, j := range js {
 		for r := 0; r < b; r++ {
-			row := z.Row((j-j0)*b + r)
+			row := z.Row(k*b + r)
 			copy(row, aux.Row(r))
 			row[d.catCols+j] = 1
 		}
 	}
 	return z
+}
+
+// catRange returns the ascending categorical positions [j0, j1) — the
+// stacked-input column list for training's single full-width slab.
+func (d *Decoder) catRange(j0, j1 int) []int {
+	js := make([]int, 0, j1-j0)
+	for j := j0; j < j1; j++ {
+		js = append(js, j)
+	}
+	return js
 }
 
 // splitHead copies the combined numeric+binary head output into its parts:
@@ -412,7 +454,7 @@ func (a *Autoencoder) TrainBatch(x *mat.Matrix, tg *Targets, opt Optimizer) floa
 			}
 		}
 		rows := x.Rows
-		z := a.stackedSharedInput(aux, 0, a.catCols)
+		z := a.stackedSharedInput(aux, a.catRange(0, a.catCols))
 		logits := a.Shared.Forward(a.SharedHidden.Forward(z))
 		gl := mat.New(logits.Rows, logits.Cols)
 		for j := 0; j < a.catCols; j++ {

@@ -22,4 +22,10 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fuzz smoke =="
+# Short coverage-guided runs of the decode-path fuzzers: any panic or
+# unclassified error on arbitrary bytes fails the gate.
+go test -run='^$' -fuzz=FuzzDecompress -fuzztime=10s ./internal/core
+go test -run='^$' -fuzz=FuzzSectionReader -fuzztime=5s ./internal/core
+
 echo "all checks passed"
