@@ -13,11 +13,19 @@
 //	-error 0.05        relative error threshold for all numeric columns
 //	-code 2            code size (representation-layer width)
 //	-experts 1         number of experts
+//	-rowgroup 4096     rows per archive row group (0 = default)
 //	-sample 0          training sample rows (0 = full data)
 //	-tune              run Bayesian hyperparameter tuning first
 //	-seed 1            random seed
 //	-p 0               pipeline parallelism (0 = all CPUs)
 //	-v                 verbose progress + per-stage pipeline report
+//
+// Compression streams the CSV through the row-group archive writer one
+// group at a time, so peak memory is bounded by the row-group size, not
+// the file size. With -tune the whole table is loaded instead (the tuner
+// needs it) and compressed in memory. Decompression without -cols/-rows
+// likewise streams group by group; with a projection or row span it uses
+// the in-memory query-aware decoder.
 //
 // Decompression flags:
 //
@@ -32,10 +40,12 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -111,6 +121,7 @@ func runCompress(ctx context.Context, args []string) error {
 	errThr := fs.Float64("error", 0, "relative error threshold for numeric columns (0 = lossless)")
 	code := fs.Int("code", 2, "code size")
 	experts := fs.Int("experts", 1, "number of experts")
+	rowgroup := fs.Int("rowgroup", 0, "rows per archive row group (0 = default)")
 	sample := fs.Int("sample", 0, "training sample rows (0 = all)")
 	tune := fs.Bool("tune", false, "run hyperparameter tuning before compressing")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -129,14 +140,10 @@ func runCompress(ctx context.Context, args []string) error {
 		return err
 	}
 	defer f.Close()
-	table, err := deepsqueeze.ReadCSV(f, schema)
-	if err != nil {
-		return err
-	}
-	thresholds := deepsqueeze.UniformThresholds(table, *errThr)
 	opts := deepsqueeze.DefaultOptions()
 	opts.CodeSize = *code
 	opts.NumExperts = *experts
+	opts.RowGroupSize = *rowgroup
 	opts.TrainSampleRows = *sample
 	opts.Seed = *seed
 	opts.Parallelism = *parallel
@@ -146,30 +153,129 @@ func runCompress(ctx context.Context, args []string) error {
 		}
 	}
 	if *tune {
-		topts := deepsqueeze.DefaultTuneOptions()
-		topts.Base = opts
-		tres, err := deepsqueeze.TuneContext(ctx, table, thresholds, topts)
-		if err != nil {
-			return fmt.Errorf("tuning: %w", err)
-		}
-		opts = tres.Best
-		fmt.Fprintf(os.Stderr, "tuned: code=%d experts=%d sample=%d (%d trials)\n",
-			opts.CodeSize, opts.NumExperts, opts.TrainSampleRows, len(tres.Trials))
+		return compressTuned(ctx, f, *out, schema, *errThr, opts, *verbose)
 	}
+	return compressStream(ctx, f, *out, schema, *errThr, opts)
+}
+
+// compressTuned loads the whole table (the tuner needs it), tunes, and
+// compresses in memory.
+func compressTuned(ctx context.Context, f *os.File, out string, schema *deepsqueeze.Schema, errThr float64, opts deepsqueeze.Options, verbose bool) error {
+	table, err := deepsqueeze.ReadCSV(f, schema)
+	if err != nil {
+		return err
+	}
+	thresholds := deepsqueeze.UniformThresholds(table, errThr)
+	topts := deepsqueeze.DefaultTuneOptions()
+	topts.Base = opts
+	tres, err := deepsqueeze.TuneContext(ctx, table, thresholds, topts)
+	if err != nil {
+		return fmt.Errorf("tuning: %w", err)
+	}
+	rowgroup := opts.RowGroupSize
+	opts = tres.Best
+	opts.RowGroupSize = rowgroup
+	fmt.Fprintf(os.Stderr, "tuned: code=%d experts=%d sample=%d (%d trials)\n",
+		opts.CodeSize, opts.NumExperts, opts.TrainSampleRows, len(tres.Trials))
 	res, err := deepsqueeze.CompressContext(ctx, table, thresholds, opts)
 	if err != nil {
 		return err
 	}
-	if *verbose {
+	if verbose {
 		printStages(res.Stages)
 	}
-	if err := os.WriteFile(*out, res.Archive, 0o644); err != nil {
+	if err := os.WriteFile(out, res.Archive, 0o644); err != nil {
 		return err
 	}
 	raw := table.CSVSize()
 	fmt.Printf("compressed %d rows: %d → %d bytes (%.2f%%), code bits %d\n",
 		table.NumRows(), raw, res.Breakdown.Total, 100*res.Ratio(raw), res.CodeBits)
 	printBreakdown(res.Breakdown)
+	return nil
+}
+
+// countReader counts raw bytes consumed from the input CSV.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// compressStream pipes the CSV through the row-group archive writer one
+// chunk at a time, writing to out+".tmp" and renaming on success so an
+// interrupt never leaves a partial archive behind.
+func compressStream(ctx context.Context, f *os.File, out string, schema *deepsqueeze.Schema, errThr float64, opts deepsqueeze.Options) error {
+	thresholds := make([]float64, schema.NumColumns())
+	for i, c := range schema.Columns {
+		if c.Type == deepsqueeze.Numeric {
+			thresholds[i] = errThr
+		}
+	}
+	cr := &countReader{r: bufio.NewReaderSize(f, 1<<20)}
+	sc, err := deepsqueeze.NewCSVScanner(cr, schema)
+	if err != nil {
+		return err
+	}
+	tmp := out + ".tmp"
+	of, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		of.Close()
+		os.Remove(tmp)
+		return err
+	}
+	bw := bufio.NewWriterSize(of, 1<<20)
+	aw, err := deepsqueeze.NewArchiveWriter(bw, schema, thresholds, opts)
+	if err != nil {
+		return fail(err)
+	}
+	chunkRows := opts.RowGroupSize
+	if chunkRows <= 0 {
+		chunkRows = 4096
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		chunk, err := sc.ReadChunk(chunkRows)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if err := aw.Write(chunk); err != nil {
+			return fail(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := of.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, out); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	stats := aw.Stats()
+	ratio := 0.0
+	if cr.n > 0 {
+		ratio = 100 * float64(stats.BytesWritten) / float64(cr.n)
+	}
+	fmt.Printf("compressed %d rows in %d row group(s): %d → %d bytes (%.2f%%)\n",
+		stats.Rows, stats.Groups, cr.n, stats.BytesWritten, ratio)
 	return nil
 }
 
@@ -196,6 +302,11 @@ func runDecompress(ctx context.Context, args []string) error {
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("decompress needs -in and -out")
+	}
+	if *cols == "" && *rows == "" {
+		// No projection or row span: stream group by group, holding at
+		// most one row group of output in memory.
+		return decompressStream(ctx, *in, *out, *verbose)
 	}
 	buf, err := os.ReadFile(*in)
 	if err != nil {
@@ -235,11 +346,65 @@ func runDecompress(ctx context.Context, args []string) error {
 		return err
 	}
 	defer of.Close()
-	if err := table.WriteCSV(of); err != nil {
+	bw := bufio.NewWriterSize(of, 1<<20)
+	if err := table.WriteCSV(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
 		return err
 	}
 	fmt.Printf("decompressed %d rows × %d columns to %s\n",
 		table.NumRows(), table.Schema.NumColumns(), *out)
+	return of.Close()
+}
+
+// decompressStream reads the archive group by group and appends each
+// group's rows to the output CSV, so peak memory is one row group.
+func decompressStream(ctx context.Context, in, out string, verbose bool) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ar, err := deepsqueeze.NewArchiveReader(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return err
+	}
+	of, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	bw := bufio.NewWriterSize(of, 1<<20)
+	cw := deepsqueeze.NewCSVWriter(bw, ar.Schema())
+	var rows, groups int
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		g, err := ar.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := cw.WriteTable(g); err != nil {
+			return err
+		}
+		rows += g.NumRows()
+		groups++
+		if verbose {
+			fmt.Fprintf(os.Stderr, "group %d: %d rows\n", groups-1, g.NumRows())
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("decompressed %d rows in %d row group(s) to %s\n", rows, groups, out)
 	return of.Close()
 }
 
@@ -258,7 +423,7 @@ func runInspect(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("archive: %d bytes\nrows: %d\n", info.TotalBytes, info.Rows)
+	fmt.Printf("archive: format v%d, %d bytes\nrows: %d\n", info.Version, info.TotalBytes, info.Rows)
 	fmt.Printf("model: code size %d (%d-bit codes), %d expert(s)\n",
 		info.CodeSize, info.CodeBits, info.NumExperts)
 	if info.Streaming {
@@ -270,6 +435,15 @@ func runInspect(args []string) error {
 	fmt.Println("columns:")
 	for i, c := range info.Schema.Columns {
 		fmt.Printf("  %-24s %-11v %s\n", c.Name, c.Type, info.ColumnKind[i])
+	}
+	if len(info.Groups) > 0 {
+		fmt.Printf("row groups: %d (target %d rows/group)\n", len(info.Groups), info.RowGroupSize)
+		fmt.Printf("  %5s  %-17s %9s %9s %9s %9s\n", "group", "rows", "segment", "codes", "mapping", "failures")
+		for i, g := range info.Groups {
+			span := fmt.Sprintf("[%d:%d)", g.RowStart, g.RowStart+g.RowCount)
+			fmt.Printf("  %5d  %-17s %9d %9d %9d %9d\n",
+				i, span, g.SegmentBytes, g.CodesBytes, g.MappingBytes, g.FailureBytes)
+		}
 	}
 	return nil
 }

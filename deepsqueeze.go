@@ -211,8 +211,57 @@ func DecompressBatchContext(ctx context.Context, modelArchive, batchArchive []by
 	return core.DecompressBatchContext(ctx, modelArchive, batchArchive, opts)
 }
 
+// Streaming archive IO (format v2 row groups).
+type (
+	// ArchiveWriter compresses a table of unbounded length, streaming
+	// row-group segments to an io.Writer as rows arrive. Memory stays
+	// O(RowGroupSize) regardless of the table's total size.
+	ArchiveWriter = core.ArchiveWriter
+	// ArchiveReader decompresses a v2 archive group by group from an
+	// io.Reader, holding at most one row group in memory.
+	ArchiveReader = core.ArchiveReader
+	// WriterStats instruments an ArchiveWriter (rows, groups, and the
+	// buffered-rows high-water mark that proves bounded memory).
+	WriterStats = core.WriterStats
+	// CSVScanner reads a headered CSV file in bounded row chunks.
+	CSVScanner = dataset.CSVScanner
+	// CSVWriter writes tables incrementally as one headered CSV stream.
+	CSVWriter = dataset.CSVWriter
+)
+
+// NewArchiveWriter returns a streaming compressor writing a self-contained
+// v2 archive to w for tables with the given schema. The model trains on the
+// first full row group (Options.RowGroupSize rows; 0 = default); later
+// groups reuse it, re-fitting only dictionaries/scalers per group. Call
+// Write with row batches of any size, then Close to emit the footer.
+func NewArchiveWriter(w io.Writer, schema *Schema, thresholds []float64, opts Options) (*ArchiveWriter, error) {
+	return core.NewArchiveWriter(w, schema, thresholds, opts)
+}
+
+// NewArchiveReader returns a streaming decompressor over an archive in r.
+// Call Next repeatedly for one table per row group until io.EOF; the
+// archive's checksum and footer index are verified before EOF is returned.
+func NewArchiveReader(r io.Reader) (*ArchiveReader, error) {
+	return core.NewArchiveReader(r)
+}
+
+// NewCSVScanner reads a headered CSV against the schema in bounded chunks —
+// the ingest half of a larger-than-memory compress pipeline.
+func NewCSVScanner(r io.Reader, schema *Schema) (*CSVScanner, error) {
+	return dataset.NewCSVScanner(r, schema)
+}
+
+// NewCSVWriter writes tables incrementally as one headered CSV stream — the
+// output half of a larger-than-memory decompress pipeline.
+func NewCSVWriter(w io.Writer, schema *Schema) *CSVWriter {
+	return dataset.NewCSVWriter(w, schema)
+}
+
 // ArchiveInfo summarizes an archive without decompressing it.
 type ArchiveInfo = core.ArchiveInfo
+
+// GroupInfo is one row group's footer-index entry (ArchiveInfo.Groups).
+type GroupInfo = core.GroupInfo
 
 // Inspect parses an archive's metadata (rows, schema, model shape,
 // streaming flag) after validating its checksum, without running the

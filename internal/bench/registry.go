@@ -28,6 +28,7 @@ func Experiments() []Experiment {
 		{"ablation-mapping", "Expert mapping strategies", func(c Config) (*Report, error) { return AblationExpertMapping(c) }},
 		{"pipeline", "Staged pipeline parallel speedup", PipelineSpeedup},
 		{"decompress", "Parallel projection-aware decompression speedup", DecompressSpeedup},
+		{"rowgroup", "RowRange decode latency vs. row-group count", RowGroupScan},
 	}
 }
 

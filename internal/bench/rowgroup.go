@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"deepsqueeze/internal/core"
+	"deepsqueeze/internal/datagen"
+	"deepsqueeze/internal/dataset"
+)
+
+// rowgroupRun is the JSON record one row-group configuration contributes
+// to BENCH_rowgroup.json.
+type rowgroupRun struct {
+	Groups       int     `json:"groups"`
+	RowGroupSize int     `json:"row_group_size"`
+	ArchiveBytes int     `json:"archive_bytes"`
+	FullSecs     float64 `json:"full_decode_secs"`
+	RangeSecs    float64 `json:"range_decode_secs"`
+	SkippedBytes int64   `json:"range_scan_skipped_bytes"`
+	Speedup      float64 `json:"range_speedup_vs_full"`
+}
+
+// rowgroupBenchFile is the top-level BENCH_rowgroup.json document.
+type rowgroupBenchFile struct {
+	Dataset   string        `json:"dataset"`
+	Rows      int           `json:"rows"`
+	RangeRows int           `json:"range_rows"`
+	NumCPU    int           `json:"num_cpu"`
+	Results   []rowgroupRun `json:"results"`
+}
+
+// RowGroupScan benchmarks the v2 row-group index: the same table is
+// compressed at several row-group sizes, and a fixed narrow RowRange is
+// decoded from each archive. With one group the range decode must scan the
+// whole codes/failure payload; with many groups the footer index lets the
+// reader skip every non-overlapping segment, so range latency drops as the
+// group count rises while the archive grows only by per-group framing.
+// Range decodes are verified against the full decode before timings are
+// written to BENCH_rowgroup.json in the working directory.
+func RowGroupScan(cfg Config) (*Report, error) {
+	tc := newTableCache(cfg)
+	t, _, err := tc.get("census")
+	if err != nil {
+		return nil, err
+	}
+	th := datagen.Thresholds(t, 0)
+	opts := dsOptions("census", cfg)
+	if cfg.Quick {
+		// Range-scan behavior is the subject, not model quality.
+		opts.Train.Epochs = 2
+		opts.TrainSampleRows = 1000
+	}
+	opts.Parallelism = runtime.NumCPU()
+
+	rows := t.NumRows()
+	// A narrow fixed window in the middle of the table; every configuration
+	// decodes the same rows.
+	span := rows / 32
+	if span < 1 {
+		span = 1
+	}
+	rr := core.RowRange{Lo: rows / 2, Hi: rows/2 + span}
+
+	rep := &Report{
+		ID:      "rowgroup",
+		Title:   "RowRange decode latency vs. row-group count (v2 footer index)",
+		Columns: []string{"groups", "rowgroup", "archive_bytes", "full_s", "range_s", "skipped_bytes", "speedup"},
+	}
+	file := rowgroupBenchFile{
+		Dataset:   "census",
+		Rows:      rows,
+		RangeRows: span,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	for _, groups := range []int{1, 4, 16, 64} {
+		gsize := (rows + groups - 1) / groups
+		o := opts
+		o.RowGroupSize = gsize
+		res, err := core.Compress(t, th, o)
+		if err != nil {
+			return nil, err
+		}
+		info, err := core.Inspect(res.Archive)
+		if err != nil {
+			return nil, err
+		}
+
+		start := time.Now()
+		full, err := core.DecompressContext(context.Background(), res.Archive,
+			core.DecompressOptions{Parallelism: opts.Parallelism})
+		if err != nil {
+			return nil, err
+		}
+		fullSecs := time.Since(start).Seconds()
+
+		start = time.Now()
+		rres, err := core.DecompressContext(context.Background(), res.Archive,
+			core.DecompressOptions{Parallelism: opts.Parallelism, RowRange: rr})
+		if err != nil {
+			return nil, err
+		}
+		rangeSecs := time.Since(start).Seconds()
+
+		if rres.Table.NumRows() != span {
+			return nil, fmt.Errorf("bench: range decode returned %d rows, want %d", rres.Table.NumRows(), span)
+		}
+		for col, c := range t.Schema.Columns {
+			for r := 0; r < span; r++ {
+				if c.Type == dataset.Categorical {
+					if rres.Table.Str[col][r] != full.Table.Str[col][rr.Lo+r] {
+						return nil, fmt.Errorf("bench: range decode differs from full at row %d col %d", rr.Lo+r, col)
+					}
+				} else if rres.Table.Num[col][r] != full.Table.Num[col][rr.Lo+r] {
+					return nil, fmt.Errorf("bench: range decode differs from full at row %d col %d", rr.Lo+r, col)
+				}
+			}
+		}
+
+		skipped := stageBytes(rres.Stages, "scan")
+		speedup := fullSecs / rangeSecs
+		file.Results = append(file.Results, rowgroupRun{
+			Groups:       len(info.Groups),
+			RowGroupSize: gsize,
+			ArchiveBytes: len(res.Archive),
+			FullSecs:     fullSecs,
+			RangeSecs:    rangeSecs,
+			SkippedBytes: skipped,
+			Speedup:      speedup,
+		})
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", len(info.Groups)),
+			fmt.Sprintf("%d", gsize),
+			fmt.Sprintf("%d", len(res.Archive)),
+			fmt.Sprintf("%.3f", fullSecs),
+			fmt.Sprintf("%.3f", rangeSecs),
+			fmt.Sprintf("%d", skipped),
+			fmt.Sprintf("%.2fx", speedup),
+		})
+		cfg.logf("rowgroup groups=%d: full %.3fs range %.3fs skipped %d bytes",
+			len(info.Groups), fullSecs, rangeSecs, skipped)
+	}
+
+	rep.Notes = append(rep.Notes,
+		"range decodes verified against the full decode",
+		"skipped bytes are segments the scan stage never materialized",
+		"timings written to BENCH_rowgroup.json")
+	buf, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile("BENCH_rowgroup.json", append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// stageBytes returns the named stage's byte counter — for the scan stage
+// on a range decode, that is the bytes of segments skipped via the footer
+// index.
+func stageBytes(stages []core.StageStats, name string) int64 {
+	for _, st := range stages {
+		if st.Name == name {
+			return st.Bytes
+		}
+	}
+	return 0
+}

@@ -15,7 +15,7 @@ func TestSectionWriterReaderRoundTrip(t *testing.T) {
 	w.chunk(bytes.Repeat([]byte{7}, 1000))
 	buf := w.finish()
 
-	r, flags, err := newSectionReader(buf)
+	r, _, flags, err := newSectionReader(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,12 +70,12 @@ func TestSectionReaderRejects(t *testing.T) {
 		}(),
 	}
 	for name, c := range cases {
-		if _, _, err := newSectionReader(c); err == nil {
+		if _, _, _, err := newSectionReader(c); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}
 	// Trailing data must fail done().
-	r, _, err := newSectionReader(good)
+	r, _, _, err := newSectionReader(good)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestSectionReaderChunkOverrun(t *testing.T) {
 	w.raw([]byte{archiveVersion, 0})
 	w.uvarint(1 << 40) // declared chunk far larger than archive
 	buf := w.finish()
-	r, _, err := newSectionReader(buf)
+	r, _, _, err := newSectionReader(buf)
 	if err != nil {
 		t.Fatal(err)
 	}

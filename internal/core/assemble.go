@@ -6,6 +6,7 @@ import (
 	"deepsqueeze/internal/colfile"
 	"deepsqueeze/internal/dataset"
 	"deepsqueeze/internal/nn"
+	"deepsqueeze/internal/pipeline"
 	"deepsqueeze/internal/preprocess"
 )
 
@@ -20,6 +21,7 @@ type archiveState struct {
 	assign   []int // original row → expert
 	grouped  bool
 	experts  int
+	spans    []rowSpan // row-group partition of [0, rows)
 	// ext, when non-nil, marks a streaming batch archive: the decoders are
 	// not embedded, only the SHA-256 of the model archive's decoder section.
 	ext *externalModelRef
@@ -30,121 +32,290 @@ type externalModelRef struct {
 	Hash [32]byte
 }
 
-// assembleArchive writes the archive and returns it with the per-section
-// size breakdown.
-func assembleArchive(t *dataset.Table, md *modelData, opts Options, st archiveState) ([]byte, Breakdown, error) {
-	var bd Breakdown
+// segConfig is the per-archive context a segment writer needs.
+type segConfig struct {
+	hasModel  bool
+	experts   int
+	grouped   bool // grouped mapping form (vs per-tuple labels)
+	keepOrder bool // original order recoverable (flagRowOrder)
+}
+
+// segmentData is everything one row-group segment serializes, already cut to
+// the group's rows: dense streams and perm are the group's stored-order
+// slice, sparse queues hold only the group's escapes/corrections. origBase
+// is subtracted from perm values to form group-local indexes (span.start
+// when slicing a global materialization, 0 when the streams are group-local
+// as in the streaming writer).
+type segmentData struct {
+	span      rowSpan
+	origBase  int
+	planChunk []byte // group plan override payload; nil = header plan applies
+	dims      [][]int64
+	ints      map[int][]int64
+	exc       map[int][]int64
+	mask      map[int][]int64
+	vals      map[int][]float64
+	perm      []int
+}
+
+// sliceGroups cuts the global stored-order streams at span boundaries. The
+// sparse exception / continuous-correction queues are split by one serial
+// prefix pass over the dense streams (an escape consumes one exception, a
+// set mask bit consumes one correction).
+func sliceGroups(md *modelData, fs *failureSet, dims [][]int64, perm []int, spans []rowSpan) []segmentData {
+	excOff := make(map[int]int)
+	valOff := make(map[int]int)
+	groups := make([]segmentData, len(spans))
+	for gi, sp := range spans {
+		lo, hi := sp.start, sp.start+sp.count
+		g := &groups[gi]
+		g.span, g.origBase = sp, sp.start
+		g.perm = perm[lo:hi]
+		g.dims = make([][]int64, len(dims))
+		for d, col := range dims {
+			g.dims[d] = col[lo:hi]
+		}
+		g.ints = make(map[int][]int64)
+		g.exc = make(map[int][]int64)
+		g.mask = make(map[int][]int64)
+		g.vals = make(map[int][]float64)
+		for col, ints := range fs.ints {
+			seg := ints[lo:hi]
+			g.ints[col] = seg
+			if _, ok := fs.exceptions[col]; !ok {
+				continue
+			}
+			card := int64(md.specs[md.specOfCol[col]].Card)
+			cnt := 0
+			for _, v := range seg {
+				if v == card {
+					cnt++
+				}
+			}
+			off := excOff[col]
+			g.exc[col] = fs.exceptions[col][off : off+cnt]
+			excOff[col] = off + cnt
+		}
+		for col, mask := range fs.contMask {
+			seg := mask[lo:hi]
+			g.mask[col] = seg
+			cnt := 0
+			for _, m := range seg {
+				if m != 0 {
+					cnt++
+				}
+			}
+			off := valOff[col]
+			g.vals[col] = fs.contVals[col][off : off+cnt]
+			valOff[col] = off + cnt
+		}
+	}
+	return groups
+}
+
+// buildMappingChunk serializes one group's expert mapping in the v1 chunk
+// shape: the grouped form stores per-expert counts (plus packed group-local
+// original indexes when row order is kept); the labels form stores one
+// expert label per tuple. perm is the group's stored-order slice; origBase
+// is subtracted to make indexes group-local.
+func buildMappingChunk(assign, perm []int, origBase, experts int, grouped, keepOrder bool) []byte {
+	if !grouped {
+		labels := make([]int64, len(perm))
+		for i, orig := range perm {
+			labels[i] = int64(assign[orig])
+		}
+		return colfile.PackInts(labels)
+	}
+	byExpert := make([][]int64, experts)
+	for _, orig := range perm {
+		e := assign[orig]
+		byExpert[e] = append(byExpert[e], int64(orig-origBase))
+	}
+	var mb []byte
+	for _, idx := range byExpert {
+		mb = binary.AppendUvarint(mb, uint64(len(idx)))
+		if keepOrder {
+			packed := colfile.PackInts(idx)
+			mb = binary.AppendUvarint(mb, uint64(len(packed)))
+			mb = append(mb, packed...)
+		}
+	}
+	return mb
+}
+
+// buildSegment serializes one row group into a CRC-framed segment body:
+// a segment header chunk (row span + plan-override marker), the optional
+// group plan, the group's code dimensions, expert mapping, and per-column
+// failure chunks (same per-column chunk rules as format v1). t, md, and
+// assign are addressed through g.perm, so they may be the global table or a
+// group-local one. Returns the framed bytes plus the codes/mapping/failures
+// section sizes for the footer index.
+func buildSegment(t *dataset.Table, md *modelData, assign []int, cfg segConfig, g segmentData) ([]byte, int64, int64, int64, error) {
 	w := &sectionWriter{}
-	hasModel := len(st.decoders) > 0
+	var sh []byte
+	sh = binary.AppendUvarint(sh, uint64(g.span.start))
+	sh = binary.AppendUvarint(sh, uint64(g.span.count))
+	if g.planChunk != nil {
+		sh = append(sh, 1)
+	} else {
+		sh = append(sh, 0)
+	}
+	w.chunk(sh)
+	if g.planChunk != nil {
+		w.chunk(g.planChunk)
+	}
+	var codes, mapping, failures int64
+	if cfg.hasModel {
+		for _, dim := range g.dims {
+			codes += w.chunk(colfile.PackInts(dim))
+		}
+	}
+	if cfg.experts > 1 {
+		mapping += w.chunk(buildMappingChunk(assign, g.perm, g.origBase, cfg.experts, cfg.grouped, cfg.keepOrder))
+	}
+	for col := range md.plan.Cols {
+		cp := &md.plan.Cols[col]
+		switch {
+		case md.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
+			failures += w.chunk(colfile.PackInts(g.mask[col]))
+			failures += w.chunk(colfile.PackFloats(g.vals[col]))
+		case md.specOfCol[col] >= 0:
+			failures += w.chunk(colfile.PackInts(g.ints[col]))
+			if md.specs[md.specOfCol[col]].Kind == nn.OutCategorical {
+				failures += w.chunk(colfile.PackInts(g.exc[col]))
+			}
+		case cp.Kind == preprocess.KindFallbackCat:
+			vals := make([]string, g.span.count)
+			for s, orig := range g.perm {
+				vals[s] = t.Str[col][orig]
+			}
+			failures += w.chunk(colfile.PackStrings(vals))
+		case cp.Kind == preprocess.KindFallbackNum:
+			vals := make([]float64, g.span.count)
+			for s, orig := range g.perm {
+				vals[s] = t.Num[col][orig]
+			}
+			failures += w.chunk(colfile.PackFloats(vals))
+		default: // trivial: store the (tiny) code stream directly
+			cc := md.codes[col]
+			vals := make([]int64, g.span.count)
+			for s, orig := range g.perm {
+				vals[s] = int64(cc[orig])
+			}
+			failures += w.chunk(colfile.PackInts(vals))
+		}
+	}
+	return w.finish(), codes, mapping, failures, nil
+}
+
+// archiveFlags derives the flag byte for an archive's state.
+func archiveFlags(st *archiveState, keepRowOrder bool) byte {
 	flags := byte(0)
 	if st.grouped {
 		flags |= flagGrouped
 	}
-	if hasModel {
+	if len(st.decoders) > 0 {
 		flags |= flagHasModel
 	}
-	if opts.KeepRowOrder || st.experts <= 1 || !st.grouped {
+	if keepRowOrder || st.experts <= 1 || !st.grouped {
 		flags |= flagRowOrder
 	}
 	if st.ext != nil {
 		flags |= flagExternalModel
 	}
+	return flags
+}
+
+// appendDecoderChunkPayload serializes the decoder section payload: the
+// external-model hash for streaming batch archives, the gzip'd
+// length-prefixed decoders otherwise.
+func appendDecoderChunkPayload(st *archiveState) ([]byte, error) {
+	if st.ext != nil {
+		return st.ext.Hash[:], nil
+	}
+	var db []byte
+	for _, d := range st.decoders {
+		body := d.AppendBinary(nil)
+		db = binary.AppendUvarint(db, uint64(len(body)))
+		db = append(db, body...)
+	}
+	return deflateBytes(db)
+}
+
+// assembleArchive writes a version-2 archive — prefix, row-group segments,
+// footer index — and returns it with the per-section size breakdown.
+// Segments build concurrently over the run's pool into index-addressed
+// slots and are concatenated serially, so the bytes are identical at every
+// parallelism level.
+func assembleArchive(run *pipeline.Run, t *dataset.Table, md *modelData, opts Options, st archiveState) ([]byte, Breakdown, error) {
+	var bd Breakdown
+	w := &sectionWriter{}
+	hasModel := len(st.decoders) > 0
+	flags := archiveFlags(&st, opts.KeepRowOrder)
 	w.raw(magic[:])
 	w.raw([]byte{archiveVersion, flags})
-	bd.Header += 6
-
-	var hdr []byte
-	hdr = binary.AppendUvarint(hdr, uint64(md.rows))
-	hdr = md.plan.AppendBinary(hdr)
-	hdr = binary.AppendUvarint(hdr, uint64(st.codeSize))
-	hdr = binary.AppendUvarint(hdr, uint64(st.codeBits))
-	hdr = binary.AppendUvarint(hdr, uint64(st.experts))
-	bd.Header += w.chunk(hdr)
+	w.chunk(appendHeaderPayload(nil, md.plan, st.codeSize, st.codeBits, st.experts, opts.rowGroupSize()))
 
 	if hasModel {
-		if st.ext != nil {
-			bd.Decoder += w.chunk(st.ext.Hash[:])
-		} else {
-			var db []byte
-			for _, d := range st.decoders {
-				body := d.AppendBinary(nil)
-				db = binary.AppendUvarint(db, uint64(len(body)))
-				db = append(db, body...)
-			}
-			zdb, err := deflateBytes(db)
-			if err != nil {
-				return nil, bd, err
-			}
-			bd.Decoder += w.chunk(zdb)
+		payload, err := appendDecoderChunkPayload(&st)
+		if err != nil {
+			return nil, bd, err
 		}
-		for _, dim := range st.codeDims {
-			bd.Codes += w.chunk(colfile.PackInts(dim))
-		}
+		bd.Decoder += w.chunk(payload)
 	}
 
-	if st.experts > 1 {
-		var mb []byte
-		if st.grouped {
-			byExpert := make([][]int64, st.experts)
-			for _, orig := range st.perm {
-				e := st.assign[orig]
-				byExpert[e] = append(byExpert[e], int64(orig))
-			}
-			keepOrder := flags&flagRowOrder != 0
-			for _, idx := range byExpert {
-				mb = binary.AppendUvarint(mb, uint64(len(idx)))
-				if keepOrder {
-					packed := colfile.PackInts(idx)
-					mb = binary.AppendUvarint(mb, uint64(len(packed)))
-					mb = append(mb, packed...)
-				}
-			}
-		} else {
-			labels := make([]int64, len(st.assign))
-			for i, e := range st.assign {
-				labels[i] = int64(e)
-			}
-			mb = colfile.PackInts(labels)
-		}
-		bd.Mapping += w.chunk(mb)
+	spans := st.spans
+	if len(spans) == 0 {
+		spans = rowGroupSpans(md.rows, opts.rowGroupSize())
+	}
+	groups := sliceGroups(md, st.fs, st.codeDims, st.perm, spans)
+	cfg := segConfig{
+		hasModel:  hasModel,
+		experts:   st.experts,
+		grouped:   st.grouped,
+		keepOrder: flags&flagRowOrder != 0,
+	}
+	type builtSeg struct {
+		framed                   []byte
+		codes, mapping, failures int64
+	}
+	segs := make([]builtSeg, len(groups))
+	err := run.ForEach(len(groups), func(g int) error {
+		framed, codes, mapping, failures, err := buildSegment(t, md, st.assign, cfg, groups[g])
+		segs[g] = builtSeg{framed, codes, mapping, failures}
+		return err
+	})
+	if err != nil {
+		return nil, bd, err
 	}
 
-	// Failure streams, one group of chunks per schema column in order.
-	for col := range md.plan.Cols {
-		cp := &md.plan.Cols[col]
-		switch {
-		case md.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
-			bd.Failures += w.chunk(colfile.PackInts(st.fs.contMask[col]))
-			bd.Failures += w.chunk(colfile.PackFloats(st.fs.contVals[col]))
-		case md.specOfCol[col] >= 0:
-			bd.Failures += w.chunk(colfile.PackInts(st.fs.ints[col]))
-			if md.specs[md.specOfCol[col]].Kind == nn.OutCategorical {
-				bd.Failures += w.chunk(colfile.PackInts(st.fs.exceptions[col]))
-			}
-		case cp.Kind == preprocess.KindFallbackCat:
-			vals := make([]string, md.rows)
-			for s, orig := range st.perm {
-				vals[s] = t.Str[col][orig]
-			}
-			bd.Failures += w.chunk(colfile.PackStrings(vals))
-		case cp.Kind == preprocess.KindFallbackNum:
-			vals := make([]float64, md.rows)
-			for s, orig := range st.perm {
-				vals[s] = t.Num[col][orig]
-			}
-			bd.Failures += w.chunk(colfile.PackFloats(vals))
-		default: // trivial: store the (tiny) code stream directly
-			cc := md.codes[col]
-			vals := make([]int64, md.rows)
-			for s, orig := range st.perm {
-				vals[s] = int64(cc[orig])
-			}
-			bd.Failures += w.chunk(colfile.PackInts(vals))
+	metas := make([]groupMeta, len(groups))
+	for g := range groups {
+		off := int64(w.buf.Len())
+		w.raw([]byte{kindSegment})
+		w.chunk(segs[g].framed)
+		metas[g] = groupMeta{
+			start: groups[g].span.start, count: groups[g].span.count,
+			off: off, segLen: int64(w.buf.Len()) - off,
+			codes: segs[g].codes, mapping: segs[g].mapping, failures: segs[g].failures,
 		}
+		bd.Codes += segs[g].codes
+		bd.Mapping += segs[g].mapping
+		bd.Failures += segs[g].failures
 	}
+
+	footOff := int64(w.buf.Len())
+	w.raw([]byte{kindFooter})
+	w.chunk(appendFooterPayload(nil, md.rows, metas))
+	var trailer [8]byte
+	binary.LittleEndian.PutUint64(trailer[:], uint64(footOff))
+	w.raw(trailer[:])
 
 	out := w.finish()
-	bd.Header += 4 // checksum
 	bd.Total = int64(len(out))
+	// Everything that is not decoders, codes, failures, or mapping — the
+	// envelope, plan, segment/footer framing, and checksums — counts as
+	// header, keeping the Fig. 6 components summing exactly to Total.
+	bd.Header = bd.Total - bd.Decoder - bd.Codes - bd.Failures - bd.Mapping
 	return out, bd, nil
 }

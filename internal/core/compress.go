@@ -9,7 +9,6 @@ import (
 	"math/rand"
 	"sort"
 
-	"deepsqueeze/internal/colfile"
 	"deepsqueeze/internal/dataset"
 	"deepsqueeze/internal/kmeans"
 	"deepsqueeze/internal/mat"
@@ -137,6 +136,11 @@ func materialize(run *pipeline.Run, t *dataset.Table, md *modelData, opts Option
 		res.ExpertUse[e]++
 	}
 
+	// Row groups: every archive section is segmented at these span
+	// boundaries, so the stored order must keep each group's rows
+	// contiguous — expert grouping happens within each span.
+	spans := rowGroupSpans(md.rows, opts.rowGroupSize())
+
 	// Stored order: grouped by expert when it pays, original otherwise.
 	identity := make([]int, md.rows)
 	for i := range identity {
@@ -144,7 +148,7 @@ func materialize(run *pipeline.Run, t *dataset.Table, md *modelData, opts Option
 	}
 	grouped := identity
 	if numExperts > 1 {
-		grouped = groupedPerm(assign)
+		grouped = groupedPermSpans(assign, spans)
 	}
 
 	// Iterative code truncation (paper §6.2): evaluate byte-step widths and
@@ -223,12 +227,8 @@ func materialize(run *pipeline.Run, t *dataset.Table, md *modelData, opts Option
 	groupedMapping := true
 	if numExperts > 1 && hasModel && opts.KeepRowOrder {
 		err := run.Stage("mapping", func() error {
-			groupedCost := mappingGroupedSize(assign, grouped, numExperts)
-			labels := make([]int64, md.rows)
-			for i, e := range assign {
-				labels[i] = int64(e)
-			}
-			labelsCost := int64(len(colfile.PackInts(labels)))
+			groupedCost := mappingCost(assign, grouped, spans, numExperts, true, true)
+			labelsCost := mappingCost(assign, identity, spans, numExperts, false, true)
 			identCodes := permuteRows(codesF, identity)
 			dimsI, recI := quantizeCodes(identCodes, bestBits)
 			fsI, err := computeFailures(run, md, origNum, decoders, assign, recI, identity)
@@ -266,7 +266,7 @@ func materialize(run *pipeline.Run, t *dataset.Table, md *modelData, opts Option
 	var bd Breakdown
 	err := run.StageBytes("assemble", func() (int64, error) {
 		var err error
-		archive, bd, err = assembleArchive(t, md, opts, archiveState{
+		archive, bd, err = assembleArchive(run, t, md, opts, archiveState{
 			decoders: decoders,
 			codeDims: bestDims,
 			codeBits: bestBits,
@@ -276,6 +276,7 @@ func materialize(run *pipeline.Run, t *dataset.Table, md *modelData, opts Option
 			assign:   assign,
 			grouped:  groupedMapping,
 			experts:  numExperts,
+			spans:    spans,
 			ext:      ext,
 		})
 		return int64(len(archive)), err
@@ -475,11 +476,21 @@ func encodeCodes(run *pipeline.Run, experts []*nn.Autoencoder, assign []int, x *
 // groupedPerm returns original row indexes sorted by (expert, row) — the
 // stored order for grouped mapping.
 func groupedPerm(assign []int) []int {
+	return groupedPermSpans(assign, []rowSpan{{0, len(assign)}})
+}
+
+// groupedPermSpans is groupedPerm restricted to row-group boundaries: rows
+// are expert-sorted within each span, so every group's rows stay contiguous
+// in stored order and each segment can slice the global streams cleanly.
+func groupedPermSpans(assign []int, spans []rowSpan) []int {
 	perm := make([]int, len(assign))
 	for i := range perm {
 		perm[i] = i
 	}
-	sort.SliceStable(perm, func(a, b int) bool { return assign[perm[a]] < assign[perm[b]] })
+	for _, sp := range spans {
+		seg := perm[sp.start : sp.start+sp.count]
+		sort.SliceStable(seg, func(a, b int) bool { return assign[seg[a]] < assign[seg[b]] })
+	}
 	return perm
 }
 
@@ -492,17 +503,13 @@ func permuteRows(m *mat.Matrix, perm []int) *mat.Matrix {
 	return out
 }
 
-// mappingGroupedSize estimates the grouped mapping's byte cost: per-expert
-// counts plus delta-coded original indexes.
-func mappingGroupedSize(assign, perm []int, numExperts int) int64 {
-	var total int64 = int64(numExperts) // count varints, roughly
-	byExpert := make([][]int64, numExperts)
-	for _, orig := range perm {
-		e := assign[orig]
-		byExpert[e] = append(byExpert[e], int64(orig))
-	}
-	for _, idx := range byExpert {
-		total += int64(len(colfile.PackInts(idx)))
+// mappingCost totals the exact per-group mapping chunk sizes a stored order
+// would produce — the objective of the grouped-vs-labels decision.
+func mappingCost(assign, perm []int, spans []rowSpan, numExperts int, grouped, keepOrder bool) int64 {
+	var total int64
+	for _, sp := range spans {
+		mb := buildMappingChunk(assign, perm[sp.start:sp.start+sp.count], sp.start, numExperts, grouped, keepOrder)
+		total += int64(len(mb))
 	}
 	return total
 }

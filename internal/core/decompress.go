@@ -10,6 +10,7 @@ import (
 
 	"deepsqueeze/internal/colfile"
 	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/mat"
 	"deepsqueeze/internal/nn"
 	"deepsqueeze/internal/pipeline"
 	"deepsqueeze/internal/preprocess"
@@ -41,9 +42,8 @@ type DecompressOptions struct {
 	Columns []string
 
 	// RowRange restricts the output to a span of rows in original order.
-	// Failure streams still decode fully (escape queues resolve by scanning
-	// from position zero), but decoder inference and assembly run only for
-	// the selected rows.
+	// In a version-2 archive, row groups that do not overlap the span are
+	// skipped entirely — their segments are never parsed or decoded.
 	RowRange RowRange
 
 	// MaxRows, when positive, rejects archives declaring more rows as
@@ -57,8 +57,9 @@ type DecompressOptions struct {
 type DecompressResult struct {
 	Table *dataset.Table
 	// Stages reports wall clock and bytes per pipeline stage in execution
-	// order: parse, scan (bytes = archive bytes skipped by projection),
-	// unpack (bytes = encoded bytes decoded), resolve, decode, assemble.
+	// order: parse, scan (bytes = archive bytes skipped by projection and
+	// row-group skipping), unpack (bytes = encoded bytes decoded), resolve,
+	// decode, assemble.
 	Stages []StageStats
 }
 
@@ -104,9 +105,52 @@ func corrupt(err error) error {
 	return fmt.Errorf("%w: %v", ErrCorrupt, err)
 }
 
-// decompressor carries the state threaded through the decompression stages.
-// Parallel stages write into disjoint per-column or per-expert slots of the
-// slices below, which keeps the result independent of scheduling.
+// groupDec is one row group's decoding state. A version-1 archive decodes as
+// a single group covering every row; a version-2 archive has one groupDec
+// per footer entry, and only groups overlapping the requested row range are
+// parsed (active). Parallel stages write into disjoint per-group slots, so
+// the result is independent of scheduling.
+type groupDec struct {
+	start, count int  // global row span [start, start+count)
+	glo, ghi     int  // selected group-local row span [glo, ghi)
+	active       bool // segment parsed (overlaps the request)
+	meta         groupMeta
+
+	// Raw chunk slices gathered by scan (views into the archive, no copies).
+	planChunk    []byte
+	dimChunks    [][]byte
+	mappingChunk []byte
+	colChunks    [][2][]byte // per schema column; unselected stay nil
+
+	// Unpacked streams, indexed by schema column (spec streams) or code
+	// dimension; all in the group's stored order.
+	plan    *preprocess.Plan // group plan (header plan unless overridden)
+	dims    [][]int64
+	perm    []int // stored position → group-local original row
+	assign  []int // group-local original row → expert
+	fInts   [][]int64
+	fExc    [][]int64
+	fMask   [][]int64
+	fVals   [][]float64
+	fbStr   [][]string
+	fbNum   [][]float64
+	trivial [][]int64
+
+	// Resolved escape/correction queues, indexed by spec position.
+	excAt  []map[int]int64
+	valAt  []map[int]float64
+	unperm []int // group-local original row → stored position
+
+	// Decoded model-column values in stored order, indexed by schema column.
+	colCodes [][]int
+	contOut  [][]float64
+
+	// Decode-stage inputs, built once per group before the expert fan-out.
+	rec   *mat.Matrix
+	posBy [][]int
+}
+
+// decompressor carries the state shared across row groups.
 type decompressor struct {
 	run  *pipeline.Run
 	opts DecompressOptions
@@ -114,51 +158,30 @@ type decompressor struct {
 
 	archive []byte
 	r       *sectionReader
+	version byte
 	flags   byte
 
-	rows       int
-	plan       *preprocess.Plan
-	lo         *layout
-	codeSize   int
-	codeBits   int
-	numExperts int
-	hasModel   bool
+	rows         int
+	plan         *preprocess.Plan
+	lo           *layout
+	codeSize     int
+	codeBits     int
+	numExperts   int
+	rowGroupSize int
+	hasModel     bool
 
-	sel       []bool // schema column → selected
-	selCols   []int  // selected schema columns, ascending
-	wantSpec  []bool // spec position → selected
-	needModel bool   // any selected column needs decoder inference
-	rlo, rhi  int    // selected original-row span [rlo, rhi)
+	sel         []bool // schema column → selected
+	selCols     []int  // selected schema columns, ascending
+	wantSpec    []bool // spec position → selected
+	needModel   bool   // any selected column needs decoder inference
+	needMapping bool
+	rlo, rhi    int // selected original-row span [rlo, rhi)
 
-	// Raw chunk slices gathered by scan (views into archive, no copies).
 	decoderChunk []byte
-	dimChunks    [][]byte
-	mappingChunk []byte
-	needMapping  bool
-	colChunks    [][2][]byte // per schema column; unselected stay nil
+	decoders     []*nn.Decoder
 
-	// Unpacked streams, indexed by schema column (spec streams) or code
-	// dimension; all in stored order.
-	decoders []*nn.Decoder
-	dims     [][]int64
-	perm     []int // stored position → original row
-	assign   []int // original row → expert
-	fInts    [][]int64
-	fExc     [][]int64
-	fMask    [][]int64
-	fVals    [][]float64
-	fbStr    [][]string
-	fbNum    [][]float64
-	trivial  [][]int64
-
-	// Resolved escape/correction queues, indexed by spec position.
-	excAt  []map[int]int64
-	valAt  []map[int]float64
-	unperm []int // original row → stored position
-
-	// Decoded model-column values in stored order, indexed by schema column.
-	colCodes [][]int
-	contOut  [][]float64
+	footer *archiveFooter // version 2 only
+	groups []*groupDec
 }
 
 // decompressPipeline runs the staged decompression: parse → scan → unpack →
@@ -191,59 +214,44 @@ func decompressPipeline(ctx context.Context, archive []byte, opts DecompressOpti
 	return &DecompressResult{Table: out, Stages: run.Stats()}, nil
 }
 
-// parse validates the envelope, decodes the header chunk, derives the
-// layout, and resolves the projection (columns, row range, model need).
+// parse validates the envelope, decodes the header chunk (and, for version
+// 2, the footer index), derives the layout, resolves the projection, and
+// lays out the row groups.
 func (d *decompressor) parse() error {
-	r, flags, err := newSectionReader(d.archive)
+	r, version, flags, err := newSectionReader(d.archive)
 	if err != nil {
 		return err
 	}
-	d.r, d.flags = r, flags
+	d.r, d.version, d.flags = r, version, flags
 	hdr, err := r.chunk()
 	if err != nil {
 		return err
 	}
-	rows64, sz := binary.Uvarint(hdr)
-	if sz <= 0 {
-		return fmt.Errorf("%w: missing row count", ErrCorrupt)
-	}
-	if rows64 > math.MaxInt32 {
-		return fmt.Errorf("%w: %d rows exceeds the format limit", ErrCorrupt, rows64)
-	}
-	if d.opts.MaxRows > 0 && rows64 > uint64(d.opts.MaxRows) {
-		return fmt.Errorf("%w: %d rows exceeds caller limit %d", ErrCorrupt, rows64, d.opts.MaxRows)
-	}
-	d.rows = int(rows64)
-	plan, used, err := preprocess.DecodePlan(hdr[sz:])
+	h, err := decodeHeader(hdr, version)
 	if err != nil {
-		return corrupt(err)
+		return err
 	}
-	d.plan = plan
-	pos := sz + used
-	codeSize64, sz := binary.Uvarint(hdr[pos:])
-	if sz <= 0 {
-		return fmt.Errorf("%w: missing code size", ErrCorrupt)
+	if version == archiveVersionV1 {
+		d.rows = h.rows
+	} else {
+		ft, _, err := parseFooter(r.buf, r.pos)
+		if err != nil {
+			return err
+		}
+		d.footer = ft
+		d.rows = ft.rows
 	}
-	pos += sz
-	codeBits64, sz := binary.Uvarint(hdr[pos:])
-	if sz <= 0 {
-		return fmt.Errorf("%w: missing code bits", ErrCorrupt)
+	if d.opts.MaxRows > 0 && d.rows > d.opts.MaxRows {
+		return fmt.Errorf("%w: %d rows exceeds caller limit %d", ErrCorrupt, d.rows, d.opts.MaxRows)
 	}
-	pos += sz
-	experts64, sz := binary.Uvarint(hdr[pos:])
-	if sz <= 0 {
-		return fmt.Errorf("%w: missing expert count", ErrCorrupt)
-	}
-	pos += sz
-	if pos != len(hdr) {
-		return fmt.Errorf("%w: trailing header bytes", ErrCorrupt)
-	}
-	d.codeSize, d.codeBits, d.numExperts = int(codeSize64), int(codeBits64), int(experts64)
+	d.plan = h.plan
+	d.codeSize, d.codeBits, d.numExperts = h.codeSize, h.codeBits, h.numExperts
+	d.rowGroupSize = h.rowGroupSize
 	if d.numExperts < 1 || d.numExperts > d.rows+1 {
 		return fmt.Errorf("%w: %d experts for %d rows", ErrCorrupt, d.numExperts, d.rows)
 	}
 
-	lo, err := deriveLayout(plan)
+	lo, err := deriveLayout(d.plan)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
@@ -256,8 +264,8 @@ func (d *decompressor) parse() error {
 		// Each code dimension occupies at least one archive byte, so a code
 		// size past the archive length cannot be honest; code bits outside
 		// [1, 32] would overflow the reconstruction grid.
-		if codeSize64 > uint64(len(d.archive)) {
-			return fmt.Errorf("%w: code size %d exceeds archive", ErrCorrupt, codeSize64)
+		if d.codeSize < 0 || d.codeSize > len(d.archive) {
+			return fmt.Errorf("%w: code size %d exceeds archive", ErrCorrupt, d.codeSize)
 		}
 		if d.codeBits < 1 || d.codeBits > 32 {
 			return fmt.Errorf("%w: code bits %d outside [1,32]", ErrCorrupt, d.codeBits)
@@ -265,7 +273,7 @@ func (d *decompressor) parse() error {
 	}
 
 	// Column projection.
-	ncols := len(plan.Cols)
+	ncols := len(d.plan.Cols)
 	d.sel = make([]bool, ncols)
 	if d.opts.Columns == nil {
 		for col := range d.sel {
@@ -273,7 +281,7 @@ func (d *decompressor) parse() error {
 		}
 	} else {
 		byName := make(map[string]int, ncols)
-		for col, c := range plan.Schema.Columns {
+		for col, c := range d.plan.Schema.Columns {
 			byName[c.Name] = col
 		}
 		for _, name := range d.opts.Columns {
@@ -320,44 +328,192 @@ func (d *decompressor) parse() error {
 		}
 		d.rlo, d.rhi = rr.Lo, rr.Hi
 	}
+
+	// Row groups: one implicit group for version 1; one per footer entry for
+	// version 2, active only when it overlaps the request (a full-range
+	// request keeps every group active, including empty ones).
+	if d.version == archiveVersionV1 {
+		d.groups = []*groupDec{{
+			start: 0, count: d.rows, glo: d.rlo, ghi: d.rhi, active: true,
+		}}
+		return nil
+	}
+	full := d.rlo == 0 && d.rhi == d.rows
+	d.groups = make([]*groupDec, len(d.footer.groups))
+	for i, m := range d.footer.groups {
+		g := &groupDec{start: m.start, count: m.count, meta: m}
+		g.glo = d.rlo - m.start
+		if g.glo < 0 {
+			g.glo = 0
+		}
+		g.ghi = d.rhi - m.start
+		if g.ghi > m.count {
+			g.ghi = m.count
+		}
+		if g.ghi < g.glo {
+			g.ghi = g.glo
+		}
+		g.active = full || g.ghi > g.glo
+		d.groups[i] = g
+	}
 	return nil
 }
 
-// scan walks the archive's chunk skeleton sequentially, retaining slices
-// for sections the projection needs and skipping the rest without touching
+// scan walks the archive's chunk skeleton sequentially, retaining slices for
+// sections the projection needs and skipping the rest — including the whole
+// segment of any row group outside the requested range — without touching
 // their contents. Returns the number of payload bytes skipped.
 func (d *decompressor) scan() (int64, error) {
 	var skipped int64
+	if d.hasModel {
+		if d.needModel {
+			c, err := d.r.chunk()
+			if err != nil {
+				return skipped, err
+			}
+			d.decoderChunk = c
+		} else {
+			n, err := d.r.skip()
+			if err != nil {
+				return skipped, err
+			}
+			skipped += n
+		}
+	}
+	if d.version == archiveVersionV1 {
+		if err := d.scanGroupBody(d.r, d.groups[0], &skipped); err != nil {
+			return skipped, err
+		}
+		return skipped, d.r.done()
+	}
+	for _, g := range d.groups {
+		if int64(d.r.pos) != g.meta.off {
+			return skipped, fmt.Errorf("%w: segment at offset %d, footer says %d", ErrCorrupt, d.r.pos, g.meta.off)
+		}
+		kind, err := d.r.byte()
+		if err != nil {
+			return skipped, err
+		}
+		if kind != kindSegment {
+			return skipped, fmt.Errorf("%w: chunk kind %d, want segment", ErrCorrupt, kind)
+		}
+		if !g.active {
+			n, err := d.r.skip()
+			if err != nil {
+				return skipped, err
+			}
+			skipped += n
+		} else {
+			framed, err := d.r.chunk()
+			if err != nil {
+				return skipped, err
+			}
+			if err := d.scanSegment(framed, g, &skipped); err != nil {
+				return skipped, err
+			}
+		}
+		if int64(d.r.pos)-g.meta.off != g.meta.segLen {
+			return skipped, fmt.Errorf("%w: segment length disagrees with footer", ErrCorrupt)
+		}
+	}
+	kind, err := d.r.byte()
+	if err != nil {
+		return skipped, err
+	}
+	if kind != kindFooter {
+		return skipped, fmt.Errorf("%w: chunk kind %d, want footer", ErrCorrupt, kind)
+	}
+	if _, err := d.r.chunk(); err != nil { // payload already parsed by parse
+		return skipped, err
+	}
+	if d.r.pos+8 != len(d.r.buf) {
+		return skipped, fmt.Errorf("%w: misplaced footer trailer", ErrCorrupt)
+	}
+	d.r.pos += 8 // footer-offset trailer
+	return skipped, d.r.done()
+}
+
+// scanSegment validates a segment's checksum and header and walks its nested
+// chunk skeleton.
+func (d *decompressor) scanSegment(framed []byte, g *groupDec, skipped *int64) error {
+	body, err := segmentBody(framed)
+	if err != nil {
+		return err
+	}
+	nr := &sectionReader{buf: body}
+	sh, err := nr.chunk()
+	if err != nil {
+		return err
+	}
+	shr := &sectionReader{buf: sh}
+	start64, err := shr.uvarint()
+	if err != nil {
+		return err
+	}
+	count64, err := shr.uvarint()
+	if err != nil {
+		return err
+	}
+	hasPlan, err := shr.byte()
+	if err != nil {
+		return err
+	}
+	if err := shr.done(); err != nil {
+		return err
+	}
+	if start64 != uint64(g.start) || count64 != uint64(g.count) {
+		return fmt.Errorf("%w: segment span [%d,+%d) disagrees with footer", ErrCorrupt, start64, count64)
+	}
+	switch hasPlan {
+	case 0:
+	case 1:
+		pc, err := nr.chunk()
+		if err != nil {
+			return err
+		}
+		g.planChunk = pc
+	default:
+		return fmt.Errorf("%w: segment plan marker %d", ErrCorrupt, hasPlan)
+	}
+	if err := d.scanGroupBody(nr, g, skipped); err != nil {
+		return err
+	}
+	return nr.done()
+}
+
+// scanGroupBody walks one group's section chunks — code dimensions, expert
+// mapping, per-column failure streams — taking the ones the projection needs
+// and skipping the rest. The chunk-count structure follows the shared header
+// plan; a corrupt group plan that would disagree surfaces as a chunk
+// overrun or trailing-bytes error.
+func (d *decompressor) scanGroupBody(r *sectionReader, g *groupDec, skipped *int64) error {
 	take := func(dst *[]byte, needed bool) error {
 		if needed {
-			c, err := d.r.chunk()
+			c, err := r.chunk()
 			if err != nil {
 				return err
 			}
 			*dst = c
 			return nil
 		}
-		n, err := d.r.skip()
-		skipped += n
+		n, err := r.skip()
+		*skipped += n
 		return err
 	}
 	if d.hasModel {
-		if err := take(&d.decoderChunk, d.needModel); err != nil {
-			return skipped, err
-		}
-		d.dimChunks = make([][]byte, d.codeSize)
-		for i := range d.dimChunks {
-			if err := take(&d.dimChunks[i], d.needModel); err != nil {
-				return skipped, err
+		g.dimChunks = make([][]byte, d.codeSize)
+		for i := range g.dimChunks {
+			if err := take(&g.dimChunks[i], d.needModel); err != nil {
+				return err
 			}
 		}
 	}
 	if d.numExperts > 1 {
-		if err := take(&d.mappingChunk, d.needMapping); err != nil {
-			return skipped, err
+		if err := take(&g.mappingChunk, d.needMapping); err != nil {
+			return err
 		}
 	}
-	d.colChunks = make([][2][]byte, len(d.plan.Cols))
+	g.colChunks = make([][2][]byte, len(d.plan.Cols))
 	for col := range d.plan.Cols {
 		cp := &d.plan.Cols[col]
 		// Chunk count per column mirrors the writer: continuous model
@@ -366,37 +522,23 @@ func (d *decompressor) scan() (int64, error) {
 		two := d.lo.specOfCol[col] >= 0 &&
 			(cp.Kind == preprocess.KindNumContinuous ||
 				d.lo.specs[d.lo.specOfCol[col]].Kind == nn.OutCategorical)
-		if err := take(&d.colChunks[col][0], d.sel[col]); err != nil {
-			return skipped, err
+		if err := take(&g.colChunks[col][0], d.sel[col]); err != nil {
+			return err
 		}
 		if two {
-			if err := take(&d.colChunks[col][1], d.sel[col]); err != nil {
-				return skipped, err
+			if err := take(&g.colChunks[col][1], d.sel[col]); err != nil {
+				return err
 			}
 		}
 	}
-	return skipped, d.r.done()
+	return nil
 }
 
-// unpack decodes every retained section concurrently: decoder parse, code
-// dimensions, the expert mapping, and the selected columns' failure
-// streams. Each work item writes its own slot. Returns the number of
-// encoded bytes decoded.
+// unpack decodes every retained section concurrently across all active
+// groups: decoder parse, group plan overrides, code dimensions, expert
+// mappings, and the selected columns' failure streams. Each work item writes
+// its own slot. Returns the number of encoded bytes decoded.
 func (d *decompressor) unpack() (int64, error) {
-	ncols := len(d.plan.Cols)
-	d.fInts = make([][]int64, ncols)
-	d.fExc = make([][]int64, ncols)
-	d.fMask = make([][]int64, ncols)
-	d.fVals = make([][]float64, ncols)
-	d.fbStr = make([][]string, ncols)
-	d.fbNum = make([][]float64, ncols)
-	d.trivial = make([][]int64, ncols)
-	d.perm = make([]int, d.rows)
-	for i := range d.perm {
-		d.perm[i] = i
-	}
-	d.assign = make([]int, d.rows)
-
 	var bytes int64
 	var items []func() error
 	add := func(chunk []byte, fn func() error) {
@@ -405,112 +547,200 @@ func (d *decompressor) unpack() (int64, error) {
 	}
 	if d.needModel {
 		add(d.decoderChunk, d.unpackDecoders)
-		d.dims = make([][]int64, d.codeSize)
-		for i, chunk := range d.dimChunks {
+	}
+	for _, g := range d.groups {
+		if !g.active {
+			continue
+		}
+		d.unpackGroupItems(g, add)
+	}
+	err := d.run.ForEach(len(items), func(i int) error { return items[i]() })
+	return bytes, err
+}
+
+// unpackGroupItems initializes a group's decoded-stream slots and appends
+// the group's unpack work items.
+func (d *decompressor) unpackGroupItems(g *groupDec, add func(chunk []byte, fn func() error)) {
+	ncols := len(d.plan.Cols)
+	g.plan = d.plan
+	g.fInts = make([][]int64, ncols)
+	g.fExc = make([][]int64, ncols)
+	g.fMask = make([][]int64, ncols)
+	g.fVals = make([][]float64, ncols)
+	g.fbStr = make([][]string, ncols)
+	g.fbNum = make([][]float64, ncols)
+	g.trivial = make([][]int64, ncols)
+	g.perm = make([]int, g.count)
+	for i := range g.perm {
+		g.perm[i] = i
+	}
+	g.assign = make([]int, g.count)
+
+	if g.planChunk != nil {
+		add(g.planChunk, func() error { return d.unpackGroupPlan(g) })
+	}
+	if d.needModel {
+		g.dims = make([][]int64, d.codeSize)
+		for i, chunk := range g.dimChunks {
 			i, chunk := i, chunk
 			add(chunk, func() error {
-				vals, err := colfile.UnpackIntsMax(chunk, d.rows)
+				vals, err := colfile.UnpackIntsMax(chunk, g.count)
 				if err != nil {
 					return corrupt(err)
 				}
-				if len(vals) != d.rows {
-					return fmt.Errorf("%w: code dim %d has %d values, want %d", ErrCorrupt, i, len(vals), d.rows)
+				if len(vals) != g.count {
+					return fmt.Errorf("%w: code dim %d has %d values, want %d", ErrCorrupt, i, len(vals), g.count)
 				}
-				d.dims[i] = vals
+				g.dims[i] = vals
 				return nil
 			})
 		}
 	}
 	if d.needMapping {
-		add(d.mappingChunk, d.unpackMapping)
+		add(g.mappingChunk, func() error { return d.unpackMapping(g) })
 	}
 	for _, col := range d.selCols {
 		col := col
 		cp := &d.plan.Cols[col]
-		a, b := d.colChunks[col][0], d.colChunks[col][1]
+		a, b := g.colChunks[col][0], g.colChunks[col][1]
 		switch {
 		case d.lo.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
 			add(a, func() error {
-				mask, err := colfile.UnpackIntsMax(a, d.rows)
+				mask, err := colfile.UnpackIntsMax(a, g.count)
 				if err != nil {
 					return corrupt(err)
 				}
-				if len(mask) != d.rows {
+				if len(mask) != g.count {
 					return fmt.Errorf("%w: column %d mask length", ErrCorrupt, col)
 				}
-				d.fMask[col] = mask
+				g.fMask[col] = mask
 				return nil
 			})
 			add(b, func() error {
-				vals, err := colfile.UnpackFloatsMax(b, d.rows)
+				vals, err := colfile.UnpackFloatsMax(b, g.count)
 				if err != nil {
 					return corrupt(err)
 				}
-				d.fVals[col] = vals
+				g.fVals[col] = vals
 				return nil
 			})
 		case d.lo.specOfCol[col] >= 0:
 			add(a, func() error {
-				ints, err := colfile.UnpackIntsMax(a, d.rows)
+				ints, err := colfile.UnpackIntsMax(a, g.count)
 				if err != nil {
 					return corrupt(err)
 				}
-				if len(ints) != d.rows {
+				if len(ints) != g.count {
 					return fmt.Errorf("%w: column %d failure length", ErrCorrupt, col)
 				}
-				d.fInts[col] = ints
+				g.fInts[col] = ints
 				return nil
 			})
 			if d.lo.specs[d.lo.specOfCol[col]].Kind == nn.OutCategorical {
 				add(b, func() error {
-					exc, err := colfile.UnpackIntsMax(b, d.rows)
+					exc, err := colfile.UnpackIntsMax(b, g.count)
 					if err != nil {
 						return corrupt(err)
 					}
-					d.fExc[col] = exc
+					g.fExc[col] = exc
 					return nil
 				})
 			}
 		case cp.Kind == preprocess.KindFallbackCat:
 			add(a, func() error {
-				vals, err := colfile.UnpackStringsMax(a, d.rows)
+				vals, err := colfile.UnpackStringsMax(a, g.count)
 				if err != nil {
 					return corrupt(err)
 				}
-				if len(vals) != d.rows {
+				if len(vals) != g.count {
 					return fmt.Errorf("%w: fallback column %d length", ErrCorrupt, col)
 				}
-				d.fbStr[col] = vals
+				g.fbStr[col] = vals
 				return nil
 			})
 		case cp.Kind == preprocess.KindFallbackNum:
 			add(a, func() error {
-				vals, err := colfile.UnpackFloatsMax(a, d.rows)
+				vals, err := colfile.UnpackFloatsMax(a, g.count)
 				if err != nil {
 					return corrupt(err)
 				}
-				if len(vals) != d.rows {
+				if len(vals) != g.count {
 					return fmt.Errorf("%w: fallback column %d length", ErrCorrupt, col)
 				}
-				d.fbNum[col] = vals
+				g.fbNum[col] = vals
 				return nil
 			})
 		default: // trivial
 			add(a, func() error {
-				ints, err := colfile.UnpackIntsMax(a, d.rows)
+				ints, err := colfile.UnpackIntsMax(a, g.count)
 				if err != nil {
 					return corrupt(err)
 				}
-				if len(ints) != d.rows {
+				if len(ints) != g.count {
 					return fmt.Errorf("%w: trivial column %d length", ErrCorrupt, col)
 				}
-				d.trivial[col] = ints
+				g.trivial[col] = ints
 				return nil
 			})
 		}
 	}
-	err := d.run.ForEach(len(items), func(i int) error { return items[i]() })
-	return bytes, err
+}
+
+// colBranch classifies a column into the serialization branch the writer and
+// reader switch on: continuous model, discrete model, categorical fallback,
+// numeric fallback, or trivial.
+func colBranch(plan *preprocess.Plan, lo *layout, col int) int {
+	cp := &plan.Cols[col]
+	switch {
+	case lo.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
+		return 0
+	case lo.specOfCol[col] >= 0:
+		return 1
+	case cp.Kind == preprocess.KindFallbackCat:
+		return 2
+	case cp.Kind == preprocess.KindFallbackNum:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// unpackGroupPlan decodes and validates a group's plan override. The group
+// plan may carry different per-group dictionaries, scalers, and quantizers
+// (the streaming writer re-fits them per batch), but must agree with the
+// header plan on everything structural: schema, model-column specs, and each
+// column's serialization branch.
+func (d *decompressor) unpackGroupPlan(g *groupDec) error {
+	plan, used, err := preprocess.DecodePlan(g.planChunk)
+	if err != nil {
+		return corrupt(err)
+	}
+	if used != len(g.planChunk) {
+		return fmt.Errorf("%w: trailing group plan bytes", ErrCorrupt)
+	}
+	if !plan.Schema.Equal(d.plan.Schema) {
+		return fmt.Errorf("%w: group plan schema differs from header", ErrCorrupt)
+	}
+	glo, err := deriveLayout(plan)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(glo.specs) != len(d.lo.specs) {
+		return fmt.Errorf("%w: group plan has %d model columns, header %d", ErrCorrupt, len(glo.specs), len(d.lo.specs))
+	}
+	for i := range glo.specs {
+		if glo.specs[i] != d.lo.specs[i] {
+			return fmt.Errorf("%w: group plan model column %d differs from header", ErrCorrupt, i)
+		}
+	}
+	for col := range plan.Cols {
+		if glo.specOfCol[col] != d.lo.specOfCol[col] ||
+			colBranch(plan, glo, col) != colBranch(d.plan, d.lo, col) {
+			return fmt.Errorf("%w: group plan column %d structure differs from header", ErrCorrupt, col)
+		}
+	}
+	g.plan = plan
+	return nil
 }
 
 // unpackDecoders parses (or adopts) the decoder section and checks its
@@ -542,10 +772,11 @@ func (d *decompressor) unpackDecoders() error {
 	return nil
 }
 
-// unpackMapping decodes the mapping chunk into perm (stored position →
-// original row) and assign (original row → expert).
-func (d *decompressor) unpackMapping() error {
-	mb := d.mappingChunk
+// unpackMapping decodes one group's mapping chunk into perm (stored position
+// → group-local original row) and assign (group-local original row →
+// expert).
+func (d *decompressor) unpackMapping(g *groupDec) error {
+	mb := g.mappingChunk
 	if d.flags&flagGrouped != 0 {
 		keepOrder := d.flags&flagRowOrder != 0
 		mpos, s := 0, 0
@@ -555,11 +786,11 @@ func (d *decompressor) unpackMapping() error {
 				return fmt.Errorf("%w: truncated mapping", ErrCorrupt)
 			}
 			mpos += sz
-			if cnt64 > uint64(d.rows) {
+			if cnt64 > uint64(g.count) {
 				return fmt.Errorf("%w: mapping counts exceed rows", ErrCorrupt)
 			}
 			cnt := int(cnt64)
-			if s+cnt > d.rows {
+			if s+cnt > g.count {
 				return fmt.Errorf("%w: mapping counts exceed rows", ErrCorrupt)
 			}
 			if keepOrder {
@@ -577,37 +808,37 @@ func (d *decompressor) unpackMapping() error {
 					return fmt.Errorf("%w: mapping index count", ErrCorrupt)
 				}
 				for _, orig := range idx {
-					if orig < 0 || orig >= int64(d.rows) {
+					if orig < 0 || orig >= int64(g.count) {
 						return fmt.Errorf("%w: mapping index %d", ErrCorrupt, orig)
 					}
-					d.perm[s] = int(orig)
-					d.assign[orig] = e
+					g.perm[s] = int(orig)
+					g.assign[orig] = e
 					s++
 				}
 			} else {
 				for k := 0; k < cnt; k++ {
-					d.perm[s] = s
-					d.assign[s] = e
+					g.perm[s] = s
+					g.assign[s] = e
 					s++
 				}
 			}
 		}
-		if s != d.rows || mpos != len(mb) {
+		if s != g.count || mpos != len(mb) {
 			return fmt.Errorf("%w: mapping does not cover all rows", ErrCorrupt)
 		}
 	} else {
-		labels, err := colfile.UnpackIntsMax(mb, d.rows)
+		labels, err := colfile.UnpackIntsMax(mb, g.count)
 		if err != nil {
 			return corrupt(err)
 		}
-		if len(labels) != d.rows {
-			return fmt.Errorf("%w: %d labels for %d rows", ErrCorrupt, len(labels), d.rows)
+		if len(labels) != g.count {
+			return fmt.Errorf("%w: %d labels for %d rows", ErrCorrupt, len(labels), g.count)
 		}
 		for i, l := range labels {
 			if l < 0 || int(l) >= d.numExperts {
 				return fmt.Errorf("%w: label %d", ErrCorrupt, l)
 			}
-			d.assign[i] = int(l)
+			g.assign[i] = int(l)
 		}
 	}
 	if d.flags&flagRowOrder == 0 {
@@ -615,122 +846,170 @@ func (d *decompressor) unpackMapping() error {
 		// order, which perm already reflects (identity).
 		return nil
 	}
-	return validatePerm(d.perm)
+	return validatePerm(g.perm)
 }
 
 // resolve maps each selected column's sparse escape/correction queue to
-// stored positions, one column per work item, inverts perm, and allocates
-// the decode output slots.
+// stored positions (one work item per group × spec column), inverts each
+// group's perm, and allocates the decode output slots.
 func (d *decompressor) resolve() error {
-	d.unperm = make([]int, d.rows)
-	for s, orig := range d.perm {
-		d.unperm[orig] = s
+	type work struct {
+		g  *groupDec
+		si int
 	}
-	d.colCodes = make([][]int, len(d.plan.Cols))
-	d.contOut = make([][]float64, len(d.plan.Cols))
+	var items []work
+	for _, g := range d.groups {
+		if !g.active {
+			continue
+		}
+		d.resolveGroupInit(g)
+		for si := range d.lo.specs {
+			if d.wantSpec[si] {
+				items = append(items, work{g, si})
+			}
+		}
+	}
+	return d.run.ForEach(len(items), func(i int) error {
+		return d.resolveSpec(items[i].g, items[i].si)
+	})
+}
+
+// resolveGroupInit inverts a group's perm and allocates its decode slots.
+func (d *decompressor) resolveGroupInit(g *groupDec) {
+	g.unperm = make([]int, g.count)
+	for s, orig := range g.perm {
+		g.unperm[orig] = s
+	}
+	g.colCodes = make([][]int, len(d.plan.Cols))
+	g.contOut = make([][]float64, len(d.plan.Cols))
 	for si, col := range d.lo.specCols {
 		if !d.wantSpec[si] {
 			continue
 		}
 		if d.plan.Cols[col].Kind == preprocess.KindNumContinuous {
-			d.contOut[col] = make([]float64, d.rows)
+			g.contOut[col] = make([]float64, g.count)
 		} else {
-			d.colCodes[col] = make([]int, d.rows)
+			g.colCodes[col] = make([]int, g.count)
 		}
 	}
-	d.excAt = make([]map[int]int64, len(d.lo.specs))
-	d.valAt = make([]map[int]float64, len(d.lo.specs))
-	return d.run.ForEach(len(d.lo.specs), func(si int) error {
-		if !d.wantSpec[si] {
-			return nil
-		}
-		spec := d.lo.specs[si]
-		col := d.lo.specCols[si]
-		if d.plan.Cols[col].Kind == preprocess.KindNumContinuous {
-			at := make(map[int]float64)
-			queue := d.fVals[col]
-			qi := 0
-			for s, m := range d.fMask[col] {
-				if m != 0 {
-					if qi >= len(queue) {
-						return fmt.Errorf("%w: column %d correction queue exhausted", ErrCorrupt, col)
-					}
-					at[s] = queue[qi]
-					qi++
-				}
-			}
-			if qi != len(queue) {
-				return fmt.Errorf("%w: column %d has %d unused corrections", ErrCorrupt, col, len(queue)-qi)
-			}
-			d.valAt[si] = at
-			return nil
-		}
-		if spec.Kind != nn.OutCategorical {
-			return nil
-		}
-		at := make(map[int]int64)
-		queue := d.fExc[col]
+	g.excAt = make([]map[int]int64, len(d.lo.specs))
+	g.valAt = make([]map[int]float64, len(d.lo.specs))
+}
+
+// resolveSpec builds one group × spec column's escape/correction queue map.
+func (d *decompressor) resolveSpec(g *groupDec, si int) error {
+	spec := d.lo.specs[si]
+	col := d.lo.specCols[si]
+	if d.plan.Cols[col].Kind == preprocess.KindNumContinuous {
+		at := make(map[int]float64)
+		queue := g.fVals[col]
 		qi := 0
-		for s, f := range d.fInts[col] {
-			if int(f) == spec.Card {
+		for s, m := range g.fMask[col] {
+			if m != 0 {
 				if qi >= len(queue) {
-					return fmt.Errorf("%w: column %d exception queue exhausted", ErrCorrupt, col)
+					return fmt.Errorf("%w: column %d correction queue exhausted", ErrCorrupt, col)
 				}
-				v := queue[qi]
-				if v < 0 || int(v) >= d.plan.Cols[col].Dict.Len() {
-					return fmt.Errorf("%w: column %d exception code %d", ErrCorrupt, col, v)
-				}
-				at[s] = v
+				at[s] = queue[qi]
 				qi++
 			}
 		}
 		if qi != len(queue) {
-			return fmt.Errorf("%w: column %d has %d unused exceptions", ErrCorrupt, col, len(queue)-qi)
+			return fmt.Errorf("%w: column %d has %d unused corrections", ErrCorrupt, col, len(queue)-qi)
 		}
-		d.excAt[si] = at
+		g.valAt[si] = at
 		return nil
-	})
+	}
+	if spec.Kind != nn.OutCategorical {
+		return nil
+	}
+	at := make(map[int]int64)
+	queue := g.fExc[col]
+	qi := 0
+	for s, f := range g.fInts[col] {
+		if int(f) == spec.Card {
+			if qi >= len(queue) {
+				return fmt.Errorf("%w: column %d exception queue exhausted", ErrCorrupt, col)
+			}
+			v := queue[qi]
+			if v < 0 || int(v) >= g.plan.Cols[col].Dict.Len() {
+				return fmt.Errorf("%w: column %d exception code %d", ErrCorrupt, col, v)
+			}
+			at[s] = v
+			qi++
+		}
+	}
+	if qi != len(queue) {
+		return fmt.Errorf("%w: column %d has %d unused exceptions", ErrCorrupt, col, len(queue)-qi)
+	}
+	g.excAt[si] = at
+	return nil
 }
 
-// decode replays decoder inference expert-by-expert over the pool, applying
-// the failure streams to recover the selected model columns' codes in
-// stored order. Only selected spec columns are inferred (PredictCols) and
-// only stored positions inside the row range are fed through.
+// decode replays decoder inference over the pool — one work item per group ×
+// expert — applying the failure streams to recover the selected model
+// columns' codes in stored order. Only selected spec columns are inferred
+// (PredictCols) and only stored positions inside the row range are fed
+// through.
 func (d *decompressor) decode() error {
 	if !d.needModel {
 		return nil
 	}
-	rec := reconstructCodes(d.dims, d.codeBits)
-	posBy := expertPositionsRange(d.assign, d.perm, d.numExperts, d.rlo, d.rhi)
-	return d.run.ForEach(d.numExperts, func(e int) error {
-		scratch := make([]bool, maxCard(d.lo.specs)+1)
-		var derr error
-		expertBatches(d.decoders[e], rec, posBy[e], d.wantSpec, func(chunk []int, p *nn.Predictions) {
-			if derr != nil {
-				return
-			}
-			derr = d.applyChunk(d.decoders[e], chunk, p, scratch)
-		})
-		return derr
+	type work struct {
+		g *groupDec
+		e int
+	}
+	var items []work
+	for _, g := range d.groups {
+		if !g.active || g.ghi <= g.glo {
+			continue
+		}
+		d.decodeGroupInit(g)
+		for e := 0; e < d.numExperts; e++ {
+			items = append(items, work{g, e})
+		}
+	}
+	return d.run.ForEach(len(items), func(i int) error {
+		return d.decodeExpert(items[i].g, items[i].e)
 	})
 }
 
-// applyChunk merges one batch of predictions with the failure streams.
-func (d *decompressor) applyChunk(dec *nn.Decoder, chunk []int, p *nn.Predictions, scratch []bool) error {
+// decodeGroupInit reconstructs a group's float codes and groups its stored
+// positions by expert, restricted to the selected local row span.
+func (d *decompressor) decodeGroupInit(g *groupDec) {
+	g.rec = reconstructCodes(g.dims, d.codeBits)
+	g.posBy = expertPositionsRange(g.assign, g.perm, d.numExperts, g.glo, g.ghi)
+}
+
+// decodeExpert runs one group × expert through the decoder.
+func (d *decompressor) decodeExpert(g *groupDec, e int) error {
+	scratch := make([]bool, maxCard(d.lo.specs)+1)
+	var derr error
+	expertBatches(d.decoders[e], g.rec, g.posBy[e], d.wantSpec, func(chunk []int, p *nn.Predictions) {
+		if derr != nil {
+			return
+		}
+		derr = d.applyChunk(g, d.decoders[e], chunk, p, scratch)
+	})
+	return derr
+}
+
+// applyChunk merges one batch of predictions with a group's failure streams.
+// Dictionaries, scalers, and quantizers come from the group plan.
+func (d *decompressor) applyChunk(g *groupDec, dec *nn.Decoder, chunk []int, p *nn.Predictions, scratch []bool) error {
 	for si, spec := range d.lo.specs {
 		if !d.wantSpec[si] {
 			continue
 		}
 		col := d.lo.specCols[si]
-		cp := &d.plan.Cols[col]
+		cp := &g.plan.Cols[col]
 		switch spec.Kind {
 		case nn.OutNumeric:
 			np := dec.NumPos(si)
 			if cp.Kind == preprocess.KindNumContinuous {
-				out := d.contOut[col]
+				out := g.contOut[col]
 				for i, s := range chunk {
-					if d.fMask[col][s] != 0 {
-						out[s] = d.valAt[si][s]
+					if g.fMask[col][s] != 0 {
+						out[s] = g.valAt[si][s]
 					} else {
 						out[s] = cp.Scaler.Unscale(p.Num.At(i, np))
 					}
@@ -738,9 +1017,9 @@ func (d *decompressor) applyChunk(dec *nn.Decoder, chunk []int, p *nn.Prediction
 				continue
 			}
 			lv := levels(cp)
-			out := d.colCodes[col]
+			out := g.colCodes[col]
 			for i, s := range chunk {
-				code := nearestLevel(cp, p.Num.At(i, np), lv) + int(d.fInts[col][s])
+				code := nearestLevel(cp, p.Num.At(i, np), lv) + int(g.fInts[col][s])
 				if code < 0 || code >= lv {
 					return fmt.Errorf("%w: column %d code %d outside [0,%d)", ErrCorrupt, col, code, lv)
 				}
@@ -748,13 +1027,13 @@ func (d *decompressor) applyChunk(dec *nn.Decoder, chunk []int, p *nn.Prediction
 			}
 		case nn.OutBinary:
 			bp := dec.BinPos(si)
-			out := d.colCodes[col]
+			out := g.colCodes[col]
 			for i, s := range chunk {
 				predBit := 0
 				if p.Bin.At(i, bp) >= 0.5 {
 					predBit = 1
 				}
-				f := d.fInts[col][s]
+				f := g.fInts[col][s]
 				if f != 0 && f != 1 {
 					return fmt.Errorf("%w: column %d binary failure %d", ErrCorrupt, col, f)
 				}
@@ -762,13 +1041,13 @@ func (d *decompressor) applyChunk(dec *nn.Decoder, chunk []int, p *nn.Prediction
 			}
 		case nn.OutCategorical:
 			j := dec.CatPos(si)
-			out := d.colCodes[col]
+			out := g.colCodes[col]
 			probs := p.Cat[j]
 			for i, s := range chunk {
-				rank := int(d.fInts[col][s])
+				rank := int(g.fInts[col][s])
 				switch {
 				case rank == spec.Card: // escape
-					out[s] = int(d.excAt[si][s])
+					out[s] = int(g.excAt[si][s])
 				case rank >= 0 && rank < spec.Card:
 					out[s] = codeAtRank(probs.Row(i), rank, scratch)
 				default:
@@ -780,68 +1059,52 @@ func (d *decompressor) applyChunk(dec *nn.Decoder, chunk []int, p *nn.Prediction
 	return nil
 }
 
-// assemble materializes the selected columns in original row order, one
-// column per work item, and builds the (possibly projected) output table.
+// assemble materializes the selected columns in original row order — one
+// work item per group × column, each writing a disjoint slice of the
+// preallocated output — and builds the (possibly projected) output table.
 func (d *decompressor) assemble() (*dataset.Table, error) {
 	n := d.rhi - d.rlo
-	// Columns decode into a full-schema scratch table because
-	// plan.DecodeColumn addresses columns by schema index; the projected
-	// output then adopts the scratch slices without copying.
-	scratch := dataset.NewTable(d.plan.Schema, 0)
-	err := d.run.ForEach(len(d.selCols), func(k int) error {
-		col := d.selCols[k]
-		cp := &d.plan.Cols[col]
-		switch {
-		case d.lo.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
-			vals := make([]float64, n)
-			src := d.contOut[col]
-			for i := range vals {
-				vals[i] = src[d.unperm[d.rlo+i]]
-			}
-			scratch.Num[col] = vals
-		case d.lo.specOfCol[col] >= 0:
-			codes := make([]int, n)
-			src := d.colCodes[col]
-			for i := range codes {
-				codes[i] = src[d.unperm[d.rlo+i]]
-			}
-			if err := decodeColumnChecked(d.plan, scratch, col, codes); err != nil {
-				return err
-			}
-		case cp.Kind == preprocess.KindFallbackCat:
-			vals := make([]string, n)
-			for i := range vals {
-				vals[i] = d.fbStr[col][d.unperm[d.rlo+i]]
-			}
-			scratch.Str[col] = vals
-		case cp.Kind == preprocess.KindFallbackNum:
-			vals := make([]float64, n)
-			for i := range vals {
-				vals[i] = d.fbNum[col][d.unperm[d.rlo+i]]
-			}
-			scratch.Num[col] = vals
-		default: // trivial
-			codes := make([]int, n)
-			src := d.trivial[col]
-			for i := range codes {
-				v := src[d.unperm[d.rlo+i]]
-				if v < 0 || v > math.MaxInt32 {
-					return fmt.Errorf("%w: trivial column %d code %d", ErrCorrupt, col, v)
-				}
-				codes[i] = int(v)
-			}
-			if err := decodeColumnChecked(d.plan, scratch, col, codes); err != nil {
-				return err
-			}
+	ncols := len(d.plan.Cols)
+	outStr := make([][]string, ncols)
+	outNum := make([][]float64, ncols)
+	for _, col := range d.selCols {
+		if d.plan.Schema.Columns[col].Type == dataset.Categorical {
+			outStr[col] = make([]string, n)
+		} else {
+			outNum[col] = make([]float64, n)
 		}
-		return nil
+	}
+	type work struct {
+		g   *groupDec
+		col int
+	}
+	var items []work
+	for _, g := range d.groups {
+		if !g.active || g.ghi <= g.glo {
+			continue
+		}
+		for _, col := range d.selCols {
+			items = append(items, work{g, col})
+		}
+	}
+	err := d.run.ForEach(len(items), func(k int) error {
+		g, col := items[k].g, items[k].col
+		return d.assembleColumn(g, col, outStr[col], outNum[col], g.start+g.glo-d.rlo)
 	})
 	if err != nil {
 		return nil, err
 	}
 	if d.opts.Columns == nil {
-		scratch.SetNumRows(n)
-		return scratch, nil
+		out := dataset.NewTable(d.plan.Schema, 0)
+		for _, col := range d.selCols {
+			if d.plan.Schema.Columns[col].Type == dataset.Categorical {
+				out.Str[col] = outStr[col]
+			} else {
+				out.Num[col] = outNum[col]
+			}
+		}
+		out.SetNumRows(n)
+		return out, nil
 	}
 	cols := make([]dataset.Column, len(d.selCols))
 	for k, col := range d.selCols {
@@ -850,13 +1113,72 @@ func (d *decompressor) assemble() (*dataset.Table, error) {
 	out := dataset.NewTable(dataset.NewSchema(cols...), 0)
 	for k, col := range d.selCols {
 		if d.plan.Schema.Columns[col].Type == dataset.Categorical {
-			out.Str[k] = scratch.Str[col]
+			out.Str[k] = outStr[col]
 		} else {
-			out.Num[k] = scratch.Num[col]
+			out.Num[k] = outNum[col]
 		}
 	}
 	out.SetNumRows(n)
 	return out, nil
+}
+
+// assembleColumn materializes one group × column into dstStr/dstNum starting
+// at dstOff. Model and trivial columns decode through the group plan into a
+// scratch table (plan.DecodeColumn addresses whole columns by schema index)
+// and are copied into the shared output region, which no other work item
+// touches.
+func (d *decompressor) assembleColumn(g *groupDec, col int, dstStr []string, dstNum []float64, dstOff int) error {
+	m := g.ghi - g.glo
+	cp := &g.plan.Cols[col]
+	categorical := d.plan.Schema.Columns[col].Type == dataset.Categorical
+	decodeCopy := func(codes []int) error {
+		scratch := dataset.NewTable(g.plan.Schema, 0)
+		if err := decodeColumnChecked(g.plan, scratch, col, codes); err != nil {
+			return err
+		}
+		if categorical {
+			copy(dstStr[dstOff:dstOff+m], scratch.Str[col])
+		} else {
+			copy(dstNum[dstOff:dstOff+m], scratch.Num[col])
+		}
+		return nil
+	}
+	switch {
+	case d.lo.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
+		src := g.contOut[col]
+		for i := 0; i < m; i++ {
+			dstNum[dstOff+i] = src[g.unperm[g.glo+i]]
+		}
+	case d.lo.specOfCol[col] >= 0:
+		codes := make([]int, m)
+		src := g.colCodes[col]
+		for i := range codes {
+			codes[i] = src[g.unperm[g.glo+i]]
+		}
+		return decodeCopy(codes)
+	case cp.Kind == preprocess.KindFallbackCat:
+		src := g.fbStr[col]
+		for i := 0; i < m; i++ {
+			dstStr[dstOff+i] = src[g.unperm[g.glo+i]]
+		}
+	case cp.Kind == preprocess.KindFallbackNum:
+		src := g.fbNum[col]
+		for i := 0; i < m; i++ {
+			dstNum[dstOff+i] = src[g.unperm[g.glo+i]]
+		}
+	default: // trivial
+		codes := make([]int, m)
+		src := g.trivial[col]
+		for i := range codes {
+			v := src[g.unperm[g.glo+i]]
+			if v < 0 || v > math.MaxInt32 {
+				return fmt.Errorf("%w: trivial column %d code %d", ErrCorrupt, col, v)
+			}
+			codes[i] = int(v)
+		}
+		return decodeCopy(codes)
+	}
+	return nil
 }
 
 // decodeColumnChecked wraps Plan.DecodeColumn with corruption classification.

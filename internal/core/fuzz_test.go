@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -22,7 +24,8 @@ func refreshCRC(data []byte) []byte {
 }
 
 // fuzzSeedArchives compresses a few tiny tables covering the format's
-// branches: plain, mixture of experts, fallback-heavy, and empty.
+// branches: plain, mixture of experts, multi-group, empty — plus a frozen
+// v1 golden fixture so mutations explore the legacy decode path too.
 func fuzzSeedArchives(f *testing.F) [][]byte {
 	f.Helper()
 	opts := quickOpts()
@@ -39,6 +42,14 @@ func fuzzSeedArchives(f *testing.F) [][]byte {
 	moe.NumExperts = 2
 	add(Compress(latentTable(80, 52), []float64{0, 0, 0, 0, 0}, moe))
 	add(Compress(latentTable(0, 53), []float64{0, 0, 0.1, 0.1, 0}, opts))
+	grouped := opts
+	grouped.RowGroupSize = 25
+	add(Compress(latentTable(60, 54), []float64{0, 0, 0.1, 0.1, 0}, grouped))
+	v1, err := os.ReadFile(filepath.Join("testdata", "categorical.dsqz"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, v1)
 	return seeds
 }
 
@@ -79,7 +90,7 @@ func FuzzSectionReader(f *testing.F) {
 	f.Add([]byte("DSQZ\x01\x00\x00\x00\x00\x00"), []byte{1, 1})
 	f.Fuzz(func(t *testing.T, data, ops []byte) {
 		archive := refreshCRC(data)
-		r, _, err := newSectionReader(archive)
+		r, _, _, err := newSectionReader(archive)
 		if err != nil {
 			if !errors.Is(err, ErrCorrupt) {
 				t.Fatalf("unclassified envelope error: %v", err)

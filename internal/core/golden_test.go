@@ -12,20 +12,23 @@ import (
 	"deepsqueeze/internal/dataset"
 )
 
-var updateGolden = flag.Bool("update", false, "regenerate golden archive fixtures")
+var updateGolden = flag.Bool("update", false, "regenerate version-2 golden archive fixtures")
 
 // goldenCase is one committed archive fixture: a deterministic table, the
 // options it was compressed with, and the fixture's base name under
 // testdata/. The committed .dsqz bytes are the format-stability contract:
 // decoder changes must keep decoding them to the committed .csv exactly.
+// Version-1 fixtures are frozen — the writer no longer emits v1, so they
+// can never be regenerated; -update rewrites only the v2 fixtures.
 type goldenCase struct {
-	name  string
-	build func() (*dataset.Table, []float64, Options)
+	name    string
+	version byte
+	build   func() (*dataset.Table, []float64, Options)
 }
 
 func goldenCases() []goldenCase {
-	return []goldenCase{
-		{"categorical", func() (*dataset.Table, []float64, Options) {
+	cases := []goldenCase{
+		{"categorical", 1, func() (*dataset.Table, []float64, Options) {
 			// Pure categorical: model columns with escapes plus a
 			// high-cardinality fallback column.
 			schema := dataset.NewSchema(
@@ -46,7 +49,7 @@ func goldenCases() []goldenCase {
 			}
 			return tb, []float64{0, 0, 0}, goldenOpts(1)
 		}},
-		{"numerical", func() (*dataset.Table, []float64, Options) {
+		{"numerical", 1, func() (*dataset.Table, []float64, Options) {
 			// Numeric kinds side by side: quantized lossy, exact value
 			// dictionary, and t=0 high-cardinality fallback.
 			schema := dataset.NewSchema(
@@ -68,12 +71,25 @@ func goldenCases() []goldenCase {
 			opts.Preproc.MaxValueDictLen = 16
 			return tb, []float64{0.1, 0, 0}, opts
 		}},
-		{"moe", func() (*dataset.Table, []float64, Options) {
+		{"moe", 1, func() (*dataset.Table, []float64, Options) {
 			// Mixed table through a two-expert mixture, exercising the
 			// mapping chunk and expert-grouped assembly.
 			return latentTable(180, 103), []float64{0, 0, 0.1, 0.1, 0}, goldenOpts(2)
 		}},
 	}
+	// v2 fixtures: the same builders re-compressed under the row-group
+	// format, plus a multi-group case pinning segment framing and the
+	// footer index.
+	for _, base := range cases[:3] {
+		build := base.build
+		cases = append(cases, goldenCase{base.name + "_v2", 2, build})
+	}
+	cases = append(cases, goldenCase{"multigroup_v2", 2, func() (*dataset.Table, []float64, Options) {
+		opts := goldenOpts(2)
+		opts.RowGroupSize = 100
+		return latentTable(300, 104), []float64{0, 0, 0.1, 0.1, 0}, opts
+	}})
+	return cases
 }
 
 func goldenOpts(experts int) Options {
@@ -87,15 +103,17 @@ func goldenOpts(experts int) Options {
 }
 
 // TestGoldenArchives is the format-stability gate: every committed .dsqz
-// fixture must still parse as version 1 and decode byte-for-byte to its
-// committed .csv. Run with -update to regenerate fixtures after a
-// deliberate, versioned format change.
+// fixture must still parse under its recorded version and decode
+// byte-for-byte to its committed .csv — v1 fixtures prove the v2 reader
+// keeps decoding legacy archives identically. Run with -update to
+// regenerate the v2 fixtures after a deliberate, versioned format change;
+// v1 fixtures are frozen and never rewritten.
 func TestGoldenArchives(t *testing.T) {
 	for _, gc := range goldenCases() {
 		t.Run(gc.name, func(t *testing.T) {
 			arcPath := filepath.Join("testdata", gc.name+".dsqz")
 			csvPath := filepath.Join("testdata", gc.name+".csv")
-			if *updateGolden {
+			if *updateGolden && gc.version >= 2 {
 				tb, thresholds, opts := gc.build()
 				res, err := Compress(tb, thresholds, opts)
 				if err != nil {
@@ -125,8 +143,8 @@ func TestGoldenArchives(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%v (run with -update to regenerate)", err)
 			}
-			if len(archive) < 6 || string(archive[:4]) != "DSQZ" || archive[4] != 1 {
-				t.Fatalf("fixture is not a version-1 archive (header % x)", archive[:6])
+			if len(archive) < 6 || string(archive[:4]) != "DSQZ" || archive[4] != gc.version {
+				t.Fatalf("fixture is not a version-%d archive (header % x)", gc.version, archive[:6])
 			}
 			got, err := Decompress(archive)
 			if err != nil {
@@ -145,6 +163,31 @@ func TestGoldenArchives(t *testing.T) {
 			proj := decodeOpts(t, archive, DecompressOptions{Columns: []string{name}})
 			if err := columnEqual(got, proj, 0, 0, 0); err != nil {
 				t.Fatalf("projection drifted from golden decode: %v", err)
+			}
+			if gc.version >= 2 {
+				// The footer index must cover the rows contiguously, and a
+				// row-range decode must agree with the committed full decode.
+				info, err := Inspect(archive)
+				if err != nil {
+					t.Fatal(err)
+				}
+				next := 0
+				for _, g := range info.Groups {
+					if g.RowStart != next {
+						t.Fatalf("group starts at %d, want %d", g.RowStart, next)
+					}
+					next += g.RowCount
+				}
+				if next != got.NumRows() {
+					t.Fatalf("groups cover %d rows, table has %d", next, got.NumRows())
+				}
+				lo, hi := got.NumRows()/3, 2*got.NumRows()/3
+				rng := decodeOpts(t, archive, DecompressOptions{RowRange: RowRange{Lo: lo, Hi: hi}})
+				for col := range got.Schema.Columns {
+					if err := columnEqual(got, rng, col, col, lo); err != nil {
+						t.Fatalf("row range drifted from golden decode: %v", err)
+					}
+				}
 			}
 		})
 	}

@@ -1,15 +1,23 @@
 package core
 
 import (
-	"encoding/binary"
-	"fmt"
-
 	"deepsqueeze/internal/dataset"
-	"deepsqueeze/internal/preprocess"
 )
+
+// GroupInfo is one row group's footer-index entry: its row span and the
+// sizes of its archive sections.
+type GroupInfo struct {
+	RowStart     int
+	RowCount     int
+	SegmentBytes int64 // whole segment including framing and checksum
+	CodesBytes   int64
+	MappingBytes int64
+	FailureBytes int64
+}
 
 // ArchiveInfo summarizes an archive without decompressing it.
 type ArchiveInfo struct {
+	Version    int
 	Rows       int
 	Schema     *dataset.Schema
 	ColumnKind []string // preprocessing kind per column
@@ -23,13 +31,17 @@ type ArchiveInfo struct {
 	// original tuple order.
 	RowOrderPreserved bool
 	TotalBytes        int
+	// RowGroupSize is the nominal rows per group (format v2; 0 for v1).
+	RowGroupSize int
+	// Groups is the footer's row-group index (format v2; nil for v1).
+	Groups []GroupInfo
 }
 
-// Inspect parses an archive's header (validating the checksum) and returns
-// its metadata. It does not run the decoder and is cheap even for large
-// archives.
+// Inspect parses an archive's header — and, for format v2, its footer index
+// — validating the checksum, and returns its metadata. It does not run the
+// decoder and is cheap even for large archives.
 func Inspect(archive []byte) (*ArchiveInfo, error) {
-	r, flags, err := newSectionReader(archive)
+	r, version, flags, err := newSectionReader(archive)
 	if err != nil {
 		return nil, err
 	}
@@ -37,41 +49,43 @@ func Inspect(archive []byte) (*ArchiveInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, sz := binary.Uvarint(hdr)
-	if sz <= 0 {
-		return nil, fmt.Errorf("%w: missing row count", ErrCorrupt)
-	}
-	pos := sz
-	plan, used, err := preprocess.DecodePlan(hdr[pos:])
+	h, err := decodeHeader(hdr, version)
 	if err != nil {
 		return nil, err
 	}
-	pos += used
-	var vals [3]uint64 // code size, code bits, experts
-	for i := range vals {
-		v, sz := binary.Uvarint(hdr[pos:])
-		if sz <= 0 {
-			return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
-		}
-		vals[i] = v
-		pos += sz
-	}
-	if pos != len(hdr) {
-		return nil, fmt.Errorf("%w: trailing header bytes", ErrCorrupt)
-	}
 	info := &ArchiveInfo{
-		Rows:              int(rows),
-		Schema:            plan.Schema,
-		CodeSize:          int(vals[0]),
-		CodeBits:          int(vals[1]),
-		NumExperts:        int(vals[2]),
+		Version:           int(version),
+		Rows:              h.rows,
+		Schema:            h.plan.Schema,
+		CodeSize:          h.codeSize,
+		CodeBits:          h.codeBits,
+		NumExperts:        h.numExperts,
 		Streaming:         flags&flagExternalModel != 0,
 		RowOrderPreserved: flags&flagRowOrder != 0,
 		TotalBytes:        len(archive),
+		RowGroupSize:      h.rowGroupSize,
 	}
-	info.ColumnKind = make([]string, len(plan.Cols))
-	for i := range plan.Cols {
-		info.ColumnKind[i] = plan.Cols[i].Kind.String()
+	if version != archiveVersionV1 {
+		ft, _, err := parseFooter(r.buf, r.pos)
+		if err != nil {
+			return nil, err
+		}
+		info.Rows = ft.rows
+		info.Groups = make([]GroupInfo, len(ft.groups))
+		for i, m := range ft.groups {
+			info.Groups[i] = GroupInfo{
+				RowStart:     m.start,
+				RowCount:     m.count,
+				SegmentBytes: m.segLen,
+				CodesBytes:   m.codes,
+				MappingBytes: m.mapping,
+				FailureBytes: m.failures,
+			}
+		}
+	}
+	info.ColumnKind = make([]string, len(h.plan.Cols))
+	for i := range h.plan.Cols {
+		info.ColumnKind[i] = h.plan.Cols[i].Kind.String()
 	}
 	return info, nil
 }

@@ -53,6 +53,12 @@ type Options struct {
 	SingleLayerLinear bool
 	// NoQuantization disables numeric quantization (Fig. 7 ablation).
 	NoQuantization bool
+	// RowGroupSize is the number of rows per archive row group (format v2).
+	// Each group is a self-contained segment — codes, failure streams, and
+	// expert mapping for its row span — so RowRange decodes skip whole
+	// groups and the streaming writer buffers at most one group. 0 selects
+	// defaultRowGroupSize.
+	RowGroupSize int
 	// Parallelism bounds the pipeline's worker pool: the number of
 	// goroutines scheduling independent stage work (truncation-search
 	// candidates, per-expert training and encoding, per-column packing,
@@ -99,7 +105,23 @@ func (o *Options) validate() error {
 	if o.Parallelism < 0 {
 		return fmt.Errorf("core: negative parallelism")
 	}
+	if o.RowGroupSize < 0 {
+		return fmt.Errorf("core: negative row group size")
+	}
 	return nil
+}
+
+// defaultRowGroupSize is the row-group row count when Options.RowGroupSize
+// is zero: large enough that per-group section overhead stays small, small
+// enough that one group's streams fit comfortably in memory.
+const defaultRowGroupSize = 4096
+
+// rowGroupSize resolves the effective row-group size.
+func (o *Options) rowGroupSize() int {
+	if o.RowGroupSize > 0 {
+		return o.RowGroupSize
+	}
+	return defaultRowGroupSize
 }
 
 func (o *Options) logf(format string, args ...any) {

@@ -162,7 +162,7 @@ func TestKeepRowOrderMappingBranches(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, flags, err := newSectionReader(res.Archive)
+			_, _, flags, err := newSectionReader(res.Archive)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -88,15 +88,7 @@ func (s *Stream) CompressBatchContext(ctx context.Context, batch *dataset.Table)
 		if err != nil {
 			return err
 		}
-		if len(md.specs) != len(s.specs) {
-			return fmt.Errorf("core: batch produced %d model columns, training had %d (retrain needed)", len(md.specs), len(s.specs))
-		}
-		for i, sp := range md.specs {
-			if sp != s.specs[i] {
-				return fmt.Errorf("core: batch model column %d spec %+v differs from training %+v (retrain needed)", i, sp, s.specs[i])
-			}
-		}
-		return nil
+		return checkRefitSpecs(md.specs, s.specs)
 	})
 	if err != nil {
 		return nil, err
@@ -119,19 +111,27 @@ func (s *Stream) CompressBatchContext(ctx context.Context, batch *dataset.Table)
 	return res, nil
 }
 
-// fitBatchPlan re-fits per-batch preprocessing state while pinning the
+// fitBatchPlan re-fits per-batch preprocessing state against the stream's
+// training plan.
+func (s *Stream) fitBatchPlan(batch *dataset.Table) (*preprocess.Plan, error) {
+	return refitPlan(batch, s.trainPlan, s.thresholds, s.opts)
+}
+
+// refitPlan re-fits per-batch preprocessing state while pinning the
 // decisions the trained model depends on: every column keeps its training
 // kind, and categorical model alphabets keep their training size. Values
-// unseen during training become ordinary escape failures.
-func (s *Stream) fitBatchPlan(batch *dataset.Table) (*preprocess.Plan, error) {
-	popts := s.opts.Preproc
-	popts.NoQuantization = popts.NoQuantization || s.opts.NoQuantization
-	fresh, err := preprocess.Fit(batch, popts, s.thresholds)
+// unseen during training become ordinary escape failures. Both the streaming
+// batch compressor and the bounded-memory ArchiveWriter refit their
+// non-initial chunks this way.
+func refitPlan(batch *dataset.Table, trainPlan *preprocess.Plan, thresholds []float64, opts Options) (*preprocess.Plan, error) {
+	popts := opts.Preproc
+	popts.NoQuantization = popts.NoQuantization || opts.NoQuantization
+	fresh, err := preprocess.Fit(batch, popts, thresholds)
 	if err != nil {
 		return nil, err
 	}
 	for col := range fresh.Cols {
-		tc := &s.trainPlan.Cols[col]
+		tc := &trainPlan.Cols[col]
 		bc := &fresh.Cols[col]
 		switch tc.Kind {
 		case preprocess.KindCatModel:
@@ -176,6 +176,20 @@ func (s *Stream) fitBatchPlan(batch *dataset.Table) (*preprocess.Plan, error) {
 		}
 	}
 	return fresh, nil
+}
+
+// checkRefitSpecs verifies a refit plan kept the trained model's column
+// specs — the invariant that lets the trained experts decode the new rows.
+func checkRefitSpecs(got, want []nn.ColSpec) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("core: batch produced %d model columns, training had %d (retrain needed)", len(got), len(want))
+	}
+	for i, sp := range got {
+		if sp != want[i] {
+			return fmt.Errorf("core: batch model column %d spec %+v differs from training %+v (retrain needed)", i, sp, want[i])
+		}
+	}
+	return nil
 }
 
 // DecompressBatch reconstructs a batch compressed by Stream.CompressBatch,
@@ -236,7 +250,7 @@ func parseDecoderSection(section []byte, numExperts int) ([]*nn.Decoder, error) 
 // reference.
 func extractDecoders(archive []byte) ([]*nn.Decoder, [32]byte, error) {
 	var zero [32]byte
-	r, flags, err := newSectionReader(archive)
+	r, version, flags, err := newSectionReader(archive)
 	if err != nil {
 		return nil, zero, err
 	}
@@ -250,31 +264,15 @@ func extractDecoders(archive []byte) ([]*nn.Decoder, [32]byte, error) {
 	if err != nil {
 		return nil, zero, err
 	}
-	// Skip rows varint + plan; then read the expert count.
-	_, sz := binary.Uvarint(hdr)
-	if sz <= 0 {
-		return nil, zero, fmt.Errorf("%w: model header", ErrCorrupt)
-	}
-	pos := sz
-	if _, used, err := preprocess.DecodePlan(hdr[pos:]); err != nil {
+	h, err := decodeHeader(hdr, version)
+	if err != nil {
 		return nil, zero, err
-	} else {
-		pos += used
-	}
-	var vals [3]uint64 // code size, code bits, experts
-	for i := range vals {
-		v, sz := binary.Uvarint(hdr[pos:])
-		if sz <= 0 {
-			return nil, zero, fmt.Errorf("%w: model header", ErrCorrupt)
-		}
-		vals[i] = v
-		pos += sz
 	}
 	section, err := r.chunk()
 	if err != nil {
 		return nil, zero, err
 	}
-	decoders, err := parseDecoderSection(section, int(vals[2]))
+	decoders, err := parseDecoderSection(section, h.numExperts)
 	if err != nil {
 		return nil, zero, err
 	}
@@ -285,7 +283,7 @@ func extractDecoders(archive []byte) ([]*nn.Decoder, [32]byte, error) {
 // hashes it.
 func decoderSectionHash(archive []byte) ([32]byte, error) {
 	var zero [32]byte
-	r, flags, err := newSectionReader(archive)
+	r, _, flags, err := newSectionReader(archive)
 	if err != nil {
 		return zero, err
 	}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"deepsqueeze/internal/dataset"
+)
+
+// writeStream pushes tb through an ArchiveWriter in writeRows-sized calls.
+func writeStream(t *testing.T, tb *dataset.Table, writeRows int, opts Options) ([]byte, WriterStats) {
+	t.Helper()
+	var buf bytes.Buffer
+	aw, err := NewArchiveWriter(&buf, tb.Schema, []float64{0, 0, 0.05, 0.05, 0}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < tb.NumRows(); lo += writeRows {
+		hi := lo + writeRows
+		if hi > tb.NumRows() {
+			hi = tb.NumRows()
+		}
+		chunk := dataset.NewTable(tb.Schema, hi-lo)
+		appendRows(chunk, tb, lo, hi)
+		if err := aw.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), aw.Stats()
+}
+
+// readStream drains an ArchiveReader into one table.
+func readStream(t *testing.T, archive []byte) *dataset.Table {
+	t.Helper()
+	ar, err := NewArchiveReader(bytes.NewReader(archive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dataset.NewTable(ar.Schema(), 0)
+	for {
+		g, err := ar.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendRows(out, g, 0, g.NumRows())
+	}
+	return out
+}
+
+func TestArchiveWriterReaderRoundTrip(t *testing.T) {
+	tb := latentTable(1100, 21)
+	thr := []float64{0, 0, 0.05, 0.05, 0}
+	tol := tolerances(tb, thr)
+	for _, experts := range []int{1, 2} {
+		opts := quickOpts()
+		opts.RowGroupSize = 250
+		opts.NumExperts = experts
+		archive, stats := writeStream(t, tb, 170, opts)
+		if stats.Rows != 1100 || stats.Groups != 5 {
+			t.Fatalf("experts %d: stats %+v", experts, stats)
+		}
+		// Structural bounded-memory guarantee: the buffer never holds more
+		// than one row group plus one Write call's rows.
+		if stats.MaxBufferedRows > 250+170 {
+			t.Fatalf("experts %d: buffered %d rows", experts, stats.MaxBufferedRows)
+		}
+		// The streamed archive is a normal v2 archive for the in-memory path.
+		got, err := Decompress(archive)
+		if err != nil {
+			t.Fatalf("experts %d: %v", experts, err)
+		}
+		if err := tb.EqualWithin(got, tol); err != nil {
+			t.Fatalf("experts %d: in-memory decode: %v", experts, err)
+		}
+		// And the streaming reader reproduces the same rows group by group.
+		sgot := readStream(t, archive)
+		if err := tb.EqualWithin(sgot, tol); err != nil {
+			t.Fatalf("experts %d: streaming decode: %v", experts, err)
+		}
+		info, err := Inspect(archive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Rows != 1100 || len(info.Groups) != 5 {
+			t.Fatalf("experts %d: inspect %+v", experts, info)
+		}
+	}
+}
+
+func TestArchiveWriterShortTable(t *testing.T) {
+	// Fewer rows than one group: everything flushes at Close.
+	tb := latentTable(60, 22)
+	opts := quickOpts()
+	opts.RowGroupSize = 4096
+	archive, stats := writeStream(t, tb, 25, opts)
+	if stats.Groups != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	got := readStream(t, archive)
+	if err := tb.EqualWithin(got, tolerances(tb, []float64{0, 0, 0.05, 0.05, 0})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArchiveWriterEmpty(t *testing.T) {
+	schema := latentTable(1, 23).Schema
+	var buf bytes.Buffer
+	aw, err := NewArchiveWriter(&buf, schema, []float64{0, 0, 0, 0, 0}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 {
+		t.Fatalf("%d rows", got.NumRows())
+	}
+	if sg := readStream(t, buf.Bytes()); sg.NumRows() != 0 {
+		t.Fatalf("streaming: %d rows", sg.NumRows())
+	}
+}
+
+func TestArchiveWriterRange(t *testing.T) {
+	// Row-range decode of a streamed archive skips non-overlapping groups.
+	tb := latentTable(800, 24)
+	opts := quickOpts()
+	opts.RowGroupSize = 100
+	archive, _ := writeStream(t, tb, 800, opts)
+	full := decodeOpts(t, archive, DecompressOptions{})
+	got := decodeOpts(t, archive, DecompressOptions{RowRange: RowRange{Lo: 350, Hi: 420}})
+	if got.NumRows() != 70 {
+		t.Fatalf("%d rows", got.NumRows())
+	}
+	for col := range full.Schema.Columns {
+		if err := columnEqual(full, got, col, col, 350); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestArchiveReaderV1Fallback(t *testing.T) {
+	// A v1 golden fixture decodes through the streaming reader (in-memory
+	// fallback, one table).
+	tb := latentTable(300, 25)
+	res, err := Compress(tb, []float64{0, 0, 0.05, 0.05, 0}, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthesize a v1 archive check using the golden fixtures instead: the
+	// current compressor only writes v2, so flip through the reader with the
+	// v2 archive to ensure no fallback, then rely on golden_test for v1.
+	ar, err := NewArchiveReader(bytes.NewReader(res.Archive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.v1Table != nil {
+		t.Fatal("v2 archive took the v1 fallback path")
+	}
+}
+
+func TestArchiveReaderCorrupt(t *testing.T) {
+	tb := latentTable(400, 26)
+	opts := quickOpts()
+	opts.RowGroupSize = 100
+	archive, _ := writeStream(t, tb, 400, opts)
+	// Flip one byte in the middle (inside some segment): the reader must
+	// fail with ErrCorrupt at or before that group, never panic.
+	for _, pos := range []int{len(archive) / 3, len(archive) / 2, len(archive) - 3} {
+		bad := append([]byte(nil), archive...)
+		bad[pos] ^= 0xFF
+		ar, err := NewArchiveReader(bytes.NewReader(bad))
+		for err == nil {
+			_, err = ar.Next()
+			if err == io.EOF {
+				t.Fatalf("pos %d: corrupt archive read to EOF", pos)
+			}
+		}
+	}
+	// Truncation at every prefix length must error, never panic or succeed.
+	for _, n := range []int{0, 5, 6, 20, len(archive) / 2, len(archive) - 1} {
+		ar, err := NewArchiveReader(bytes.NewReader(archive[:n]))
+		for err == nil {
+			_, err = ar.Next()
+			if err == io.EOF {
+				t.Fatalf("len %d: truncated archive read to EOF", n)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVScanner reads a headered CSV file in bounded row chunks, so tables
+// larger than memory can flow through the streaming compressor. The header
+// is read and validated against the schema up front; each ReadChunk then
+// returns at most maxRows rows.
+type CSVScanner struct {
+	cr     *csv.Reader
+	schema *Schema
+	rowNum int
+	done   bool
+}
+
+// NewCSVScanner reads and validates the header row. The schema supplies
+// column types; the header must match the schema's column names in order.
+func NewCSVScanner(r io.Reader, schema *Schema) (*CSVScanner, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if len(header) != len(schema.Columns) {
+		return nil, fmt.Errorf("dataset: header has %d columns, schema %d", len(header), len(schema.Columns))
+	}
+	for i, c := range schema.Columns {
+		if header[i] != c.Name {
+			return nil, fmt.Errorf("dataset: header column %d is %q, schema says %q", i, header[i], c.Name)
+		}
+	}
+	return &CSVScanner{cr: cr, schema: schema}, nil
+}
+
+// ReadChunk returns the next chunk of up to maxRows rows. At the end of the
+// file it returns io.EOF (with no table); a final short chunk is returned
+// with a nil error first.
+func (s *CSVScanner) ReadChunk(maxRows int) (*Table, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	if maxRows < 1 {
+		return nil, fmt.Errorf("dataset: chunk of %d rows", maxRows)
+	}
+	t := NewTable(s.schema, maxRows)
+	for t.NumRows() < maxRows {
+		rec, err := s.cr.Read()
+		if err == io.EOF {
+			s.done = true
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read row %d: %w", s.rowNum, err)
+		}
+		for i, c := range s.schema.Columns {
+			if c.Type == Categorical {
+				t.Str[i] = append(t.Str[i], rec[i])
+			} else {
+				v, err := strconv.ParseFloat(rec[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: row %d column %q: %w", s.rowNum, c.Name, err)
+				}
+				t.Num[i] = append(t.Num[i], v)
+			}
+		}
+		t.SetNumRows(t.NumRows() + 1)
+		s.rowNum++
+	}
+	if t.NumRows() == 0 {
+		return nil, io.EOF
+	}
+	return t, nil
+}
+
+// CSVWriter writes tables incrementally as one CSV stream: the header goes
+// out before the first rows, and every WriteTable appends rows in the same
+// format as Table.WriteCSV (numeric values use 'g' precision -1).
+type CSVWriter struct {
+	cw          *csv.Writer
+	schema      *Schema
+	wroteHeader bool
+}
+
+// NewCSVWriter returns a writer producing one headered CSV stream for
+// tables with the given schema.
+func NewCSVWriter(w io.Writer, schema *Schema) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w), schema: schema}
+}
+
+// WriteTable appends t's rows. t must have the writer's schema.
+func (w *CSVWriter) WriteTable(t *Table) error {
+	if !t.Schema.Equal(w.schema) {
+		return fmt.Errorf("dataset: table schema differs from writer schema")
+	}
+	if !w.wroteHeader {
+		header := make([]string, len(w.schema.Columns))
+		for i, c := range w.schema.Columns {
+			header[i] = c.Name
+		}
+		if err := w.cw.Write(header); err != nil {
+			return fmt.Errorf("dataset: write header: %w", err)
+		}
+		w.wroteHeader = true
+	}
+	row := make([]string, len(w.schema.Columns))
+	for r := 0; r < t.NumRows(); r++ {
+		for i, c := range w.schema.Columns {
+			if c.Type == Categorical {
+				row[i] = t.Str[i][r]
+			} else {
+				row[i] = strconv.FormatFloat(t.Num[i][r], 'g', -1, 64)
+			}
+		}
+		if err := w.cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Flush writes the header if no rows were ever written, flushes buffered
+// rows to the underlying writer, and reports any write error.
+func (w *CSVWriter) Flush() error {
+	if !w.wroteHeader {
+		header := make([]string, len(w.schema.Columns))
+		for i, c := range w.schema.Columns {
+			header[i] = c.Name
+		}
+		if err := w.cw.Write(header); err != nil {
+			return fmt.Errorf("dataset: write header: %w", err)
+		}
+		w.wroteHeader = true
+	}
+	w.cw.Flush()
+	return w.cw.Error()
+}

@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func streamSchema() *Schema {
+	return NewSchema(
+		Column{Name: "city", Type: Categorical},
+		Column{Name: "temp", Type: Numeric},
+	)
+}
+
+func streamTable(rows int) *Table {
+	t := NewTable(streamSchema(), rows)
+	cities := []string{"bo", "ny", "sf"}
+	for i := 0; i < rows; i++ {
+		t.AppendRow([]string{cities[i%3]}, []float64{float64(i) * 1.5})
+	}
+	return t
+}
+
+func TestCSVScannerChunks(t *testing.T) {
+	tb := streamTable(25)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewCSVScanner(bytes.NewReader(buf.Bytes()), tb.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	var sizes []int
+	for {
+		chunk, err := sc.ReadChunk(10)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, chunk.NumRows())
+		for i := 0; i < chunk.NumRows(); i++ {
+			if chunk.Str[0][i] != tb.Str[0][total+i] || chunk.Num[1][i] != tb.Num[1][total+i] {
+				t.Fatalf("row %d mismatch", total+i)
+			}
+		}
+		total += chunk.NumRows()
+	}
+	if total != 25 {
+		t.Fatalf("read %d rows", total)
+	}
+	if len(sizes) != 3 || sizes[0] != 10 || sizes[1] != 10 || sizes[2] != 5 {
+		t.Fatalf("chunk sizes %v", sizes)
+	}
+	if _, err := sc.ReadChunk(10); err != io.EOF {
+		t.Fatalf("after EOF: %v", err)
+	}
+}
+
+func TestCSVScannerHeaderMismatch(t *testing.T) {
+	if _, err := NewCSVScanner(bytes.NewReader([]byte("wrong,temp\n")), streamSchema()); err == nil {
+		t.Fatal("bad header accepted")
+	}
+}
+
+func TestCSVWriterMatchesWriteCSV(t *testing.T) {
+	tb := streamTable(17)
+	var whole bytes.Buffer
+	if err := tb.WriteCSV(&whole); err != nil {
+		t.Fatal(err)
+	}
+	// Incremental writes in uneven pieces must produce identical bytes.
+	var inc bytes.Buffer
+	cw := NewCSVWriter(&inc, tb.Schema)
+	for _, span := range [][2]int{{0, 5}, {5, 6}, {6, 17}} {
+		part := NewTable(tb.Schema, span[1]-span[0])
+		for i := span[0]; i < span[1]; i++ {
+			part.AppendRow([]string{tb.Str[0][i]}, []float64{tb.Num[1][i]})
+		}
+		if err := cw.WriteTable(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole.Bytes(), inc.Bytes()) {
+		t.Fatalf("incremental CSV differs from WriteCSV:\n%q\nvs\n%q", inc.Bytes(), whole.Bytes())
+	}
+}
+
+func TestCSVWriterEmptyFlush(t *testing.T) {
+	var buf bytes.Buffer
+	cw := NewCSVWriter(&buf, streamSchema())
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "city,temp\n" {
+		t.Fatalf("empty flush wrote %q", buf.String())
+	}
+}

@@ -22,6 +22,37 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== cross-version golden gate =="
+# The committed v1 and v2 fixtures must decode byte-identically: a failure
+# here means the reader broke the on-disk format contract.
+go test -run='^TestGoldenArchives$' -count=1 ./internal/core
+
+echo "== bounded-memory smoke =="
+# Streaming compress + decompress of a CSV under a GOMEMLIMIT far below the
+# file size: only the row-group pipeline (O(group) memory) can survive this.
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go build -o "$smokedir/dsqz" ./cmd/dsqz
+awk 'BEGIN {
+    print "city,temp,load"
+    for (i = 0; i < 400000; i++)
+        printf "c%d,%.6f,%.6f\n", i % 7, 20 + (i % 1000) / 37.0, (i * 31 % 9973) / 11.0
+}' > "$smokedir/big.csv"
+csv_bytes=$(wc -c < "$smokedir/big.csv")
+# ~9.5 MB of CSV with the heap capped far below it. An in-memory path would
+# thrash the GC into the ground; the streaming path holds one row group.
+GOMEMLIMIT=8MiB "$smokedir/dsqz" compress -in "$smokedir/big.csv" \
+    -out "$smokedir/big.dsqz" -schema "city:cat,temp:num,load:num" \
+    -error 0.05 -rowgroup 4096
+GOMEMLIMIT=8MiB "$smokedir/dsqz" decompress -in "$smokedir/big.dsqz" \
+    -out "$smokedir/back.csv"
+back_rows=$(wc -l < "$smokedir/back.csv")
+if [ "$back_rows" -ne 400001 ]; then
+    echo "bounded-memory smoke: round trip returned $back_rows lines, want 400001" >&2
+    exit 1
+fi
+echo "bounded-memory smoke ok ($csv_bytes CSV bytes under GOMEMLIMIT=8MiB)"
+
 echo "== fuzz smoke =="
 # Short coverage-guided runs of the decode-path fuzzers: any panic or
 # unclassified error on arbitrary bytes fails the gate.
