@@ -19,6 +19,8 @@
 //	-seed 1            random seed
 //	-p 0               pipeline parallelism (0 = all CPUs)
 //	-v                 verbose progress + per-stage pipeline report
+//	-cpuprofile f      write a CPU profile to f (inspect with go tool pprof)
+//	-memprofile f      write a heap profile to f on exit
 //
 // Compression streams the CSV through the row-group archive writer one
 // group at a time, so peak memory is bounded by the row-group size, not
@@ -33,6 +35,8 @@
 //	-rows lo:hi        decode only the half-open row span, original order
 //	-p 0               pipeline parallelism (0 = all CPUs)
 //	-v                 per-stage pipeline report
+//	-cpuprofile f      write a CPU profile to f
+//	-memprofile f      write a heap profile to f on exit
 //
 // SIGINT/SIGTERM cancel an in-flight compression cleanly: the staged
 // pipeline returns promptly with the context's error and no partial
@@ -48,6 +52,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -90,6 +96,57 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "run 'dsqz <subcommand> -h' for flags")
 }
 
+// startProfiles begins CPU profiling into cpu and returns a stop function
+// that finalizes it and snapshots the heap into mem; either path may be
+// empty. The stop function must run on every exit path so the profiles are
+// complete — profiled work is wrapped in a closure, not deferred past it.
+func startProfiles(cpu, mem string) (func() error, error) {
+	var cf *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cf = f
+	}
+	return func() error {
+		if cf != nil {
+			pprof.StopCPUProfile()
+			if err := cf.Close(); err != nil {
+				return err
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // capture live heap, not transient garbage
+			return pprof.WriteHeapProfile(f)
+		}
+		return nil
+	}, nil
+}
+
+// withProfiles runs body between startProfiles and its stop function,
+// surfacing the first error of the two.
+func withProfiles(cpu, mem string, body func() error) error {
+	stop, err := startProfiles(cpu, mem)
+	if err != nil {
+		return err
+	}
+	err = body()
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	return err
+}
+
 // parseSchema parses "name:cat,name:num,..." descriptors.
 func parseSchema(s string) (*deepsqueeze.Schema, error) {
 	if s == "" {
@@ -127,6 +184,8 @@ func runCompress(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	parallel := fs.Int("p", 0, "pipeline parallelism (0 = all CPUs)")
 	verbose := fs.Bool("v", false, "verbose progress + per-stage pipeline report")
+	cpuprof := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprof := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("compress needs -in and -out")
@@ -152,10 +211,12 @@ func runCompress(ctx context.Context, args []string) error {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		}
 	}
-	if *tune {
-		return compressTuned(ctx, f, *out, schema, *errThr, opts, *verbose)
-	}
-	return compressStream(ctx, f, *out, schema, *errThr, opts)
+	return withProfiles(*cpuprof, *memprof, func() error {
+		if *tune {
+			return compressTuned(ctx, f, *out, schema, *errThr, opts, *verbose)
+		}
+		return compressStream(ctx, f, *out, schema, *errThr, opts)
+	})
 }
 
 // compressTuned loads the whole table (the tuner needs it), tunes, and
@@ -299,6 +360,8 @@ func runDecompress(ctx context.Context, args []string) error {
 	rows := fs.String("rows", "", "row span lo:hi (half-open, original order; default: all)")
 	parallel := fs.Int("p", 0, "pipeline parallelism (0 = all CPUs)")
 	verbose := fs.Bool("v", false, "per-stage pipeline report")
+	cpuprof := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprof := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("decompress needs -in and -out")
@@ -306,11 +369,9 @@ func runDecompress(ctx context.Context, args []string) error {
 	if *cols == "" && *rows == "" {
 		// No projection or row span: stream group by group, holding at
 		// most one row group of output in memory.
-		return decompressStream(ctx, *in, *out, *verbose)
-	}
-	buf, err := os.ReadFile(*in)
-	if err != nil {
-		return err
+		return withProfiles(*cpuprof, *memprof, func() error {
+			return decompressStream(ctx, *in, *out, *verbose)
+		})
 	}
 	opts := deepsqueeze.DecompressOptions{Parallelism: *parallel}
 	if *cols != "" {
@@ -333,15 +394,27 @@ func runDecompress(ctx context.Context, args []string) error {
 		}
 		opts.RowRange = rr
 	}
+	return withProfiles(*cpuprof, *memprof, func() error {
+		return decompressQuery(ctx, *in, *out, opts, *verbose)
+	})
+}
+
+// decompressQuery runs the in-memory query-aware decoder (projection and/or
+// row span) and writes the result as CSV.
+func decompressQuery(ctx context.Context, in, out string, opts deepsqueeze.DecompressOptions, verbose bool) error {
+	buf, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
 	res, err := deepsqueeze.DecompressContext(ctx, buf, opts)
 	if err != nil {
 		return err
 	}
-	if *verbose {
+	if verbose {
 		printStages(res.Stages)
 	}
 	table := res.Table
-	of, err := os.Create(*out)
+	of, err := os.Create(out)
 	if err != nil {
 		return err
 	}
@@ -354,7 +427,7 @@ func runDecompress(ctx context.Context, args []string) error {
 		return err
 	}
 	fmt.Printf("decompressed %d rows × %d columns to %s\n",
-		table.NumRows(), table.Schema.NumColumns(), *out)
+		table.NumRows(), table.Schema.NumColumns(), out)
 	return of.Close()
 }
 

@@ -29,6 +29,7 @@ func Experiments() []Experiment {
 		{"pipeline", "Staged pipeline parallel speedup", PipelineSpeedup},
 		{"decompress", "Parallel projection-aware decompression speedup", DecompressSpeedup},
 		{"rowgroup", "RowRange decode latency vs. row-group count", RowGroupScan},
+		{"train", "Data-parallel training throughput vs. workers", TrainSpeedup},
 	}
 }
 

@@ -48,6 +48,34 @@ func TestParallelismDeterminism(t *testing.T) {
 	}
 }
 
+// TestTrainWorkersDeterminism isolates the data-parallel trainer from the
+// pipeline's other parallelism: with the pool size held fixed, varying only
+// Train.Workers must not change a single archive byte, because the minibatch
+// shard partition and gradient-reduction order depend on batch shape alone.
+func TestTrainWorkersDeterminism(t *testing.T) {
+	tb := latentTable(900, 2)
+	thr := []float64{0, 0, 0.05, 0.05, 0}
+	opts := quickOpts()
+	opts.NumExperts = 2
+	opts.Parallelism = 2
+	opts.Train.Workers = 1
+	base, err := Compress(tb, thr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, runtime.NumCPU()} {
+		opts.Train.Workers = w
+		got, err := Compress(tb, thr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(base.Archive, got.Archive) {
+			t.Fatalf("archive differs between Train.Workers=1 (%d bytes) and %d (%d bytes)",
+				len(base.Archive), w, len(got.Archive))
+		}
+	}
+}
+
 func TestCompressContextAlreadyCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

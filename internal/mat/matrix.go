@@ -42,6 +42,17 @@ func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 // Row returns a slice aliasing row i.
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
+// SliceRows returns a view of rows [lo, hi) sharing m's backing array (rows
+// are contiguous in row-major storage, so no copy is needed). Mutations
+// through the view are visible in m. The view is returned by value so that
+// slicing allocates nothing; take its address to pass it as a *Matrix.
+func (m *Matrix) SliceRows(lo, hi int) Matrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("mat: SliceRows [%d, %d) of %d rows", lo, hi, m.Rows))
+	}
+	return Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols]}
+}
+
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
 	c := New(m.Rows, m.Cols)

@@ -70,6 +70,8 @@ type Decoder struct {
 	numPos, binPos, catPos []int // spec index → head position, -1 if other kind
 	numCols, binCols       int
 	catCols, maxCard       int
+	cardOf                 []int // categorical position → cardinality
+	catAll                 []int // all categorical positions, ascending
 }
 
 // indexSpecs fills the position maps from Specs.
@@ -101,6 +103,16 @@ func (d *Decoder) indexSpecs() error {
 			return fmt.Errorf("nn: unknown output kind %d", s.Kind)
 		}
 	}
+	d.cardOf = make([]int, d.catCols)
+	d.catAll = make([]int, d.catCols)
+	for i, s := range d.Specs {
+		if j := d.catPos[i]; j >= 0 {
+			d.cardOf[j] = s.Card
+		}
+	}
+	for j := range d.catAll {
+		d.catAll[j] = j
+	}
 	return nil
 }
 
@@ -126,18 +138,6 @@ func (d *Decoder) CatPos(i int) int { return d.catPos[i] }
 // rather than the sum of cardinalities (the paper's goal), but each column
 // can now learn its own interpretation of the auxiliary values.
 func (d *Decoder) sharedWidth() int { return 2 * d.catCols }
-
-// sharedInput assembles the shared-stack input for categorical column j:
-// the auxiliary activations followed by the one-hot signal block.
-func (d *Decoder) sharedInput(aux *mat.Matrix, j int) *mat.Matrix {
-	z := mat.New(aux.Rows, d.sharedWidth())
-	for r := 0; r < aux.Rows; r++ {
-		row := z.Row(r)
-		copy(row, aux.Row(r))
-		row[d.catCols+j] = 1
-	}
-	return z
-}
 
 // hiddenInfer runs the decoder hidden stack without caching.
 func (d *Decoder) hiddenInfer(codes *mat.Matrix) *mat.Matrix {
@@ -201,12 +201,6 @@ func (d *Decoder) PredictCols(codes *mat.Matrix, want []bool) *Predictions {
 	p.Cat = make([]*mat.Matrix, d.catCols)
 	if len(wantJ) > 0 {
 		aux := d.Aux.Infer(h)
-		cardOf := make([]int, d.catCols)
-		for i, s := range d.Specs {
-			if j := d.catPos[i]; j >= 0 {
-				cardOf[j] = s.Card
-			}
-		}
 		// Evaluate the shared stack for several columns per matmul by
 		// stacking their inputs vertically; slabs bound peak memory.
 		b := codes.Rows
@@ -223,10 +217,10 @@ func (d *Decoder) PredictCols(codes *mat.Matrix, want []bool) *Predictions {
 				g1 = len(wantJ)
 			}
 			js := wantJ[g0:g1]
-			z := d.stackedSharedInput(aux, js)
+			z := d.stackedSharedInput(nil, aux, js)
 			logits := d.Shared.Infer(d.SharedHidden.Infer(z))
 			for k, j := range js {
-				card := cardOf[j]
+				card := d.cardOf[j]
 				probs := mat.New(b, card)
 				for r := 0; r < b; r++ {
 					row := logits.Row(k*b + r)
@@ -242,10 +236,12 @@ func (d *Decoder) PredictCols(codes *mat.Matrix, want []bool) *Predictions {
 
 // stackedSharedInput assembles the shared-stack inputs for the listed
 // categorical columns stacked vertically: row k*B + r carries row r's
-// auxiliary activations with column js[k]'s one-hot signal.
-func (d *Decoder) stackedSharedInput(aux *mat.Matrix, js []int) *mat.Matrix {
+// auxiliary activations with column js[k]'s one-hot signal. Scratch comes
+// from ar (nil allocates fresh); either way the unset signal positions are
+// zero.
+func (d *Decoder) stackedSharedInput(ar *mat.Arena, aux *mat.Matrix, js []int) *mat.Matrix {
 	b := aux.Rows
-	z := mat.New(len(js)*b, d.sharedWidth())
+	z := ar.Get(len(js)*b, d.sharedWidth())
 	for k, j := range js {
 		for r := 0; r < b; r++ {
 			row := z.Row(k*b + r)
@@ -254,16 +250,6 @@ func (d *Decoder) stackedSharedInput(aux *mat.Matrix, js []int) *mat.Matrix {
 		}
 	}
 	return z
-}
-
-// catRange returns the ascending categorical positions [j0, j1) — the
-// stacked-input column list for training's single full-width slab.
-func (d *Decoder) catRange(j0, j1 int) []int {
-	js := make([]int, 0, j1-j0)
-	for j := j0; j < j1; j++ {
-		js = append(js, j)
-	}
-	return js
 }
 
 // splitHead copies the combined numeric+binary head output into its parts:
@@ -315,6 +301,8 @@ func (d *Decoder) ParamCount() int {
 type Autoencoder struct {
 	Decoder
 	Encoder []*Dense // input → hidden (ReLU) → code (Sigmoid)
+
+	tr *trainer // lazily built shard trainer (train.go); nil until first TrainBatch
 }
 
 // Config controls autoencoder construction.
@@ -397,69 +385,73 @@ func (a *Autoencoder) Encode(x *mat.Matrix) *mat.Matrix {
 }
 
 // TrainBatch runs one forward/backward pass on a batch and applies the
-// optimizer. Returns the batch's mean loss (summed over columns).
+// optimizer. Returns the batch's mean loss (summed over columns). The batch
+// is processed through the deterministic shard partition (see train.go), so
+// the result is bit-identical to TrainBatchWorkers at any worker count.
 func (a *Autoencoder) TrainBatch(x *mat.Matrix, tg *Targets, opt Optimizer) float64 {
-	b := float64(x.Rows)
+	return a.trainer().train(x, tg, opt, 1, nil)
+}
+
+// accumBatch runs one forward/backward pass over x, adding this batch's
+// gradient contribution into the layer accumulators without clipping or
+// applying the optimizer. Every loss and gradient term is scaled by invB,
+// the reciprocal of the full minibatch size — x may be one shard of a larger
+// batch. Scratch matrices come from ar (nil allocates fresh); after warmup
+// an arena-backed pass allocates nothing. Returns the invB-scaled loss sum.
+func (a *Autoencoder) accumBatch(ar *mat.Arena, x *mat.Matrix, tg *Targets, invB float64) float64 {
 	if x.Rows == 0 {
 		return 0
 	}
 	// Forward with caching.
 	h := x
 	for _, l := range a.Encoder {
-		h = l.Forward(h)
+		h = l.forward(ar, h)
 	}
-	code := h
-	h = code
 	for _, l := range a.Hidden {
-		h = l.Forward(h)
+		h = l.forward(ar, h)
 	}
 
 	var loss float64
-	dH := mat.New(h.Rows, h.Cols)
+	dH := ar.Get(h.Rows, h.Cols)
 
 	if a.HeadNum != nil {
-		z := a.HeadNum.Forward(h)
-		y := z.Clone()
+		z := a.HeadNum.forward(ar, h)
+		y := ar.Get(z.Rows, z.Cols)
+		copy(y.Data, z.Data)
 		y.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
 		// Gradient w.r.t. pre-activation z (HeadNum uses Identity).
-		gz := mat.New(z.Rows, z.Cols)
+		gz := ar.Get(z.Rows, z.Cols)
 		for r := 0; r < z.Rows; r++ {
 			yr, gr := y.Row(r), gz.Row(r)
 			for c := 0; c < a.numCols; c++ {
 				t := tg.Num.At(r, c)
 				diff := yr[c] - t
-				loss += diff * diff / b
-				gr[c] = 2 * diff * yr[c] * (1 - yr[c]) / b
+				loss += diff * diff * invB
+				gr[c] = 2 * diff * yr[c] * (1 - yr[c]) * invB
 			}
 			for c := 0; c < a.binCols; c++ {
 				t := tg.Bin.At(r, c)
 				p := yr[a.numCols+c]
-				loss += bce(p, t) / b
-				gr[a.numCols+c] = (p - t) / b
+				loss += bce(p, t) * invB
+				gr[a.numCols+c] = (p - t) * invB
 			}
 		}
-		mat.AddInPlace(dH, a.HeadNum.Backward(gz))
+		mat.AddInPlace(dH, a.HeadNum.backward(ar, gz))
 	}
 
 	if a.Aux != nil {
-		aux := a.Aux.Forward(h)
-		dAux := mat.New(aux.Rows, aux.Cols)
+		aux := a.Aux.forward(ar, h)
+		dAux := ar.Get(aux.Rows, aux.Cols)
 		// All categorical columns go through the shared stack in one
 		// vertically-stacked forward/backward pass: rows j*B..(j+1)*B-1
 		// carry column j's evaluation.
-		cardOf := make([]int, a.catCols)
-		for i, s := range a.Specs {
-			if j := a.catPos[i]; j >= 0 {
-				cardOf[j] = s.Card
-			}
-		}
 		rows := x.Rows
-		z := a.stackedSharedInput(aux, a.catRange(0, a.catCols))
-		logits := a.Shared.Forward(a.SharedHidden.Forward(z))
-		gl := mat.New(logits.Rows, logits.Cols)
+		z := a.stackedSharedInput(ar, aux, a.catAll)
+		logits := a.Shared.forward(ar, a.SharedHidden.forward(ar, z))
+		gl := ar.Get(logits.Rows, logits.Cols)
 		for j := 0; j < a.catCols; j++ {
-			card := cardOf[j]
-			probs := mat.New(rows, card)
+			card := a.cardOf[j]
+			probs := ar.Get(rows, card)
 			for r := 0; r < rows; r++ {
 				copy(probs.Row(r), logits.Row(j*rows + r)[:card])
 			}
@@ -470,37 +462,35 @@ func (a *Autoencoder) TrainBatch(x *mat.Matrix, tg *Targets, opt Optimizer) floa
 					continue // rare value masked out of training
 				}
 				pr, gr := probs.Row(r), gl.Row(j*rows+r)
-				loss += -math.Log(math.Max(pr[cls], 1e-12)) / b
+				loss += -math.Log(math.Max(pr[cls], 1e-12)) * invB
 				for c := 0; c < card; c++ {
-					gr[c] = pr[c] / b
+					gr[c] = pr[c] * invB
 				}
-				gr[cls] -= 1 / b
+				gr[cls] -= invB
 			}
 		}
-		dz := a.SharedHidden.Backward(a.Shared.Backward(gl))
+		dz := a.SharedHidden.backward(ar, a.Shared.backward(ar, gl))
 		for j := 0; j < a.catCols; j++ {
 			for r := 0; r < rows; r++ {
-				dr, ar := dz.Row(j*rows+r), dAux.Row(r)
+				dr, da := dz.Row(j*rows+r), dAux.Row(r)
 				for c := 0; c < a.catCols; c++ {
-					ar[c] += dr[c]
+					da[c] += dr[c]
 				}
 				// The signal node is an input, not a parameter: its
 				// gradient is discarded.
 			}
 		}
-		mat.AddInPlace(dH, a.Aux.Backward(dAux))
+		mat.AddInPlace(dH, a.Aux.backward(ar, dAux))
 	}
 
 	// Backprop through decoder hidden stack, then encoder.
 	g := dH
 	for i := len(a.Hidden) - 1; i >= 0; i-- {
-		g = a.Hidden[i].Backward(g)
+		g = a.Hidden[i].backward(ar, g)
 	}
 	for i := len(a.Encoder) - 1; i >= 0; i-- {
-		g = a.Encoder[i].Backward(g)
+		g = a.Encoder[i].backward(ar, g)
 	}
-	ClipGrads(a.AllLayers(), 5)
-	opt.Step(a.AllLayers())
 	return loss
 }
 

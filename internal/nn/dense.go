@@ -45,11 +45,15 @@ func NewDense(rng *rand.Rand, in, out int, act Activation) *Dense {
 
 // Forward computes the layer output for a batch x (rows×In) and caches the
 // values Backward needs.
-func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix {
+func (d *Dense) Forward(x *mat.Matrix) *mat.Matrix { return d.forward(nil, x) }
+
+// forward is Forward drawing its output from ar (nil ar allocates fresh).
+func (d *Dense) forward(ar *mat.Arena, x *mat.Matrix) *mat.Matrix {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: dense forward input %d cols, want %d", x.Cols, d.In))
 	}
-	out := mat.MulT(x, d.W) // rows×Out
+	out := ar.Get(x.Rows, d.Out)
+	mat.MulTInto(x, d.W, out)
 	for i := 0; i < out.Rows; i++ {
 		row := out.Row(i)
 		for j := range row {
@@ -81,7 +85,12 @@ func (d *Dense) Infer(x *mat.Matrix) *mat.Matrix {
 // Backward takes ∂L/∂out (same shape as the last Forward output), adds this
 // batch's weight gradients into GradW/GradB, and returns ∂L/∂in. The caller
 // may mutate grad.
-func (d *Dense) Backward(grad *mat.Matrix) *mat.Matrix {
+func (d *Dense) Backward(grad *mat.Matrix) *mat.Matrix { return d.backward(nil, grad) }
+
+// backward is Backward drawing ∂L/∂in from ar (nil ar allocates fresh). The
+// weight gradient accumulates straight into GradW without an intermediate
+// product matrix.
+func (d *Dense) backward(ar *mat.Arena, grad *mat.Matrix) *mat.Matrix {
 	if d.lastIn == nil {
 		panic("nn: Backward before Forward")
 	}
@@ -90,14 +99,15 @@ func (d *Dense) Backward(grad *mat.Matrix) *mat.Matrix {
 	}
 	d.Act.backprop(grad, d.lastOut)
 	// dW += gradᵀ · x ; db += column sums of grad ; dX = grad · W
-	mat.AddInPlace(d.GradW, mat.TMul(grad, d.lastIn))
+	mat.TMulAddInto(grad, d.lastIn, d.GradW)
 	for i := 0; i < grad.Rows; i++ {
 		row := grad.Row(i)
 		for j, v := range row {
 			d.GradB[j] += v
 		}
 	}
-	return mat.Mul(grad, d.W)
+	dx := ar.Get(grad.Rows, d.In)
+	return mat.MulInto(grad, d.W, dx)
 }
 
 // ZeroGrad clears the gradient accumulators.
@@ -133,4 +143,17 @@ func (d *Dense) Clone() *Dense {
 		GradW: mat.New(d.Out, d.In), GradB: make([]float64, d.Out),
 	}
 	return c
+}
+
+// replica returns a layer sharing d's parameters (W and B alias d's memory)
+// with private gradient accumulators and forward caches. Data-parallel
+// training runs each minibatch shard through a replica: reads of the shared
+// weights are concurrent-safe because the optimizer only steps between
+// batches, while gradients accumulate privately and are reduced afterwards.
+func (d *Dense) replica() *Dense {
+	return &Dense{
+		In: d.In, Out: d.Out, Act: d.Act,
+		W: d.W, B: d.B,
+		GradW: mat.New(d.Out, d.In), GradB: make([]float64, d.Out),
+	}
 }

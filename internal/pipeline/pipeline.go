@@ -55,6 +55,51 @@ func NewPool(size int) *Pool {
 // Size returns the pool's parallelism.
 func (p *Pool) Size() int { return p.size }
 
+// Do runs fn(0..n-1) over the pool and blocks until every item finished.
+// At most max goroutines execute concurrently, the caller included (max <= 0
+// or max > Size() selects the pool size). Unlike Run.ForEach it carries no
+// context or error plumbing, which keeps it cheap enough to call once per
+// training minibatch. Helper goroutines are added only while pool tokens are
+// free, so nested calls (a data-parallel trainer inside a ForEach item)
+// degrade to caller-runs sequential execution instead of oversubscribing.
+// Items are claimed from an atomic counter; callers needing deterministic
+// results must write item outputs to disjoint, index-addressed slots.
+func (p *Pool) Do(n, max int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if max <= 0 || max > p.size {
+		max = p.size
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for extra := 0; extra < max-1 && extra < n-1; extra++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				work()
+			}()
+		default:
+			break spawn // pool saturated: the caller handles the rest
+		}
+	}
+	work()
+	wg.Wait()
+}
+
 // Run is one pipeline execution: a context, a worker pool, and the stage
 // stats accumulated so far. A Run is safe for concurrent use.
 type Run struct {

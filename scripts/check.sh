@@ -53,6 +53,12 @@ if [ "$back_rows" -ne 400001 ]; then
 fi
 echo "bounded-memory smoke ok ($csv_bytes CSV bytes under GOMEMLIMIT=8MiB)"
 
+echo "== benchmark smoke =="
+# One iteration of the training benchmarks: catches kernels or the trainer
+# panicking under benchmark shapes without paying for a real measurement.
+go test -run='^$' -bench='TrainBatch|TrainEpoch' -benchtime=1x ./internal/nn
+go test -run='^$' -bench='Into' -benchtime=1x ./internal/mat
+
 echo "== fuzz smoke =="
 # Short coverage-guided runs of the decode-path fuzzers: any panic or
 # unclassified error on arbitrary bytes fails the gate.
