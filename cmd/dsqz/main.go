@@ -5,6 +5,7 @@
 //
 //	dsqz compress   -in data.csv -schema "city:cat,temp:num" -out data.dsqz [flags]
 //	dsqz decompress -in data.dsqz -out data.csv [-cols city,temp] [-rows 0:1000] [-p 4] [-v]
+//	dsqz query      -in data.dsqz -where "temp >= 30 AND city = 'cusco'" [-select city,temp] [-agg count,min:temp] [-v]
 //	dsqz inspect    -in data.dsqz
 //
 // The schema flag lists column name:type pairs in file order, where type is
@@ -37,6 +38,18 @@
 //	-v                 per-stage pipeline report
 //	-cpuprofile f      write a CPU profile to f
 //	-memprofile f      write a heap profile to f on exit
+//
+// Query evaluates a filter directly against the archive, skipping row groups
+// whose zone maps cannot contain a match:
+//
+//	-where expr        filter: = == != <> < <= > >= IN, AND/OR/NOT, parens;
+//	                   strings single-quoted ('it''s' escapes a quote)
+//	-select a,b        columns to return (default: all)
+//	-agg list          count,min:col,max:col,sum:col — print aggregates
+//	                   instead of rows
+//	-limit n           cap returned rows
+//	-out f             write matching rows as CSV to f (default: stdout)
+//	-v                 per-stage report plus groups-pruned / bytes-skipped
 //
 // SIGINT/SIGTERM cancel an in-flight compression cleanly: the staged
 // pipeline returns promptly with the context's error and no partial
@@ -75,6 +88,8 @@ func main() {
 		err = runCompress(ctx, os.Args[2:])
 	case "decompress":
 		err = runDecompress(ctx, os.Args[2:])
+	case "query":
+		err = runQuery(ctx, os.Args[2:])
 	case "inspect":
 		err = runInspect(os.Args[2:])
 	default:
@@ -92,7 +107,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dsqz {compress|decompress|inspect} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dsqz {compress|decompress|query|inspect} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'dsqz <subcommand> -h' for flags")
 }
 
@@ -373,24 +388,23 @@ func runDecompress(ctx context.Context, args []string) error {
 			return decompressStream(ctx, *in, *out, *verbose)
 		})
 	}
+	// Flags are validated before any file IO: a reversed or negative row
+	// span can never be satisfied, so it fails here rather than after the
+	// archive has been read.
 	opts := deepsqueeze.DecompressOptions{Parallelism: *parallel}
 	if *cols != "" {
 		for _, name := range strings.Split(*cols, ",") {
-			opts.Columns = append(opts.Columns, strings.TrimSpace(name))
+			name = strings.TrimSpace(name)
+			if name == "" {
+				return fmt.Errorf("bad -cols %q (empty column name)", *cols)
+			}
+			opts.Columns = append(opts.Columns, name)
 		}
 	}
 	if *rows != "" {
-		lo, hi, ok := strings.Cut(*rows, ":")
-		var rr deepsqueeze.RowRange
-		if ok {
-			_, errLo := fmt.Sscanf(lo, "%d", &rr.Lo)
-			_, errHi := fmt.Sscanf(hi, "%d", &rr.Hi)
-			if errLo != nil || errHi != nil {
-				ok = false
-			}
-		}
-		if !ok {
-			return fmt.Errorf("bad -rows %q (want lo:hi, e.g. 1000:2000)", *rows)
+		rr, err := parseRowRange(*rows)
+		if err != nil {
+			return err
 		}
 		opts.RowRange = rr
 	}
@@ -399,11 +413,72 @@ func runDecompress(ctx context.Context, args []string) error {
 	})
 }
 
+// parseRowRange parses a "lo:hi" half-open row span and rejects spans that
+// can never select anything (negative bounds, hi < lo) before any IO runs.
+func parseRowRange(s string) (deepsqueeze.RowRange, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	var rr deepsqueeze.RowRange
+	if ok {
+		_, errLo := fmt.Sscanf(lo, "%d", &rr.Lo)
+		_, errHi := fmt.Sscanf(hi, "%d", &rr.Hi)
+		if errLo != nil || errHi != nil {
+			ok = false
+		}
+	}
+	if !ok {
+		return rr, fmt.Errorf("bad -rows %q (want lo:hi, e.g. 1000:2000)", s)
+	}
+	if rr.Lo < 0 || rr.Hi < 0 {
+		return rr, fmt.Errorf("bad -rows %q (negative bound)", s)
+	}
+	if rr.Hi < rr.Lo {
+		return rr, fmt.Errorf("bad -rows %q (reversed range: hi < lo)", s)
+	}
+	return rr, nil
+}
+
+// validateAgainstArchive checks the requested columns and row span against
+// the archive's schema and row count — metadata only, before any segment is
+// decoded — so typos fail with a clear message instead of a decode error.
+func validateAgainstArchive(archive []byte, cols []string, rr deepsqueeze.RowRange) error {
+	info, err := deepsqueeze.Inspect(archive)
+	if err != nil {
+		return err
+	}
+	for _, name := range cols {
+		found := false
+		for _, c := range info.Schema.Columns {
+			if c.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("archive has no column %q (columns: %s)", name, schemaNames(info.Schema))
+		}
+	}
+	if rr.Hi > info.Rows {
+		return fmt.Errorf("-rows %d:%d exceeds the archive's %d rows", rr.Lo, rr.Hi, info.Rows)
+	}
+	return nil
+}
+
+func schemaNames(s *deepsqueeze.Schema) string {
+	names := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		names[i] = c.Name
+	}
+	return strings.Join(names, ", ")
+}
+
 // decompressQuery runs the in-memory query-aware decoder (projection and/or
 // row span) and writes the result as CSV.
 func decompressQuery(ctx context.Context, in, out string, opts deepsqueeze.DecompressOptions, verbose bool) error {
 	buf, err := os.ReadFile(in)
 	if err != nil {
+		return err
+	}
+	if err := validateAgainstArchive(buf, opts.Columns, opts.RowRange); err != nil {
 		return err
 	}
 	res, err := deepsqueeze.DecompressContext(ctx, buf, opts)
@@ -479,6 +554,137 @@ func decompressStream(ctx context.Context, in, out string, verbose bool) error {
 	}
 	fmt.Printf("decompressed %d rows in %d row group(s) to %s\n", rows, groups, out)
 	return of.Close()
+}
+
+func runQuery(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	in := fs.String("in", "", "input archive file")
+	where := fs.String("where", "", "filter expression, e.g. \"seq >= 100 AND tag = 'hot'\"")
+	sel := fs.String("select", "", "comma-separated columns to return (default: all)")
+	agg := fs.String("agg", "", "aggregates: count,min:col,max:col,sum:col (switches to aggregate output)")
+	limit := fs.Int("limit", 0, "cap returned rows (0 = no cap)")
+	out := fs.String("out", "", "output CSV file (default: stdout)")
+	parallel := fs.Int("p", 0, "pipeline parallelism (0 = all CPUs)")
+	verbose := fs.Bool("v", false, "per-stage report + pruning statistics")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("query needs -in")
+	}
+	opts := deepsqueeze.QueryOptions{Parallelism: *parallel, Limit: *limit}
+	if *where != "" {
+		p, err := deepsqueeze.ParsePredicate(*where)
+		if err != nil {
+			return err
+		}
+		opts.Where = p
+	}
+	if *sel != "" {
+		for _, name := range strings.Split(*sel, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				return fmt.Errorf("bad -select %q (empty column name)", *sel)
+			}
+			opts.Select = append(opts.Select, name)
+		}
+	}
+	if *agg != "" {
+		aggs, err := parseAggs(*agg)
+		if err != nil {
+			return err
+		}
+		opts.Aggs = aggs
+	}
+	buf, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	res, err := deepsqueeze.QueryContext(ctx, buf, opts)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		printStages(res.Stages)
+		fmt.Fprintf(os.Stderr, "row groups: %d of %d pruned by zone maps, %d archive bytes skipped\n",
+			res.GroupsPruned, res.GroupsTotal, res.BytesSkipped)
+	}
+	if len(opts.Aggs) > 0 {
+		for _, a := range res.Aggregates {
+			if a.Op.Kind == deepsqueeze.AggCount {
+				fmt.Printf("count = %d\n", int64(a.Value))
+			} else {
+				fmt.Printf("%s(%s) = %g\n", a.Op.Kind, a.Op.Col, a.Value)
+			}
+		}
+		return nil
+	}
+	w := io.Writer(os.Stdout)
+	var of *os.File
+	if *out != "" {
+		if of, err = os.Create(*out); err != nil {
+			return err
+		}
+		defer of.Close()
+		w = of
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := res.Table.WriteCSV(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// The match summary goes to stderr so stdout stays a clean CSV stream.
+	fmt.Fprintf(os.Stderr, "matched %d of %d rows\n", res.Matched, resRows(buf))
+	if of != nil {
+		return of.Close()
+	}
+	return nil
+}
+
+// resRows reports the archive's total row count for the query summary; the
+// archive was already parsed once, so errors are impossible here and fall
+// back to 0.
+func resRows(archive []byte) int {
+	info, err := deepsqueeze.Inspect(archive)
+	if err != nil {
+		return 0
+	}
+	return info.Rows
+}
+
+// parseAggs parses the -agg flag: a comma-separated list of "count",
+// "min:col", "max:col", "sum:col".
+func parseAggs(s string) ([]deepsqueeze.AggOp, error) {
+	var out []deepsqueeze.AggOp
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		kind, col, has := strings.Cut(part, ":")
+		switch strings.ToLower(kind) {
+		case "count":
+			if has {
+				return nil, fmt.Errorf("bad -agg entry %q (count takes no column)", part)
+			}
+			out = append(out, deepsqueeze.AggOp{Kind: deepsqueeze.AggCount})
+		case "min", "max", "sum":
+			if !has || col == "" {
+				return nil, fmt.Errorf("bad -agg entry %q (want %s:column)", part, kind)
+			}
+			k := deepsqueeze.AggMin
+			switch strings.ToLower(kind) {
+			case "max":
+				k = deepsqueeze.AggMax
+			case "sum":
+				k = deepsqueeze.AggSum
+			}
+			out = append(out, deepsqueeze.AggOp{Kind: k, Col: col})
+		default:
+			return nil, fmt.Errorf("bad -agg entry %q (want count, min:col, max:col, or sum:col)", part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -agg list")
+	}
+	return out, nil
 }
 
 func runInspect(args []string) error {

@@ -38,3 +38,92 @@ func TestParseSchemaErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParseRowRange(t *testing.T) {
+	good := map[string]deepsqueeze.RowRange{
+		"0:100":     {Lo: 0, Hi: 100},
+		"50:50":     {Lo: 50, Hi: 50},
+		"1000:2000": {Lo: 1000, Hi: 2000},
+	}
+	for in, want := range good {
+		rr, err := parseRowRange(in)
+		if err != nil {
+			t.Errorf("parseRowRange(%q): %v", in, err)
+			continue
+		}
+		if rr != want {
+			t.Errorf("parseRowRange(%q) = %+v, want %+v", in, rr, want)
+		}
+	}
+	bad := []string{
+		"", "100", "a:b", "10:", ":10", "100:50", "-5:10", "0:-1",
+	}
+	for _, in := range bad {
+		if _, err := parseRowRange(in); err == nil {
+			t.Errorf("parseRowRange(%q) accepted", in)
+		}
+	}
+}
+
+// buildTestArchive compresses a tiny table for flag-validation tests.
+func buildTestArchive(t *testing.T) []byte {
+	t.Helper()
+	schema := deepsqueeze.NewSchema(
+		deepsqueeze.Column{Name: "city", Type: deepsqueeze.Categorical},
+		deepsqueeze.Column{Name: "temp", Type: deepsqueeze.Numeric},
+	)
+	tb := deepsqueeze.NewTable(schema, 80)
+	for i := 0; i < 80; i++ {
+		tb.AppendRow([]string{[]string{"oslo", "lima"}[i%2]}, []float64{float64(i)})
+	}
+	opts := deepsqueeze.DefaultOptions()
+	opts.Train.Epochs = 2
+	opts.Seed = 3
+	res, err := deepsqueeze.Compress(tb, deepsqueeze.UniformThresholds(tb, 0.05), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Archive
+}
+
+func TestValidateAgainstArchive(t *testing.T) {
+	archive := buildTestArchive(t)
+	if err := validateAgainstArchive(archive, []string{"city", "temp"}, deepsqueeze.RowRange{Lo: 0, Hi: 80}); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	if err := validateAgainstArchive(archive, []string{"nope"}, deepsqueeze.RowRange{}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if err := validateAgainstArchive(archive, nil, deepsqueeze.RowRange{Lo: 0, Hi: 81}); err == nil {
+		t.Error("out-of-bounds row span accepted")
+	}
+	if err := validateAgainstArchive([]byte("not an archive"), nil, deepsqueeze.RowRange{}); err == nil {
+		t.Error("garbage archive accepted")
+	}
+}
+
+func TestParseAggs(t *testing.T) {
+	aggs, err := parseAggs("count, min:temp,max:temp ,sum:temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []deepsqueeze.AggOp{
+		{Kind: deepsqueeze.AggCount},
+		{Kind: deepsqueeze.AggMin, Col: "temp"},
+		{Kind: deepsqueeze.AggMax, Col: "temp"},
+		{Kind: deepsqueeze.AggSum, Col: "temp"},
+	}
+	if len(aggs) != len(want) {
+		t.Fatalf("%d aggs, want %d", len(aggs), len(want))
+	}
+	for i := range want {
+		if aggs[i] != want[i] {
+			t.Errorf("agg %d = %+v, want %+v", i, aggs[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "avg:temp", "min", "min:", "count:temp", ","} {
+		if _, err := parseAggs(bad); err == nil {
+			t.Errorf("parseAggs(%q) accepted", bad)
+		}
+	}
+}

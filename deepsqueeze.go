@@ -28,6 +28,7 @@ import (
 
 	"deepsqueeze/internal/core"
 	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/query"
 )
 
 // Re-exported data-model types. These aliases are the public names; the
@@ -281,4 +282,76 @@ func VerifyBounds(original, decompressed *Table, thresholds []float64) error {
 		}
 	}
 	return original.EqualWithin(decompressed, tol)
+}
+
+// Query types. Predicates are built with the Eq/Lt/Le/Gt/Ge/In/And/Or/Not
+// constructors or parsed from text with ParsePredicate; queries evaluate
+// directly against an archive, using per-row-group zone maps to skip groups
+// that cannot contain a match.
+type (
+	// Predicate filters rows in a Query.
+	Predicate = query.Pred
+	// QueryOptions configures a Query: filter, projection, aggregates,
+	// parallelism, and an optional row limit.
+	QueryOptions = query.Options
+	// QueryResult is a query outcome: matching rows or aggregates, plus
+	// pruning statistics (groups pruned, bytes skipped).
+	QueryResult = query.Result
+	// AggOp requests one aggregate (count, or min/max/sum over a numeric
+	// column).
+	AggOp = query.AggOp
+	// AggKind selects an aggregate function.
+	AggKind = query.AggKind
+	// Aggregate is one computed aggregate value.
+	Aggregate = query.Aggregate
+)
+
+// Aggregate kinds.
+const (
+	AggCount = query.AggCount
+	AggMin   = query.AggMin
+	AggMax   = query.AggMax
+	AggSum   = query.AggSum
+)
+
+// Predicate constructors, re-exported for building filters programmatically.
+var (
+	// Eq matches rows whose column equals v (string for categorical columns,
+	// number for numeric ones).
+	Eq = query.Eq
+	// Lt matches rows whose numeric column is strictly less than v.
+	Lt = query.Lt
+	// Le matches rows whose numeric column is at most v.
+	Le = query.Le
+	// Gt matches rows whose numeric column is strictly greater than v.
+	Gt = query.Gt
+	// Ge matches rows whose numeric column is at least v.
+	Ge = query.Ge
+	// In matches rows whose column equals any of the listed values.
+	In = query.In
+	// PredAnd matches rows satisfying every child predicate.
+	PredAnd = query.And
+	// PredOr matches rows satisfying at least one child predicate.
+	PredOr = query.Or
+	// PredNot inverts a predicate.
+	PredNot = query.Not
+)
+
+// ParsePredicate parses a SQL-flavoured filter expression, e.g.
+// "seq >= 100 AND tag = 'hot'". Operators: = == != <> < <= > >= IN,
+// combined with AND / OR / NOT and parentheses.
+func ParsePredicate(s string) (Predicate, error) { return query.Parse(s) }
+
+// Query evaluates a filter + projection + aggregation query directly against
+// an archive. Row groups whose zone maps cannot contain a match are skipped
+// without decoding; surviving groups decode in parallel and the predicate is
+// re-evaluated on decoded values, so the result is byte-for-byte what a full
+// Decompress followed by filtering would produce.
+func Query(archive []byte, opts QueryOptions) (*QueryResult, error) {
+	return query.Run(archive, opts)
+}
+
+// QueryContext is Query with cancellation.
+func QueryContext(ctx context.Context, archive []byte, opts QueryOptions) (*QueryResult, error) {
+	return query.RunContext(ctx, archive, opts)
 }

@@ -106,3 +106,50 @@ func TestTunePublicAPI(t *testing.T) {
 		t.Fatal("tuner returned zero code size")
 	}
 }
+
+func TestQueryPublicAPI(t *testing.T) {
+	tb := demoTable(600, 5)
+	opts := DefaultOptions()
+	opts.Train.Epochs = 4
+	opts.RowGroupSize = 150
+	res, err := Compress(tb, UniformThresholds(tb, 0.05), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decompress(res.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParsePredicate("region = 'east' AND load < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := Query(res.Archive, QueryOptions{Where: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for r := 0; r < full.NumRows(); r++ {
+		if full.Str[0][r] == "east" && full.Num[1][r] < 50 {
+			want++
+		}
+	}
+	if qr.Matched != want {
+		t.Fatalf("Query matched %d rows, decompress-then-filter says %d", qr.Matched, want)
+	}
+	if qr.Table.NumRows() != want {
+		t.Fatalf("Query returned %d rows, want %d", qr.Table.NumRows(), want)
+	}
+
+	// The constructor-built predicate agrees with the parsed one.
+	qc, err := Query(res.Archive, QueryOptions{
+		Where: PredAnd(Eq("region", "east"), Lt("load", 50)),
+		Aggs:  []AggOp{{Kind: AggCount}, {Kind: AggMax, Col: "temp"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qc.Aggregates[0].Value != float64(want) {
+		t.Fatalf("aggregate count %g, want %d", qc.Aggregates[0].Value, want)
+	}
+}

@@ -30,6 +30,7 @@ func Experiments() []Experiment {
 		{"decompress", "Parallel projection-aware decompression speedup", DecompressSpeedup},
 		{"rowgroup", "RowRange decode latency vs. row-group count", RowGroupScan},
 		{"train", "Data-parallel training throughput vs. workers", TrainSpeedup},
+		{"query", "Predicate-pushdown scan vs. selectivity", QuerySelectivity},
 	}
 }
 

@@ -29,6 +29,10 @@ const (
 const (
 	kindSegment byte = 1
 	kindFooter  byte = 2
+	// kindStats frames the optional zone-map statistics chunk, written
+	// between the last segment and the footer (flagZoneMaps gates it, so
+	// readers of flag-less archives never see the kind).
+	kindStats byte = 3
 )
 
 // Archive flags.
@@ -37,6 +41,7 @@ const (
 	flagHasModel      byte = 1 << 1 // decoders/codes sections present
 	flagRowOrder      byte = 1 << 2 // original row order recoverable
 	flagExternalModel byte = 1 << 3 // decoders live in a separate model archive
+	flagZoneMaps      byte = 1 << 4 // per-group zone-map stats chunk present
 )
 
 // sectionWriter accumulates length-prefixed sections and tracks per-section

@@ -252,6 +252,10 @@ func assembleArchive(run *pipeline.Run, t *dataset.Table, md *modelData, opts Op
 	w := &sectionWriter{}
 	hasModel := len(st.decoders) > 0
 	flags := archiveFlags(&st, opts.KeepRowOrder)
+	zoneOn := !opts.NoZoneMaps
+	if zoneOn {
+		flags |= flagZoneMaps
+	}
 	w.raw(magic[:])
 	w.raw([]byte{archiveVersion, flags})
 	w.chunk(appendHeaderPayload(nil, md.plan, st.codeSize, st.codeBits, st.experts, opts.rowGroupSize()))
@@ -280,9 +284,13 @@ func assembleArchive(run *pipeline.Run, t *dataset.Table, md *modelData, opts Op
 		codes, mapping, failures int64
 	}
 	segs := make([]builtSeg, len(groups))
+	zones := make([][]ZoneMap, len(groups))
 	err := run.ForEach(len(groups), func(g int) error {
 		framed, codes, mapping, failures, err := buildSegment(t, md, st.assign, cfg, groups[g])
 		segs[g] = builtSeg{framed, codes, mapping, failures}
+		if zoneOn {
+			zones[g] = computeGroupZones(t, groups[g].perm, md.plan, md.plan)
+		}
 		return err
 	})
 	if err != nil {
@@ -302,6 +310,11 @@ func assembleArchive(run *pipeline.Run, t *dataset.Table, md *modelData, opts Op
 		bd.Codes += segs[g].codes
 		bd.Mapping += segs[g].mapping
 		bd.Failures += segs[g].failures
+	}
+
+	if zoneOn {
+		w.raw([]byte{kindStats})
+		w.chunk(appendZoneStatsPayload(nil, zones))
 	}
 
 	footOff := int64(w.buf.Len())

@@ -46,6 +46,16 @@ type DecompressOptions struct {
 	// skipped entirely — their segments are never parsed or decoded.
 	RowRange RowRange
 
+	// GroupMask, when non-nil, restricts decoding to the row groups whose
+	// entry is true — the query engine's pruning hook. It must carry one
+	// entry per row group (a version-1 archive counts as one group).
+	// Masked-out groups contribute no output rows and, in a version-2
+	// archive, their segments are skipped without decoding; the output
+	// concatenates the surviving groups' rows in archive order. Composes
+	// with RowRange: a group decodes only if its mask entry is true AND it
+	// overlaps the range.
+	GroupMask []bool
+
 	// MaxRows, when positive, rejects archives declaring more rows as
 	// corrupt before any row-proportional allocation happens. Intended for
 	// fuzzing and for callers handling untrusted archives.
@@ -113,6 +123,7 @@ func corrupt(err error) error {
 type groupDec struct {
 	start, count int  // global row span [start, start+count)
 	glo, ghi     int  // selected group-local row span [glo, ghi)
+	outOff       int  // this group's first row in the assembled output
 	active       bool // segment parsed (overlaps the request)
 	meta         groupMeta
 
@@ -182,6 +193,7 @@ type decompressor struct {
 
 	footer *archiveFooter // version 2 only
 	groups []*groupDec
+	nOut   int // total output rows across surviving groups
 }
 
 // decompressPipeline runs the staged decompression: parse → scan → unpack →
@@ -333,29 +345,57 @@ func (d *decompressor) parse() error {
 	// version 2, active only when it overlaps the request (a full-range
 	// request keeps every group active, including empty ones).
 	if d.version == archiveVersionV1 {
-		d.groups = []*groupDec{{
-			start: 0, count: d.rows, glo: d.rlo, ghi: d.rhi, active: true,
-		}}
-		return nil
+		g := &groupDec{start: 0, count: d.rows, glo: d.rlo, ghi: d.rhi, active: true}
+		if d.opts.GroupMask != nil {
+			if len(d.opts.GroupMask) != 1 {
+				return fmt.Errorf("core: group mask has %d entries for 1 group", len(d.opts.GroupMask))
+			}
+			if !d.opts.GroupMask[0] {
+				// A v1 body has no footer offsets to skip by, so the group
+				// stays active (its chunks are still walked) but selects
+				// no rows.
+				g.ghi = g.glo
+			}
+		}
+		d.groups = []*groupDec{g}
+	} else {
+		if d.opts.GroupMask != nil && len(d.opts.GroupMask) != len(d.footer.groups) {
+			return fmt.Errorf("core: group mask has %d entries for %d groups",
+				len(d.opts.GroupMask), len(d.footer.groups))
+		}
+		full := d.rlo == 0 && d.rhi == d.rows
+		d.groups = make([]*groupDec, len(d.footer.groups))
+		for i, m := range d.footer.groups {
+			g := &groupDec{start: m.start, count: m.count, meta: m}
+			g.glo = d.rlo - m.start
+			if g.glo < 0 {
+				g.glo = 0
+			}
+			g.ghi = d.rhi - m.start
+			if g.ghi > m.count {
+				g.ghi = m.count
+			}
+			if g.ghi < g.glo {
+				g.ghi = g.glo
+			}
+			g.active = full || g.ghi > g.glo
+			if d.opts.GroupMask != nil && !d.opts.GroupMask[i] {
+				g.active = false
+				g.ghi = g.glo
+			}
+			d.groups[i] = g
+		}
 	}
-	full := d.rlo == 0 && d.rhi == d.rows
-	d.groups = make([]*groupDec, len(d.footer.groups))
-	for i, m := range d.footer.groups {
-		g := &groupDec{start: m.start, count: m.count, meta: m}
-		g.glo = d.rlo - m.start
-		if g.glo < 0 {
-			g.glo = 0
+	// Output layout: surviving groups' selected rows concatenate in archive
+	// order; each group remembers where its slice of the output starts.
+	n := 0
+	for _, g := range d.groups {
+		g.outOff = n
+		if g.active {
+			n += g.ghi - g.glo
 		}
-		g.ghi = d.rhi - m.start
-		if g.ghi > m.count {
-			g.ghi = m.count
-		}
-		if g.ghi < g.glo {
-			g.ghi = g.glo
-		}
-		g.active = full || g.ghi > g.glo
-		d.groups[i] = g
 	}
+	d.nOut = n
 	return nil
 }
 
@@ -414,6 +454,22 @@ func (d *decompressor) scan() (int64, error) {
 		}
 		if int64(d.r.pos)-g.meta.off != g.meta.segLen {
 			return skipped, fmt.Errorf("%w: segment length disagrees with footer", ErrCorrupt)
+		}
+	}
+	if d.flags&flagZoneMaps != 0 {
+		// The zone-map stats chunk sits between the last segment and the
+		// footer. It is query metadata, not row data: walk over it without
+		// adding it to the skipped-bytes counter (a full decode still
+		// reports 0 bytes skipped).
+		kind, err := d.r.byte()
+		if err != nil {
+			return skipped, err
+		}
+		if kind != kindStats {
+			return skipped, fmt.Errorf("%w: chunk kind %d, want stats", ErrCorrupt, kind)
+		}
+		if _, err := d.r.chunk(); err != nil {
+			return skipped, err
 		}
 	}
 	kind, err := d.r.byte()
@@ -1063,7 +1119,7 @@ func (d *decompressor) applyChunk(g *groupDec, dec *nn.Decoder, chunk []int, p *
 // work item per group × column, each writing a disjoint slice of the
 // preallocated output — and builds the (possibly projected) output table.
 func (d *decompressor) assemble() (*dataset.Table, error) {
-	n := d.rhi - d.rlo
+	n := d.nOut
 	ncols := len(d.plan.Cols)
 	outStr := make([][]string, ncols)
 	outNum := make([][]float64, ncols)
@@ -1089,7 +1145,7 @@ func (d *decompressor) assemble() (*dataset.Table, error) {
 	}
 	err := d.run.ForEach(len(items), func(k int) error {
 		g, col := items[k].g, items[k].col
-		return d.assembleColumn(g, col, outStr[col], outNum[col], g.start+g.glo-d.rlo)
+		return d.assembleColumn(g, col, outStr[col], outNum[col], g.outOff)
 	})
 	if err != nil {
 		return nil, err

@@ -66,6 +66,13 @@ func FuzzDecompress(f *testing.F) {
 	f.Add([]byte("DSQZ\x01\x00"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		archive := refreshCRC(data)
+		// The footer/zone-map index walker shares the invariant: decode or
+		// ErrCorrupt, never a panic. (The compressed seeds carry a stats
+		// chunk — zone maps are on by default — so mutations reach the
+		// stats parser too.)
+		if _, err := ReadIndex(archive); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("unclassified index error: %v", err)
+		}
 		res, err := DecompressContext(context.Background(), archive,
 			DecompressOptions{MaxRows: 4096, Parallelism: 2})
 		if err != nil {

@@ -79,15 +79,30 @@ func goldenCases() []goldenCase {
 	}
 	// v2 fixtures: the same builders re-compressed under the row-group
 	// format, plus a multi-group case pinning segment framing and the
-	// footer index.
+	// footer index. These fixtures predate zone maps and are pinned with
+	// NoZoneMaps so -update reproduces their committed bytes; they double
+	// as coverage for flag-less v2 archives.
 	for _, base := range cases[:3] {
 		build := base.build
-		cases = append(cases, goldenCase{base.name + "_v2", 2, build})
+		cases = append(cases, goldenCase{base.name + "_v2", 2, func() (*dataset.Table, []float64, Options) {
+			tb, thresholds, opts := build()
+			opts.NoZoneMaps = true
+			return tb, thresholds, opts
+		}})
 	}
 	cases = append(cases, goldenCase{"multigroup_v2", 2, func() (*dataset.Table, []float64, Options) {
 		opts := goldenOpts(2)
 		opts.RowGroupSize = 100
+		opts.NoZoneMaps = true
 		return latentTable(300, 104), []float64{0, 0, 0.1, 0.1, 0}, opts
+	}})
+	// stats_v2 pins the zone-map stats chunk: multi-group with default
+	// (enabled) zone maps, so the fixture's flag byte, kindStats framing,
+	// and per-kind zone payloads are all under the golden contract.
+	cases = append(cases, goldenCase{"stats_v2", 2, func() (*dataset.Table, []float64, Options) {
+		opts := goldenOpts(2)
+		opts.RowGroupSize = 100
+		return latentTable(300, 105), []float64{0, 0, 0.1, 0.1, 0}, opts
 	}})
 	return cases
 }
@@ -164,12 +179,40 @@ func TestGoldenArchives(t *testing.T) {
 			if err := columnEqual(got, proj, 0, 0, 0); err != nil {
 				t.Fatalf("projection drifted from golden decode: %v", err)
 			}
+			// Every fixture must stay indexable: ReadIndex is the query
+			// planner's entry point and spans both format versions.
+			idx, err := ReadIndex(archive)
+			if err != nil {
+				t.Fatalf("golden archive no longer indexes: %v", err)
+			}
+			if idx.Rows != got.NumRows() {
+				t.Fatalf("index declares %d rows, table has %d", idx.Rows, got.NumRows())
+			}
+			if wantStats := gc.name == "stats_v2"; idx.HasZoneMaps != wantStats {
+				t.Fatalf("HasZoneMaps = %v, want %v", idx.HasZoneMaps, wantStats)
+			}
+			if idx.HasZoneMaps {
+				usable := 0
+				for _, g := range idx.Groups {
+					for _, z := range g.Zones {
+						if z.Kind != ZoneNone {
+							usable++
+						}
+					}
+				}
+				if usable == 0 {
+					t.Fatal("stats fixture carries no usable zone maps")
+				}
+			}
 			if gc.version >= 2 {
 				// The footer index must cover the rows contiguously, and a
 				// row-range decode must agree with the committed full decode.
 				info, err := Inspect(archive)
 				if err != nil {
 					t.Fatal(err)
+				}
+				if info.HasZoneMaps != idx.HasZoneMaps {
+					t.Fatalf("Inspect.HasZoneMaps = %v, index says %v", info.HasZoneMaps, idx.HasZoneMaps)
 				}
 				next := 0
 				for _, g := range info.Groups {

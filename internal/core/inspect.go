@@ -33,6 +33,9 @@ type ArchiveInfo struct {
 	TotalBytes        int
 	// RowGroupSize is the nominal rows per group (format v2; 0 for v1).
 	RowGroupSize int
+	// HasZoneMaps reports whether the archive carries per-row-group zone
+	// maps (format v2): the statistics Query uses to prune row groups.
+	HasZoneMaps bool
 	// Groups is the footer's row-group index (format v2; nil for v1).
 	Groups []GroupInfo
 }
@@ -66,6 +69,7 @@ func Inspect(archive []byte) (*ArchiveInfo, error) {
 		RowGroupSize:      h.rowGroupSize,
 	}
 	if version != archiveVersionV1 {
+		info.HasZoneMaps = flags&flagZoneMaps != 0
 		ft, _, err := parseFooter(r.buf, r.pos)
 		if err != nil {
 			return nil, err

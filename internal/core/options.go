@@ -59,6 +59,11 @@ type Options struct {
 	// groups and the streaming writer buffers at most one group. 0 selects
 	// defaultRowGroupSize.
 	RowGroupSize int
+	// NoZoneMaps disables the per-row-group zone-map statistics chunk
+	// (format v2). Zone maps are on by default: they cost a few bytes per
+	// group × column and let Query prune row groups whose min/max bounds or
+	// dictionary presence bits cannot match a predicate.
+	NoZoneMaps bool
 	// Parallelism bounds the pipeline's worker pool: the number of
 	// goroutines scheduling independent stage work (truncation-search
 	// candidates, per-expert training and encoding, per-column packing,

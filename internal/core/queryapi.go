@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"deepsqueeze/internal/preprocess"
+)
+
+// IndexGroup is one row group's entry in an ArchiveIndex: its row span,
+// segment size, and (when the archive carries them) per-column zone maps.
+type IndexGroup struct {
+	Start, Count int
+	SegmentBytes int64
+	// Zones holds one entry per schema column; nil when the archive has no
+	// zone maps. A ZoneNone entry means the column carries no usable bound
+	// for this group.
+	Zones []ZoneMap
+}
+
+// ArchiveIndex is the query planner's view of an archive: the stored plan
+// (schema, dictionaries, quantizers — everything needed to translate
+// predicate literals into the encoded domain) plus the row-group index and
+// zone maps, parsed without decoding any row data.
+type ArchiveIndex struct {
+	Version int
+	Rows    int
+	Plan    *preprocess.Plan
+	// External marks a streaming batch archive whose model lives elsewhere;
+	// Query cannot decode those.
+	External    bool
+	HasZoneMaps bool
+	Groups      []IndexGroup
+}
+
+// ReadIndex parses an archive's header, footer index, and zone-map stats
+// chunk, validating everything it touches (including the stats payload's
+// per-column structure) but reading no segment bytes. A version-1 archive
+// yields a single group with no zone maps.
+func ReadIndex(archive []byte) (*ArchiveIndex, error) {
+	r, version, flags, err := newSectionReader(archive)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := r.chunk()
+	if err != nil {
+		return nil, err
+	}
+	h, err := decodeHeader(hdr, version)
+	if err != nil {
+		return nil, err
+	}
+	idx := &ArchiveIndex{
+		Version:  int(version),
+		Plan:     h.plan,
+		External: flags&flagExternalModel != 0,
+	}
+	if version == archiveVersionV1 {
+		idx.Rows = h.rows
+		idx.Groups = []IndexGroup{{Start: 0, Count: h.rows, SegmentBytes: int64(len(archive))}}
+		return idx, nil
+	}
+	ft, footOff, err := parseFooter(r.buf, r.pos)
+	if err != nil {
+		return nil, err
+	}
+	idx.Rows = ft.rows
+	idx.Groups = make([]IndexGroup, len(ft.groups))
+	for i, m := range ft.groups {
+		idx.Groups[i] = IndexGroup{Start: m.start, Count: m.count, SegmentBytes: m.segLen}
+	}
+	last := ft.groups[len(ft.groups)-1]
+	statOff := last.off + last.segLen
+	if flags&flagZoneMaps == 0 {
+		if statOff != footOff {
+			return nil, fmt.Errorf("%w: %d unclaimed bytes before footer", ErrCorrupt, footOff-statOff)
+		}
+		return idx, nil
+	}
+	// The stats chunk must fill the gap between the last segment and the
+	// footer exactly.
+	if statOff >= footOff {
+		return nil, fmt.Errorf("%w: no room for stats chunk", ErrCorrupt)
+	}
+	sr := &sectionReader{buf: r.buf[:footOff], pos: int(statOff)}
+	kind, err := sr.byte()
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindStats {
+		return nil, fmt.Errorf("%w: chunk kind %d, want stats", ErrCorrupt, kind)
+	}
+	payload, err := sr.chunk()
+	if err != nil {
+		return nil, err
+	}
+	if err := sr.done(); err != nil {
+		return nil, err
+	}
+	zones, err := parseZoneStats(payload, h.plan, len(ft.groups))
+	if err != nil {
+		return nil, err
+	}
+	idx.HasZoneMaps = true
+	for i := range idx.Groups {
+		idx.Groups[i].Zones = zones[i]
+	}
+	return idx, nil
+}

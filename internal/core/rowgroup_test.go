@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 )
@@ -244,5 +246,145 @@ func TestInspectGroupSections(t *testing.T) {
 	if codes != bd.Codes || mapping != bd.Mapping || failures != bd.Failures {
 		t.Fatalf("group sections %d/%d/%d, breakdown %d/%d/%d",
 			codes, mapping, failures, bd.Codes, bd.Mapping, bd.Failures)
+	}
+}
+
+// TestGroupMaskSkipsGroups pins the query engine's pruning hook: a GroupMask
+// decode must skip every masked-out group's segment (scan-stage skipped
+// bytes), concatenate the surviving groups' rows in archive order, and charge
+// nothing on a full mask.
+func TestGroupMaskSkipsGroups(t *testing.T) {
+	tb := latentTable(1000, 18)
+	res, err := Compress(tb, []float64{0, 0, 0.05, 0.05, 0}, groupOpts(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Inspect(res.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Groups) != 10 {
+		t.Fatalf("%d groups, want 10", len(info.Groups))
+	}
+	full, err := Decompress(res.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep only groups 4 and 5: identical to decoding rows [400, 600).
+	mask := make([]bool, 10)
+	mask[4], mask[5] = true, true
+	var wantSkipped int64
+	for i, g := range info.Groups {
+		if !mask[i] {
+			wantSkipped += g.SegmentBytes
+		}
+	}
+	dres, err := DecompressContext(context.Background(), res.Archive,
+		DecompressOptions{GroupMask: mask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Table.NumRows() != 200 {
+		t.Fatalf("%d rows, want 200", dres.Table.NumRows())
+	}
+	for col := range tb.Schema.Columns {
+		if err := columnEqual(full, dres.Table, col, col, 400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scanSkipped int64
+	for _, st := range dres.Stages {
+		if st.Name == "scan" {
+			scanSkipped = st.Bytes
+		}
+	}
+	if scanSkipped < wantSkipped-int64(len(info.Groups)*12) {
+		t.Fatalf("scan skipped %d bytes, want ≈%d (8 pruned segments)", scanSkipped, wantSkipped)
+	}
+
+	// A non-contiguous mask concatenates the surviving groups' rows.
+	mask = make([]bool, 10)
+	mask[1], mask[4], mask[7] = true, true, true
+	got := decodeOpts(t, res.Archive, DecompressOptions{GroupMask: mask})
+	if got.NumRows() != 300 {
+		t.Fatalf("%d rows, want 300", got.NumRows())
+	}
+	for col := range tb.Schema.Columns {
+		for k, lo := range []int{100, 400, 700} {
+			idx := make([]int, 100)
+			for i := range idx {
+				idx[i] = k*100 + i
+			}
+			window := got.Sample(idx)
+			if err := columnEqual(full, window, col, col, lo); err != nil {
+				t.Fatalf("group window starting at %d: %v", lo, err)
+			}
+		}
+	}
+
+	// GroupMask composes with RowRange: the group must be unmasked AND
+	// overlap the range.
+	mask = []bool{true, true, true, true, true, false, false, false, false, false}
+	got = decodeOpts(t, res.Archive, DecompressOptions{
+		GroupMask: mask, RowRange: RowRange{Lo: 450, Hi: 550},
+	})
+	if got.NumRows() != 50 {
+		t.Fatalf("%d rows, want 50", got.NumRows())
+	}
+	for col := range tb.Schema.Columns {
+		if err := columnEqual(full, got, col, col, 450); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// An all-true mask decodes everything and skips nothing.
+	all := make([]bool, 10)
+	for i := range all {
+		all[i] = true
+	}
+	fres, err := DecompressContext(context.Background(), res.Archive,
+		DecompressOptions{GroupMask: all})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.Table.NumRows() != 1000 {
+		t.Fatalf("%d rows, want 1000", fres.Table.NumRows())
+	}
+	for _, st := range fres.Stages {
+		if st.Name == "scan" && st.Bytes != 0 {
+			t.Fatalf("all-true mask skipped %d bytes", st.Bytes)
+		}
+	}
+
+	// A mask of the wrong length is a caller error, not corruption.
+	if _, err := DecompressContext(context.Background(), res.Archive,
+		DecompressOptions{GroupMask: make([]bool, 3)}); err == nil {
+		t.Fatal("short mask accepted")
+	}
+}
+
+// TestGroupMaskV1 covers the version-1 single-group semantics: the mask has
+// exactly one entry; false selects no rows.
+func TestGroupMaskV1(t *testing.T) {
+	archive, err := os.ReadFile(filepath.Join("testdata", "categorical.dsqz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decompress(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeOpts(t, archive, DecompressOptions{GroupMask: []bool{true}})
+	if got.NumRows() != full.NumRows() {
+		t.Fatalf("%d rows, want %d", got.NumRows(), full.NumRows())
+	}
+	got = decodeOpts(t, archive, DecompressOptions{GroupMask: []bool{false}})
+	if got.NumRows() != 0 {
+		t.Fatalf("masked-out v1 decode returned %d rows", got.NumRows())
+	}
+	if _, err := DecompressContext(context.Background(), archive,
+		DecompressOptions{GroupMask: []bool{true, false}}); err == nil {
+		t.Fatal("two-entry mask accepted for a v1 archive")
 	}
 }

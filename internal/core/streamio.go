@@ -72,6 +72,7 @@ type ArchiveWriter struct {
 	written int64
 	rows    int
 	metas   []groupMeta
+	zones   [][]ZoneMap // per flushed group, when flagZoneMaps is set
 	stats   WriterStats
 	closed  bool
 	err     error
@@ -160,6 +161,17 @@ func (aw *ArchiveWriter) Close() error {
 			return err
 		}
 		aw.buf = dataset.NewTable(aw.schema, 0)
+	}
+	if aw.flags&flagZoneMaps != 0 {
+		var sb []byte
+		sb = append(sb, kindStats)
+		payload := appendZoneStatsPayload(nil, aw.zones)
+		sb = binary.AppendUvarint(sb, uint64(len(payload)))
+		sb = append(sb, payload...)
+		if err := aw.writeRaw(sb); err != nil {
+			aw.err = err
+			return err
+		}
 	}
 	footOff := aw.written
 	var tail []byte
@@ -347,6 +359,11 @@ func (aw *ArchiveWriter) flushGroup(chunk *dataset.Table) error {
 	if err != nil {
 		return err
 	}
+	if aw.flags&flagZoneMaps != 0 {
+		// The first group's md.plan is the training plan itself (sameEnc →
+		// encoded-domain zones); re-fit groups get decoded-domain zones.
+		aw.zones = append(aw.zones, computeGroupZones(chunk, perm, aw.trainPlan, md.plan))
+	}
 	off := aw.written
 	var out []byte
 	out = append(out, kindSegment)
@@ -404,6 +421,7 @@ type ArchiveReader struct {
 	d        *decompressor
 	rowsSeen int
 	metas    []groupMeta
+	sawStats bool
 	finished bool
 
 	v1Table *dataset.Table // version-1 fallback, served once
@@ -515,33 +533,52 @@ func (ar *ArchiveReader) Next() (*dataset.Table, error) {
 	if ar.finished {
 		return nil, io.EOF
 	}
-	kind, err := ar.readByte()
-	if err != nil {
-		return nil, err
-	}
-	switch kind {
-	case kindSegment:
-		off := ar.pos - 1
-		framed, err := ar.readChunk()
+	for {
+		kind, err := ar.readByte()
 		if err != nil {
 			return nil, err
 		}
-		t, meta, err := ar.decodeSegment(framed)
-		if err != nil {
-			return nil, err
+		switch kind {
+		case kindSegment:
+			if ar.sawStats {
+				return nil, fmt.Errorf("%w: segment after stats chunk", ErrCorrupt)
+			}
+			off := ar.pos - 1
+			framed, err := ar.readChunk()
+			if err != nil {
+				return nil, err
+			}
+			t, meta, err := ar.decodeSegment(framed)
+			if err != nil {
+				return nil, err
+			}
+			meta.off, meta.segLen = off, ar.pos-off
+			ar.metas = append(ar.metas, meta)
+			ar.rowsSeen += meta.count
+			return t, nil
+		case kindStats:
+			if ar.d.flags&flagZoneMaps == 0 || ar.sawStats {
+				return nil, fmt.Errorf("%w: unexpected stats chunk", ErrCorrupt)
+			}
+			// Zone maps are query metadata; the streaming reader decodes
+			// every group anyway, so the payload is only consumed (the
+			// archive CRC still covers it).
+			if _, err := ar.readChunk(); err != nil {
+				return nil, err
+			}
+			ar.sawStats = true
+		case kindFooter:
+			if ar.d.flags&flagZoneMaps != 0 && !ar.sawStats {
+				return nil, fmt.Errorf("%w: missing stats chunk", ErrCorrupt)
+			}
+			if err := ar.finish(); err != nil {
+				return nil, err
+			}
+			ar.finished = true
+			return nil, io.EOF
+		default:
+			return nil, fmt.Errorf("%w: chunk kind %d", ErrCorrupt, kind)
 		}
-		meta.off, meta.segLen = off, ar.pos-off
-		ar.metas = append(ar.metas, meta)
-		ar.rowsSeen += meta.count
-		return t, nil
-	case kindFooter:
-		if err := ar.finish(); err != nil {
-			return nil, err
-		}
-		ar.finished = true
-		return nil, io.EOF
-	default:
-		return nil, fmt.Errorf("%w: chunk kind %d", ErrCorrupt, kind)
 	}
 }
 

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/preprocess"
+)
+
+// ZoneKind classifies one zone-map entry's representation.
+type ZoneKind byte
+
+const (
+	// ZoneNone carries no statistics: the group can never be pruned on this
+	// column. Used for fallback categoricals (their dictionary is not
+	// archived) and whenever the writer cannot produce a sound bound.
+	ZoneNone ZoneKind = 0
+	// ZoneIntRange bounds the column's values in the *encoded* domain of the
+	// header plan: dictionary codes for categoricals, bucket indexes for
+	// quantized numerics, value ranks for dictionary numerics. Only emitted
+	// when the group encodes through the header plan, so a reader holding
+	// just the header can translate the bounds back to values.
+	ZoneIntRange ZoneKind = 1
+	// ZoneBitmap records exactly which header-dictionary codes occur in the
+	// group, one bit per code plus a final overflow bit for values outside
+	// the header dictionary (streaming re-fit groups can contain them).
+	ZoneBitmap ZoneKind = 2
+	// ZoneFloatRange bounds the column's *decoded* values directly. For
+	// lossy columns the bounds are widened by the column's error tolerance,
+	// so every value the decoder can emit for the group lies inside.
+	ZoneFloatRange ZoneKind = 3
+)
+
+// ZoneMap is one row group × column statistics entry.
+type ZoneMap struct {
+	Kind     ZoneKind
+	Min, Max int64   // ZoneIntRange: inclusive encoded-domain bounds
+	FMin     float64 // ZoneFloatRange: inclusive decoded-domain bounds
+	FMax     float64
+	Bits     []byte // ZoneBitmap: presence bits, LSB-first
+	NBits    int    // ZoneBitmap: bit count = header dict size + 1 (overflow)
+}
+
+// Bit reports whether presence bit i is set. Out-of-range bits read as unset.
+func (z *ZoneMap) Bit(i int) bool {
+	if i < 0 || i >= z.NBits {
+		return false
+	}
+	return z.Bits[i>>3]&(1<<(uint(i)&7)) != 0
+}
+
+// zoneBitmapMaxCard bounds the dictionary size for which a presence bitmap is
+// worth its bytes; larger alphabets fall back to a code range.
+const zoneBitmapMaxCard = 1024
+
+// minMaxAt returns the min and max of col at the given row indexes. ok is
+// false for an empty index set or any NaN (no sound bound exists then).
+func minMaxAt(col []float64, rows []int) (mn, mx float64, ok bool) {
+	if len(rows) == 0 {
+		return 0, 0, false
+	}
+	mn, mx = col[rows[0]], col[rows[0]]
+	for _, r := range rows[1:] {
+		v := col[r]
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if math.IsNaN(mn) || math.IsNaN(mx) {
+		return 0, 0, false
+	}
+	return mn, mx, true
+}
+
+// catZone builds a categorical column's zone over the *header* dictionary:
+// a presence bitmap (with an overflow bit for values outside the header
+// dictionary) for small alphabets, a code range otherwise. The decoded
+// values of categorical columns round-trip exactly, so presence of the
+// original values is presence of the decoded ones.
+func catZone(vals []string, rows []int, dict *preprocess.Dictionary) ZoneMap {
+	n := dict.Len()
+	if n <= zoneBitmapMaxCard {
+		z := ZoneMap{Kind: ZoneBitmap, NBits: n + 1}
+		z.Bits = make([]byte, (z.NBits+7)/8)
+		for _, r := range rows {
+			c, ok := dict.Code(vals[r])
+			if !ok {
+				c = n // overflow: value unseen by the header dictionary
+			}
+			z.Bits[c>>3] |= 1 << (uint(c) & 7)
+		}
+		return z
+	}
+	z := ZoneMap{Kind: ZoneIntRange, Min: math.MaxInt64, Max: -1}
+	for _, r := range rows {
+		c, ok := dict.Code(vals[r])
+		if !ok {
+			return ZoneMap{} // unbounded without a bitmap's overflow bit
+		}
+		if int64(c) < z.Min {
+			z.Min = int64(c)
+		}
+		if int64(c) > z.Max {
+			z.Max = int64(c)
+		}
+	}
+	return z
+}
+
+// quantDecode is the decoder's reconstruction of a quantized value: scale,
+// bucket, midpoint, unscale. Monotone nondecreasing in v, which is what
+// makes a [decode(min), decode(max)] interval a sound bound for the group.
+func quantDecode(cp *preprocess.ColPlan, v float64) float64 {
+	return cp.Scaler.Unscale(cp.Quant.Midpoint(cp.Quant.Bucket(cp.Scaler.Scale(v))))
+}
+
+// computeGroupZones derives one row group's per-column zone maps. perm lists
+// the group's rows as indexes into t (the global table for the in-memory
+// writer, the group-local chunk for the streaming writer — the same
+// addressing buildSegment uses). headerPlan is the archive-wide plan the
+// query planner will hold; groupPlan is the plan the group actually encodes
+// through. When they differ (streaming re-fit groups), encoded-domain bounds
+// would be meaningless to the reader, so only decoded-domain zones are
+// emitted.
+func computeGroupZones(t *dataset.Table, perm []int, headerPlan, groupPlan *preprocess.Plan) []ZoneMap {
+	zones := make([]ZoneMap, len(headerPlan.Cols))
+	if len(perm) == 0 {
+		return zones
+	}
+	sameEnc := headerPlan == groupPlan
+	for col := range headerPlan.Cols {
+		hp := &headerPlan.Cols[col]
+		gp := &groupPlan.Cols[col]
+		switch hp.Kind {
+		case preprocess.KindCatModel, preprocess.KindBinary:
+			zones[col] = catZone(t.Str[col], perm, hp.Dict)
+		case preprocess.KindNumQuant:
+			mn, mx, ok := minMaxAt(t.Num[col], perm)
+			if !ok {
+				continue
+			}
+			if sameEnc {
+				zones[col] = ZoneMap{
+					Kind: ZoneIntRange,
+					Min:  int64(hp.Quant.Bucket(hp.Scaler.Scale(mn))),
+					Max:  int64(hp.Quant.Bucket(hp.Scaler.Scale(mx))),
+				}
+				continue
+			}
+			// Re-fit group: bound the decoded values through the group's
+			// own quantizer (monotone, so the endpoints bound everything).
+			zones[col] = ZoneMap{Kind: ZoneFloatRange, FMin: quantDecode(gp, mn), FMax: quantDecode(gp, mx)}
+		case preprocess.KindNumDict:
+			mn, mx, ok := minMaxAt(t.Num[col], perm)
+			if !ok {
+				continue
+			}
+			if sameEnc {
+				lo, okLo := hp.VDict.Rank(mn)
+				hi, okHi := hp.VDict.Rank(mx)
+				if okLo && okHi {
+					zones[col] = ZoneMap{Kind: ZoneIntRange, Min: int64(lo), Max: int64(hi)}
+					continue
+				}
+			}
+			// Dictionary numerics decode losslessly: the raw range bounds
+			// the decoded values no matter which dictionary the group used.
+			zones[col] = ZoneMap{Kind: ZoneFloatRange, FMin: mn, FMax: mx}
+		case preprocess.KindNumContinuous:
+			mn, mx, ok := minMaxAt(t.Num[col], perm)
+			if !ok {
+				continue
+			}
+			// Accepted predictions decode to Unscale(pred) with
+			// |pred - Scale(v)| <= Threshold, i.e. within Threshold·Range of
+			// the original; mispredictions are stored exactly. The pad
+			// absorbs float rounding in the scale/unscale round trip.
+			tol := gp.Threshold * gp.Scaler.Range()
+			pad := 1e-9 * (math.Abs(gp.Scaler.Min) + math.Abs(gp.Scaler.Max) + 1)
+			zones[col] = ZoneMap{Kind: ZoneFloatRange, FMin: mn - tol - pad, FMax: mx + tol + pad}
+		case preprocess.KindFallbackNum:
+			mn, mx, ok := minMaxAt(t.Num[col], perm)
+			if !ok {
+				continue
+			}
+			zones[col] = ZoneMap{Kind: ZoneFloatRange, FMin: mn, FMax: mx}
+		default: // KindFallbackCat: dictionary not archived, nothing to bound
+		}
+	}
+	return zones
+}
+
+// appendZoneStatsPayload serializes the stats chunk payload: group count,
+// column count, then one tagged entry per group × column.
+func appendZoneStatsPayload(dst []byte, zones [][]ZoneMap) []byte {
+	ncols := 0
+	if len(zones) > 0 {
+		ncols = len(zones[0])
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(zones)))
+	dst = binary.AppendUvarint(dst, uint64(ncols))
+	for _, gz := range zones {
+		for _, z := range gz {
+			dst = append(dst, byte(z.Kind))
+			switch z.Kind {
+			case ZoneIntRange:
+				dst = binary.AppendUvarint(dst, uint64(z.Min))
+				dst = binary.AppendUvarint(dst, uint64(z.Max))
+			case ZoneBitmap:
+				dst = binary.AppendUvarint(dst, uint64(z.NBits))
+				dst = append(dst, z.Bits...)
+			case ZoneFloatRange:
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(z.FMin))
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(z.FMax))
+			}
+		}
+	}
+	return dst
+}
+
+// zoneIntLimit returns the exclusive upper bound a ZoneIntRange entry may
+// carry for a column, or -1 when the kind admits no encoded-domain range.
+func zoneIntLimit(cp *preprocess.ColPlan) int64 {
+	switch cp.Kind {
+	case preprocess.KindCatModel, preprocess.KindBinary:
+		return int64(cp.Dict.Len())
+	case preprocess.KindNumQuant:
+		return int64(cp.Quant.NumBucket)
+	case preprocess.KindNumDict:
+		return int64(cp.VDict.Len())
+	default:
+		return -1
+	}
+}
+
+// zoneFloatAllowed reports whether a column kind may carry a decoded-domain
+// float range.
+func zoneFloatAllowed(k preprocess.ColKind) bool {
+	switch k {
+	case preprocess.KindNumQuant, preprocess.KindNumDict,
+		preprocess.KindNumContinuous, preprocess.KindFallbackNum:
+		return true
+	}
+	return false
+}
+
+// parseZoneStats decodes and validates a stats chunk payload against the
+// header plan. Every entry must be structurally legal for its column's kind —
+// an archive the writer produced always passes; arbitrary bytes fail with
+// ErrCorrupt.
+func parseZoneStats(payload []byte, plan *preprocess.Plan, ngroups int) ([][]ZoneMap, error) {
+	r := &sectionReader{buf: payload}
+	ng, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nc, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ng != uint64(ngroups) || nc != uint64(len(plan.Cols)) {
+		return nil, fmt.Errorf("%w: stats shape %d×%d, want %d×%d", ErrCorrupt, ng, nc, ngroups, len(plan.Cols))
+	}
+	zones := make([][]ZoneMap, ngroups)
+	for g := range zones {
+		gz := make([]ZoneMap, len(plan.Cols))
+		for col := range gz {
+			cp := &plan.Cols[col]
+			kind, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			z := &gz[col]
+			z.Kind = ZoneKind(kind)
+			switch z.Kind {
+			case ZoneNone:
+			case ZoneIntRange:
+				lo, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				hi, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				limit := zoneIntLimit(cp)
+				if limit < 0 || lo > hi || hi >= uint64(limit) {
+					return nil, fmt.Errorf("%w: column %d int zone [%d,%d]", ErrCorrupt, col, lo, hi)
+				}
+				z.Min, z.Max = int64(lo), int64(hi)
+			case ZoneBitmap:
+				if cp.Kind != preprocess.KindCatModel && cp.Kind != preprocess.KindBinary {
+					return nil, fmt.Errorf("%w: column %d kind %v with bitmap zone", ErrCorrupt, col, cp.Kind)
+				}
+				nb, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if nb != uint64(cp.Dict.Len()+1) {
+					return nil, fmt.Errorf("%w: column %d bitmap of %d bits, want %d", ErrCorrupt, col, nb, cp.Dict.Len()+1)
+				}
+				z.NBits = int(nb)
+				nbytes := (z.NBits + 7) / 8
+				if len(r.buf)-r.pos < nbytes {
+					return nil, fmt.Errorf("%w: truncated bitmap zone", ErrCorrupt)
+				}
+				z.Bits = r.buf[r.pos : r.pos+nbytes]
+				r.pos += nbytes
+				if tail := z.NBits & 7; tail != 0 && z.Bits[nbytes-1]>>uint(tail) != 0 {
+					return nil, fmt.Errorf("%w: column %d bitmap has bits past %d", ErrCorrupt, col, z.NBits)
+				}
+			case ZoneFloatRange:
+				if !zoneFloatAllowed(cp.Kind) {
+					return nil, fmt.Errorf("%w: column %d kind %v with float zone", ErrCorrupt, col, cp.Kind)
+				}
+				if len(r.buf)-r.pos < 16 {
+					return nil, fmt.Errorf("%w: truncated float zone", ErrCorrupt)
+				}
+				z.FMin = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos:]))
+				z.FMax = math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos+8:]))
+				r.pos += 16
+				if math.IsNaN(z.FMin) || math.IsNaN(z.FMax) || z.FMin > z.FMax {
+					return nil, fmt.Errorf("%w: column %d float zone [%v,%v]", ErrCorrupt, col, z.FMin, z.FMax)
+				}
+			default:
+				return nil, fmt.Errorf("%w: zone kind %d", ErrCorrupt, kind)
+			}
+		}
+		zones[g] = gz
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return zones, nil
+}

@@ -1,0 +1,408 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"deepsqueeze/internal/core"
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/pipeline"
+)
+
+// AggKind selects an aggregate function.
+type AggKind int
+
+const (
+	AggCount AggKind = iota
+	AggMin
+	AggMax
+	AggSum
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggSum:
+		return "sum"
+	}
+	return fmt.Sprintf("AggKind(%d)", int(k))
+}
+
+// AggOp is one requested aggregate: count (Col empty) or min/max/sum over a
+// numeric column.
+type AggOp struct {
+	Kind AggKind
+	Col  string
+}
+
+// Aggregate is one computed aggregate value. Min and max over zero matching
+// rows are NaN; sum is 0; count is the match count.
+type Aggregate struct {
+	Op    AggOp
+	Value float64
+}
+
+// Options configures a query.
+type Options struct {
+	// Where filters rows; nil selects every row. Predicates evaluate against
+	// decoded values, so the result is identical to decompressing everything
+	// and filtering — zone maps only decide which row groups are decoded.
+	Where Pred
+
+	// Select projects row output onto the named columns; nil selects every
+	// column. The output schema lists columns in archive schema order, same
+	// as DecompressOptions.Columns. Ignored when Aggs is non-empty.
+	Select []string
+
+	// Aggs switches the query to aggregate mode: no row output, only the
+	// requested aggregates over the matching rows.
+	Aggs []AggOp
+
+	// Parallelism bounds the worker pool; <= 0 selects runtime.NumCPU().
+	// Results are byte-for-byte identical at every parallelism level.
+	Parallelism int
+
+	// Limit, when positive, caps the number of matching rows returned in row
+	// mode (the first Limit matches in row order). Matched still reports the
+	// full count. Ignored in aggregate mode.
+	Limit int
+}
+
+// Result is a query outcome.
+type Result struct {
+	// Table holds the matching rows projected onto the selected columns; nil
+	// in aggregate mode.
+	Table *dataset.Table
+	// Matched counts the rows satisfying Where across the whole archive.
+	Matched int
+	// Aggregates holds one entry per requested AggOp, in request order.
+	Aggregates []Aggregate
+
+	// GroupsTotal and GroupsPruned report zone-map pruning: pruned groups'
+	// segments were skipped without decoding.
+	GroupsTotal  int
+	GroupsPruned int
+	// BytesSkipped is the archive bytes never decoded — pruned row groups
+	// plus unselected columns' streams (the decompressor's scan-stage byte
+	// counter).
+	BytesSkipped int64
+	// Stages reports per-stage instrumentation: the decompressor's stages
+	// followed by the filter stage.
+	Stages []core.StageStats
+}
+
+// Run executes a query against an archive. See RunContext.
+func Run(archive []byte, opts Options) (*Result, error) {
+	return RunContext(context.Background(), archive, opts)
+}
+
+// RunContext evaluates Where against the archive, using per-row-group zone
+// maps to skip groups that cannot contain a match, and returns the matching
+// rows (projected onto Select) or the requested aggregates. Pruning is
+// purely an optimization: predicates are re-evaluated on decoded values, so
+// the rows returned are exactly those a full decompress-then-filter would
+// produce, byte for byte, at every parallelism level.
+func RunContext(ctx context.Context, archive []byte, opts Options) (*Result, error) {
+	idx, err := core.ReadIndex(archive)
+	if err != nil {
+		return nil, err
+	}
+	if idx.External {
+		return nil, fmt.Errorf("query: archive references an external model; re-assemble it before querying")
+	}
+	res := &Result{GroupsTotal: len(idx.Groups)}
+
+	var b *bound
+	if opts.Where != nil {
+		if b, err = bind(opts.Where, idx.Plan); err != nil {
+			return nil, err
+		}
+	}
+	colIdx := func(name string) (int, error) {
+		for i, c := range idx.Plan.Schema.Columns {
+			if c.Name == name {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("query: unknown column %q", name)
+	}
+	aggMode := len(opts.Aggs) > 0
+	aggCols := make([]int, len(opts.Aggs))
+	for i, a := range opts.Aggs {
+		switch a.Kind {
+		case AggCount:
+			if a.Col != "" {
+				return nil, fmt.Errorf("query: count takes no column (got %q)", a.Col)
+			}
+			aggCols[i] = -1
+		case AggMin, AggMax, AggSum:
+			j, err := colIdx(a.Col)
+			if err != nil {
+				return nil, err
+			}
+			if idx.Plan.Schema.Columns[j].Type != dataset.Numeric {
+				return nil, fmt.Errorf("query: %s needs a numeric column, %q is categorical", a.Kind, a.Col)
+			}
+			aggCols[i] = j
+		default:
+			return nil, fmt.Errorf("query: unknown aggregate kind %d", int(a.Kind))
+		}
+	}
+	selIdx := make([]int, len(opts.Select))
+	for i, name := range opts.Select {
+		if selIdx[i], err = colIdx(name); err != nil {
+			return nil, err
+		}
+	}
+
+	// Prune row groups whose zones cannot contain a match. Archives without
+	// zone maps (v1, or written with NoZoneMaps) keep every group.
+	mask := make([]bool, len(idx.Groups))
+	for i, g := range idx.Groups {
+		mask[i] = b == nil || g.Zones == nil || b.mayMatch(g.Zones)
+		if !mask[i] {
+			res.GroupsPruned++
+		}
+	}
+
+	// Fast path: an unfiltered pure count needs no decoding at all.
+	if b == nil && aggMode && pureCount(opts.Aggs) {
+		res.Matched = idx.Rows
+		for i := range opts.Aggs {
+			res.Aggregates = append(res.Aggregates, Aggregate{Op: opts.Aggs[i], Value: float64(idx.Rows)})
+		}
+		return res, nil
+	}
+
+	// Decode the union of the columns the query touches: selected (or all,
+	// in unprojected row mode), aggregated, and filtered-on.
+	var decodeCols []string
+	if !aggMode && len(opts.Select) == 0 {
+		decodeCols = nil // row mode over every column
+	} else {
+		need := map[int]bool{}
+		for _, j := range selIdx {
+			need[j] = true
+		}
+		for _, j := range aggCols {
+			if j >= 0 {
+				need[j] = true
+			}
+		}
+		if b != nil {
+			for _, j := range b.cols {
+				need[j] = true
+			}
+		}
+		for j, c := range idx.Plan.Schema.Columns {
+			if need[j] {
+				decodeCols = append(decodeCols, c.Name)
+			}
+		}
+	}
+	dres, err := core.DecompressContext(ctx, archive, core.DecompressOptions{
+		Parallelism: opts.Parallelism,
+		Columns:     decodeCols,
+		GroupMask:   mask,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stages = dres.Stages
+	for _, st := range dres.Stages {
+		if st.Name == "scan" {
+			res.BytesSkipped = st.Bytes
+		}
+	}
+
+	// Scatter the decoded (projected) columns back to full-schema indexes so
+	// the bound predicate can address them.
+	dt := dres.Table
+	nrows := dt.NumRows()
+	ncols := len(idx.Plan.Schema.Columns)
+	str := make([][]string, ncols)
+	num := make([][]float64, ncols)
+	for dj, c := range dt.Schema.Columns {
+		fj, err := colIdx(c.Name)
+		if err != nil {
+			return nil, err
+		}
+		if c.Type == dataset.Categorical {
+			str[fj] = dt.Str[dj]
+		} else {
+			num[fj] = dt.Num[dj]
+		}
+	}
+
+	// Filter: each chunk writes a disjoint span of keep, so the outcome is
+	// independent of parallelism.
+	run := pipeline.New(ctx, opts.Parallelism)
+	keep := make([]bool, nrows)
+	err = run.Stage("filter", func() error {
+		if b == nil {
+			for r := range keep {
+				keep[r] = true
+			}
+			return nil
+		}
+		return run.ForEachChunk(nrows, 4096, func(lo, hi int) error {
+			for r := lo; r < hi; r++ {
+				keep[r] = b.eval(r, str, num)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stages = append(res.Stages, run.Stats()...)
+	for _, k := range keep {
+		if k {
+			res.Matched++
+		}
+	}
+
+	if aggMode {
+		res.Aggregates = computeAggs(opts.Aggs, aggCols, keep, num, res.Matched)
+		return res, nil
+	}
+
+	// Row mode: project onto the selected columns and gather matching rows.
+	rows := make([]int, 0, res.Matched)
+	for r, k := range keep {
+		if k {
+			rows = append(rows, r)
+			if opts.Limit > 0 && len(rows) == opts.Limit {
+				break
+			}
+		}
+	}
+	outIdx := selIdx
+	if len(opts.Select) == 0 {
+		outIdx = make([]int, ncols)
+		for j := range outIdx {
+			outIdx[j] = j
+		}
+	} else {
+		// Output schema follows archive order, matching DecompressOptions.
+		outIdx = append([]int(nil), selIdx...)
+		sortInts(outIdx)
+		outIdx = dedupInts(outIdx)
+	}
+	outCols := make([]dataset.Column, len(outIdx))
+	for i, fj := range outIdx {
+		outCols[i] = idx.Plan.Schema.Columns[fj]
+	}
+	out := dataset.NewTable(dataset.NewSchema(outCols...), len(rows))
+	err = run.Stage("pack", func() error {
+		return run.ForEach(len(outIdx), func(i int) error {
+			fj := outIdx[i]
+			if outCols[i].Type == dataset.Categorical {
+				src := str[fj]
+				dst := out.Str[i][:0]
+				for _, r := range rows {
+					dst = append(dst, src[r])
+				}
+				out.Str[i] = dst
+			} else {
+				src := num[fj]
+				dst := out.Num[i][:0]
+				for _, r := range rows {
+					dst = append(dst, src[r])
+				}
+				out.Num[i] = dst
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.SetNumRows(len(rows))
+	res.Table = out
+	res.Stages = appendStage(res.Stages, run.Stats(), "pack")
+	return res, nil
+}
+
+// pureCount reports whether every requested aggregate is a bare count.
+func pureCount(aggs []AggOp) bool {
+	for _, a := range aggs {
+		if a.Kind != AggCount {
+			return false
+		}
+	}
+	return true
+}
+
+// computeAggs evaluates the aggregates serially in row order, so sums are
+// bit-identical at every parallelism level.
+func computeAggs(aggs []AggOp, aggCols []int, keep []bool, num [][]float64, matched int) []Aggregate {
+	out := make([]Aggregate, len(aggs))
+	for i, a := range aggs {
+		out[i].Op = a
+		switch a.Kind {
+		case AggCount:
+			out[i].Value = float64(matched)
+		case AggMin, AggMax:
+			v := math.NaN()
+			col := num[aggCols[i]]
+			for r, k := range keep {
+				if !k {
+					continue
+				}
+				x := col[r]
+				if math.IsNaN(v) ||
+					(a.Kind == AggMin && x < v) ||
+					(a.Kind == AggMax && x > v) {
+					v = x
+				}
+			}
+			out[i].Value = v
+		case AggSum:
+			var s float64
+			col := num[aggCols[i]]
+			for r, k := range keep {
+				if k {
+					s += col[r]
+				}
+			}
+			out[i].Value = s
+		}
+	}
+	return out
+}
+
+// appendStage appends only the named stage from a run's stats (the run's
+// earlier stages were already recorded).
+func appendStage(dst, stats []core.StageStats, name string) []core.StageStats {
+	for _, st := range stats {
+		if st.Name == name {
+			dst = append(dst, st)
+		}
+	}
+	return dst
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func dedupInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

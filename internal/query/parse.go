@@ -1,0 +1,315 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse builds a predicate from a SQL-flavoured filter expression:
+//
+//	seq >= 100 AND tag = 'hot'
+//	NOT (grade IN (0, 1) OR m1 < -5)
+//	city != 'cusco'
+//
+// Operators: = == != <> < <= > >= IN, combined with AND / OR / NOT and
+// parentheses (keywords are case-insensitive). Strings are single-quoted
+// with ” escaping a quote; numbers use Go float syntax. != and <> desugar
+// to NOT(col = v), and `col NOT IN (...)` to NOT(col IN (...)).
+func Parse(s string) (Pred, error) {
+	p := &parser{src: s}
+	p.next()
+	pred, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %q after expression", p.tok.text)
+	}
+	return pred, nil
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp     // = == != <> < <= > >=
+	tokLParen // (
+	tokRParen // )
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string // ident name, operator text, or raw number
+	sval string // decoded string literal
+	fval float64
+	pos  int
+}
+
+type parser struct {
+	src string
+	pos int
+	tok token
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("query: parse error at offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+// next scans the following token into p.tok. A lexical error (stray byte,
+// unterminated string) yields an EOF-kind token carrying the offending text
+// and poisons the scanner, so the grammar reports it as "unexpected ..." at
+// the right offset without separate error plumbing.
+func (p *parser) next() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	start := p.pos
+	p.tok = token{kind: tokEOF, pos: start}
+	if p.pos >= len(p.src) {
+		return
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		p.tok = token{kind: tokLParen, text: "(", pos: start}
+	case c == ')':
+		p.pos++
+		p.tok = token{kind: tokRParen, text: ")", pos: start}
+	case c == ',':
+		p.pos++
+		p.tok = token{kind: tokComma, text: ",", pos: start}
+	case c == '\'':
+		p.pos++
+		var sb strings.Builder
+		for {
+			if p.pos >= len(p.src) {
+				p.tok = token{kind: tokEOF, text: "unterminated string", pos: start}
+				p.pos = len(p.src) + 1 // poison: callers see EOF and report
+				return
+			}
+			ch := p.src[p.pos]
+			p.pos++
+			if ch == '\'' {
+				if p.pos < len(p.src) && p.src[p.pos] == '\'' {
+					sb.WriteByte('\'') // '' escapes a quote
+					p.pos++
+					continue
+				}
+				break
+			}
+			sb.WriteByte(ch)
+		}
+		p.tok = token{kind: tokString, sval: sb.String(), pos: start}
+	case strings.ContainsRune("=!<>", rune(c)):
+		end := p.pos + 1
+		if end < len(p.src) && strings.ContainsRune("=>", rune(p.src[end])) {
+			end++
+		}
+		p.tok = token{kind: tokOp, text: p.src[p.pos:end], pos: start}
+		p.pos = end
+	case c == '-' || c == '.' || (c >= '0' && c <= '9'):
+		end := p.pos + 1
+		for end < len(p.src) {
+			ch := p.src[end]
+			if (ch >= '0' && ch <= '9') || ch == '.' || ch == 'e' || ch == 'E' {
+				end++
+				continue
+			}
+			if (ch == '+' || ch == '-') && (p.src[end-1] == 'e' || p.src[end-1] == 'E') {
+				end++
+				continue
+			}
+			break
+		}
+		p.tok = token{kind: tokNumber, text: p.src[p.pos:end], pos: start}
+		p.pos = end
+	case c == '_' || unicode.IsLetter(rune(c)):
+		end := p.pos + 1
+		for end < len(p.src) {
+			ch := rune(p.src[end])
+			if ch == '_' || ch == '.' || unicode.IsLetter(ch) || unicode.IsDigit(ch) {
+				end++
+				continue
+			}
+			break
+		}
+		p.tok = token{kind: tokIdent, text: p.src[p.pos:end], pos: start}
+		p.pos = end
+	default:
+		p.tok = token{kind: tokEOF, text: string(c), pos: start}
+		p.pos = len(p.src) + 1 // poison so the caller reports "unexpected"
+	}
+}
+
+// keyword reports whether the current token is the given keyword,
+// case-insensitively.
+func (p *parser) keyword(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *parser) orExpr() (Pred, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Pred{left}
+	for p.keyword("or") {
+		p.next()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return Or(kids...), nil
+}
+
+func (p *parser) andExpr() (Pred, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Pred{left}
+	for p.keyword("and") {
+		p.next()
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return And(kids...), nil
+}
+
+func (p *parser) notExpr() (Pred, error) {
+	if p.keyword("not") {
+		p.next()
+		kid, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Not(kid), nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Pred, error) {
+	switch p.tok.kind {
+	case tokLParen:
+		p.next()
+		inner, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errf("expected ')', got %q", p.tok.text)
+		}
+		p.next()
+		return inner, nil
+	case tokIdent:
+		if p.keyword("and") || p.keyword("or") || p.keyword("not") || p.keyword("in") {
+			return nil, p.errf("expected column name, got keyword %q", p.tok.text)
+		}
+		col := p.tok.text
+		p.next()
+		negate := false
+		if p.keyword("not") {
+			p.next()
+			if !p.keyword("in") {
+				return nil, p.errf("expected IN after NOT, got %q", p.tok.text)
+			}
+			negate = true
+		}
+		if p.keyword("in") {
+			p.next()
+			inner, err := p.inList(col)
+			if err != nil {
+				return nil, err
+			}
+			if negate {
+				return Not(inner), nil
+			}
+			return inner, nil
+		}
+		if p.tok.kind != tokOp {
+			return nil, p.errf("expected comparison operator after %q, got %q", col, p.tok.text)
+		}
+		opText := p.tok.text
+		p.next()
+		val, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		switch opText {
+		case "=", "==":
+			return cmpPred{col: col, op: OpEq, val: val}, nil
+		case "!=", "<>":
+			return Not(cmpPred{col: col, op: OpEq, val: val}), nil
+		case "<":
+			return cmpPred{col: col, op: OpLt, val: val}, nil
+		case "<=":
+			return cmpPred{col: col, op: OpLe, val: val}, nil
+		case ">":
+			return cmpPred{col: col, op: OpGt, val: val}, nil
+		case ">=":
+			return cmpPred{col: col, op: OpGe, val: val}, nil
+		}
+		return nil, p.errf("unknown operator %q", opText)
+	}
+	return nil, p.errf("expected predicate, got %q", p.tok.text)
+}
+
+func (p *parser) inList(col string) (Pred, error) {
+	if p.tok.kind != tokLParen {
+		return nil, p.errf("expected '(' after IN, got %q", p.tok.text)
+	}
+	p.next()
+	var vals []lit
+	for {
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if p.tok.kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.tok.kind != tokRParen {
+		return nil, p.errf("expected ')' closing IN list, got %q", p.tok.text)
+	}
+	p.next()
+	return inPred{col: col, vals: vals}, nil
+}
+
+func (p *parser) literal() (lit, error) {
+	switch p.tok.kind {
+	case tokString:
+		v := lit{s: p.tok.sval, isStr: true}
+		p.next()
+		return v, nil
+	case tokNumber:
+		f, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return lit{}, p.errf("bad number %q", p.tok.text)
+		}
+		p.next()
+		return lit{f: f}, nil
+	}
+	return lit{}, p.errf("expected literal, got %q", p.tok.text)
+}

@@ -1,0 +1,184 @@
+// Package query evaluates filter + projection + aggregation queries directly
+// against DeepSqueeze archives. The planner reads only the archive's header,
+// footer index, and per-row-group zone maps (core.ReadIndex), translates the
+// predicate's literals into the encoded domain recorded in the stored plan,
+// and prunes row groups whose zones cannot contain a match — pruned groups'
+// segments are skipped without decoding a byte. Surviving groups decode
+// through the regular parallel pipeline and the predicate is re-evaluated
+// exactly on the decoded values, so a query returns byte-for-byte the rows a
+// full decompress-then-filter would.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CmpOp is a comparison operator in a leaf predicate. There is no OpNe:
+// inequality is expressed as Not(Eq(...)), which keeps zone-map pruning a
+// pure interval/bitmap test with a negation flag.
+type CmpOp int
+
+const (
+	OpEq CmpOp = iota
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return fmt.Sprintf("CmpOp(%d)", int(op))
+}
+
+// Pred is a predicate over a table's columns. Build one with the Eq/Lt/Le/
+// Gt/Ge/In/And/Or/Not constructors or parse one from text with Parse. The
+// interface is sealed: evaluation requires binding against an archive's
+// stored plan, which Run does internally.
+type Pred interface {
+	fmt.Stringer
+	pred() // sealed
+}
+
+// lit is a predicate literal: a quoted string or a number. Constructors
+// accept `any` and normalize here; an unsupported Go type is carried as an
+// invalid literal and rejected with a clear error at bind time rather than
+// panicking at construction.
+type lit struct {
+	s     string
+	f     float64
+	isStr bool
+	bad   string // non-empty: the unsupported Go type's name
+}
+
+func toLit(v any) lit {
+	switch x := v.(type) {
+	case string:
+		return lit{s: x, isStr: true}
+	case float64:
+		return lit{f: x}
+	case float32:
+		return lit{f: float64(x)}
+	case int:
+		return lit{f: float64(x)}
+	case int64:
+		return lit{f: float64(x)}
+	case uint:
+		return lit{f: float64(x)}
+	case bool:
+		return lit{bad: "bool"}
+	default:
+		return lit{bad: fmt.Sprintf("%T", v)}
+	}
+}
+
+func (l lit) String() string {
+	if l.isStr {
+		return "'" + strings.ReplaceAll(l.s, "'", "''") + "'"
+	}
+	return strconv.FormatFloat(l.f, 'g', -1, 64)
+}
+
+type cmpPred struct {
+	col string
+	op  CmpOp
+	val lit
+}
+
+type inPred struct {
+	col  string
+	vals []lit
+}
+
+type andPred struct{ kids []Pred }
+type orPred struct{ kids []Pred }
+type notPred struct{ kid Pred }
+
+func (cmpPred) pred() {}
+func (inPred) pred()  {}
+func (andPred) pred() {}
+func (orPred) pred()  {}
+func (notPred) pred() {}
+
+func (p cmpPred) String() string { return fmt.Sprintf("%s %s %s", p.col, p.op, p.val) }
+
+func (p inPred) String() string {
+	parts := make([]string, len(p.vals))
+	for i, v := range p.vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s IN (%s)", p.col, strings.Join(parts, ", "))
+}
+
+func joinKids(kids []Pred, op string) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		parts[i] = k.String()
+	}
+	return "(" + strings.Join(parts, " "+op+" ") + ")"
+}
+
+func (p andPred) String() string { return joinKids(p.kids, "AND") }
+func (p orPred) String() string  { return joinKids(p.kids, "OR") }
+func (p notPred) String() string { return "NOT " + p.kid.String() }
+
+// Eq matches rows whose column equals v (a string for categorical columns,
+// a number for numeric ones).
+func Eq(col string, v any) Pred { return cmpPred{col: col, op: OpEq, val: toLit(v)} }
+
+// Lt matches rows whose numeric column is strictly less than v.
+func Lt(col string, v any) Pred { return cmpPred{col: col, op: OpLt, val: toLit(v)} }
+
+// Le matches rows whose numeric column is at most v.
+func Le(col string, v any) Pred { return cmpPred{col: col, op: OpLe, val: toLit(v)} }
+
+// Gt matches rows whose numeric column is strictly greater than v.
+func Gt(col string, v any) Pred { return cmpPred{col: col, op: OpGt, val: toLit(v)} }
+
+// Ge matches rows whose numeric column is at least v.
+func Ge(col string, v any) Pred { return cmpPred{col: col, op: OpGe, val: toLit(v)} }
+
+// In matches rows whose column equals any of the listed values.
+func In(col string, vals ...any) Pred {
+	p := inPred{col: col, vals: make([]lit, len(vals))}
+	for i, v := range vals {
+		p.vals[i] = toLit(v)
+	}
+	return p
+}
+
+// And matches rows satisfying every child predicate (vacuously true when
+// empty).
+func And(kids ...Pred) Pred { return andPred{kids: kids} }
+
+// Or matches rows satisfying at least one child predicate (vacuously false
+// when empty).
+func Or(kids ...Pred) Pred { return orPred{kids: kids} }
+
+// Not inverts a predicate.
+func Not(kid Pred) Pred { return notPred{kid: kid} }
+
+// sortedFloats returns the numeric literals of an IN list in ascending
+// order, for interval pruning.
+func sortedFloats(vals []lit) []float64 {
+	out := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v.f)
+	}
+	sort.Float64s(out)
+	return out
+}

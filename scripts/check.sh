@@ -59,6 +59,17 @@ echo "== benchmark smoke =="
 go test -run='^$' -bench='TrainBatch|TrainEpoch' -benchtime=1x ./internal/nn
 go test -run='^$' -bench='Into' -benchtime=1x ./internal/mat
 
+echo "== query equivalence gate =="
+# Predicate-pushdown results must be byte-identical to decompress-then-
+# filter for randomized predicates at parallelism 1, 4, and NumCPU.
+go test -run='^TestQueryEquivalence$' -count=1 ./internal/query
+
+echo "== query bench smoke =="
+# One quick pass of the selectivity sweep: exercises zone-map pruning,
+# group-masked decode, and the row-for-row verification inside the bench.
+go build -o "$smokedir/dsbench" ./cmd/dsbench
+(cd "$smokedir" && ./dsbench -exp query -quick > /dev/null)
+
 echo "== fuzz smoke =="
 # Short coverage-guided runs of the decode-path fuzzers: any panic or
 # unclassified error on arbitrary bytes fails the gate.
