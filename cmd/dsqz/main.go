@@ -6,7 +6,7 @@
 //	dsqz compress   -in data.csv -schema "city:cat,temp:num" -out data.dsqz [flags]
 //	dsqz decompress -in data.dsqz -out data.csv [-cols city,temp] [-rows 0:1000] [-p 4] [-v]
 //	dsqz query      -in data.dsqz -where "temp >= 30 AND city = 'cusco'" [-select city,temp] [-agg count,min:temp] [-v]
-//	dsqz inspect    -in data.dsqz
+//	dsqz inspect    -in data.dsqz [-json]
 //
 // The schema flag lists column name:type pairs in file order, where type is
 // "cat" (categorical) or "num" (numeric). Compression flags:
@@ -59,6 +59,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -437,6 +438,16 @@ func parseRowRange(s string) (deepsqueeze.RowRange, error) {
 	return rr, nil
 }
 
+// archiveErr attributes corruption-class failures to the archive file, so
+// logs spanning many archives stay attributable. Other errors (bad flags,
+// unknown columns, cancellation) already name their cause and pass through.
+func archiveErr(path string, err error) error {
+	if err != nil && errors.Is(err, core.ErrCorrupt) {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return err
+}
+
 // validateAgainstArchive checks the requested columns and row span against
 // the archive's schema and row count — metadata only, before any segment is
 // decoded — so typos fail with a clear message instead of a decode error.
@@ -479,11 +490,11 @@ func decompressQuery(ctx context.Context, in, out string, opts deepsqueeze.Decom
 		return err
 	}
 	if err := validateAgainstArchive(buf, opts.Columns, opts.RowRange); err != nil {
-		return err
+		return archiveErr(in, err)
 	}
 	res, err := deepsqueeze.DecompressContext(ctx, buf, opts)
 	if err != nil {
-		return err
+		return archiveErr(in, err)
 	}
 	if verbose {
 		printStages(res.Stages)
@@ -516,7 +527,7 @@ func decompressStream(ctx context.Context, in, out string, verbose bool) error {
 	defer f.Close()
 	ar, err := deepsqueeze.NewArchiveReader(bufio.NewReaderSize(f, 1<<20))
 	if err != nil {
-		return err
+		return archiveErr(in, err)
 	}
 	of, err := os.Create(out)
 	if err != nil {
@@ -535,7 +546,7 @@ func decompressStream(ctx context.Context, in, out string, verbose bool) error {
 			break
 		}
 		if err != nil {
-			return err
+			return archiveErr(in, err)
 		}
 		if err := cw.WriteTable(g); err != nil {
 			return err
@@ -600,7 +611,7 @@ func runQuery(ctx context.Context, args []string) error {
 	}
 	res, err := deepsqueeze.QueryContext(ctx, buf, opts)
 	if err != nil {
-		return err
+		return archiveErr(*in, err)
 	}
 	if *verbose {
 		printStages(res.Stages)
@@ -690,6 +701,7 @@ func parseAggs(s string) ([]deepsqueeze.AggOp, error) {
 func runInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	in := fs.String("in", "", "archive file")
+	jsonOut := fs.Bool("json", false, "machine-readable JSON output (the same summary dsqzd's /archives serves)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("inspect needs -in")
@@ -700,7 +712,14 @@ func runInspect(args []string) error {
 	}
 	info, err := deepsqueeze.Inspect(buf)
 	if err != nil {
-		return err
+		return archiveErr(*in, err)
+	}
+	if *jsonOut {
+		sum := info.Summary()
+		sum.Path = *in
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sum)
 	}
 	fmt.Printf("archive: format v%d, %d bytes\nrows: %d\n", info.Version, info.TotalBytes, info.Rows)
 	fmt.Printf("model: code size %d (%d-bit codes), %d expert(s)\n",

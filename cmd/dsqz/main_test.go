@@ -1,6 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"deepsqueeze"
@@ -125,5 +132,63 @@ func TestParseAggs(t *testing.T) {
 		if _, err := parseAggs(bad); err == nil {
 			t.Errorf("parseAggs(%q) accepted", bad)
 		}
+	}
+}
+
+func TestArchiveErr(t *testing.T) {
+	if err := archiveErr("x.dsqz", nil); err != nil {
+		t.Fatalf("nil error wrapped: %v", err)
+	}
+	plain := fmt.Errorf("disk on fire")
+	if err := archiveErr("x.dsqz", plain); err != plain {
+		t.Fatalf("non-corrupt error rewrapped: %v", err)
+	}
+	_, cerr := deepsqueeze.Decompress([]byte("DSQZ garbage that is not an archive"))
+	if cerr == nil {
+		t.Fatal("garbage archive accepted")
+	}
+	wrapped := archiveErr("x.dsqz", cerr)
+	if !strings.Contains(wrapped.Error(), "x.dsqz") || !errors.Is(wrapped, deepsqueeze.ErrCorrupt) {
+		t.Fatalf("corrupt error not attributed to the archive: %v", wrapped)
+	}
+}
+
+// TestRunInspectJSON checks `inspect -json` emits the same summary document
+// dsqzd's /archives endpoint serves, with the path filled in.
+func TestRunInspectJSON(t *testing.T) {
+	archive := buildTestArchive(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.dsqz")
+	if err := os.WriteFile(path, archive, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := runInspect([]string{"-in", path, "-json"})
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	var sum deepsqueeze.ArchiveSummary
+	if err := json.Unmarshal(out, &sum); err != nil {
+		t.Fatalf("inspect -json emitted invalid JSON: %v\n%s", err, out)
+	}
+	if sum.Path != path || sum.Rows != 80 || sum.Bytes != len(archive) {
+		t.Fatalf("summary = %+v, want path=%s rows=80 bytes=%d", sum, path, len(archive))
+	}
+	if len(sum.Columns) != 2 || sum.Columns[0].Name != "city" || sum.Columns[0].Type != "cat" ||
+		sum.Columns[1].Name != "temp" || sum.Columns[1].Type != "num" {
+		t.Fatalf("columns = %+v", sum.Columns)
 	}
 }

@@ -1,0 +1,326 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"io/fs"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"deepsqueeze/internal/core"
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/query"
+	"deepsqueeze/internal/serve"
+)
+
+var (
+	archOnce  sync.Once
+	archBytes []byte
+	archErr   error
+)
+
+// testArchive compresses a small grouped archive once per test binary.
+func testArchive(t *testing.T) []byte {
+	t.Helper()
+	archOnce.Do(func() {
+		schema := dataset.NewSchema(
+			dataset.Column{Name: "tag", Type: dataset.Categorical},
+			dataset.Column{Name: "seq", Type: dataset.Numeric},
+		)
+		rows := 512
+		tb := dataset.NewTable(schema, rows)
+		rng := rand.New(rand.NewSource(5))
+		tags := []string{"x", "y", "z"}
+		for i := 0; i < rows; i++ {
+			tb.AppendRow([]string{tags[rng.Intn(len(tags))]}, []float64{float64(i)})
+		}
+		opts := core.DefaultOptions()
+		opts.Seed = 5
+		opts.CodeSize = 2
+		opts.Train.Epochs = 2
+		opts.TrainSampleRows = 256
+		opts.RowGroupSize = 64
+		res, err := core.Compress(tb, []float64{0, 0}, opts)
+		if err != nil {
+			archErr = err
+			return
+		}
+		archBytes = res.Archive
+	})
+	if archErr != nil {
+		t.Fatal(archErr)
+	}
+	return archBytes
+}
+
+// testDaemon serves a temp root holding the test archive as t.dsqz.
+func testDaemon(t *testing.T) (*daemon, string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "t.dsqz"), testArchive(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := newDaemon(dir, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, dir
+}
+
+func postQuery(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// TestQueryCSVByteIdentical pins the daemon's acceptance contract: a csv
+// query over HTTP returns exactly the bytes `dsqz query` writes for the same
+// archive and predicate.
+func TestQueryCSVByteIdentical(t *testing.T) {
+	d, _ := testDaemon(t)
+	h := d.handler()
+
+	want, err := query.Run(testArchive(t), query.Options{Where: mustParse(t, "seq < 100")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantCSV bytes.Buffer
+	if err := want.Table.WriteCSV(&wantCSV); err != nil {
+		t.Fatal(err)
+	}
+
+	w := postQuery(t, h, `{"archive":"t.dsqz","where":"seq < 100","format":"csv"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Body.Bytes(); !bytes.Equal(got, wantCSV.Bytes()) {
+		t.Fatalf("csv over HTTP differs from dsqz query output:\n%s\nvs\n%s", got, wantCSV.Bytes())
+	}
+	if got := w.Header().Get("X-Matched-Rows"); got != "100" {
+		t.Fatalf("X-Matched-Rows = %q, want 100", got)
+	}
+}
+
+func mustParse(t *testing.T, s string) query.Pred {
+	t.Helper()
+	p, err := query.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestQueryJSON exercises the JSON response shape for row and aggregate
+// queries.
+func TestQueryJSON(t *testing.T) {
+	d, _ := testDaemon(t)
+	h := d.handler()
+
+	w := postQuery(t, h, `{"archive":"t.dsqz","where":"seq < 10","select":"seq"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Matched int        `json:"matched"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Pruned  int        `json:"groups_pruned"`
+		Total   int        `json:"groups_total"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Matched != 10 || len(resp.Rows) != 10 {
+		t.Fatalf("matched=%d rows=%d, want 10/10", resp.Matched, len(resp.Rows))
+	}
+	if len(resp.Columns) != 1 || resp.Columns[0] != "seq" {
+		t.Fatalf("columns = %v, want [seq]", resp.Columns)
+	}
+	if resp.Total != 8 || resp.Pruned == 0 {
+		t.Fatalf("groups %d/%d pruned, want pruning over 8 groups", resp.Pruned, resp.Total)
+	}
+
+	w = postQuery(t, h, `{"archive":"t.dsqz","where":"seq < 10","agg":"count,max:seq"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("agg status %d: %s", w.Code, w.Body.String())
+	}
+	var aresp struct {
+		Matched    int `json:"matched"`
+		Rows       [][]string
+		Aggregates []struct {
+			Agg   string  `json:"agg"`
+			Col   string  `json:"col"`
+			Value float64 `json:"value"`
+		} `json:"aggregates"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &aresp); err != nil {
+		t.Fatal(err)
+	}
+	if len(aresp.Rows) != 0 || len(aresp.Aggregates) != 2 {
+		t.Fatalf("agg query returned %d rows, %d aggregates", len(aresp.Rows), len(aresp.Aggregates))
+	}
+	if aresp.Aggregates[0].Value != 10 || aresp.Aggregates[1].Value != 9 {
+		t.Fatalf("aggregates = %+v, want count 10, max 9", aresp.Aggregates)
+	}
+}
+
+// TestQueryErrors covers the daemon's client-error surface: bad methods,
+// bodies, predicates, traversal attempts, and missing archives.
+func TestQueryErrors(t *testing.T) {
+	d, _ := testDaemon(t)
+	h := d.handler()
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		substr string
+	}{
+		{"missing archive field", `{}`, http.StatusBadRequest, "archive is required"},
+		{"traversal", `{"archive":"../etc/passwd"}`, http.StatusBadRequest, "inside the root"},
+		{"absolute", `{"archive":"/etc/passwd"}`, http.StatusBadRequest, "inside the root"},
+		{"bad where", `{"archive":"t.dsqz","where":"seq <>< 1"}`, http.StatusBadRequest, "query:"},
+		{"bad agg", `{"archive":"t.dsqz","agg":"median:seq"}`, http.StatusBadRequest, "bad aggregate"},
+		{"not found", `{"archive":"nope.dsqz"}`, http.StatusNotFound, "nope.dsqz"},
+		{"csv of agg", `{"archive":"t.dsqz","agg":"count","format":"csv"}`, http.StatusBadRequest, "row query"},
+	}
+	for _, c := range cases {
+		w := postQuery(t, h, c.body)
+		if w.Code != c.status {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, w.Code, c.status, w.Body.String())
+		}
+		if !strings.Contains(w.Body.String(), c.substr) {
+			t.Errorf("%s: body %q, want %q in it", c.name, w.Body.String(), c.substr)
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/query", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: status %d, want 405", w.Code)
+	}
+}
+
+// TestStatusFor checks the error → HTTP status mapping, including the
+// distinct retryable status for shed requests.
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{serve.ErrOverloaded, http.StatusServiceUnavailable},
+		{fs.ErrNotExist, http.StatusNotFound},
+		{context.Canceled, 499},
+		{errors.New("anything else"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := statusFor(c.err); got != c.want {
+			t.Errorf("statusFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestArchivesEndpoint lists every archive under the root with its summary,
+// reporting broken files inline instead of failing the listing.
+func TestArchivesEndpoint(t *testing.T) {
+	d, dir := testDaemon(t)
+	if err := os.WriteFile(filepath.Join(dir, "bad.dsqz"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h := d.handler()
+	req := httptest.NewRequest(http.MethodGet, "/archives", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var out []struct {
+		Path  string `json:"path"`
+		Rows  int    `json:"rows"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("listed %d archives, want 2: %s", len(out), w.Body.String())
+	}
+	var sawGood, sawBad bool
+	for _, e := range out {
+		switch {
+		case e.Path == "t.dsqz" && e.Rows == 512 && e.Error == "":
+			sawGood = true
+		case e.Error != "" && strings.Contains(e.Error, "bad.dsqz"):
+			sawBad = true
+		}
+	}
+	if !sawGood || !sawBad {
+		t.Fatalf("listing missing entries (good=%v bad=%v): %s", sawGood, sawBad, w.Body.String())
+	}
+}
+
+// TestStatsEndpoint checks /stats reflects served queries.
+func TestStatsEndpoint(t *testing.T) {
+	d, _ := testDaemon(t)
+	h := d.handler()
+	if w := postQuery(t, h, `{"archive":"t.dsqz","where":"seq < 5"}`); w.Code != http.StatusOK {
+		t.Fatalf("query status %d", w.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var st serve.Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 1 || st.OpenArchives != 1 {
+		t.Fatalf("stats = %+v, want 1 query, 1 open archive", st)
+	}
+}
+
+// TestJSONAndCSVAgree checks the two response formats render identical cell
+// values, so clients can switch formats without changing results.
+func TestJSONAndCSVAgree(t *testing.T) {
+	d, _ := testDaemon(t)
+	h := d.handler()
+	const body = `{"archive":"t.dsqz","where":"seq >= 500"`
+	wj := postQuery(t, h, body+`}`)
+	wc := postQuery(t, h, body+`,"format":"csv"}`)
+	if wj.Code != http.StatusOK || wc.Code != http.StatusOK {
+		t.Fatalf("status json=%d csv=%d", wj.Code, wc.Code)
+	}
+	var resp struct {
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(wj.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	var fromJSON bytes.Buffer
+	fromJSON.WriteString(strings.Join(resp.Columns, ",") + "\n")
+	for _, row := range resp.Rows {
+		fromJSON.WriteString(strings.Join(row, ",") + "\n")
+	}
+	csv, err := io.ReadAll(wc.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromJSON.Bytes(), csv) {
+		t.Fatalf("json cells and csv disagree:\n%s\nvs\n%s", fromJSON.Bytes(), csv)
+	}
+}

@@ -264,10 +264,42 @@ type ArchiveInfo = core.ArchiveInfo
 // GroupInfo is one row group's footer-index entry (ArchiveInfo.Groups).
 type GroupInfo = core.GroupInfo
 
+// ArchiveSummary is the machine-readable archive description shared by
+// `dsqz inspect -json` and the dsqzd daemon's /archives endpoint.
+type ArchiveSummary = core.ArchiveSummary
+
 // Inspect parses an archive's metadata (rows, schema, model shape,
 // streaming flag) after validating its checksum, without running the
 // decoder.
 func Inspect(archive []byte) (*ArchiveInfo, error) { return core.Inspect(archive) }
+
+// Archive is an open-once/serve-many handle: Open parses the archive's
+// header, footer index, zone maps, and decoder section at most once, and any
+// number of concurrent decompressions and queries then execute against the
+// shared parsed state. Use it whenever the same archive is read more than
+// once; the one-shot byte-slice entry points open a fresh handle per call.
+type Archive = core.Archive
+
+// ErrCorrupt classifies archive-corruption failures: every malformed-input
+// error from Open, Decompress, Inspect, and Query wraps it, so callers can
+// distinguish bad archives from bad requests with errors.Is.
+var ErrCorrupt = core.ErrCorrupt
+
+// Open parses an archive's metadata once and returns a reusable,
+// concurrency-safe handle. The handle keeps a reference to the archive
+// bytes; the caller must not mutate them afterwards.
+func Open(archive []byte) (*Archive, error) { return core.Open(archive) }
+
+// OpenFile reads and opens the archive at path; corruption-class failures
+// are attributed to the path.
+func OpenFile(path string) (*Archive, error) { return core.OpenFile(path) }
+
+// QueryArchive is QueryContext against an open handle: planning reuses the
+// handle's cached row-group index and zone maps, decoding reuses its cached
+// decoders. Concurrent calls against one handle are safe.
+func QueryArchive(ctx context.Context, a *Archive, opts QueryOptions) (*QueryResult, error) {
+	return query.RunArchive(ctx, a, opts)
+}
 
 // VerifyBounds audits a decompressed table against the original: every
 // categorical value must match exactly and every numeric value must lie

@@ -31,6 +31,7 @@ func Experiments() []Experiment {
 		{"rowgroup", "RowRange decode latency vs. row-group count", RowGroupScan},
 		{"train", "Data-parallel training throughput vs. workers", TrainSpeedup},
 		{"query", "Predicate-pushdown scan vs. selectivity", QuerySelectivity},
+		{"serve", "Open-once serving: warm handles vs cold open-per-query", ServeBench},
 	}
 }
 

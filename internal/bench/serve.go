@@ -1,0 +1,282 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"deepsqueeze/internal/core"
+	"deepsqueeze/internal/query"
+	"deepsqueeze/internal/serve"
+)
+
+// serveCold is the open-per-query baseline at one selectivity.
+type serveCold struct {
+	Selectivity float64 `json:"selectivity"`
+	Matched     int     `json:"matched"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	QPS         float64 `json:"qps"`
+}
+
+// serveWarm is one warm-handle measurement: a client count × selectivity
+// cell of the sweep.
+type serveWarm struct {
+	Selectivity float64 `json:"selectivity"`
+	Clients     int     `json:"clients"`
+	Matched     int     `json:"matched"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	QPS         float64 `json:"qps"`
+	SpeedupCold float64 `json:"speedup_vs_cold_p50"`
+}
+
+// serveBenchFile is the top-level BENCH_serve.json document.
+type serveBenchFile struct {
+	Rows         int         `json:"rows"`
+	Groups       int         `json:"groups"`
+	ArchiveBytes int         `json:"archive_bytes"`
+	NumCPU       int         `json:"num_cpu"`
+	Cold         []serveCold `json:"cold"`
+	Warm         []serveWarm `json:"warm"`
+	// SpeedupWarmVsCold is the headline open-once amortization: cold p50 /
+	// warm single-client p50 at the lowest (0.5%) selectivity, where the
+	// per-query decode is cheapest and the per-open parse dominates.
+	SpeedupWarmVsCold float64 `json:"speedup_warm_vs_cold_at_0.5pct"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+}
+
+// percentile returns the q-quantile (0..1) of sorted latencies.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// ServeBench benchmarks the open-once/serve-many split on the query bench's
+// table, cut into fine-grained serving-style row groups. The swept request is
+// the shape a query server receives over and over: a projected scan of the
+// predicate column (`where seq < cut select seq`), where zone maps prune all
+// but the surviving groups and the projection decodes only the exactly-stored
+// seq column — so the per-request work is small and the per-open parse
+// (file read, header, footer, zone-map index) is the cost that matters. Each
+// cell runs (a) cold — every query rereads the file and reopens a fresh
+// handle — and (b) warm through a serve.Server whose handle cache amortizes
+// the open across requests, at several concurrent-client counts. Results
+// (p50/p99 latency, QPS, handle-cache hit rate) go to BENCH_serve.json in
+// the working directory.
+func ServeBench(cfg Config) (*Report, error) {
+	const groupRows = 256
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	rows := int(98304 * scale)
+	if cfg.Quick {
+		rows = 24 * groupRows
+	}
+	if rows < groupRows {
+		rows = groupRows
+	}
+	groups := (rows + groupRows - 1) / groupRows
+	t := queryBenchTable(rows, cfg.Seed)
+
+	opts := core.DefaultOptions()
+	opts.Seed = cfg.Seed
+	opts.CodeSize = 2
+	opts.Train.Epochs = 8
+	opts.TrainSampleRows = 4000
+	opts.Parallelism = runtime.NumCPU()
+	opts.RowGroupSize = groupRows
+	if cfg.Quick {
+		opts.Train.Epochs = 2
+		opts.TrainSampleRows = 1000
+	}
+	// seq — the predicate column — gets threshold 0 (stored exactly, no
+	// model), so the projected scan never touches the decoder; noise still
+	// goes through the autoencoder so the archive carries a real model.
+	th := []float64{0, 0, 0.01}
+	res, err := core.Compress(t, th, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// The serving path reads from a file: that is what "cold" has to pay for
+	// on every query and what the warm handle cache amortizes.
+	dir, err := os.MkdirTemp("", "dsqz-serve-bench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "serve.dsqz")
+	if err := os.WriteFile(path, res.Archive, 0o644); err != nil {
+		return nil, err
+	}
+
+	iters := 64
+	clientCounts := []int{1, 4, 8}
+	if cfg.Quick {
+		iters = 6
+		clientCounts = []int{1, 4}
+	}
+	sels := []float64{0.005, 0.02, 0.1, 0.5}
+	ctx := context.Background()
+
+	rep := &Report{
+		ID:      "serve",
+		Title:   "Open-once serving: warm-handle latency vs cold open-per-query",
+		Columns: []string{"selectivity", "clients", "matched", "p50_ms", "p99_ms", "qps", "vs_cold"},
+	}
+	file := serveBenchFile{
+		Rows:         rows,
+		Groups:       groups,
+		ArchiveBytes: len(res.Archive),
+		NumCPU:       runtime.NumCPU(),
+	}
+
+	// Queue depth must cover the largest client count: this bench measures
+	// warm-handle latency, not shedding behavior (serve's tests cover that).
+	maxClients := clientCounts[len(clientCounts)-1]
+	srv := serve.New(serve.Config{MaxQueue: maxClients})
+	coldP50 := make(map[float64]time.Duration)
+	for _, sel := range sels {
+		cut := float64(rows) * sel
+		qopts := query.Options{Where: query.Lt("seq", cut), Select: []string{"seq"}}
+
+		// Cold baseline: open-and-query per request, single client.
+		var lat []time.Duration
+		matched := -1
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			a, err := core.OpenFile(path)
+			if err != nil {
+				return nil, err
+			}
+			qres, err := query.RunArchive(ctx, a, qopts)
+			if err != nil {
+				return nil, err
+			}
+			lat = append(lat, time.Since(t0))
+			if matched >= 0 && qres.Matched != matched {
+				return nil, fmt.Errorf("bench: cold matched %d then %d", matched, qres.Matched)
+			}
+			matched = qres.Matched
+		}
+		coldWall := time.Since(start)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p50, p99 := percentile(lat, 0.5), percentile(lat, 0.99)
+		coldP50[sel] = p50
+		file.Cold = append(file.Cold, serveCold{
+			Selectivity: sel,
+			Matched:     matched,
+			P50Ms:       ms(p50),
+			P99Ms:       ms(p99),
+			QPS:         float64(iters) / coldWall.Seconds(),
+		})
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%.3f", sel), "cold", fmt.Sprintf("%d", matched),
+			fmt.Sprintf("%.3f", ms(p50)), fmt.Sprintf("%.3f", ms(p99)),
+			fmt.Sprintf("%.1f", float64(iters)/coldWall.Seconds()), "1.00x",
+		})
+		cfg.logf("serve sel=%.3f cold: p50 %.3fms p99 %.3fms", sel, ms(p50), ms(p99))
+
+		// Warm sweep: concurrent clients against the server's cached handle.
+		for _, clients := range clientCounts {
+			total := iters * clients
+			lats := make([]time.Duration, total)
+			matches := make([]int, clients)
+			errs := make([]error, clients)
+			// Warmup: populate the handle cache and decoder parse outside
+			// the timed window.
+			if _, err := srv.Query(ctx, path, qopts); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						t0 := time.Now()
+						qres, err := srv.Query(ctx, path, qopts)
+						if err != nil {
+							errs[c] = err
+							return
+						}
+						lats[c*iters+i] = time.Since(t0)
+						matches[c] = qres.Matched
+					}
+				}(c)
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+			for _, m := range matches {
+				if m != matched {
+					return nil, fmt.Errorf("bench: warm matched %d, cold %d", m, matched)
+				}
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			p50, p99 := percentile(lats, 0.5), percentile(lats, 0.99)
+			qps := float64(total) / wall.Seconds()
+			speedup := float64(coldP50[sel]) / float64(p50)
+			file.Warm = append(file.Warm, serveWarm{
+				Selectivity: sel,
+				Clients:     clients,
+				Matched:     matched,
+				P50Ms:       ms(p50),
+				P99Ms:       ms(p99),
+				QPS:         qps,
+				SpeedupCold: speedup,
+			})
+			rep.Rows = append(rep.Rows, []string{
+				fmt.Sprintf("%.3f", sel), fmt.Sprintf("%d", clients), fmt.Sprintf("%d", matched),
+				fmt.Sprintf("%.3f", ms(p50)), fmt.Sprintf("%.3f", ms(p99)),
+				fmt.Sprintf("%.1f", qps), fmt.Sprintf("%.2fx", speedup),
+			})
+			cfg.logf("serve sel=%.3f clients=%d: p50 %.3fms p99 %.3fms %.1f qps (%.2fx vs cold p50)",
+				sel, clients, ms(p50), ms(p99), qps, speedup)
+			if clients == 1 && sel == sels[0] {
+				file.SpeedupWarmVsCold = speedup
+			}
+		}
+	}
+
+	st := srv.Stats()
+	if st.CacheHits+st.CacheMisses > 0 {
+		file.CacheHitRate = float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+	}
+	rep.Notes = append(rep.Notes,
+		"cold = file read + core.OpenFile + query per request; warm = serve.Server with cached handle",
+		fmt.Sprintf("handle-cache hit rate %.3f over %d lookups", file.CacheHitRate, st.CacheHits+st.CacheMisses),
+		fmt.Sprintf("warm single-client p50 beats cold by %.2fx at 0.5%% selectivity", file.SpeedupWarmVsCold),
+		"timings written to BENCH_serve.json")
+
+	buf, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -60,6 +60,11 @@ type DecompressOptions struct {
 	// corrupt before any row-proportional allocation happens. Intended for
 	// fuzzing and for callers handling untrusted archives.
 	MaxRows int
+
+	// Pool, when non-nil, runs the request's stages over the caller's shared
+	// worker pool instead of a fresh one, and Parallelism is ignored — how a
+	// server bounds total decode concurrency across concurrent requests.
+	Pool *pipeline.Pool
 }
 
 // DecompressResult is a decompression outcome: the (possibly projected)
@@ -161,13 +166,17 @@ type groupDec struct {
 	posBy [][]int
 }
 
-// decompressor carries the state shared across row groups.
+// decompressor carries one request's state shared across row groups. The
+// immutable parsed metadata lives in meta (owned by an Archive handle when
+// the request came through one); everything else here is per-request.
 type decompressor struct {
 	run  *pipeline.Run
 	opts DecompressOptions
 	ext  *providedModel
 
-	archive []byte
+	h    *Archive     // owning handle; nil for the streaming reader
+	meta *archiveMeta // parsed-once metadata (nil for the streaming reader)
+
 	r       *sectionReader
 	version byte
 	flags   byte
@@ -196,12 +205,29 @@ type decompressor struct {
 	nOut   int // total output rows across surviving groups
 }
 
-// decompressPipeline runs the staged decompression: parse → scan → unpack →
-// resolve → decode → assemble. ext supplies decoders for streaming batch
-// archives (flagExternalModel); nil otherwise.
+// decompressPipeline opens the archive and runs one request against the
+// fresh handle. ext supplies decoders for streaming batch archives
+// (flagExternalModel); nil otherwise.
 func decompressPipeline(ctx context.Context, archive []byte, opts DecompressOptions, ext *providedModel) (*DecompressResult, error) {
-	run := pipeline.New(ctx, opts.Parallelism)
-	d := &decompressor{run: run, opts: opts, ext: ext, archive: archive}
+	a, err := Open(archive)
+	if err != nil {
+		return nil, err
+	}
+	return a.decompress(ctx, opts, ext)
+}
+
+// decompress runs the staged decompression — parse → scan → unpack →
+// resolve → decode → assemble — as one request against the handle's parsed
+// metadata. Requests are independent: all shared state on the handle is
+// immutable or guarded by sync.Once, so concurrent calls are safe.
+func (a *Archive) decompress(ctx context.Context, opts DecompressOptions, ext *providedModel) (*DecompressResult, error) {
+	var run *pipeline.Run
+	if opts.Pool != nil {
+		run = pipeline.NewWithPool(ctx, opts.Pool)
+	} else {
+		run = pipeline.New(ctx, opts.Parallelism)
+	}
+	d := &decompressor{run: run, opts: opts, ext: ext, h: a, meta: a.meta}
 	var out *dataset.Table
 	stages := []struct {
 		name string
@@ -226,110 +252,29 @@ func decompressPipeline(ctx context.Context, archive []byte, opts DecompressOpti
 	return &DecompressResult{Table: out, Stages: run.Stats()}, nil
 }
 
-// parse validates the envelope, decodes the header chunk (and, for version
-// 2, the footer index), derives the layout, resolves the projection, and
-// lays out the row groups.
+// parse adopts the handle's parsed-once metadata, applies the request's row
+// policy (MaxRows), resolves the projection, and lays out the row groups.
+// The envelope, header, footer, and layout were all validated by Open.
 func (d *decompressor) parse() error {
-	r, version, flags, err := newSectionReader(d.archive)
-	if err != nil {
-		return err
-	}
-	d.r, d.version, d.flags = r, version, flags
-	hdr, err := r.chunk()
-	if err != nil {
-		return err
-	}
-	h, err := decodeHeader(hdr, version)
-	if err != nil {
-		return err
-	}
-	if version == archiveVersionV1 {
-		d.rows = h.rows
-	} else {
-		ft, _, err := parseFooter(r.buf, r.pos)
-		if err != nil {
-			return err
-		}
-		d.footer = ft
-		d.rows = ft.rows
-	}
+	m := d.meta
+	d.version, d.flags = m.version, m.flags
+	d.rows = m.rows
 	if d.opts.MaxRows > 0 && d.rows > d.opts.MaxRows {
 		return fmt.Errorf("%w: %d rows exceeds caller limit %d", ErrCorrupt, d.rows, d.opts.MaxRows)
 	}
-	d.plan = h.plan
-	d.codeSize, d.codeBits, d.numExperts = h.codeSize, h.codeBits, h.numExperts
-	d.rowGroupSize = h.rowGroupSize
-	if d.numExperts < 1 || d.numExperts > d.rows+1 {
-		return fmt.Errorf("%w: %d experts for %d rows", ErrCorrupt, d.numExperts, d.rows)
-	}
+	d.plan = m.plan
+	d.lo = m.layout
+	d.codeSize, d.codeBits, d.numExperts = m.codeSize, m.codeBits, m.numExperts
+	d.rowGroupSize = m.rowGroupSize
+	d.hasModel = m.hasModel
+	d.footer = m.footer
+	// Each request walks the body with its own reader, starting at the first
+	// row-group section (the decoder chunk was already located by Open).
+	d.r = &sectionReader{buf: m.body, pos: m.bodyPos}
 
-	lo, err := deriveLayout(d.plan)
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	if err := d.initSelection(d.opts.Columns); err != nil {
+		return err
 	}
-	d.lo = lo
-	d.hasModel = d.flags&flagHasModel != 0
-	if d.hasModel != (len(lo.specs) > 0 && d.rows > 0) {
-		return fmt.Errorf("%w: model flag disagrees with plan", ErrCorrupt)
-	}
-	if d.hasModel {
-		// Each code dimension occupies at least one archive byte, so a code
-		// size past the archive length cannot be honest; code bits outside
-		// [1, 32] would overflow the reconstruction grid.
-		if d.codeSize < 0 || d.codeSize > len(d.archive) {
-			return fmt.Errorf("%w: code size %d exceeds archive", ErrCorrupt, d.codeSize)
-		}
-		if d.codeBits < 1 || d.codeBits > 32 {
-			return fmt.Errorf("%w: code bits %d outside [1,32]", ErrCorrupt, d.codeBits)
-		}
-	}
-
-	// Column projection.
-	ncols := len(d.plan.Cols)
-	d.sel = make([]bool, ncols)
-	if d.opts.Columns == nil {
-		for col := range d.sel {
-			d.sel[col] = true
-		}
-	} else {
-		byName := make(map[string]int, ncols)
-		for col, c := range d.plan.Schema.Columns {
-			byName[c.Name] = col
-		}
-		for _, name := range d.opts.Columns {
-			col, ok := byName[name]
-			if !ok {
-				return fmt.Errorf("core: unknown column %q", name)
-			}
-			d.sel[col] = true
-		}
-	}
-	for col, s := range d.sel {
-		if s {
-			d.selCols = append(d.selCols, col)
-		}
-	}
-	if len(d.selCols) == 0 {
-		return fmt.Errorf("core: no columns selected")
-	}
-	d.wantSpec = make([]bool, len(lo.specs))
-	for si, col := range lo.specCols {
-		d.wantSpec[si] = d.sel[col]
-	}
-	d.needModel = false
-	if d.hasModel {
-		for _, w := range d.wantSpec {
-			if w {
-				d.needModel = true
-				break
-			}
-		}
-	}
-	// Mapping is needed for expert routing (decode) and, when rows were
-	// stored expert-grouped with original order preserved, for assembly of
-	// any column. A projection touching neither can skip it.
-	d.needMapping = d.numExperts > 1 &&
-		(d.needModel || (d.flags&flagGrouped != 0 && d.flags&flagRowOrder != 0))
 
 	// Row range.
 	d.rlo, d.rhi = 0, d.rows
@@ -399,6 +344,59 @@ func (d *decompressor) parse() error {
 	return nil
 }
 
+// initSelection resolves a column projection (nil selects everything) into
+// the request's selection state: sel, selCols, wantSpec, needModel, and
+// needMapping. It requires plan, lo, hasModel, numExperts, and flags to be
+// set, and is shared by handle-based requests and the streaming reader.
+func (d *decompressor) initSelection(columns []string) error {
+	ncols := len(d.plan.Cols)
+	d.sel = make([]bool, ncols)
+	if columns == nil {
+		for col := range d.sel {
+			d.sel[col] = true
+		}
+	} else {
+		byName := make(map[string]int, ncols)
+		for col, c := range d.plan.Schema.Columns {
+			byName[c.Name] = col
+		}
+		for _, name := range columns {
+			col, ok := byName[name]
+			if !ok {
+				return fmt.Errorf("core: unknown column %q", name)
+			}
+			d.sel[col] = true
+		}
+	}
+	for col, s := range d.sel {
+		if s {
+			d.selCols = append(d.selCols, col)
+		}
+	}
+	if len(d.selCols) == 0 {
+		return fmt.Errorf("core: no columns selected")
+	}
+	d.wantSpec = make([]bool, len(d.lo.specs))
+	for si, col := range d.lo.specCols {
+		d.wantSpec[si] = d.sel[col]
+	}
+	d.needModel = false
+	if d.hasModel {
+		for _, w := range d.wantSpec {
+			if w {
+				d.needModel = true
+				break
+			}
+		}
+	}
+	// Mapping is needed for expert routing (decode) and, when rows were
+	// stored expert-grouped with original order preserved, for assembly of
+	// any column. A projection touching neither can skip it.
+	d.needMapping = d.numExperts > 1 &&
+		(d.needModel || (d.flags&flagGrouped != 0 && d.flags&flagRowOrder != 0))
+	return nil
+}
+
 // scan walks the archive's chunk skeleton sequentially, retaining slices for
 // sections the projection needs and skipping the rest — including the whole
 // segment of any row group outside the requested range — without touching
@@ -406,18 +404,13 @@ func (d *decompressor) parse() error {
 func (d *decompressor) scan() (int64, error) {
 	var skipped int64
 	if d.hasModel {
+		// The decoder chunk was already located by Open: a request that
+		// needs the model adopts it; one that doesn't counts its payload as
+		// skipped, same as when the chunk was walked here.
 		if d.needModel {
-			c, err := d.r.chunk()
-			if err != nil {
-				return skipped, err
-			}
-			d.decoderChunk = c
+			d.decoderChunk = d.meta.decoderChunk
 		} else {
-			n, err := d.r.skip()
-			if err != nil {
-				return skipped, err
-			}
-			skipped += n
+			skipped += int64(len(d.meta.decoderChunk))
 		}
 	}
 	if d.version == archiveVersionV1 {
@@ -602,7 +595,22 @@ func (d *decompressor) unpack() (int64, error) {
 		items = append(items, fn)
 	}
 	if d.needModel {
-		add(d.decoderChunk, d.unpackDecoders)
+		// Internal-model requests through a handle share its parsed-once
+		// decoder cache; streaming batch archives (externally supplied
+		// decoders) and the streaming reader parse per use. Either way the
+		// chunk's bytes count as decoded work for this request.
+		if d.h != nil && d.ext == nil {
+			add(d.decoderChunk, func() error {
+				decs, err := d.h.decoders()
+				if err != nil {
+					return err
+				}
+				d.decoders = decs
+				return nil
+			})
+		} else {
+			add(d.decoderChunk, d.unpackDecoders)
+		}
 	}
 	for _, g := range d.groups {
 		if !g.active {
@@ -813,15 +821,36 @@ func (d *decompressor) unpackDecoders() error {
 		if len(d.decoders) != d.numExperts {
 			return fmt.Errorf("%w: model archive has %d experts, batch wants %d", ErrCorrupt, len(d.decoders), d.numExperts)
 		}
-	} else {
-		decoders, err := parseDecoderSection(d.decoderChunk, d.numExperts)
-		if err != nil {
-			return corrupt(err)
-		}
-		d.decoders = decoders
+		return checkDecoderShapes(d.decoders, d.codeSize, len(d.lo.specs))
 	}
-	for e, dec := range d.decoders {
-		if dec.CodeSize != d.codeSize || len(dec.Specs) != len(d.lo.specs) {
+	decoders, err := parseCheckedDecoders(d.decoderChunk, d.numExperts, d.codeSize, len(d.lo.specs))
+	if err != nil {
+		return err
+	}
+	d.decoders = decoders
+	return nil
+}
+
+// parseCheckedDecoders inflates a decoder section and validates every
+// expert's shape against the header — the single parsing routine shared by
+// the Archive handle's cache, byte-slice decompression, and the streaming
+// reader (it used to be duplicated across decompress.go and streamio.go).
+func parseCheckedDecoders(section []byte, numExperts, codeSize, numSpecs int) ([]*nn.Decoder, error) {
+	decoders, err := parseDecoderSection(section, numExperts)
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	if err := checkDecoderShapes(decoders, codeSize, numSpecs); err != nil {
+		return nil, err
+	}
+	return decoders, nil
+}
+
+// checkDecoderShapes verifies each decoder agrees with the header on code
+// size and output-spec count.
+func checkDecoderShapes(decoders []*nn.Decoder, codeSize, numSpecs int) error {
+	for e, dec := range decoders {
+		if dec.CodeSize != codeSize || len(dec.Specs) != numSpecs {
 			return fmt.Errorf("%w: decoder %d shape mismatch", ErrCorrupt, e)
 		}
 	}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/nn"
+	"deepsqueeze/internal/preprocess"
+)
+
+// archiveMeta is the parsed-once, immutable view of an archive's metadata:
+// envelope, header, layout, footer index, and the location of the decoder
+// section. Everything in it is derived from the archive bytes alone — no
+// per-request state — so one meta can back any number of concurrent
+// decompressions and queries. Allocation is bounded by the archive length
+// (never by the declared row count), so parsing an untrusted archive is safe
+// before any MaxRows policy is applied.
+type archiveMeta struct {
+	raw  []byte // the whole archive, checksum included
+	body []byte // CRC-stripped body (sectionReader view)
+
+	version byte
+	flags   byte
+
+	rows         int
+	plan         *preprocess.Plan
+	layout       *layout
+	codeSize     int
+	codeBits     int
+	numExperts   int
+	rowGroupSize int
+	hasModel     bool
+
+	footer  *archiveFooter // version 2 only
+	footOff int64          // footer kind-byte offset (version 2 only)
+
+	// decoderChunk is the raw (still compressed) decoder-section payload —
+	// or the 32-byte model hash for streaming batch archives; nil when the
+	// archive has no model.
+	decoderChunk []byte
+	// bodyPos is the body offset of the first row-group section, i.e. just
+	// past the decoder chunk: where a per-request scan resumes.
+	bodyPos int
+}
+
+// parseArchiveMeta validates the envelope and checksum, decodes the header
+// (and, for version 2, the footer index), derives the model layout, checks
+// the header's model-shape fields for honesty, and locates the decoder
+// section. It is the single metadata parse behind Open, ReadIndex, Inspect,
+// and every byte-slice decompression entry point.
+func parseArchiveMeta(archive []byte) (*archiveMeta, error) {
+	r, version, flags, err := newSectionReader(archive)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := r.chunk()
+	if err != nil {
+		return nil, err
+	}
+	h, err := decodeHeader(hdr, version)
+	if err != nil {
+		return nil, err
+	}
+	m := &archiveMeta{
+		raw:          archive,
+		body:         r.buf,
+		version:      version,
+		flags:        flags,
+		plan:         h.plan,
+		codeSize:     h.codeSize,
+		codeBits:     h.codeBits,
+		numExperts:   h.numExperts,
+		rowGroupSize: h.rowGroupSize,
+	}
+	if version == archiveVersionV1 {
+		m.rows = h.rows
+	} else {
+		ft, footOff, err := parseFooter(r.buf, r.pos)
+		if err != nil {
+			return nil, err
+		}
+		m.footer, m.footOff = ft, footOff
+		m.rows = ft.rows
+	}
+	if m.numExperts < 1 || m.numExperts > m.rows+1 {
+		return nil, fmt.Errorf("%w: %d experts for %d rows", ErrCorrupt, m.numExperts, m.rows)
+	}
+	lo, err := deriveLayout(m.plan)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	m.layout = lo
+	m.hasModel = flags&flagHasModel != 0
+	if m.hasModel != (len(lo.specs) > 0 && m.rows > 0) {
+		return nil, fmt.Errorf("%w: model flag disagrees with plan", ErrCorrupt)
+	}
+	if m.hasModel {
+		// Each code dimension occupies at least one archive byte, so a code
+		// size past the archive length cannot be honest; code bits outside
+		// [1, 32] would overflow the reconstruction grid.
+		if m.codeSize < 0 || m.codeSize > len(archive) {
+			return nil, fmt.Errorf("%w: code size %d exceeds archive", ErrCorrupt, m.codeSize)
+		}
+		if m.codeBits < 1 || m.codeBits > 32 {
+			return nil, fmt.Errorf("%w: code bits %d outside [1,32]", ErrCorrupt, m.codeBits)
+		}
+		// The decoder chunk sits directly after the header in both formats.
+		// Only its frame is validated here; the weights inside are inflated
+		// and parsed once, on the first request that needs the model.
+		if m.decoderChunk, err = r.chunk(); err != nil {
+			return nil, err
+		}
+	}
+	m.bodyPos = r.pos
+	return m, nil
+}
+
+// index builds the query planner's view from parsed metadata: the row-group
+// index plus, when the archive carries them, per-column zone maps (validated
+// to exactly fill the gap between the last segment and the footer).
+func (m *archiveMeta) index() (*ArchiveIndex, error) {
+	idx := &ArchiveIndex{
+		Version:  int(m.version),
+		Rows:     m.rows,
+		Plan:     m.plan,
+		External: m.flags&flagExternalModel != 0,
+	}
+	if m.version == archiveVersionV1 {
+		idx.Groups = []IndexGroup{{Start: 0, Count: m.rows, SegmentBytes: int64(len(m.raw))}}
+		return idx, nil
+	}
+	ft := m.footer
+	idx.Groups = make([]IndexGroup, len(ft.groups))
+	for i, g := range ft.groups {
+		idx.Groups[i] = IndexGroup{Start: g.start, Count: g.count, SegmentBytes: g.segLen}
+	}
+	last := ft.groups[len(ft.groups)-1]
+	statOff := last.off + last.segLen
+	if m.flags&flagZoneMaps == 0 {
+		if statOff != m.footOff {
+			return nil, fmt.Errorf("%w: %d unclaimed bytes before footer", ErrCorrupt, m.footOff-statOff)
+		}
+		return idx, nil
+	}
+	// The stats chunk must fill the gap between the last segment and the
+	// footer exactly.
+	if statOff >= m.footOff {
+		return nil, fmt.Errorf("%w: no room for stats chunk", ErrCorrupt)
+	}
+	sr := &sectionReader{buf: m.body[:m.footOff], pos: int(statOff)}
+	kind, err := sr.byte()
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindStats {
+		return nil, fmt.Errorf("%w: chunk kind %d, want stats", ErrCorrupt, kind)
+	}
+	payload, err := sr.chunk()
+	if err != nil {
+		return nil, err
+	}
+	if err := sr.done(); err != nil {
+		return nil, err
+	}
+	zones, err := parseZoneStats(payload, m.plan, len(ft.groups))
+	if err != nil {
+		return nil, err
+	}
+	idx.HasZoneMaps = true
+	for i := range idx.Groups {
+		idx.Groups[i].Zones = zones[i]
+	}
+	return idx, nil
+}
+
+// info builds the human-facing archive summary from parsed metadata.
+func (m *archiveMeta) info() *ArchiveInfo {
+	info := &ArchiveInfo{
+		Version:           int(m.version),
+		Rows:              m.rows,
+		Schema:            m.plan.Schema,
+		CodeSize:          m.codeSize,
+		CodeBits:          m.codeBits,
+		NumExperts:        m.numExperts,
+		Streaming:         m.flags&flagExternalModel != 0,
+		RowOrderPreserved: m.flags&flagRowOrder != 0,
+		TotalBytes:        len(m.raw),
+		RowGroupSize:      m.rowGroupSize,
+		DecoderBytes:      int64(len(m.decoderChunk)),
+	}
+	if m.version != archiveVersionV1 {
+		info.HasZoneMaps = m.flags&flagZoneMaps != 0
+		info.Groups = make([]GroupInfo, len(m.footer.groups))
+		for i, g := range m.footer.groups {
+			info.Groups[i] = GroupInfo{
+				RowStart:     g.start,
+				RowCount:     g.count,
+				SegmentBytes: g.segLen,
+				CodesBytes:   g.codes,
+				MappingBytes: g.mapping,
+				FailureBytes: g.failures,
+			}
+		}
+	}
+	info.ColumnKind = make([]string, len(m.plan.Cols))
+	for i := range m.plan.Cols {
+		info.ColumnKind[i] = m.plan.Cols[i].Kind.String()
+	}
+	return info
+}
+
+// Archive is an open-once/serve-many handle: the archive's header, footer
+// index, zone maps, and decoder section are parsed at most once, and any
+// number of concurrent decompressions and queries execute against the shared
+// parsed state. The handle is immutable after Open and safe for concurrent
+// use; the expensive pieces (decoder weights, zone maps) are materialized
+// lazily on first use and then cached for the handle's lifetime, so a
+// request pattern that never touches the model never pays for it.
+type Archive struct {
+	meta *archiveMeta
+
+	idxOnce sync.Once
+	idx     *ArchiveIndex
+	idxErr  error
+
+	decOnce sync.Once
+	decs    []*nn.Decoder
+	decErr  error
+}
+
+// Open parses the archive's metadata (envelope, checksum, header, footer
+// index, decoder-section frame) once and returns a handle for repeated
+// decompression and querying. The handle keeps a reference to the archive
+// bytes; the caller must not mutate them afterwards.
+func Open(archive []byte) (*Archive, error) {
+	m, err := parseArchiveMeta(archive)
+	if err != nil {
+		return nil, err
+	}
+	return &Archive{meta: m}, nil
+}
+
+// OpenFile reads the archive at path and opens it. ErrCorrupt-class failures
+// are attributed to the path.
+func OpenFile(path string) (*Archive, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a, err := Open(buf)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// Rows returns the archived table's total row count.
+func (a *Archive) Rows() int { return a.meta.rows }
+
+// Schema returns the archived table's schema.
+func (a *Archive) Schema() *dataset.Schema { return a.meta.plan.Schema }
+
+// Size returns the archive's size in bytes.
+func (a *Archive) Size() int { return len(a.meta.raw) }
+
+// External reports whether this is a streaming batch archive whose model
+// lives in a separate model archive (DecompressBatch territory: the handle
+// cannot decode it alone).
+func (a *Archive) External() bool { return a.meta.flags&flagExternalModel != 0 }
+
+// Info returns the archive's metadata summary (what Inspect reports),
+// built from the already-parsed header and footer.
+func (a *Archive) Info() *ArchiveInfo { return a.meta.info() }
+
+// Index returns the query planner's view of the archive — row groups and
+// zone maps. The zone-map stats chunk is parsed on the first call and cached
+// for the handle's lifetime; the returned index is shared and must not be
+// mutated.
+func (a *Archive) Index() (*ArchiveIndex, error) {
+	a.idxOnce.Do(func() {
+		a.idx, a.idxErr = a.meta.index()
+	})
+	return a.idx, a.idxErr
+}
+
+// decoders inflates and parses the archive's decoder section on first call
+// and caches the parsed experts — the open-once amortization that makes a
+// warm handle cheap to query. Decoders are stateless during inference, so
+// the cached slice is shared across concurrent requests.
+func (a *Archive) decoders() ([]*nn.Decoder, error) {
+	a.decOnce.Do(func() {
+		m := a.meta
+		if !m.hasModel {
+			return // no model columns: callers gate on needModel
+		}
+		if m.flags&flagExternalModel != 0 {
+			a.decErr = fmt.Errorf("%w: streaming batch archive needs its model archive (use DecompressBatch)", ErrCorrupt)
+			return
+		}
+		a.decs, a.decErr = parseCheckedDecoders(m.decoderChunk, m.numExperts, m.codeSize, len(m.layout.specs))
+	})
+	return a.decs, a.decErr
+}
+
+// Decompress reconstructs the table (or the projection opts selects) against
+// the open handle. See DecompressContext.
+func (a *Archive) Decompress(opts DecompressOptions) (*DecompressResult, error) {
+	return a.decompress(context.Background(), opts, nil)
+}
+
+// DecompressContext runs one decompression request against the open handle:
+// the stages reuse the handle's parsed metadata and cached decoders, so a
+// warm handle pays only for the rows and columns the request actually
+// touches. Concurrent requests against one handle are safe and independent.
+func (a *Archive) DecompressContext(ctx context.Context, opts DecompressOptions) (*DecompressResult, error) {
+	return a.decompress(ctx, opts, nil)
+}

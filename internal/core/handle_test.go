@@ -1,0 +1,257 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"deepsqueeze/internal/dataset"
+)
+
+// csvBytes renders a table to CSV for strict byte comparison.
+func csvBytes(t *testing.T, tb *dataset.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// groupedArchive compresses a latentTable into a multi-group archive with
+// zone maps — the shape the serving path cares about.
+func groupedArchive(t *testing.T, rows int) []byte {
+	t.Helper()
+	opts := quickOpts()
+	opts.RowGroupSize = 64
+	archive, _ := compressLatent(t, rows, 7, opts)
+	return archive
+}
+
+// TestOpenMatchesByteAPI pins the tentpole contract: a request against an
+// Open-ed handle returns exactly what the one-shot byte API returns, for a
+// full decode, a projection, and a row range.
+func TestOpenMatchesByteAPI(t *testing.T) {
+	archive := groupedArchive(t, 500)
+	a, err := Open(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts DecompressOptions
+	}{
+		{"full", DecompressOptions{}},
+		{"projection", DecompressOptions{Columns: []string{"m1", "cat"}}},
+		{"rowrange", DecompressOptions{RowRange: RowRange{Lo: 100, Hi: 300}}},
+		{"parallel", DecompressOptions{Parallelism: 4}},
+	}
+	for _, c := range cases {
+		want, err := DecompressContext(context.Background(), archive, c.opts)
+		if err != nil {
+			t.Fatalf("%s: byte API: %v", c.name, err)
+		}
+		got, err := a.Decompress(c.opts)
+		if err != nil {
+			t.Fatalf("%s: handle: %v", c.name, err)
+		}
+		if !bytes.Equal(csvBytes(t, want.Table), csvBytes(t, got.Table)) {
+			t.Fatalf("%s: handle decode differs from byte API", c.name)
+		}
+	}
+}
+
+// TestOpenGoldenV1 checks the handle path reads frozen version-1 archives.
+func TestOpenGoldenV1(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "categorical.dsqz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, err := os.ReadFile(filepath.Join("testdata", "categorical.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Decompress(DecompressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvBytes(t, res.Table), wantCSV) {
+		t.Fatal("v1 golden decode through handle differs from committed CSV")
+	}
+}
+
+// TestOpenRejectsCorrupt checks that envelope damage is caught at Open time
+// and classified as ErrCorrupt, not returned raw or panicked on.
+func TestOpenRejectsCorrupt(t *testing.T) {
+	archive := groupedArchive(t, 200)
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"garbage", []byte("not an archive at all, sorry")},
+		{"truncated", archive[:len(archive)/2]},
+		{"bad magic", append([]byte("XSQZ"), archive[4:]...)},
+	}
+	for _, c := range cases {
+		if _, err := Open(c.buf); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: Open err = %v, want ErrCorrupt", c.name, err)
+		}
+	}
+}
+
+// TestOpenFile checks the file entry point and that its errors carry the
+// offending path.
+func TestOpenFile(t *testing.T) {
+	archive := groupedArchive(t, 200)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.dsqz")
+	if err := os.WriteFile(path, archive, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows() == 0 || a.Size() != len(archive) {
+		t.Fatalf("Rows=%d Size=%d, want rows>0 size=%d", a.Rows(), a.Size(), len(archive))
+	}
+
+	if _, err := OpenFile(filepath.Join(dir, "missing.dsqz")); err == nil ||
+		!strings.Contains(err.Error(), "missing.dsqz") {
+		t.Fatalf("missing file: err = %v, want path in message", err)
+	}
+	bad := filepath.Join(dir, "bad.dsqz")
+	if err := os.WriteFile(bad, archive[:40], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad); !errors.Is(err, ErrCorrupt) ||
+		!strings.Contains(err.Error(), "bad.dsqz") {
+		t.Fatalf("corrupt file: err = %v, want ErrCorrupt with path", err)
+	}
+}
+
+// TestHandleIndexMatchesReadIndex checks the cached Index equals the
+// one-shot ReadIndex, and that repeated calls return the same parse.
+func TestHandleIndexMatchesReadIndex(t *testing.T) {
+	archive := groupedArchive(t, 500)
+	want, err := ReadIndex(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("handle Index differs from ReadIndex")
+	}
+	again, err := a.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != again {
+		t.Fatal("Index reparsed on second call; want the cached pointer")
+	}
+}
+
+// TestHandleDecodersParsedOnce checks the decoder section is inflated
+// exactly once per handle no matter how many requests need the model.
+func TestHandleDecodersParsedOnce(t *testing.T) {
+	archive := groupedArchive(t, 300)
+	a, err := Open(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := a.decoders()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Decompress(DecompressOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := a.decoders()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) == 0 || &d1[0] != &d2[0] {
+		t.Fatal("decoder slice reparsed between requests; want one cached parse")
+	}
+}
+
+// TestHandleConcurrentRequests hammers one handle from many goroutines with
+// mixed request shapes under -race: all shared handle state must be
+// immutable or Once-guarded, and every result must match the sequential
+// baseline byte for byte.
+func TestHandleConcurrentRequests(t *testing.T) {
+	archive := groupedArchive(t, 500)
+	a, err := Open(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := []DecompressOptions{
+		{},
+		{Columns: []string{"m2"}},
+		{Columns: []string{"cat", "grade"}},
+		{RowRange: RowRange{Lo: 64, Hi: 256}},
+	}
+	want := make([][]byte, len(shapes))
+	for i, opts := range shapes {
+		res, err := DecompressContext(context.Background(), archive, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = csvBytes(t, res.Table)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				shape := (w + i) % len(shapes)
+				res, err := a.DecompressContext(context.Background(), shapes[shape])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				var buf bytes.Buffer
+				if err := res.Table.WriteCSV(&buf); err != nil {
+					errs[w] = err
+					return
+				}
+				if !bytes.Equal(buf.Bytes(), want[shape]) {
+					errs[w] = errors.New("concurrent decode differs from baseline")
+					return
+				}
+				if _, err := a.Index(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}

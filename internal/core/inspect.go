@@ -36,6 +36,10 @@ type ArchiveInfo struct {
 	// HasZoneMaps reports whether the archive carries per-row-group zone
 	// maps (format v2): the statistics Query uses to prune row groups.
 	HasZoneMaps bool
+	// DecoderBytes is the stored decoder section's size: the compressed
+	// model weights (32 for a streaming batch archive's model hash; 0 when
+	// the archive has no model columns).
+	DecoderBytes int64
 	// Groups is the footer's row-group index (format v2; nil for v1).
 	Groups []GroupInfo
 }
@@ -44,52 +48,9 @@ type ArchiveInfo struct {
 // — validating the checksum, and returns its metadata. It does not run the
 // decoder and is cheap even for large archives.
 func Inspect(archive []byte) (*ArchiveInfo, error) {
-	r, version, flags, err := newSectionReader(archive)
+	m, err := parseArchiveMeta(archive)
 	if err != nil {
 		return nil, err
 	}
-	hdr, err := r.chunk()
-	if err != nil {
-		return nil, err
-	}
-	h, err := decodeHeader(hdr, version)
-	if err != nil {
-		return nil, err
-	}
-	info := &ArchiveInfo{
-		Version:           int(version),
-		Rows:              h.rows,
-		Schema:            h.plan.Schema,
-		CodeSize:          h.codeSize,
-		CodeBits:          h.codeBits,
-		NumExperts:        h.numExperts,
-		Streaming:         flags&flagExternalModel != 0,
-		RowOrderPreserved: flags&flagRowOrder != 0,
-		TotalBytes:        len(archive),
-		RowGroupSize:      h.rowGroupSize,
-	}
-	if version != archiveVersionV1 {
-		info.HasZoneMaps = flags&flagZoneMaps != 0
-		ft, _, err := parseFooter(r.buf, r.pos)
-		if err != nil {
-			return nil, err
-		}
-		info.Rows = ft.rows
-		info.Groups = make([]GroupInfo, len(ft.groups))
-		for i, m := range ft.groups {
-			info.Groups[i] = GroupInfo{
-				RowStart:     m.start,
-				RowCount:     m.count,
-				SegmentBytes: m.segLen,
-				CodesBytes:   m.codes,
-				MappingBytes: m.mapping,
-				FailureBytes: m.failures,
-			}
-		}
-	}
-	info.ColumnKind = make([]string, len(h.plan.Cols))
-	for i := range h.plan.Cols {
-		info.ColumnKind[i] = h.plan.Cols[i].Kind.String()
-	}
-	return info, nil
+	return m.info(), nil
 }

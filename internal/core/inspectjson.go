@@ -1,0 +1,82 @@
+package core
+
+import (
+	"deepsqueeze/internal/dataset"
+)
+
+// ColumnSummary is one schema column in an ArchiveSummary.
+type ColumnSummary struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // "cat" or "num"
+	Kind string `json:"kind"` // preprocessing kind
+}
+
+// GroupSummary is one row group in an ArchiveSummary.
+type GroupSummary struct {
+	RowStart     int   `json:"row_start"`
+	RowCount     int   `json:"row_count"`
+	SegmentBytes int64 `json:"segment_bytes"`
+	CodesBytes   int64 `json:"codes_bytes"`
+	MappingBytes int64 `json:"mapping_bytes"`
+	FailureBytes int64 `json:"failure_bytes"`
+}
+
+// ArchiveSummary is the machine-readable archive description shared by
+// `dsqz inspect -json` and the daemon's /archives endpoint: one serializer,
+// so scripts can consume either source interchangeably.
+type ArchiveSummary struct {
+	Path              string          `json:"path,omitempty"`
+	Version           int             `json:"version"`
+	Bytes             int             `json:"bytes"`
+	Rows              int             `json:"rows"`
+	CodeSize          int             `json:"code_size"`
+	CodeBits          int             `json:"code_bits"`
+	Experts           int             `json:"experts"`
+	Streaming         bool            `json:"streaming"`
+	RowOrderPreserved bool            `json:"row_order_preserved"`
+	RowGroupSize      int             `json:"row_group_size"`
+	ZoneMaps          bool            `json:"zone_maps"`
+	DecoderBytes      int64           `json:"decoder_bytes"`
+	Columns           []ColumnSummary `json:"columns"`
+	Groups            []GroupSummary  `json:"groups,omitempty"`
+}
+
+// Summary converts the info into its machine-readable form. The caller sets
+// Path when the archive has one.
+func (info *ArchiveInfo) Summary() *ArchiveSummary {
+	s := &ArchiveSummary{
+		Version:           info.Version,
+		Bytes:             info.TotalBytes,
+		Rows:              info.Rows,
+		CodeSize:          info.CodeSize,
+		CodeBits:          info.CodeBits,
+		Experts:           info.NumExperts,
+		Streaming:         info.Streaming,
+		RowOrderPreserved: info.RowOrderPreserved,
+		RowGroupSize:      info.RowGroupSize,
+		ZoneMaps:          info.HasZoneMaps,
+		DecoderBytes:      info.DecoderBytes,
+	}
+	s.Columns = make([]ColumnSummary, len(info.Schema.Columns))
+	for i, c := range info.Schema.Columns {
+		typ := "num"
+		if c.Type == dataset.Categorical {
+			typ = "cat"
+		}
+		s.Columns[i] = ColumnSummary{Name: c.Name, Type: typ, Kind: info.ColumnKind[i]}
+	}
+	if info.Groups != nil {
+		s.Groups = make([]GroupSummary, len(info.Groups))
+		for i, g := range info.Groups {
+			s.Groups[i] = GroupSummary{
+				RowStart:     g.RowStart,
+				RowCount:     g.RowCount,
+				SegmentBytes: g.SegmentBytes,
+				CodesBytes:   g.CodesBytes,
+				MappingBytes: g.MappingBytes,
+				FailureBytes: g.FailureBytes,
+			}
+		}
+	}
+	return s
+}

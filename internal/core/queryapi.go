@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"deepsqueeze/internal/preprocess"
 )
 
@@ -35,74 +33,13 @@ type ArchiveIndex struct {
 // ReadIndex parses an archive's header, footer index, and zone-map stats
 // chunk, validating everything it touches (including the stats payload's
 // per-column structure) but reading no segment bytes. A version-1 archive
-// yields a single group with no zone maps.
+// yields a single group with no zone maps. Callers planning repeated queries
+// should Open the archive once and use Archive.Index instead, which caches
+// this parse on the handle.
 func ReadIndex(archive []byte) (*ArchiveIndex, error) {
-	r, version, flags, err := newSectionReader(archive)
+	m, err := parseArchiveMeta(archive)
 	if err != nil {
 		return nil, err
 	}
-	hdr, err := r.chunk()
-	if err != nil {
-		return nil, err
-	}
-	h, err := decodeHeader(hdr, version)
-	if err != nil {
-		return nil, err
-	}
-	idx := &ArchiveIndex{
-		Version:  int(version),
-		Plan:     h.plan,
-		External: flags&flagExternalModel != 0,
-	}
-	if version == archiveVersionV1 {
-		idx.Rows = h.rows
-		idx.Groups = []IndexGroup{{Start: 0, Count: h.rows, SegmentBytes: int64(len(archive))}}
-		return idx, nil
-	}
-	ft, footOff, err := parseFooter(r.buf, r.pos)
-	if err != nil {
-		return nil, err
-	}
-	idx.Rows = ft.rows
-	idx.Groups = make([]IndexGroup, len(ft.groups))
-	for i, m := range ft.groups {
-		idx.Groups[i] = IndexGroup{Start: m.start, Count: m.count, SegmentBytes: m.segLen}
-	}
-	last := ft.groups[len(ft.groups)-1]
-	statOff := last.off + last.segLen
-	if flags&flagZoneMaps == 0 {
-		if statOff != footOff {
-			return nil, fmt.Errorf("%w: %d unclaimed bytes before footer", ErrCorrupt, footOff-statOff)
-		}
-		return idx, nil
-	}
-	// The stats chunk must fill the gap between the last segment and the
-	// footer exactly.
-	if statOff >= footOff {
-		return nil, fmt.Errorf("%w: no room for stats chunk", ErrCorrupt)
-	}
-	sr := &sectionReader{buf: r.buf[:footOff], pos: int(statOff)}
-	kind, err := sr.byte()
-	if err != nil {
-		return nil, err
-	}
-	if kind != kindStats {
-		return nil, fmt.Errorf("%w: chunk kind %d, want stats", ErrCorrupt, kind)
-	}
-	payload, err := sr.chunk()
-	if err != nil {
-		return nil, err
-	}
-	if err := sr.done(); err != nil {
-		return nil, err
-	}
-	zones, err := parseZoneStats(payload, h.plan, len(ft.groups))
-	if err != nil {
-		return nil, err
-	}
-	idx.HasZoneMaps = true
-	for i := range idx.Groups {
-		idx.Groups[i].Zones = zones[i]
-	}
-	return idx, nil
+	return m.index()
 }

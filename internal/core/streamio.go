@@ -484,20 +484,10 @@ func NewArchiveReader(r io.Reader) (*ArchiveReader, error) {
 		numExperts: h.numExperts,
 		hasModel:   flags&flagHasModel != 0,
 	}
-	ncols := len(h.plan.Cols)
-	d.sel = make([]bool, ncols)
-	d.selCols = make([]int, ncols)
-	for col := range d.sel {
-		d.sel[col] = true
-		d.selCols[col] = col
+	// Full selection: the streaming reader always decodes every column.
+	if err := d.initSelection(nil); err != nil {
+		return nil, err
 	}
-	d.wantSpec = make([]bool, len(lo.specs))
-	for si := range d.wantSpec {
-		d.wantSpec[si] = true
-	}
-	d.needModel = d.hasModel
-	d.needMapping = d.numExperts > 1 &&
-		(d.needModel || (flags&flagGrouped != 0 && flags&flagRowOrder != 0))
 	if d.hasModel {
 		if d.codeSize < 0 || d.codeSize > maxStreamChunk {
 			return nil, fmt.Errorf("%w: code size %d", ErrCorrupt, d.codeSize)

@@ -72,6 +72,11 @@ type Options struct {
 	// mode (the first Limit matches in row order). Matched still reports the
 	// full count. Ignored in aggregate mode.
 	Limit int
+
+	// Pool, when non-nil, runs the query's decode and filter stages over the
+	// caller's shared worker pool instead of a fresh one, and Parallelism is
+	// ignored — how a server bounds total work across concurrent queries.
+	Pool *pipeline.Pool
 }
 
 // Result is a query outcome.
@@ -108,8 +113,23 @@ func Run(archive []byte, opts Options) (*Result, error) {
 // purely an optimization: predicates are re-evaluated on decoded values, so
 // the rows returned are exactly those a full decompress-then-filter would
 // produce, byte for byte, at every parallelism level.
+//
+// Callers issuing repeated queries should core.Open the archive once and use
+// RunArchive, which reuses the handle's parsed index and decoders.
 func RunContext(ctx context.Context, archive []byte, opts Options) (*Result, error) {
-	idx, err := core.ReadIndex(archive)
+	a, err := core.Open(archive)
+	if err != nil {
+		return nil, err
+	}
+	return RunArchive(ctx, a, opts)
+}
+
+// RunArchive is RunContext against an open handle: planning reads the
+// handle's cached row-group index and zone maps, and decoding reuses its
+// cached decoders, so a warm handle pays per query only for the groups and
+// columns the query touches. Concurrent calls against one handle are safe.
+func RunArchive(ctx context.Context, a *core.Archive, opts Options) (*Result, error) {
+	idx, err := a.Index()
 	if err != nil {
 		return nil, err
 	}
@@ -206,10 +226,11 @@ func RunContext(ctx context.Context, archive []byte, opts Options) (*Result, err
 			}
 		}
 	}
-	dres, err := core.DecompressContext(ctx, archive, core.DecompressOptions{
+	dres, err := a.DecompressContext(ctx, core.DecompressOptions{
 		Parallelism: opts.Parallelism,
 		Columns:     decodeCols,
 		GroupMask:   mask,
+		Pool:        opts.Pool,
 	})
 	if err != nil {
 		return nil, err
@@ -242,7 +263,12 @@ func RunContext(ctx context.Context, archive []byte, opts Options) (*Result, err
 
 	// Filter: each chunk writes a disjoint span of keep, so the outcome is
 	// independent of parallelism.
-	run := pipeline.New(ctx, opts.Parallelism)
+	var run *pipeline.Run
+	if opts.Pool != nil {
+		run = pipeline.NewWithPool(ctx, opts.Pool)
+	} else {
+		run = pipeline.New(ctx, opts.Parallelism)
+	}
 	keep := make([]bool, nrows)
 	err = run.Stage("filter", func() error {
 		if b == nil {

@@ -313,3 +313,39 @@ func (p *parser) literal() (lit, error) {
 	}
 	return lit{}, p.errf("expected literal, got %q", p.tok.text)
 }
+
+// ParseAggs parses a comma-separated aggregate list — "count", "min:col",
+// "max:col", "sum:col" — into AggOps, the same surface `dsqz query -agg`
+// and the daemon's query endpoint accept.
+func ParseAggs(s string) ([]AggOp, error) {
+	var out []AggOp
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		kind, col, has := strings.Cut(part, ":")
+		switch strings.ToLower(kind) {
+		case "count":
+			if has {
+				return nil, fmt.Errorf("query: bad aggregate %q (count takes no column)", part)
+			}
+			out = append(out, AggOp{Kind: AggCount})
+		case "min", "max", "sum":
+			if !has || col == "" {
+				return nil, fmt.Errorf("query: bad aggregate %q (want %s:column)", part, kind)
+			}
+			k := AggMin
+			switch strings.ToLower(kind) {
+			case "max":
+				k = AggMax
+			case "sum":
+				k = AggSum
+			}
+			out = append(out, AggOp{Kind: k, Col: col})
+		default:
+			return nil, fmt.Errorf("query: bad aggregate %q (want count, min:col, max:col, or sum:col)", part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("query: empty aggregate list")
+	}
+	return out, nil
+}

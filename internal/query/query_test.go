@@ -2,6 +2,7 @@ package query
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -535,5 +536,56 @@ func TestParse(t *testing.T) {
 	}
 	if res.Matched != len(want) {
 		t.Fatalf("parsed predicate matched %d, naive says %d", res.Matched, len(want))
+	}
+}
+
+// TestRunArchiveEquivalence checks the handle-based entry point returns
+// byte-identical results to the one-shot byte API for randomized predicates,
+// projections, aggregates, and limits — including repeated queries against
+// the same cached handle.
+func TestRunArchiveEquivalence(t *testing.T) {
+	archive := compressQueryTable(t, 1000, 71, 100)
+	a, err := core.Open(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 15; trial++ {
+		opts := Options{Where: randPred(rng, 2)}
+		switch trial % 3 {
+		case 1:
+			opts.Select = []string{"seq", "tag"}
+		case 2:
+			opts.Aggs = []AggOp{{Kind: AggCount}, {Kind: AggMin, Col: "seq"}}
+			opts.Limit = 50
+		}
+		want, err := Run(archive, opts)
+		if err != nil {
+			t.Fatalf("trial %d: byte API: %v", trial, err)
+		}
+		got, err := RunArchive(context.Background(), a, opts)
+		if err != nil {
+			t.Fatalf("trial %d: handle: %v", trial, err)
+		}
+		if got.Matched != want.Matched || got.GroupsPruned != want.GroupsPruned {
+			t.Fatalf("trial %d: matched/pruned %d/%d, want %d/%d",
+				trial, got.Matched, got.GroupsPruned, want.Matched, want.GroupsPruned)
+		}
+		if (got.Table == nil) != (want.Table == nil) {
+			t.Fatalf("trial %d: table presence differs", trial)
+		}
+		if got.Table != nil && !bytes.Equal(tableCSV(t, got.Table), tableCSV(t, want.Table)) {
+			t.Fatalf("trial %d: handle result differs from byte API", trial)
+		}
+		if len(got.Aggregates) != len(want.Aggregates) {
+			t.Fatalf("trial %d: %d aggregates, want %d", trial, len(got.Aggregates), len(want.Aggregates))
+		}
+		for i := range got.Aggregates {
+			g, w := got.Aggregates[i], want.Aggregates[i]
+			same := g.Value == w.Value || (math.IsNaN(g.Value) && math.IsNaN(w.Value))
+			if g.Op != w.Op || !same {
+				t.Fatalf("trial %d agg %d: %+v != %+v", trial, i, g, w)
+			}
+		}
 	}
 }

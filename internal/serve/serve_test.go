@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deepsqueeze/internal/core"
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/query"
+)
+
+var (
+	archOnce  sync.Once
+	archBytes []byte // 1024 rows, 16 groups, monotone seq column
+	archErr   error
+)
+
+// testArchive compresses the shared test table once per test binary.
+func testArchive(t *testing.T) []byte {
+	t.Helper()
+	archOnce.Do(func() {
+		schema := dataset.NewSchema(
+			dataset.Column{Name: "tag", Type: dataset.Categorical},
+			dataset.Column{Name: "seq", Type: dataset.Numeric},
+			dataset.Column{Name: "noise", Type: dataset.Numeric},
+		)
+		rows := 1024
+		tb := dataset.NewTable(schema, rows)
+		rng := rand.New(rand.NewSource(11))
+		tags := []string{"a", "b", "c", "d"}
+		for i := 0; i < rows; i++ {
+			tb.AppendRow([]string{tags[rng.Intn(len(tags))]},
+				[]float64{float64(i), rng.Float64() * 100})
+		}
+		opts := core.DefaultOptions()
+		opts.Seed = 11
+		opts.CodeSize = 2
+		opts.Train.Epochs = 2
+		opts.TrainSampleRows = 512
+		opts.RowGroupSize = 64
+		res, err := core.Compress(tb, []float64{0, 0.001, 0.01}, opts)
+		if err != nil {
+			archErr = err
+			return
+		}
+		archBytes = res.Archive
+	})
+	if archErr != nil {
+		t.Fatal(archErr)
+	}
+	return archBytes
+}
+
+// writeArchive puts the shared test archive at dir/name.
+func writeArchive(t *testing.T, dir, name string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, testArchive(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeConcurrentClients runs mixed-selectivity queries from many
+// goroutines against one Server under -race: results must match the direct
+// byte-API baseline and the handle cache must serve all but the first open.
+func TestServeConcurrentClients(t *testing.T) {
+	archive := testArchive(t)
+	path := writeArchive(t, t.TempDir(), "t.dsqz")
+	srv := New(Config{MaxConcurrent: 4})
+
+	cuts := []float64{8, 64, 512, 1024}
+	want := make([]int, len(cuts))
+	for i, cut := range cuts {
+		res, err := query.Run(archive, query.Options{Where: query.Lt("seq", cut)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Matched
+	}
+
+	const workers = 8
+	const iters = 5
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c := (w + i) % len(cuts)
+				res, err := srv.Query(context.Background(), path,
+					query.Options{Where: query.Lt("seq", cuts[c])})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if res.Matched != want[c] {
+					errs[w] = errors.New("matched count differs from baseline")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+
+	st := srv.Stats()
+	if st.Queries != workers*iters {
+		t.Fatalf("stats queries = %d, want %d", st.Queries, workers*iters)
+	}
+	if st.Errors != 0 || st.Shed != 0 {
+		t.Fatalf("errors=%d shed=%d, want 0/0", st.Errors, st.Shed)
+	}
+	if st.CacheMisses < 1 || st.CacheHits+st.CacheMisses != workers*iters {
+		t.Fatalf("hits=%d misses=%d over %d lookups", st.CacheHits, st.CacheMisses, workers*iters)
+	}
+	if len(st.Archives) != 1 || st.Archives[0].Queries != workers*iters {
+		t.Fatalf("archive stats = %+v", st.Archives)
+	}
+	if len(st.Archives[0].Stages) == 0 {
+		t.Fatal("no per-stage totals recorded")
+	}
+}
+
+// TestServeCancellationFreesSlot checks a request cancelled while waiting
+// for admission returns the context error, leaves no queued count or
+// goroutine behind, and that the slot it never got is still usable.
+func TestServeCancellationFreesSlot(t *testing.T) {
+	path := writeArchive(t, t.TempDir(), "t.dsqz")
+	srv := New(Config{MaxConcurrent: 1, MaxQueue: 4})
+	before := runtime.NumGoroutine()
+
+	srv.sem <- struct{}{} // occupy the only decode slot
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Query(ctx, path, query.Options{})
+		done <- err
+	}()
+	// Wait until the request is queued behind the held slot, then give up.
+	for i := 0; srv.queued.Load() == 0; i++ {
+		if i > 1000 {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if q := srv.queued.Load(); q != 0 {
+		t.Fatalf("queued = %d after cancellation, want 0", q)
+	}
+
+	// Release the held slot: the next query must be admitted and succeed.
+	<-srv.sem
+	if _, err := srv.Query(context.Background(), path, query.Options{}); err != nil {
+		t.Fatalf("query after cancellation: %v", err)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeShed checks admission control sheds with ErrOverloaded — not a
+// generic error — once the slots and the wait queue are both full.
+func TestServeShed(t *testing.T) {
+	path := writeArchive(t, t.TempDir(), "t.dsqz")
+	srv := New(Config{MaxConcurrent: 1, MaxQueue: -1}) // no waiting allowed
+
+	srv.sem <- struct{}{} // occupy the only decode slot
+	_, err := srv.Query(context.Background(), path, query.Options{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if st := srv.Stats(); st.Shed != 1 {
+		t.Fatalf("shed = %d, want 1", st.Shed)
+	}
+	<-srv.sem
+	if _, err := srv.Query(context.Background(), path, query.Options{}); err != nil {
+		t.Fatalf("query after drain: %v", err)
+	}
+}
+
+// TestServeLRUAndInvalidation checks the handle cache evicts least recently
+// used beyond MaxOpenArchives and reopens a path whose file changed.
+func TestServeLRUAndInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	a := writeArchive(t, dir, "a.dsqz")
+	b := writeArchive(t, dir, "b.dsqz")
+	c := writeArchive(t, dir, "c.dsqz")
+	srv := New(Config{MaxOpenArchives: 2})
+	ctx := context.Background()
+
+	for _, p := range []string{a, b} {
+		if _, err := srv.Query(ctx, p, query.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.Cached(); len(got) != 2 || got[0] != b || got[1] != a {
+		t.Fatalf("cached = %v, want [%s %s]", got, b, a)
+	}
+	if _, err := srv.Query(ctx, c, query.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	got := srv.Cached()
+	if len(got) != 2 || got[0] != c || got[1] != b {
+		t.Fatalf("cached after eviction = %v, want [%s %s]", got, c, b)
+	}
+	if st := srv.Stats(); st.Evictions != 1 || st.OpenArchives != 2 {
+		t.Fatalf("evictions=%d open=%d, want 1/2", st.Evictions, st.OpenArchives)
+	}
+
+	// Bump b's mtime: the stat-based staleness check must drop the cached
+	// handle and reopen the file.
+	if err := os.Chtimes(b, time.Now().Add(time.Hour), time.Now().Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	missesBefore := srv.Stats().CacheMisses
+	if _, err := srv.Query(ctx, b, query.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.CacheMisses != missesBefore+1 {
+		t.Fatalf("misses = %d, want %d (stale handle not invalidated)", st.CacheMisses, missesBefore+1)
+	}
+}
+
+// TestServeErrorPaths checks open failures are attributed: missing files
+// surface fs.ErrNotExist, corrupt archives ErrCorrupt with the path.
+func TestServeErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(Config{})
+	ctx := context.Background()
+
+	missing := filepath.Join(dir, "missing.dsqz")
+	if _, err := srv.Query(ctx, missing, query.Options{}); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing: err = %v, want fs.ErrNotExist", err)
+	}
+
+	bad := filepath.Join(dir, "bad.dsqz")
+	if err := os.WriteFile(bad, testArchive(t)[:64], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := srv.Query(ctx, bad, query.Options{})
+	if !errors.Is(err, core.ErrCorrupt) || !strings.Contains(err.Error(), "bad.dsqz") {
+		t.Fatalf("corrupt: err = %v, want ErrCorrupt naming the path", err)
+	}
+
+	st := srv.Stats()
+	if st.Errors != 2 {
+		t.Fatalf("errors = %d, want 2", st.Errors)
+	}
+}

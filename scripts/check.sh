@@ -70,6 +70,11 @@ echo "== query bench smoke =="
 go build -o "$smokedir/dsbench" ./cmd/dsbench
 (cd "$smokedir" && ./dsbench -exp query -quick > /dev/null)
 
+echo "== serve bench smoke =="
+# One quick pass of the serving sweep: exercises the handle cache, the
+# shared-pool admission path, and warm-vs-cold verification inside the bench.
+(cd "$smokedir" && ./dsbench -exp serve -quick > /dev/null)
+
 echo "== fuzz smoke =="
 # Short coverage-guided runs of the decode-path fuzzers: any panic or
 # unclassified error on arbitrary bytes fails the gate.
