@@ -196,6 +196,7 @@ func runCompress(ctx context.Context, args []string) error {
 	experts := fs.Int("experts", 1, "number of experts")
 	rowgroup := fs.Int("rowgroup", 0, "rows per archive row group (0 = default)")
 	sample := fs.Int("sample", 0, "training sample rows (0 = all)")
+	f32 := fs.Bool("f32", false, "record the float32-decode plan flag: corrections are computed against float32 inference and every reader decodes through the float32 kernel path")
 	tune := fs.Bool("tune", false, "run hyperparameter tuning before compressing")
 	seed := fs.Int64("seed", 1, "random seed")
 	parallel := fs.Int("p", 0, "pipeline parallelism (0 = all CPUs)")
@@ -222,6 +223,7 @@ func runCompress(ctx context.Context, args []string) error {
 	opts.TrainSampleRows = *sample
 	opts.Seed = *seed
 	opts.Parallelism = *parallel
+	opts.Float32Decode = *f32
 	if *verbose {
 		opts.Verbose = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
@@ -726,6 +728,9 @@ func runInspect(args []string) error {
 		info.CodeSize, info.CodeBits, info.NumExperts)
 	if info.Streaming {
 		fmt.Println("streaming batch archive: decompress with its model archive")
+	}
+	if info.Float32Decode {
+		fmt.Println("float32 decode plan (corrections computed against float32 inference)")
 	}
 	if !info.RowOrderPreserved {
 		fmt.Println("row order not preserved (order-free grouped storage)")

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"deepsqueeze/internal/core"
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/nn"
+	"deepsqueeze/internal/query"
+)
+
+// f32Plan is one precision plan's measurements in BENCH_f32.json.
+type f32Plan struct {
+	Plan         string  `json:"plan"` // "float64" or "float32"
+	ArchiveBytes int     `json:"archive_bytes"`
+	QuerySecs    float64 `json:"query_decode_secs"`
+	QueryRowsSec float64 `json:"query_decode_rows_per_sec"`
+	DecompSecs   float64 `json:"full_decompress_secs"`
+	TrainRowsSec float64 `json:"train_rows_per_sec"`
+}
+
+// f32BenchFile is the top-level BENCH_f32.json document.
+type f32BenchFile struct {
+	Rows           int     `json:"rows"`
+	Groups         int     `json:"groups"`
+	NumCPU         int     `json:"num_cpu"`
+	Float64        f32Plan `json:"float64"`
+	Float32        f32Plan `json:"float32"`
+	QuerySpeedup   float64 `json:"query_decode_speedup"`
+	DecompSpeedup  float64 `json:"full_decompress_speedup"`
+	TrainSpeedup   float64 `json:"train_speedup"`
+	RowsCrossCheck int     `json:"rows_cross_checked"`
+}
+
+// f32BenchTable builds a decode-heavy table: several categorical columns so
+// the shared stack (the dominant inference matmul load) carries most of the
+// decode cost, plus numeric columns under a lossy threshold.
+func f32BenchTable(rows int, seed int64) (*dataset.Table, []float64) {
+	schema := dataset.NewSchema(
+		dataset.Column{Name: "seq", Type: dataset.Numeric},
+		dataset.Column{Name: "load", Type: dataset.Numeric},
+		dataset.Column{Name: "tag", Type: dataset.Categorical},
+		dataset.Column{Name: "site", Type: dataset.Categorical},
+		dataset.Column{Name: "tier", Type: dataset.Categorical},
+		dataset.Column{Name: "shard", Type: dataset.Categorical},
+	)
+	rng := rand.New(rand.NewSource(seed))
+	t := dataset.NewTable(schema, rows)
+	for i := 0; i < rows; i++ {
+		z := rng.Float64()
+		t.AppendRow(
+			[]string{
+				fmt.Sprintf("t%d", int(z*7.99)),
+				fmt.Sprintf("s%02d", rng.Intn(24)),
+				fmt.Sprintf("g%d", int(z*11.99)),
+				fmt.Sprintf("h%d", rng.Intn(16)),
+			},
+			[]float64{float64(i), z*500 + rng.NormFloat64()*10},
+		)
+	}
+	return t, []float64{0.001, 0.05, 0, 0, 0, 0}
+}
+
+// Float32Decode benchmarks the float32 kernel family on the query-decode
+// path: the same table compressed under the float64 and float32 plans, both
+// scanned end to end through the query engine (match-all predicate, so every
+// row group decodes), plus full-decompress and training-throughput
+// comparisons. Before timings are written to BENCH_f32.json the two decoded
+// tables are cross-checked row for row: categorical and exact columns must
+// match exactly, lossy numeric columns within the archives' shared
+// Threshold×Range bound — the machine-checked equivalence backing the
+// speedup claim.
+func Float32Decode(cfg Config) (*Report, error) {
+	const groups = 48
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	rows := int(49152 * scale)
+	if cfg.Quick {
+		rows = 6144
+	}
+	if rows < groups {
+		rows = groups
+	}
+	t, th := f32BenchTable(rows, cfg.Seed)
+
+	opts := core.DefaultOptions()
+	opts.Seed = cfg.Seed
+	opts.CodeSize = 3
+	opts.Train.Epochs = 6
+	opts.TrainSampleRows = 4000
+	opts.Parallelism = runtime.NumCPU()
+	opts.RowGroupSize = (rows + groups - 1) / groups
+	if cfg.Quick {
+		opts.Train.Epochs = 2
+		opts.TrainSampleRows = 1000
+	}
+
+	plans := [2]f32Plan{{Plan: "float64"}, {Plan: "float32"}}
+	tables := [2]*dataset.Table{}
+	for i, f32 := range [2]bool{false, true} {
+		o := opts
+		o.Float32Decode = f32
+		res, err := core.Compress(t, th, o)
+		if err != nil {
+			return nil, err
+		}
+		if info, err := core.Inspect(res.Archive); err != nil || info.Float32Decode != f32 {
+			return nil, fmt.Errorf("bench: plan flag mismatch (want f32=%v, err=%v)", f32, err)
+		}
+		plans[i].ArchiveBytes = len(res.Archive)
+
+		// Query-decode path: a match-all range predicate drives every row
+		// group through the query engine's decode executor. Best of three
+		// runs, so one scheduling hiccup cannot decide the headline number.
+		matchAll := query.Ge("seq", -1)
+		var qres *query.Result
+		plans[i].QuerySecs = math.Inf(1)
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			qres, err = query.Run(res.Archive, query.Options{Where: matchAll, Parallelism: opts.Parallelism})
+			if err != nil {
+				return nil, err
+			}
+			if s := time.Since(start).Seconds(); s < plans[i].QuerySecs {
+				plans[i].QuerySecs = s
+			}
+		}
+		if qres.Matched != rows {
+			return nil, fmt.Errorf("bench: match-all query matched %d of %d rows", qres.Matched, rows)
+		}
+		plans[i].QueryRowsSec = float64(rows) / plans[i].QuerySecs
+		tables[i] = qres.Table
+
+		plans[i].DecompSecs = math.Inf(1)
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			if _, err := core.Decompress(res.Archive); err != nil {
+				return nil, err
+			}
+			if s := time.Since(start).Seconds(); s < plans[i].DecompSecs {
+				plans[i].DecompSecs = s
+			}
+		}
+
+		// Training throughput under the same width: one MoE epoch over a
+		// synthetic batch, float64 masters either way (TrainOptions.Float32
+		// only narrows the matmuls).
+		trainRows := 8192
+		if cfg.Quick {
+			trainRows = 2048
+		}
+		specs := trainBenchSpecs()
+		x, tg := trainBenchData(rand.New(rand.NewSource(cfg.Seed+7)), specs, trainRows)
+		moe, err := nn.NewMoE(rand.New(rand.NewSource(cfg.Seed+8)), specs, nn.Config{CodeSize: 4}, 1)
+		if err != nil {
+			return nil, err
+		}
+		topt := nn.TrainOptions{Epochs: 2, BatchSize: 256, Float32: f32}
+		start := time.Now()
+		moe.Train(rand.New(rand.NewSource(cfg.Seed+9)), x, tg, topt)
+		plans[i].TrainRowsSec = float64(topt.Epochs*trainRows) / time.Since(start).Seconds()
+
+		cfg.logf("f32 plan=%s: query %.4fs (%.0f rows/s), decompress %.4fs, train %.0f rows/s",
+			plans[i].Plan, plans[i].QuerySecs, plans[i].QueryRowsSec, plans[i].DecompSecs, plans[i].TrainRowsSec)
+	}
+
+	// Machine-checked equivalence: both plans reconstruct the same original
+	// within the same bounds, so they must agree exactly on exact columns and
+	// within twice the per-column Threshold×Range on lossy ones.
+	stats := t.Stats()
+	checked := 0
+	for col, c := range t.Schema.Columns {
+		tol := 2 * th[col] * (stats[col].Max - stats[col].Min) * (1 + 1e-9)
+		for r := 0; r < rows; r++ {
+			if c.Type == dataset.Categorical {
+				if tables[0].Str[col][r] != tables[1].Str[col][r] {
+					return nil, fmt.Errorf("bench: f32/f64 decode differ at row %d col %q: %q vs %q",
+						r, c.Name, tables[0].Str[col][r], tables[1].Str[col][r])
+				}
+			} else if d := math.Abs(tables[0].Num[col][r] - tables[1].Num[col][r]); d > tol {
+				return nil, fmt.Errorf("bench: f32/f64 decode differ at row %d col %q: |%v - %v| > %v",
+					r, c.Name, tables[0].Num[col][r], tables[1].Num[col][r], tol)
+			}
+			checked++
+		}
+	}
+
+	file := f32BenchFile{
+		Rows:           rows,
+		Groups:         groups,
+		NumCPU:         runtime.NumCPU(),
+		Float64:        plans[0],
+		Float32:        plans[1],
+		QuerySpeedup:   plans[1].QueryRowsSec / plans[0].QueryRowsSec,
+		DecompSpeedup:  plans[0].DecompSecs / plans[1].DecompSecs,
+		TrainSpeedup:   plans[1].TrainRowsSec / plans[0].TrainRowsSec,
+		RowsCrossCheck: checked,
+	}
+	rep := &Report{
+		ID:      "f32",
+		Title:   "Float32 kernel family: query-decode, decompress, and training throughput",
+		Columns: []string{"plan", "archive_bytes", "query_s", "query_rows/s", "decompress_s", "train_rows/s"},
+	}
+	for _, p := range plans {
+		rep.Rows = append(rep.Rows, []string{
+			p.Plan,
+			fmt.Sprintf("%d", p.ArchiveBytes),
+			fmt.Sprintf("%.4f", p.QuerySecs),
+			fmt.Sprintf("%.0f", p.QueryRowsSec),
+			fmt.Sprintf("%.4f", p.DecompSecs),
+			fmt.Sprintf("%.0f", p.TrainRowsSec),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("query-decode speedup %.2fx, full-decompress %.2fx, training %.2fx",
+			file.QuerySpeedup, file.DecompSpeedup, file.TrainSpeedup),
+		fmt.Sprintf("%d cells cross-checked between the two plans' decodes", checked),
+		"timings written to BENCH_f32.json")
+	cfg.logf("f32: query-decode speedup %.2fx (cross-checked %d cells)", file.QuerySpeedup, checked)
+
+	buf, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile("BENCH_f32.json", append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -32,6 +32,7 @@ func Experiments() []Experiment {
 		{"train", "Data-parallel training throughput vs. workers", TrainSpeedup},
 		{"query", "Predicate-pushdown scan vs. selectivity", QuerySelectivity},
 		{"serve", "Open-once serving: warm handles vs cold open-per-query", ServeBench},
+		{"f32", "Float32 kernel family: decode and training throughput vs float64", Float32Decode},
 	}
 }
 

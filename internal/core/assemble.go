@@ -256,6 +256,11 @@ func assembleArchive(run *pipeline.Run, t *dataset.Table, md *modelData, opts Op
 	if zoneOn {
 		flags |= flagZoneMaps
 	}
+	if opts.Float32Decode && hasModel {
+		// Decode precision is a per-archive contract: the flag tells every
+		// reader that the stored corrections assume float32 inference.
+		flags |= flagFloat32
+	}
 	w.raw(magic[:])
 	w.raw([]byte{archiveVersion, flags})
 	w.chunk(appendHeaderPayload(nil, md.plan, st.codeSize, st.codeBits, st.experts, opts.rowGroupSize()))

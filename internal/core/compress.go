@@ -116,11 +116,18 @@ func materialize(run *pipeline.Run, t *dataset.Table, md *modelData, opts Option
 	}
 
 	var decoders []*nn.Decoder
+	var decs32 []*nn.Decoder32
 	var codesF *mat.Matrix
 	if hasModel {
 		decoders = make([]*nn.Decoder, numExperts)
 		for e, ae := range experts {
 			decoders[e] = &ae.Decoder
+		}
+		if opts.Float32Decode {
+			// The archive will carry flagFloat32, so the stored corrections
+			// must be computed against the same float32 inference the decoder
+			// side will replay.
+			decs32 = nn.Decoders32(decoders)
 		}
 		err := run.Stage("encode", func() error {
 			var err error
@@ -174,7 +181,7 @@ func materialize(run *pipeline.Run, t *dataset.Table, md *modelData, opts Option
 		err := run.StageBytes("truncation-search", func() (int64, error) {
 			err := run.ForEach(len(cand), func(i int) error {
 				dims, rec := quantizeCodes(storedCodes, cand[i])
-				fs, err := computeFailures(run, md, origNum, decoders, assign, rec, grouped)
+				fs, err := computeFailures(run, md, origNum, decoders, decs32, assign, rec, grouped)
 				if err != nil {
 					return err
 				}
@@ -231,7 +238,7 @@ func materialize(run *pipeline.Run, t *dataset.Table, md *modelData, opts Option
 			labelsCost := mappingCost(assign, identity, spans, numExperts, false, true)
 			identCodes := permuteRows(codesF, identity)
 			dimsI, recI := quantizeCodes(identCodes, bestBits)
-			fsI, err := computeFailures(run, md, origNum, decoders, assign, recI, identity)
+			fsI, err := computeFailures(run, md, origNum, decoders, decs32, assign, recI, identity)
 			if err != nil {
 				return err
 			}

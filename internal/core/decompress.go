@@ -199,6 +199,7 @@ type decompressor struct {
 
 	decoderChunk []byte
 	decoders     []*nn.Decoder
+	decs32       []*nn.Decoder32 // float32 views when flagFloat32, parallel to decoders
 
 	footer *archiveFooter // version 2 only
 	groups []*groupDec
@@ -606,7 +607,10 @@ func (d *decompressor) unpack() (int64, error) {
 					return err
 				}
 				d.decoders = decs
-				return nil
+				if d.flags&flagFloat32 != 0 {
+					d.decs32, err = d.h.decoders32()
+				}
+				return err
 			})
 		} else {
 			add(d.decoderChunk, d.unpackDecoders)
@@ -821,13 +825,25 @@ func (d *decompressor) unpackDecoders() error {
 		if len(d.decoders) != d.numExperts {
 			return fmt.Errorf("%w: model archive has %d experts, batch wants %d", ErrCorrupt, len(d.decoders), d.numExperts)
 		}
-		return checkDecoderShapes(d.decoders, d.codeSize, len(d.lo.specs))
+		if err := checkDecoderShapes(d.decoders, d.codeSize, len(d.lo.specs)); err != nil {
+			return err
+		}
+		return d.narrowDecoders()
 	}
 	decoders, err := parseCheckedDecoders(d.decoderChunk, d.numExperts, d.codeSize, len(d.lo.specs))
 	if err != nil {
 		return err
 	}
 	d.decoders = decoders
+	return d.narrowDecoders()
+}
+
+// narrowDecoders builds the float32 decoder views an archive carrying
+// flagFloat32 decodes through; a no-op otherwise.
+func (d *decompressor) narrowDecoders() error {
+	if d.flags&flagFloat32 != 0 {
+		d.decs32 = nn.Decoders32(d.decoders)
+	}
 	return nil
 }
 
@@ -1065,11 +1081,16 @@ func (d *decompressor) decodeGroupInit(g *groupDec) {
 	g.posBy = expertPositionsRange(g.assign, g.perm, d.numExperts, g.glo, g.ghi)
 }
 
-// decodeExpert runs one group × expert through the decoder.
+// decodeExpert runs one group × expert through the decoder, at the precision
+// the archive header mandates (flagFloat32 → float32 inference).
 func (d *decompressor) decodeExpert(g *groupDec, e int) error {
 	scratch := make([]bool, maxCard(d.lo.specs)+1)
+	var d32 *nn.Decoder32
+	if d.decs32 != nil {
+		d32 = d.decs32[e]
+	}
 	var derr error
-	expertBatches(d.decoders[e], g.rec, g.posBy[e], d.wantSpec, func(chunk []int, p *nn.Predictions) {
+	expertBatches(predictorFor(d.decoders[e], d32, d.wantSpec), g.rec, g.posBy[e], func(chunk []int, p *nn.Predictions) {
 		if derr != nil {
 			return
 		}

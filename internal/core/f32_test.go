@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"deepsqueeze/internal/dataset"
+)
+
+// f32Opts is quickOpts with the per-archive float32-decode plan flag set.
+func f32Opts() Options {
+	o := quickOpts()
+	o.Float32Decode = true
+	return o
+}
+
+// tableCSV renders a table for byte-identity comparisons.
+func tableCSV(t *testing.T, tb *dataset.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// A float32-plan archive must round-trip within the same per-column error
+// bounds as the float64 plan: corrections are computed against the same
+// float32 inference decode replays, so precision never leaks into accuracy.
+func TestFloat32RoundTrip(t *testing.T) {
+	tb := latentTable(1200, 81)
+	thr := []float64{0, 0, 0.05, 0.05, 0}
+	for _, experts := range []int{1, 2} {
+		opts := f32Opts()
+		opts.NumExperts = experts
+		res, got := roundTrip(t, tb, thr, opts)
+		if err := tb.EqualWithin(got, tolerances(tb, thr)); err != nil {
+			t.Fatalf("experts %d: %v", experts, err)
+		}
+		// The plan flag must be recorded and surfaced on every metadata path.
+		info, err := Inspect(res.Archive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.Float32Decode {
+			t.Fatalf("experts %d: Inspect does not report the float32 plan", experts)
+		}
+		if !info.Summary().Float32Decode {
+			t.Fatalf("experts %d: Summary does not report the float32 plan", experts)
+		}
+		a, err := Open(res.Archive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Float32() {
+			t.Fatalf("experts %d: handle does not report the float32 plan", experts)
+		}
+		// And the default plan must stay off.
+		res64, err := Compress(tb, thr, quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info64, err := Inspect(res64.Archive); err != nil || info64.Float32Decode {
+			t.Fatalf("experts %d: float64 plan flagged as float32 (err %v)", experts, err)
+		}
+	}
+}
+
+// Float32 decode must be bit-identical across parallelism levels and across
+// group-mask subsets: chunking is constant, so the float32 inference stream
+// every row sees is independent of how work is scheduled.
+func TestFloat32DecodeDeterminism(t *testing.T) {
+	opts := f32Opts()
+	opts.NumExperts = 2
+	opts.RowGroupSize = 200
+	tb := latentTable(900, 83)
+	res, err := Compress(tb, []float64{0, 0, 0.1, 0.1, 0}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := decodeOpts(t, res.Archive, DecompressOptions{})
+	fullCSV := tableCSV(t, full)
+	for _, p := range []int{1, 4, runtime.NumCPU()} {
+		got := decodeOpts(t, res.Archive, DecompressOptions{Parallelism: p})
+		if !bytes.Equal(fullCSV, tableCSV(t, got)) {
+			t.Fatalf("parallelism %d decoded a different table", p)
+		}
+	}
+	// Single-group masks, concatenated in group order, must reproduce the
+	// full decode exactly — each at more than one parallelism level.
+	idx, err := ReadIndex(res.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Groups) < 2 {
+		t.Fatalf("want a multi-group archive, got %d groups", len(idx.Groups))
+	}
+	stitched := dataset.NewTable(full.Schema, 0)
+	for g := range idx.Groups {
+		mask := make([]bool, len(idx.Groups))
+		mask[g] = true
+		part := decodeOpts(t, res.Archive, DecompressOptions{GroupMask: mask})
+		if !bytes.Equal(tableCSV(t, part),
+			tableCSV(t, decodeOpts(t, res.Archive, DecompressOptions{GroupMask: mask, Parallelism: 4}))) {
+			t.Fatalf("group %d mask decode differs across parallelism", g)
+		}
+		appendRows(stitched, part, 0, part.NumRows())
+	}
+	if !bytes.Equal(fullCSV, tableCSV(t, stitched)) {
+		t.Fatal("stitched single-group decodes differ from the full decode")
+	}
+}
+
+// Property: under the float32 plan, every continuous column still honors its
+// Threshold×Range bound on randomized schemas and data — the satellite
+// error-bound guarantee for the narrow kernels.
+func TestQuickFloat32ErrorBound(t *testing.T) {
+	f := func(seed int64) bool {
+		tb, thresholds, opts := genRandomTable(seed)
+		opts.Float32Decode = true
+		cols := tb.Schema.Columns
+		res, err := Compress(tb, thresholds, opts)
+		if err != nil {
+			t.Logf("seed %d: compress: %v", seed, err)
+			return false
+		}
+		got, err := Decompress(res.Archive)
+		if err != nil {
+			t.Logf("seed %d: decompress: %v", seed, err)
+			return false
+		}
+		stats := tb.Stats()
+		tol := make([]float64, len(cols))
+		for i := range tol {
+			if cols[i].Type == dataset.Numeric {
+				tol[i] = thresholds[i] * (stats[i].Max - stats[i].Min) * (1 + 1e-9)
+			}
+		}
+		if err := tb.EqualWithin(got, tol); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 8}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The streaming writer inherits the float32 plan from its pilot compression
+// and the streaming reader replays it, so both halves of the bounded-memory
+// path stay on the per-archive precision contract.
+func TestFloat32Streaming(t *testing.T) {
+	tb := latentTable(700, 85)
+	thr := []float64{0, 0, 0.05, 0.05, 0}
+	opts := f32Opts()
+	opts.RowGroupSize = 250
+	archive, stats := writeStream(t, tb, 170, opts)
+	if stats.Rows != 700 {
+		t.Fatalf("stats %+v", stats)
+	}
+	info, err := Inspect(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Float32Decode {
+		t.Fatal("streamed archive lost the float32 plan flag")
+	}
+	tol := tolerances(tb, thr)
+	got, err := Decompress(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.EqualWithin(got, tol); err != nil {
+		t.Fatalf("in-memory decode: %v", err)
+	}
+	if err := tb.EqualWithin(readStream(t, archive), tol); err != nil {
+		t.Fatalf("streaming decode: %v", err)
+	}
+}

@@ -45,6 +45,9 @@ func fuzzSeedArchives(f *testing.F) [][]byte {
 	grouped := opts
 	grouped.RowGroupSize = 25
 	add(Compress(latentTable(60, 54), []float64{0, 0, 0.1, 0.1, 0}, grouped))
+	f32 := opts
+	f32.Float32Decode = true
+	add(Compress(latentTable(60, 55), []float64{0, 0, 0.1, 0.1, 0}, f32))
 	v1, err := os.ReadFile(filepath.Join("testdata", "categorical.dsqz"))
 	if err != nil {
 		f.Fatal(err)

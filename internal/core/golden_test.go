@@ -104,6 +104,16 @@ func goldenCases() []goldenCase {
 		opts.RowGroupSize = 100
 		return latentTable(300, 105), []float64{0, 0, 0.1, 0.1, 0}, opts
 	}})
+	// f32_v2 pins the float32 decode plan: flagFloat32 in the header byte
+	// and a failure stream computed against float32 inference. The committed
+	// bytes freeze the float32 kernel semantics — any change to the f32
+	// matmul accumulation order shows up here as a decode mismatch.
+	cases = append(cases, goldenCase{"f32_v2", 2, func() (*dataset.Table, []float64, Options) {
+		opts := goldenOpts(2)
+		opts.RowGroupSize = 100
+		opts.Float32Decode = true
+		return latentTable(300, 106), []float64{0, 0, 0.1, 0.1, 0}, opts
+	}})
 	return cases
 }
 
@@ -188,7 +198,7 @@ func TestGoldenArchives(t *testing.T) {
 			if idx.Rows != got.NumRows() {
 				t.Fatalf("index declares %d rows, table has %d", idx.Rows, got.NumRows())
 			}
-			if wantStats := gc.name == "stats_v2"; idx.HasZoneMaps != wantStats {
+			if wantStats := gc.name == "stats_v2" || gc.name == "f32_v2"; idx.HasZoneMaps != wantStats {
 				t.Fatalf("HasZoneMaps = %v, want %v", idx.HasZoneMaps, wantStats)
 			}
 			if idx.HasZoneMaps {

@@ -190,6 +190,7 @@ func (m *archiveMeta) info() *ArchiveInfo {
 		TotalBytes:        len(m.raw),
 		RowGroupSize:      m.rowGroupSize,
 		DecoderBytes:      int64(len(m.decoderChunk)),
+		Float32Decode:     m.flags&flagFloat32 != 0,
 	}
 	if m.version != archiveVersionV1 {
 		info.HasZoneMaps = m.flags&flagZoneMaps != 0
@@ -229,6 +230,10 @@ type Archive struct {
 	decOnce sync.Once
 	decs    []*nn.Decoder
 	decErr  error
+
+	dec32Once sync.Once
+	decs32    []*nn.Decoder32
+	dec32Err  error
 }
 
 // Open parses the archive's metadata (envelope, checksum, header, footer
@@ -271,6 +276,11 @@ func (a *Archive) Size() int { return len(a.meta.raw) }
 // cannot decode it alone).
 func (a *Archive) External() bool { return a.meta.flags&flagExternalModel != 0 }
 
+// Float32 reports whether the archive's plan mandates float32 decode
+// (flagFloat32): its stored corrections assume float32 inference, so every
+// reader — including this handle — replays the float32 kernel path.
+func (a *Archive) Float32() bool { return a.meta.flags&flagFloat32 != 0 }
+
 // Info returns the archive's metadata summary (what Inspect reports),
 // built from the already-parsed header and footer.
 func (a *Archive) Info() *ArchiveInfo { return a.meta.info() }
@@ -303,6 +313,21 @@ func (a *Archive) decoders() ([]*nn.Decoder, error) {
 		a.decs, a.decErr = parseCheckedDecoders(m.decoderChunk, m.numExperts, m.codeSize, len(m.layout.specs))
 	})
 	return a.decs, a.decErr
+}
+
+// decoders32 narrows the cached decoders into their float32 views on first
+// call — the decode path for archives carrying flagFloat32. Like the float64
+// cache, the views are stateless during inference and shared across requests.
+func (a *Archive) decoders32() ([]*nn.Decoder32, error) {
+	a.dec32Once.Do(func() {
+		decs, err := a.decoders()
+		if err != nil {
+			a.dec32Err = err
+			return
+		}
+		a.decs32 = nn.Decoders32(decs)
+	})
+	return a.decs32, a.dec32Err
 }
 
 // Decompress reconstructs the table (or the projection opts selects) against

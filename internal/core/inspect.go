@@ -36,6 +36,10 @@ type ArchiveInfo struct {
 	// HasZoneMaps reports whether the archive carries per-row-group zone
 	// maps (format v2): the statistics Query uses to prune row groups.
 	HasZoneMaps bool
+	// Float32Decode reports whether the archive's failure streams were
+	// computed against float32 decoder inference (flagFloat32): every
+	// reader decodes it through the float32 kernel path.
+	Float32Decode bool
 	// DecoderBytes is the stored decoder section's size: the compressed
 	// model weights (32 for a streaming batch archive's model hash; 0 when
 	// the archive has no model columns).

@@ -36,6 +36,7 @@ type ArchiveSummary struct {
 	RowOrderPreserved bool            `json:"row_order_preserved"`
 	RowGroupSize      int             `json:"row_group_size"`
 	ZoneMaps          bool            `json:"zone_maps"`
+	Float32Decode     bool            `json:"float32_decode"`
 	DecoderBytes      int64           `json:"decoder_bytes"`
 	Columns           []ColumnSummary `json:"columns"`
 	Groups            []GroupSummary  `json:"groups,omitempty"`
@@ -55,6 +56,7 @@ func (info *ArchiveInfo) Summary() *ArchiveSummary {
 		RowOrderPreserved: info.RowOrderPreserved,
 		RowGroupSize:      info.RowGroupSize,
 		ZoneMaps:          info.HasZoneMaps,
+		Float32Decode:     info.Float32Decode,
 		DecoderBytes:      info.DecoderBytes,
 	}
 	s.Columns = make([]ColumnSummary, len(info.Schema.Columns))

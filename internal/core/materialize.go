@@ -117,13 +117,13 @@ func expertPositionsRange(assign []int, perm []int, numExperts, lo, hi int) [][]
 	return posBy
 }
 
-// expertBatches feeds one expert's stored positions through its decoder in
-// decodeBatchRows-sized chunks, reusing a single scratch matrix. want
-// restricts inference to a subset of spec columns (nil = all); see
-// nn.Decoder.PredictCols. Iteration is expert-major with ascending stored
-// positions inside each expert, which both compression and decompression
-// follow identically.
-func expertBatches(dec *nn.Decoder, recCodes *mat.Matrix, positions []int, want []bool,
+// expertBatches feeds one expert's stored positions through a prediction
+// function in decodeBatchRows-sized chunks, reusing a single scratch matrix.
+// Iteration is expert-major with ascending stored positions inside each
+// expert, which both compression and decompression follow identically; the
+// chunking depends only on the position list, so predictions are independent
+// of parallelism at either precision.
+func expertBatches(predict func(codes *mat.Matrix) *nn.Predictions, recCodes *mat.Matrix, positions []int,
 	fn func(chunk []int, p *nn.Predictions)) {
 	if len(positions) == 0 {
 		return
@@ -135,8 +135,19 @@ func expertBatches(dec *nn.Decoder, recCodes *mat.Matrix, positions []int, want 
 		for i, s := range chunk {
 			copy(codes.Row(i), recCodes.Row(s))
 		}
-		fn(chunk, dec.PredictCols(codes, want))
+		fn(chunk, predict(codes))
 	}
+}
+
+// predictorFor picks the prediction function expertBatches drives: the
+// float64 decoder's PredictCols, or — when dec32 is non-nil, i.e. the archive
+// plan carries flagFloat32 — the float32 view's reusable Predictor. The
+// returned closure owns per-call scratch, so each goroutine needs its own.
+func predictorFor(dec *nn.Decoder, dec32 *nn.Decoder32, want []bool) func(*mat.Matrix) *nn.Predictions {
+	if dec32 != nil {
+		return dec32.Predictor(want)
+	}
+	return func(codes *mat.Matrix) *nn.Predictions { return dec.PredictCols(codes, want) }
 }
 
 // failureSet holds per-column correction streams in *stored* order.
@@ -171,8 +182,11 @@ type posFloat struct {
 // the fan-out, so workers only read the maps), and the sparse exception /
 // continuous-correction streams are collected per expert and merged by stored
 // position afterwards — the result is identical at every parallelism level.
+// decs32, when non-nil, routes inference through the float32 decoder views
+// (positionally parallel to decoders) so the stored corrections match what a
+// float32 decode will predict; nil keeps the float64 path.
 func computeFailures(run *pipeline.Run, md *modelData, origNum map[int][]float64, decoders []*nn.Decoder,
-	assign []int, recCodes *mat.Matrix, perm []int) (*failureSet, error) {
+	decs32 []*nn.Decoder32, assign []int, recCodes *mat.Matrix, perm []int) (*failureSet, error) {
 	fs := &failureSet{
 		ints:       make(map[int][]int64),
 		exceptions: make(map[int][]int64),
@@ -194,7 +208,11 @@ func computeFailures(run *pipeline.Run, md *modelData, origNum map[int][]float64
 		excepts := make(map[int][]posVal)
 		contws := make(map[int][]posFloat)
 		dec := decoders[e]
-		expertBatches(dec, recCodes, posBy[e], nil, func(chunk []int, p *nn.Predictions) {
+		var d32 *nn.Decoder32
+		if decs32 != nil {
+			d32 = decs32[e]
+		}
+		expertBatches(predictorFor(dec, d32, nil), recCodes, posBy[e], func(chunk []int, p *nn.Predictions) {
 			for si, spec := range md.specs {
 				col := md.specCols[si]
 				cp := &md.plan.Cols[col]

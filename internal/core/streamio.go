@@ -62,6 +62,7 @@ type ArchiveWriter struct {
 	trainPlan  *preprocess.Plan
 	experts    []*nn.Autoencoder
 	decoders   []*nn.Decoder
+	decs32     []*nn.Decoder32 // float32 views when the pilot set flagFloat32
 	specs      []nn.ColSpec
 	flags      byte
 	codeBits   int
@@ -245,6 +246,11 @@ func (aw *ArchiveWriter) start(chunk *dataset.Table) (*modelData, error) {
 		for e, ae := range experts {
 			aw.decoders[e] = &ae.Decoder
 		}
+		if aw.flags&flagFloat32 != 0 {
+			// The pilot archive's flags carry over verbatim, so every later
+			// group's corrections must come from the same float32 inference.
+			aw.decs32 = nn.Decoders32(aw.decoders)
+		}
 	}
 
 	var prefix []byte
@@ -324,7 +330,7 @@ func (aw *ArchiveWriter) flushGroup(chunk *dataset.Table) error {
 		for col := range md.contVals {
 			origNum[col] = chunk.Num[col]
 		}
-		fs, err = computeFailures(aw.run, md, origNum, aw.decoders, assign, recM, perm)
+		fs, err = computeFailures(aw.run, md, origNum, aw.decoders, aw.decs32, assign, recM, perm)
 		if err != nil {
 			return err
 		}

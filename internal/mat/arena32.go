@@ -1,0 +1,48 @@
+package mat
+
+// Arena32 is the float32 twin of Arena: a grow-only scratch allocator whose
+// Reset rewinds rather than frees, making steady-state float32 inference
+// allocation-free. Same ownership rules as Arena — one goroutine per arena,
+// every served matrix is invalidated by the next Reset.
+type Arena32 struct {
+	mats []*Matrix32
+	next int
+}
+
+// Get serves a zeroed rows×cols matrix from the arena, growing it on first
+// use. A nil arena falls back to New32, so code written against an arena also
+// runs without one. Recycled memory is zeroed before reuse, exactly like
+// Arena.Get.
+func (a *Arena32) Get(rows, cols int) *Matrix32 {
+	if a == nil {
+		return New32(rows, cols)
+	}
+	if a.next < len(a.mats) {
+		m := a.mats[a.next]
+		if cap(m.Data) >= rows*cols {
+			a.next++
+			m.Rows, m.Cols = rows, cols
+			m.Data = m.Data[:rows*cols]
+			m.Zero()
+			return m
+		}
+		// Shape drift (e.g. a smaller final batch followed by a full one):
+		// replace the slot with a large-enough matrix and keep going.
+		m = New32(rows, cols)
+		a.mats[a.next] = m
+		a.next++
+		return m
+	}
+	m := New32(rows, cols)
+	a.mats = append(a.mats, m)
+	a.next++
+	return m
+}
+
+// Reset rewinds the arena: every matrix previously served by Get becomes
+// reusable (and invalid to its former holder). A nil arena is a no-op.
+func (a *Arena32) Reset() {
+	if a != nil {
+		a.next = 0
+	}
+}

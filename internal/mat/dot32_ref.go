@@ -1,0 +1,31 @@
+package mat
+
+// The float32 kernel family fixes its dot-product accumulation order so that
+// archives under the float32 plan decode identically on every platform
+// (DESIGN.md §15): products accumulate into four interleaved partial sums
+// (lane j holds terms j, j+4, j+8, …), the k%4 remainder folds into lane 0,
+// and the lanes reduce pairwise as (s0+s2) + (s1+s3). mulTRowRef is the
+// portable statement of that contract; the amd64 SSE kernel implements the
+// same order with packed instructions and is pinned bit-identical to this
+// function by TestMulTRow32MatchesPortableSpec.
+
+// mulTRowRef computes crow[o] = dot(arow, b.Row(o)) for every o under the
+// fixed 4-lane accumulation order.
+func mulTRowRef(arow []float32, b *Matrix32, crow []float32) {
+	k := len(arow)
+	for o := range crow {
+		brow := b.Row(o)
+		var s0, s1, s2, s3 float32
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			s0 += arow[kk] * brow[kk]
+			s1 += arow[kk+1] * brow[kk+1]
+			s2 += arow[kk+2] * brow[kk+2]
+			s3 += arow[kk+3] * brow[kk+3]
+		}
+		for ; kk < k; kk++ {
+			s0 += arow[kk] * brow[kk]
+		}
+		crow[o] = (s0 + s2) + (s1 + s3)
+	}
+}

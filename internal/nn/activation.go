@@ -93,6 +93,57 @@ func (a Activation) backprop(grad, out *mat.Matrix) {
 	}
 }
 
+// apply32 computes the activation element-wise in place on a float32 matrix.
+// Transcendentals (Sigmoid, Tanh) widen each element to float64, evaluate the
+// math-library function, and narrow the result: the extra conversion is cheap
+// next to the matmuls, and it keeps f32 activations a pure rounding of the f64
+// path rather than a different approximation (DESIGN.md §15 tolerance model).
+func (a Activation) apply32(m *mat.Matrix32) {
+	switch a {
+	case Identity:
+	case ReLU:
+		for i, v := range m.Data {
+			if v < 0 {
+				m.Data[i] = 0
+			}
+		}
+	case Sigmoid:
+		for i, v := range m.Data {
+			m.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		}
+	case Tanh:
+		for i, v := range m.Data {
+			m.Data[i] = float32(math.Tanh(float64(v)))
+		}
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", a))
+	}
+}
+
+// backprop32 scales grad in place by the activation derivative, in terms of
+// the activation output out; float32 twin of backprop.
+func (a Activation) backprop32(grad, out *mat.Matrix32) {
+	switch a {
+	case Identity:
+	case ReLU:
+		for i, o := range out.Data {
+			if o <= 0 {
+				grad.Data[i] = 0
+			}
+		}
+	case Sigmoid:
+		for i, o := range out.Data {
+			grad.Data[i] *= o * (1 - o)
+		}
+	case Tanh:
+		for i, o := range out.Data {
+			grad.Data[i] *= 1 - o*o
+		}
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", a))
+	}
+}
+
 // Softmax replaces each row of m with its softmax over the first width
 // columns, leaving any remaining columns untouched. Numerically stabilized
 // by max subtraction.

@@ -389,7 +389,7 @@ func (a *Autoencoder) Encode(x *mat.Matrix) *mat.Matrix {
 // is processed through the deterministic shard partition (see train.go), so
 // the result is bit-identical to TrainBatchWorkers at any worker count.
 func (a *Autoencoder) TrainBatch(x *mat.Matrix, tg *Targets, opt Optimizer) float64 {
-	return a.trainer().train(x, tg, opt, 1, nil)
+	return a.trainer().train(x, tg, opt, 1, nil, false)
 }
 
 // accumBatch runs one forward/backward pass over x, adding this batch's

@@ -1,0 +1,252 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"deepsqueeze/internal/mat"
+)
+
+// Float32 decode path (DESIGN.md §15).
+//
+// Decoder32 is a float32 view of a Decoder: every matmul — the decode hot
+// path's entire memory-bandwidth bill — runs through the float32 kernel
+// family in internal/mat, while the final per-element activations (sigmoid,
+// softmax) widen the float32 logits to float64 and evaluate the math-library
+// transcendental exactly as the float64 path does. The outputs are therefore
+// ordinary float64 Predictions: consumers (failure computation, decode
+// application) are width-agnostic, and the only divergence from the float64
+// path is rounding of the linear algebra, never a different approximation.
+//
+// Decoder parameters are float32-valued on both sides of the archive boundary
+// (Quantize32 before materialization, float32 serialization), so narrowing a
+// decoder's weights is exact — a Decoder32 computes with the same parameter
+// values as its source, at half the operand width.
+
+// Dense32 is a float32 view of a Dense layer. Inference-only instances carry
+// just weights; the f32 training path (train32.go) adds private gradient
+// accumulators and forward caches.
+type Dense32 struct {
+	In, Out int
+	Act     Activation
+	W       *mat.Matrix32 // Out×In, narrowed from the source layer
+	B       []float32
+
+	// Training-only state; nil on inference instances.
+	GradW   *mat.Matrix32
+	GradB   []float32
+	lastIn  *mat.Matrix32
+	lastOut *mat.Matrix32
+}
+
+// newDense32 narrows a layer's parameters into a fresh inference-only
+// Dense32. Narrowing is exact for float32-valued parameters (see Quantize32).
+func newDense32(d *Dense) *Dense32 {
+	b := make([]float32, len(d.B))
+	for i, v := range d.B {
+		b[i] = float32(v)
+	}
+	return &Dense32{In: d.In, Out: d.Out, Act: d.Act, W: mat.To32(d.W, nil), B: b}
+}
+
+// infer computes act(x·Wᵀ + b) into ar scratch without touching training
+// caches. Allocation-free once the arena is warm.
+func (d *Dense32) infer(ar *mat.Arena32, x *mat.Matrix32) *mat.Matrix32 {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: dense32 infer input %d cols, want %d", x.Cols, d.In))
+	}
+	out := ar.Get(x.Rows, d.Out)
+	mat.MulTInto32(x, d.W, out)
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += d.B[j]
+		}
+	}
+	d.Act.apply32(out)
+	return out
+}
+
+// Decoder32 is the float32 inference view of a Decoder. It shares the source
+// decoder's column indexes (read-only) and owns narrowed copies of its
+// parameters. Safe for concurrent use: per-call scratch lives in the arenas a
+// Predictor closure owns, never on the Decoder32.
+type Decoder32 struct {
+	src     *Decoder
+	Hidden  []*Dense32
+	HeadNum *Dense32
+	Aux     *Dense32
+
+	SharedHidden *Dense32
+	Shared       *Dense32
+}
+
+// Float32 builds the decoder's float32 inference view.
+func (d *Decoder) Float32() *Decoder32 {
+	d32 := &Decoder32{src: d}
+	for _, l := range d.Hidden {
+		d32.Hidden = append(d32.Hidden, newDense32(l))
+	}
+	if d.HeadNum != nil {
+		d32.HeadNum = newDense32(d.HeadNum)
+	}
+	if d.Aux != nil {
+		d32.Aux = newDense32(d.Aux)
+	}
+	if d.SharedHidden != nil {
+		d32.SharedHidden = newDense32(d.SharedHidden)
+	}
+	if d.Shared != nil {
+		d32.Shared = newDense32(d.Shared)
+	}
+	return d32
+}
+
+// Decoders32 narrows a slice of decoders, preserving order. Nil entries stay
+// nil.
+func Decoders32(ds []*Decoder) []*Decoder32 {
+	out := make([]*Decoder32, len(ds))
+	for i, d := range ds {
+		if d != nil {
+			out[i] = d.Float32()
+		}
+	}
+	return out
+}
+
+// Source returns the float64 decoder this view was narrowed from.
+func (d *Decoder32) Source() *Decoder { return d.src }
+
+// Predictor returns a reusable prediction function equivalent to the source
+// decoder's PredictCols with the given want mask: matmuls in float32,
+// activations widened to float64, outputs ordinary Predictions. The closure
+// owns its scratch (a float32 arena for intermediates, a float64 arena for
+// outputs, one reused Predictions), so calling it repeatedly with same-shaped
+// batches allocates nothing after warmup — one Predictor per goroutine, and
+// each call invalidates the previous call's Predictions.
+func (d *Decoder32) Predictor(want []bool) func(codes *mat.Matrix) *Predictions {
+	src := d.src
+	wantNumBin := want == nil
+	var wantJ []int // categorical positions to evaluate, ascending
+	if want == nil {
+		for j := 0; j < src.catCols; j++ {
+			wantJ = append(wantJ, j)
+		}
+	} else {
+		for i, s := range src.Specs {
+			if i >= len(want) || !want[i] {
+				continue
+			}
+			switch s.Kind {
+			case OutNumeric, OutBinary:
+				wantNumBin = true
+			case OutCategorical:
+				wantJ = append(wantJ, src.catPos[i])
+			}
+		}
+	}
+	ar := &mat.Arena32{}
+	outAr := &mat.Arena{}
+	p := &Predictions{Cat: make([]*mat.Matrix, src.catCols)}
+	return func(codes *mat.Matrix) *Predictions {
+		if codes.Cols != src.CodeSize {
+			panic(fmt.Sprintf("nn: predict with %d-wide codes, want %d", codes.Cols, src.CodeSize))
+		}
+		ar.Reset()
+		outAr.Reset()
+		for j := range p.Cat {
+			p.Cat[j] = nil
+		}
+		b := codes.Rows
+		x := ar.Get(b, codes.Cols)
+		for i, v := range codes.Data {
+			x.Data[i] = float32(v)
+		}
+		h := x
+		for _, l := range d.Hidden {
+			h = l.infer(ar, h)
+		}
+		if wantNumBin && src.numCols+src.binCols > 0 {
+			z := d.HeadNum.infer(ar, h) // Identity activation: raw logits
+			p.Num = outAr.Get(b, src.numCols)
+			p.Bin = outAr.Get(b, src.binCols)
+			for r := 0; r < b; r++ {
+				row := z.Row(r)
+				nr, br := p.Num.Row(r), p.Bin.Row(r)
+				for c := 0; c < src.numCols; c++ {
+					nr[c] = 1 / (1 + math.Exp(-float64(row[c])))
+				}
+				for c := 0; c < src.binCols; c++ {
+					br[c] = 1 / (1 + math.Exp(-float64(row[src.numCols+c])))
+				}
+			}
+		} else {
+			p.Num = outAr.Get(b, 0)
+			p.Bin = outAr.Get(b, 0)
+		}
+		if len(wantJ) > 0 {
+			aux := d.Aux.infer(ar, h)
+			// Same vertical stacking and slab bound as the float64 path, so
+			// both widths see identical batch shapes.
+			grp := 1
+			if b > 0 {
+				grp = (1 << 15) / b
+			}
+			if grp < 1 {
+				grp = 1
+			}
+			for g0 := 0; g0 < len(wantJ); g0 += grp {
+				g1 := g0 + grp
+				if g1 > len(wantJ) {
+					g1 = len(wantJ)
+				}
+				js := wantJ[g0:g1]
+				z := d.stackedSharedInput(ar, aux, js)
+				logits := d.Shared.infer(ar, d.SharedHidden.infer(ar, z))
+				for k, j := range js {
+					card := src.cardOf[j]
+					probs := outAr.Get(b, card)
+					for r := 0; r < b; r++ {
+						row := logits.Row(k*b + r)
+						pr := probs.Row(r)
+						for c := 0; c < card; c++ {
+							pr[c] = float64(row[c])
+						}
+					}
+					Softmax(probs, card)
+					p.Cat[j] = probs
+				}
+			}
+		}
+		return p
+	}
+}
+
+// PredictCols is the one-shot form of Predictor, for tests and callers that
+// do not care about scratch reuse.
+func (d *Decoder32) PredictCols(codes *mat.Matrix, want []bool) *Predictions {
+	return d.Predictor(want)(codes)
+}
+
+// Predict decodes a batch of codes into predictions for every column.
+func (d *Decoder32) Predict(codes *mat.Matrix) *Predictions {
+	return d.PredictCols(codes, nil)
+}
+
+// stackedSharedInput is the float32 twin of Decoder.stackedSharedInput: the
+// shared-stack inputs for the listed categorical columns stacked vertically,
+// with each slab row carrying the auxiliary activations plus a one-hot column
+// signal. Arena Get zeroes recycled memory, so unset signal positions are 0.
+func (d *Decoder32) stackedSharedInput(ar *mat.Arena32, aux *mat.Matrix32, js []int) *mat.Matrix32 {
+	src := d.src
+	b := aux.Rows
+	z := ar.Get(len(js)*b, src.sharedWidth())
+	for k, j := range js {
+		for r := 0; r < b; r++ {
+			row := z.Row(k*b + r)
+			copy(row, aux.Row(r))
+			row[src.catCols+j] = 1
+		}
+	}
+	return z
+}

@@ -1,0 +1,203 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"deepsqueeze/internal/mat"
+	"deepsqueeze/internal/pipeline"
+)
+
+// predTol is the absolute tolerance the float32 decode path is held to
+// against the float64 decoder on small trained models (DESIGN.md §15).
+// Outputs are probabilities in (0,1); activation widening keeps the
+// divergence to linear-algebra rounding, orders of magnitude below this.
+const predTol = 1e-4
+
+func maxAbsDiff(a, b *mat.Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// trainedDecoder builds a briefly trained, float32-quantized decoder — the
+// state archives carry — plus random codes to decode.
+func trainedDecoder(t *testing.T, seed int64, rows int) (*Decoder, *mat.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ae, err := NewAutoencoder(rng, testSpecs(), Config{CodeSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, tg := randomBatch(rng, testSpecs(), 128)
+	opt := NewAdam(0.01)
+	for i := 0; i < 5; i++ {
+		ae.TrainBatch(x, tg, opt)
+	}
+	ae.Decoder.Quantize32()
+	codes := mat.RandUniform(rng, rows, 3, -2, 2)
+	return &ae.Decoder, codes
+}
+
+// The float32 decoder must match the float64 decoder within the documented
+// tolerance on every head, for the full prediction and under column masks.
+func TestDecoder32MatchesFloat64(t *testing.T) {
+	dec, codes := trainedDecoder(t, 71, 200)
+	d32 := dec.Float32()
+	if d32.Source() != dec {
+		t.Fatal("Source must return the wrapped decoder")
+	}
+	masks := [][]bool{
+		nil, // full predict
+		{true, true, true, true, true},
+		{true, false, false, false, true}, // numeric head + second categorical
+		{false, false, true, false, false},
+	}
+	for mi, want := range masks {
+		p64 := dec.PredictCols(codes, want)
+		p32 := d32.PredictCols(codes, want)
+		if d := maxAbsDiff(p64.Num, p32.Num); d > predTol {
+			t.Errorf("mask %d: Num diverges by %g", mi, d)
+		}
+		if d := maxAbsDiff(p64.Bin, p32.Bin); d > predTol {
+			t.Errorf("mask %d: Bin diverges by %g", mi, d)
+		}
+		for j := range p64.Cat {
+			if (p64.Cat[j] == nil) != (p32.Cat[j] == nil) {
+				t.Fatalf("mask %d: cat %d evaluated on one path only", mi, j)
+			}
+			if p64.Cat[j] == nil {
+				continue
+			}
+			if d := maxAbsDiff(p64.Cat[j], p32.Cat[j]); d > predTol {
+				t.Errorf("mask %d: Cat[%d] diverges by %g", mi, j, d)
+			}
+			// Softmax outputs must still be distributions.
+			for r := 0; r < p32.Cat[j].Rows; r++ {
+				sum := 0.0
+				for _, v := range p32.Cat[j].Row(r) {
+					sum += v
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("mask %d: Cat[%d] row %d sums to %v", mi, j, r, sum)
+				}
+			}
+		}
+	}
+	// Predict is PredictCols with a nil mask.
+	pa, pb := d32.Predict(codes), d32.PredictCols(codes, nil)
+	if maxAbsDiff(pa.Num, pb.Num) != 0 {
+		t.Error("Predict and PredictCols(nil) disagree")
+	}
+}
+
+// The float32 decode path is deterministic: the same codes always produce
+// bit-identical predictions, including across independently built Decoder32s
+// (narrowing float32-valued weights is exact, so there is nothing to vary).
+func TestDecoder32Deterministic(t *testing.T) {
+	dec, codes := trainedDecoder(t, 73, 150)
+	p1 := dec.Float32().Predict(codes)
+	p2 := dec.Float32().Predict(codes)
+	if !bitsEqual(p1.Num.Data, p2.Num.Data) || !bitsEqual(p1.Bin.Data, p2.Bin.Data) {
+		t.Fatal("float32 numeric/binary predictions not bit-identical")
+	}
+	for j := range p1.Cat {
+		if !bitsEqual(p1.Cat[j].Data, p2.Cat[j].Data) {
+			t.Fatalf("float32 Cat[%d] predictions not bit-identical", j)
+		}
+	}
+}
+
+// A Predictor closure must be allocation-free once warm: it owns its arenas
+// and reuses one Predictions value, which is what keeps the decode inner
+// loop off the allocator.
+func TestPredictor32SteadyStateAllocFree(t *testing.T) {
+	dec, codes := trainedDecoder(t, 79, 64)
+	pred := dec.Float32().Predictor(nil)
+	pred(codes)
+	pred(codes)
+	if allocs := testing.AllocsPerRun(10, func() { pred(codes) }); allocs != 0 {
+		t.Errorf("warm Predictor allocates %.0f objects per call, want 0", allocs)
+	}
+}
+
+// Float32 training carries the same worker-count invariant as float64: loss
+// history and trained weights are bit-identical at Workers = 1, 4, NumCPU,
+// because gradients are widened per shard before the fixed reduction tree.
+func TestFloat32TrainWorkersDeterministic(t *testing.T) {
+	train := func(workers int) ([]float64, []float64) {
+		rng := rand.New(rand.NewSource(107))
+		ae, err := NewAutoencoder(rng, testSpecs(), Config{CodeSize: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, tg := randomBatch(rand.New(rand.NewSource(108)), testSpecs(), 300)
+		opt := NewAdam(0.01)
+		pool := pipeline.NewPool(workers)
+		var losses []float64
+		for i := 0; i < 25; i++ {
+			losses = append(losses, ae.trainer().train(x, tg, opt, workers, pool, true))
+		}
+		return losses, flattenParams(ae)
+	}
+	baseLosses, baseW := train(1)
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		losses, w := train(workers)
+		if !bitsEqual(losses, baseLosses) {
+			t.Errorf("f32 loss history at Workers=%d differs from Workers=1", workers)
+		}
+		if !bitsEqual(w, baseW) {
+			t.Errorf("f32 trained weights at Workers=%d differ from Workers=1", workers)
+		}
+	}
+}
+
+// Float32 training must actually learn, and stay in the same neighborhood as
+// the float64 run: masters are float64 and only the matmuls run narrow.
+func TestFloat32TrainReducesLoss(t *testing.T) {
+	run := func(f32 bool) []float64 {
+		rng := rand.New(rand.NewSource(109))
+		moe, err := NewMoE(rng, testSpecs(), Config{CodeSize: 2}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, tg := randomBatch(rand.New(rand.NewSource(110)), testSpecs(), 256)
+		return moe.Train(rng, x, tg, TrainOptions{Epochs: 8, BatchSize: 64, Float32: f32})
+	}
+	hist := run(true)
+	if last, first := hist[len(hist)-1], hist[0]; last >= first {
+		t.Fatalf("float32 training did not reduce loss: %v → %v", first, last)
+	}
+	hist64 := run(false)
+	l32, l64 := hist[len(hist)-1], hist64[len(hist64)-1]
+	if math.Abs(l32-l64) > 0.1*math.Abs(l64)+1e-3 {
+		t.Errorf("float32 final loss %v far from float64 %v", l32, l64)
+	}
+}
+
+// Repeated identical float32 runs must be bit-identical (no hidden state in
+// the shared32 weight refresh or the per-shard f32 replicas).
+func TestFloat32TrainRepeatable(t *testing.T) {
+	run := func() []float64 {
+		rng := rand.New(rand.NewSource(111))
+		ae, _ := NewAutoencoder(rng, testSpecs(), Config{CodeSize: 2})
+		x, tg := randomBatch(rand.New(rand.NewSource(112)), testSpecs(), 100)
+		opt := NewAdam(0.01)
+		for i := 0; i < 10; i++ {
+			ae.trainer().train(x, tg, opt, 4, nil, true)
+		}
+		return flattenParams(ae)
+	}
+	if !bitsEqual(run(), run()) {
+		t.Fatal("two identical float32 training runs diverged")
+	}
+}

@@ -122,6 +122,12 @@ type TrainOptions struct {
 	// share one pool with the rest of a compression run. Nil with Workers > 1
 	// gets a private pool of that size.
 	Pool *pipeline.Pool
+	// Float32 runs each shard's forward/backward pass through the float32
+	// kernel family (train32.go): float64 parameters stay the masters, so
+	// optimizer state and the Workers bit-identity contract are unchanged,
+	// but the linear algebra rounds at float32. Expert assignment and the
+	// gate stay float64 either way.
+	Float32 bool
 }
 
 func (o *TrainOptions) defaults() {
@@ -208,7 +214,7 @@ func (m *MoE) Train(rng *rand.Rand, x *mat.Matrix, tg *Targets, opts TrainOption
 // trainBatch trains one batch and returns its mean loss.
 func (m *MoE) trainBatch(bx *mat.Matrix, btg *Targets, optims []*Adam, gateOpt *Adam, opts *TrainOptions) float64 {
 	if len(m.Experts) == 1 {
-		return m.Experts[0].TrainBatchWorkers(bx, btg, optims[0], opts.Workers, opts.Pool)
+		return m.Experts[0].trainer().train(bx, btg, optims[0], opts.Workers, opts.Pool, opts.Float32)
 	}
 	// Score every tuple under every expert; MAP assignment folds in the
 	// gate's current belief so routing and gating co-adapt.
@@ -245,7 +251,7 @@ func (m *MoE) trainBatch(bx *mat.Matrix, btg *Targets, optims []*Adam, gateOpt *
 		}
 		sub := extractRows(bx, idx)
 		stg := extractTargets(btg, idx)
-		total += exp.TrainBatchWorkers(sub, stg, optims[e], opts.Workers, opts.Pool) * float64(len(idx))
+		total += exp.trainer().train(sub, stg, optims[e], opts.Workers, opts.Pool, opts.Float32) * float64(len(idx))
 	}
 	total /= float64(bx.Rows)
 	// Train the gate toward the assignment with softmax cross-entropy.

@@ -47,9 +47,11 @@ type shardState struct {
 	rep      *Autoencoder // shard 0: the primary model itself
 	layers   []*Dense     // rep.AllLayers(), cached
 	ar       *mat.Arena
-	x        mat.Matrix // row view into the current batch
-	num, bin mat.Matrix // row views into the current targets
-	cat      [][]int    // per-column row subslices, outer slice reused
+	rep32    *ae32        // float32 training view (train32.go); nil until first f32 batch
+	ar32     *mat.Arena32 // float32 scratch for rep32
+	x        mat.Matrix   // row view into the current batch
+	num, bin mat.Matrix   // row views into the current targets
+	cat      [][]int      // per-column row subslices, outer slice reused
 	tg       Targets
 	loss     float64
 }
@@ -58,9 +60,10 @@ type shardState struct {
 // cached on the model, so repeated TrainBatch calls reuse replicas, arenas,
 // and layer slices.
 type trainer struct {
-	model  *Autoencoder
-	layers []*Dense // model.AllLayers(), cached for clip + step
-	shards []*shardState
+	model    *Autoencoder
+	layers   []*Dense   // model.AllLayers(), cached for clip + step
+	shared32 []*Dense32 // per-batch narrowed weights for f32 shards (train32.go)
+	shards   []*shardState
 }
 
 // trainer returns the model's cached shard trainer, building it on first use.
@@ -78,7 +81,7 @@ func (a *Autoencoder) trainer() *trainer {
 // TrainBatch path, because the shard partition and reduction order depend
 // only on x.Rows.
 func (a *Autoencoder) TrainBatchWorkers(x *mat.Matrix, tg *Targets, opt Optimizer, workers int, pool *pipeline.Pool) float64 {
-	return a.trainer().train(x, tg, opt, workers, pool)
+	return a.trainer().train(x, tg, opt, workers, pool, false)
 }
 
 // replica returns a model sharing a's parameters — every Dense W and B
@@ -153,14 +156,20 @@ func (s *shardState) view(x *mat.Matrix, tg *Targets, lo, hi int) {
 }
 
 // train runs one data-parallel training step: shard, accumulate, reduce,
-// clip, apply the optimizer once. Returns the batch's mean loss.
-func (t *trainer) train(x *mat.Matrix, tg *Targets, opt Optimizer, workers int, pool *pipeline.Pool) float64 {
+// clip, apply the optimizer once. Returns the batch's mean loss. With f32
+// set, each shard's forward/backward runs through the float32 path
+// (train32.go); partition, reduction, and optimizer are identical either way.
+func (t *trainer) train(x *mat.Matrix, tg *Targets, opt Optimizer, workers int, pool *pipeline.Pool, f32 bool) float64 {
 	rows := x.Rows
 	if rows == 0 {
 		return 0
 	}
 	ns := numShards(rows)
 	t.ensure(ns)
+	if f32 {
+		t.ensure32(ns)
+		t.refresh32()
+	}
 	shardRows := (rows + ns - 1) / ns
 	invB := 1 / float64(rows)
 	run := func(i int) {
@@ -176,6 +185,12 @@ func (t *trainer) train(x *mat.Matrix, tg *Targets, opt Optimizer, workers int, 
 		}
 		s.ar.Reset()
 		s.view(x, tg, lo, hi)
+		if f32 {
+			s.ar32.Reset()
+			s.loss = s.rep32.accumBatch(s.ar, s.ar32, &s.x, &s.tg, invB)
+			s.rep32.foldInto(s.layers)
+			return
+		}
 		s.loss = s.rep.accumBatch(s.ar, &s.x, &s.tg, invB)
 	}
 	if workers > 1 && pool != nil && ns > 1 {

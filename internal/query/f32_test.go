@@ -1,0 +1,66 @@
+package query
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"deepsqueeze/internal/core"
+)
+
+// compressQueryTableF32 is compressQueryTable under the float32 decode plan.
+func compressQueryTableF32(t *testing.T, rows int, seed int64, groupSize int) []byte {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.CodeSize = 2
+	opts.Train.Epochs = 3
+	opts.Train.BatchSize = 128
+	opts.Seed = seed
+	opts.RowGroupSize = groupSize
+	opts.Float32Decode = true
+	res, err := core.Compress(queryTable(rows, seed), []float64{0, 0.01, 0.01, 0}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Archive
+}
+
+// TestQueryFloat32Equivalence extends the engine's core contract to float32
+// archives: queries decode through the f32 kernel path (the archive flag
+// mandates it) yet must return byte-for-byte the rows a full decompress-
+// then-filter produces, at parallelism 1, 4, and NumCPU.
+func TestQueryFloat32Equivalence(t *testing.T) {
+	archive := compressQueryTableF32(t, 800, 67, 100)
+	info, err := core.Inspect(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Float32Decode {
+		t.Fatal("test archive lost the float32 plan flag")
+	}
+	full, err := core.Decompress(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(68))
+	for trial := 0; trial < 10; trial++ {
+		p := randPred(rng, 2)
+		want := naiveMatches(t, p, full)
+		wantCSV := tableCSV(t, full.Sample(want))
+		for _, par := range []int{1, 4, runtime.NumCPU()} {
+			res, err := Run(archive, Options{Where: p, Parallelism: par})
+			if err != nil {
+				t.Fatalf("trial %d (%s) p=%d: %v", trial, p, par, err)
+			}
+			if res.Matched != len(want) {
+				t.Fatalf("trial %d (%s) p=%d: matched %d rows, naive says %d",
+					trial, p, par, res.Matched, len(want))
+			}
+			if got := tableCSV(t, res.Table); !bytes.Equal(got, wantCSV) {
+				t.Fatalf("trial %d (%s) p=%d: result differs from decompress-then-filter",
+					trial, p, par)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deepsqueeze/internal/core"
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/query"
+)
+
+// f32Archive builds a small archive whose plan mandates float32 decode.
+func f32Archive(t *testing.T, dir string) string {
+	t.Helper()
+	schema := dataset.NewSchema(
+		dataset.Column{Name: "tag", Type: dataset.Categorical},
+		dataset.Column{Name: "seq", Type: dataset.Numeric},
+	)
+	tb := dataset.NewTable(schema, 256)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 256; i++ {
+		tb.AppendRow([]string{[]string{"a", "b"}[rng.Intn(2)]}, []float64{float64(i)})
+	}
+	opts := core.DefaultOptions()
+	opts.Seed = 13
+	opts.CodeSize = 2
+	opts.Train.Epochs = 2
+	opts.Float32Decode = true
+	res, err := core.Compress(tb, []float64{0, 0}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "f32.dsqz")
+	if err := os.WriteFile(path, res.Archive, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeNoFloat32Policy checks the operator policy switch: with NoFloat32
+// set the server refuses float32-plan archives (and counts the refusal),
+// while the default serves them like any other.
+func TestServeNoFloat32Policy(t *testing.T) {
+	dir := t.TempDir()
+	path := f32Archive(t, dir)
+	opts := query.Options{Where: query.Ge("seq", 200)}
+
+	open := New(Config{})
+	res, err := open.Query(context.Background(), path, opts)
+	if err != nil {
+		t.Fatalf("default policy must serve float32 archives: %v", err)
+	}
+	if res.Matched != 56 {
+		t.Fatalf("matched %d rows, want 56", res.Matched)
+	}
+
+	closed := New(Config{NoFloat32: true})
+	if _, err := closed.Query(context.Background(), path, opts); err == nil {
+		t.Fatal("NoFloat32 server accepted a float32-plan archive")
+	} else if !strings.Contains(err.Error(), "float32") {
+		t.Fatalf("refusal must name the policy, got: %v", err)
+	}
+	st := closed.Stats()
+	if st.Errors != 1 || st.Queries != 1 {
+		t.Fatalf("refusal not counted: %+v", st)
+	}
+}

@@ -47,6 +47,12 @@ type Config struct {
 	// Parallelism sizes the shared worker pool all admitted queries decode
 	// over. <= 0 selects runtime.NumCPU().
 	Parallelism int
+
+	// NoFloat32 refuses archives whose plan mandates float32 decode
+	// (an operator policy switch: such archives decode through the float32
+	// kernel path, which a fleet may want to gate on explicitly). Default
+	// off: float32-plan archives are served like any other.
+	NoFloat32 bool
 }
 
 // entry is one cached archive handle plus the file identity it was read
@@ -235,6 +241,10 @@ func (s *Server) Query(ctx context.Context, path string, opts query.Options) (*q
 	if err != nil {
 		s.recordError(path)
 		return nil, err
+	}
+	if s.cfg.NoFloat32 && a.Float32() {
+		s.recordError(path)
+		return nil, fmt.Errorf("%s: archive mandates float32 decode, refused by server policy", path)
 	}
 	opts.Pool = s.pool
 	res, err := query.RunArchive(ctx, a, opts)

@@ -59,6 +59,15 @@ echo "== benchmark smoke =="
 go test -run='^$' -bench='TrainBatch|TrainEpoch' -benchtime=1x ./internal/nn
 go test -run='^$' -bench='Into' -benchtime=1x ./internal/mat
 
+echo "== float32 kernel gate =="
+# The f32 kernel family's property tests against the f64 twins, the
+# asm-vs-portable bit-identity pin, decoder parity, and the archive-level
+# determinism/round-trip contracts. All run under -race above too; this
+# names them so a failure is attributable at a glance.
+go test -run='Kernels32|MulTRow32|Arena32|UlpDiff32' -count=1 ./internal/mat
+go test -run='Decoder32|Predictor32|Float32' -count=1 ./internal/nn
+go test -run='Float32' -count=1 ./internal/core ./internal/query ./internal/serve
+
 echo "== query equivalence gate =="
 # Predicate-pushdown results must be byte-identical to decompress-then-
 # filter for randomized predicates at parallelism 1, 4, and NumCPU.
@@ -74,6 +83,12 @@ echo "== serve bench smoke =="
 # One quick pass of the serving sweep: exercises the handle cache, the
 # shared-pool admission path, and warm-vs-cold verification inside the bench.
 (cd "$smokedir" && ./dsbench -exp serve -quick > /dev/null)
+
+echo "== f32 bench smoke =="
+# One quick pass of the float32-vs-float64 comparison: compresses the same
+# table under both plans and cross-checks every decoded cell between them
+# before reporting any speedup.
+(cd "$smokedir" && ./dsbench -exp f32 -quick > /dev/null)
 
 echo "== fuzz smoke =="
 # Short coverage-guided runs of the decode-path fuzzers: any panic or
