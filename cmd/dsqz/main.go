@@ -15,6 +15,8 @@
 //	-code 2            code size (representation-layer width)
 //	-experts 1         number of experts
 //	-rowgroup 4096     rows per archive row group (0 = default)
+//	-codec auto        stream codecs the best-of selector may try: auto,
+//	                   stored, deflate, range, range-adaptive, range-cpt
 //	-sample 0          training sample rows (0 = full data)
 //	-tune              run Bayesian hyperparameter tuning first
 //	-seed 1            random seed
@@ -195,6 +197,7 @@ func runCompress(ctx context.Context, args []string) error {
 	code := fs.Int("code", 2, "code size")
 	experts := fs.Int("experts", 1, "number of experts")
 	rowgroup := fs.Int("rowgroup", 0, "rows per archive row group (0 = default)")
+	codecName := fs.String("codec", "", "stream codec selection: auto (default), stored, deflate, range, range-adaptive, range-cpt")
 	sample := fs.Int("sample", 0, "training sample rows (0 = all)")
 	f32 := fs.Bool("f32", false, "record the float32-decode plan flag: corrections are computed against float32 inference and every reader decodes through the float32 kernel path")
 	tune := fs.Bool("tune", false, "run hyperparameter tuning before compressing")
@@ -220,6 +223,7 @@ func runCompress(ctx context.Context, args []string) error {
 	opts.CodeSize = *code
 	opts.NumExperts = *experts
 	opts.RowGroupSize = *rowgroup
+	opts.Codec = *codecName
 	opts.TrainSampleRows = *sample
 	opts.Seed = *seed
 	opts.Parallelism = *parallel
@@ -251,9 +255,10 @@ func compressTuned(ctx context.Context, f *os.File, out string, schema *deepsque
 	if err != nil {
 		return fmt.Errorf("tuning: %w", err)
 	}
-	rowgroup := opts.RowGroupSize
+	rowgroup, codecName := opts.RowGroupSize, opts.Codec
 	opts = tres.Best
 	opts.RowGroupSize = rowgroup
+	opts.Codec = codecName
 	fmt.Fprintf(os.Stderr, "tuned: code=%d experts=%d sample=%d (%d trials)\n",
 		opts.CodeSize, opts.NumExperts, opts.TrainSampleRows, len(tres.Trials))
 	res, err := deepsqueeze.CompressContext(ctx, table, thresholds, opts)
@@ -716,9 +721,14 @@ func runInspect(args []string) error {
 	if err != nil {
 		return archiveErr(*in, err)
 	}
+	streams, err := deepsqueeze.InspectStreams(buf)
+	if err != nil {
+		return archiveErr(*in, err)
+	}
 	if *jsonOut {
 		sum := info.Summary()
 		sum.Path = *in
+		sum.Streams = deepsqueeze.StreamSummaries(streams)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(sum)
@@ -748,7 +758,38 @@ func runInspect(args []string) error {
 				i, span, g.SegmentBytes, g.CodesBytes, g.MappingBytes, g.FailureBytes)
 		}
 	}
+	if len(streams) > 0 {
+		fmt.Println("streams (all groups):")
+		fmt.Printf("  %-24s %-10s %9s %9s %6s  %s\n", "column", "stream", "frame", "raw", "ratio", "codecs")
+		for _, st := range streams {
+			col := st.Column
+			if col == "" {
+				col = "-"
+			}
+			ratio := 1.0
+			if st.RawBytes > 0 {
+				ratio = float64(st.FrameBytes) / float64(st.RawBytes)
+			}
+			fmt.Printf("  %-24s %-10s %9d %9d %5.1f%%  %s\n",
+				col, st.Stream, st.FrameBytes, st.RawBytes, 100*ratio, codecHistogram(st.Codecs))
+		}
+	}
 	return nil
+}
+
+// codecHistogram renders a stream's codec-choice tally ("deflate×3
+// range-adaptive×5") in a fixed name order so output is deterministic.
+func codecHistogram(codecs map[string]int) string {
+	var parts []string
+	for _, name := range []string{"stored", "deflate", "range-adaptive", "range-cpt"} {
+		if n := codecs[name]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s×%d", name, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
 }
 
 func printBreakdown(bd core.Breakdown) {

@@ -273,6 +273,23 @@ type ArchiveSummary = core.ArchiveSummary
 // decoder.
 func Inspect(archive []byte) (*ArchiveInfo, error) { return core.Inspect(archive) }
 
+// StreamStat aggregates one logical stream's chunks across row groups:
+// chosen codecs, framed bytes, and stored-form bytes (InspectStreams).
+type StreamStat = core.StreamStat
+
+// StreamSummary is StreamStat's machine-readable form (ArchiveSummary.Streams).
+type StreamSummary = core.StreamSummary
+
+// InspectStreams walks an archive's row-group segments and reports
+// per-stream codec choices and compressed-vs-raw sizes, so compression wins
+// are attributable per column. It decodes stream frames but never runs the
+// model.
+func InspectStreams(archive []byte) ([]StreamStat, error) { return core.InspectStreams(archive) }
+
+// StreamSummaries converts InspectStreams output into the machine-readable
+// form embedded in ArchiveSummary.
+func StreamSummaries(stats []StreamStat) []StreamSummary { return core.StreamSummaries(stats) }
+
 // Archive is an open-once/serve-many handle: Open parses the archive's
 // header, footer index, zone maps, and decoder section at most once, and any
 // number of concurrent decompressions and queries then execute against the

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+
+	"deepsqueeze/internal/core"
+	"deepsqueeze/internal/datagen"
+	"deepsqueeze/internal/dataset"
+)
+
+// ratioRun is one dataset's record in BENCH_ratio.json: the DEFLATE-only
+// baseline against the best-of codec selection, with the failure/code
+// streams — the range codecs' territory — broken out.
+type ratioRun struct {
+	Dataset        string  `json:"dataset"`
+	Rows           int     `json:"rows"`
+	BaselineBytes  int     `json:"baseline_archive_bytes"`
+	AutoBytes      int     `json:"auto_archive_bytes"`
+	BaselineStream int64   `json:"baseline_failure_code_bytes"`
+	AutoStream     int64   `json:"auto_failure_code_bytes"`
+	StreamShrink   float64 `json:"failure_code_shrink_pct"`
+	ArchiveShrink  float64 `json:"archive_shrink_pct"`
+	RangeFrames    int     `json:"range_frames"`
+}
+
+// ratioBenchFile is the top-level BENCH_ratio.json document.
+type ratioBenchFile struct {
+	Baseline string     `json:"baseline"`
+	NumCPU   int        `json:"num_cpu"`
+	Results  []ratioRun `json:"results"`
+}
+
+// skewCatTable is the bench's skewed categorical fixture: every column is a
+// near-deterministic function of a shared latent with a 2% noise floor, so a
+// trained model ranks the true label first ~98% of the time and the failure
+// streams live below one bit per row — under Huffman's integer-bit floor
+// (colenc's stored form) and in exactly the regime range coding was added
+// for.
+func skewCatTable(rows int, seed int64) *dataset.Table {
+	cols := make([]dataset.Column, 10)
+	for i := range cols {
+		cols[i] = dataset.Column{Name: fmt.Sprintf("attr%02d", i), Type: dataset.Categorical}
+	}
+	schema := dataset.NewSchema(cols...)
+	t := dataset.NewTable(schema, rows)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < rows; i++ {
+		z := rng.Float64()
+		vals := make([]string, len(cols))
+		for c := range vals {
+			v := int(z*4) + c%3
+			if rng.Float64() < 0.02 {
+				v = rng.Intn(24)
+			}
+			vals[c] = fmt.Sprintf("v%02d", v)
+		}
+		t.AppendRow(vals, nil)
+	}
+	return t
+}
+
+// CodecRatio measures what the learned range codecs buy over the historical
+// stored/DEFLATE pair: each dataset is compressed twice — Codec "deflate"
+// (the pre-codec behavior) and default best-of selection — and the
+// failure/code stream bytes are compared. The skewed categorical fixture is
+// the acceptance gate: the run fails unless range coding shrinks its
+// failure/code bytes by at least 10%. Every auto archive is additionally
+// round-tripped at parallelism 1, 4, and NumCPU to prove codec choice is
+// deterministic. Results go to BENCH_ratio.json.
+func CodecRatio(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID:      "ratio",
+		Title:   "Stream-codec ratio: best-of range coding vs DEFLATE-only",
+		Columns: []string{"dataset", "rows", "base_bytes", "auto_bytes", "base_fc", "auto_fc", "fc_shrink", "range_frames"},
+	}
+	file := ratioBenchFile{Baseline: "deflate", NumCPU: runtime.NumCPU()}
+
+	type ratioCase struct {
+		name  string
+		table *dataset.Table
+		opts  core.Options
+		gate  bool // enforce the >= 10% failure/code shrink acceptance bound
+	}
+	var cases []ratioCase
+
+	skewRows := 20_000
+	if cfg.Scale > 0 && cfg.Scale != 1 {
+		skewRows = int(float64(skewRows) * cfg.Scale)
+		if skewRows < 2000 {
+			skewRows = 2000
+		}
+	}
+	skewOpts := core.DefaultOptions()
+	skewOpts.Seed = cfg.Seed
+	// The fixture needs a model good enough to push failure ranks into the
+	// sub-bit regime; a few epochs over a small sample suffice even in quick
+	// runs because the columns are near-deterministic in the latent.
+	skewOpts.Train.Epochs = 8
+	skewOpts.TrainSampleRows = 4000
+	cases = append(cases, ratioCase{"skewcat", skewCatTable(skewRows, cfg.Seed+300), skewOpts, true})
+
+	if !cfg.Quick {
+		tc := newTableCache(cfg)
+		t, _, err := tc.get("census")
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, ratioCase{"census", t, dsOptions("census", cfg), false})
+	}
+
+	for _, c := range cases {
+		th := datagen.Thresholds(c.table, 0)
+		base := c.opts
+		base.Codec = "deflate"
+		bres, err := core.Compress(c.table, th, base)
+		if err != nil {
+			return nil, err
+		}
+		ares, err := core.Compress(c.table, th, c.opts)
+		if err != nil {
+			return nil, err
+		}
+
+		// Codec choice must be a pure function of stream bytes: the same
+		// table compresses to identical archives at every parallelism level.
+		for _, p := range []int{1, 4, runtime.NumCPU()} {
+			po := c.opts
+			po.Parallelism = p
+			pres, err := core.Compress(c.table, th, po)
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(pres.Archive, ares.Archive) {
+				return nil, fmt.Errorf("bench: %s archive differs at parallelism %d", c.name, p)
+			}
+		}
+
+		stats, err := core.InspectStreams(ares.Archive)
+		if err != nil {
+			return nil, err
+		}
+		rangeFrames := 0
+		for _, st := range stats {
+			rangeFrames += st.Codecs["range-adaptive"] + st.Codecs["range-cpt"]
+		}
+
+		baseFC := bres.Breakdown.Failures + bres.Breakdown.Codes
+		autoFC := ares.Breakdown.Failures + ares.Breakdown.Codes
+		fcShrink := 100 * (1 - float64(autoFC)/float64(baseFC))
+		archShrink := 100 * (1 - float64(len(ares.Archive))/float64(len(bres.Archive)))
+		if c.gate && fcShrink < 10 {
+			return nil, fmt.Errorf("bench: range coding shrank %s failure/code bytes by only %.1f%%, want >= 10%%", c.name, fcShrink)
+		}
+		if len(ares.Archive) > len(bres.Archive) {
+			return nil, fmt.Errorf("bench: %s auto archive %dB exceeds deflate baseline %dB", c.name, len(ares.Archive), len(bres.Archive))
+		}
+
+		file.Results = append(file.Results, ratioRun{
+			Dataset:        c.name,
+			Rows:           c.table.NumRows(),
+			BaselineBytes:  len(bres.Archive),
+			AutoBytes:      len(ares.Archive),
+			BaselineStream: baseFC,
+			AutoStream:     autoFC,
+			StreamShrink:   fcShrink,
+			ArchiveShrink:  archShrink,
+			RangeFrames:    rangeFrames,
+		})
+		rep.Rows = append(rep.Rows, []string{
+			c.name,
+			fmt.Sprintf("%d", c.table.NumRows()),
+			fmt.Sprintf("%d", len(bres.Archive)),
+			fmt.Sprintf("%d", len(ares.Archive)),
+			fmt.Sprintf("%d", baseFC),
+			fmt.Sprintf("%d", autoFC),
+			fmt.Sprintf("%.1f%%", fcShrink),
+			fmt.Sprintf("%d", rangeFrames),
+		})
+		cfg.logf("ratio %s: failure/code %d -> %d bytes (%.1f%%), archive %d -> %d",
+			c.name, baseFC, autoFC, fcShrink, len(bres.Archive), len(ares.Archive))
+	}
+
+	rep.Notes = append(rep.Notes,
+		"baseline is Codec=deflate, the pre-codec stored/DEFLATE behavior",
+		"skewcat gates the >= 10% failure/code shrink acceptance bound",
+		"auto archives verified byte-identical at parallelism 1, 4, and NumCPU",
+		"results written to BENCH_ratio.json")
+	buf, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile("BENCH_ratio.json", append(buf, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -33,6 +33,7 @@ func Experiments() []Experiment {
 		{"query", "Predicate-pushdown scan vs. selectivity", QuerySelectivity},
 		{"serve", "Open-once serving: warm handles vs cold open-per-query", ServeBench},
 		{"f32", "Float32 kernel family: decode and training throughput vs float64", Float32Decode},
+		{"ratio", "Stream-codec ratio: best-of range coding vs DEFLATE-only", CodecRatio},
 	}
 }
 

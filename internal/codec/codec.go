@@ -1,0 +1,543 @@
+// Package codec is the pluggable per-stream compression layer behind every
+// archive chunk. A stream is wrapped in a self-describing frame whose first
+// byte names the codec; tags 0 (stored) and 1 (DEFLATE) are the historical
+// colfile tag byte, so every archive ever written decodes unchanged, and tags
+// 2–3 add range coding against learned symbol models (paper §6.3's entropy
+// stage; the Squish-style arithmetic coder applied to DeepSqueeze's streams).
+//
+// Integer streams — failure ranks, truncated codes, dictionary codes — are
+// the range codecs' territory: their alphabets are small and heavily skewed
+// (ranks concentrate at 0 by construction), which adaptive range coding
+// exploits below the 1-bit-per-symbol floor a Huffman-based byte codec
+// cannot cross. Byte streams (string/float chunk layouts, the decoder
+// section) use the stored/DEFLATE pair only.
+//
+// CompressInts is a best-of selector: it builds a frame per eligible codec
+// and keeps the smallest, so enabling the range codecs can never lose to
+// DEFLATE by more than the shared tag byte.
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"deepsqueeze/internal/colenc"
+	"deepsqueeze/internal/rangecoder"
+)
+
+// ErrCorrupt is returned when a stream frame fails validation.
+var ErrCorrupt = errors.New("codec: corrupt stream frame")
+
+// Frame tags. Part of the on-disk format; do not renumber. Tags 0 and 1 are
+// byte-identical to the pre-codec colfile stored/DEFLATE tag byte.
+const (
+	TagStored        byte = 0 // payload as-is
+	TagDeflate       byte = 1 // raw DEFLATE (compress/flate, not gzip)
+	TagRangeAdaptive byte = 2 // range-coded ints, adaptive frequency model
+	TagRangeCPT      byte = 3 // range-coded ints, static quantized table
+)
+
+// Mask selects which codecs the best-of selector may try. The zero Mask
+// means Auto; Stored is always implied — every stream needs a fallback that
+// can represent it.
+type Mask uint8
+
+// Mask bits, one per frame tag.
+const (
+	MaskStored Mask = 1 << iota
+	MaskDeflate
+	MaskRangeAdaptive
+	MaskRangeCPT
+)
+
+// Auto enables every codec: the default best-of-all selection.
+const Auto = MaskStored | MaskDeflate | MaskRangeAdaptive | MaskRangeCPT
+
+// ByteOnly is the historical stored/DEFLATE pair — the only codecs byte
+// (non-integer) streams can use, and the pre-codec archive behavior.
+const ByteOnly = MaskStored | MaskDeflate
+
+// normalize resolves the zero value to Auto and forces the Stored fallback.
+func (m Mask) normalize() Mask {
+	if m == 0 {
+		return Auto
+	}
+	return m | MaskStored
+}
+
+// String names the mask in ParseMask's vocabulary.
+func (m Mask) String() string {
+	switch m.normalize() {
+	case Auto:
+		return "auto"
+	case MaskStored:
+		return "stored"
+	case MaskStored | MaskDeflate:
+		return "deflate"
+	case MaskStored | MaskRangeAdaptive | MaskRangeCPT:
+		return "range"
+	case MaskStored | MaskRangeAdaptive:
+		return "range-adaptive"
+	case MaskStored | MaskRangeCPT:
+		return "range-cpt"
+	}
+	var parts []string
+	for _, c := range []struct {
+		bit  Mask
+		name string
+	}{{MaskStored, "stored"}, {MaskDeflate, "deflate"}, {MaskRangeAdaptive, "range-adaptive"}, {MaskRangeCPT, "range-cpt"}} {
+		if m.normalize()&c.bit != 0 {
+			parts = append(parts, c.name)
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseMask resolves a codec-selection name: "auto" (or empty) tries every
+// codec, "deflate" is the pre-codec stored/DEFLATE behavior, "stored"
+// disables compression, and "range" / "range-adaptive" / "range-cpt" force
+// the learned codecs (with the stored fallback streams always keep).
+func ParseMask(s string) (Mask, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return Auto, nil
+	case "stored":
+		return MaskStored, nil
+	case "deflate":
+		return MaskStored | MaskDeflate, nil
+	case "range":
+		return MaskStored | MaskRangeAdaptive | MaskRangeCPT, nil
+	case "range-adaptive":
+		return MaskStored | MaskRangeAdaptive, nil
+	case "range-cpt":
+		return MaskStored | MaskRangeCPT, nil
+	}
+	return 0, fmt.Errorf("codec: unknown codec %q (want auto, stored, deflate, range, range-adaptive, or range-cpt)", s)
+}
+
+// Name returns the human-readable codec name for a frame tag.
+func Name(tag byte) string {
+	switch tag {
+	case TagStored:
+		return "stored"
+	case TagDeflate:
+		return "deflate"
+	case TagRangeAdaptive:
+		return "range-adaptive"
+	case TagRangeCPT:
+		return "range-cpt"
+	}
+	return fmt.Sprintf("unknown(%d)", tag)
+}
+
+// MaxInflatedBytes caps the output of a single DEFLATE frame. DEFLATE tops
+// out near 1032:1, so reaching this cap takes a ~256 KiB compressed chunk —
+// far beyond anything this codebase writes — while a crafted bomb in a
+// corrupt archive is cut off instead of exhausting memory.
+const MaxInflatedBytes = 1 << 28
+
+// maxRangeValues caps both the symbol count a range frame may carry and the
+// count an unbounded decode will honor — the range-codec analogue of
+// MaxInflatedBytes (a range frame decodes to at most 8·maxRangeValues
+// bytes of int64s). Streams longer than this fall back to the byte codecs.
+const maxRangeValues = 1 << 25
+
+// maxRangeAlphabet bounds the symbol alphabet (max−min+1) a range frame may
+// declare. Wide alphabets make poor range candidates — the adaptive model
+// starts uniform and the CPT frame ships one table byte per symbol — and the
+// bound keeps model totals comfortably inside rangecoder.MaxTotal.
+const maxRangeAlphabet = 1 << 15
+
+// rangeInc is the adaptive model's frequency increment. It is part of the
+// frame format: encoder and decoder must agree on it for lockstep adaptation.
+const rangeInc = 32
+
+// CompressBytes wraps an opaque byte payload in the smallest eligible frame.
+// Byte streams are stored/DEFLATE territory; range bits in the mask are
+// ignored (a byte payload has no symbol alphabet to model).
+func CompressBytes(payload []byte, mask Mask) []byte {
+	if mask.normalize()&MaskDeflate != 0 {
+		return DeflateLevel(payload, flate.BestCompression)
+	}
+	out := make([]byte, 0, len(payload)+1)
+	out = append(out, TagStored)
+	return append(out, payload...)
+}
+
+// DeflateLevel frames payload at an explicit DEFLATE level, keeping the
+// compressed form only when strictly smaller. Any writer failure — including
+// an invalid level — falls back to the stored form, so the result is always
+// a valid frame and the encoder never panics.
+func DeflateLevel(payload []byte, level int) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(TagDeflate)
+	if fw, err := flate.NewWriter(&buf, level); err == nil {
+		if _, err := fw.Write(payload); err == nil {
+			if err := fw.Close(); err == nil && buf.Len() < len(payload)+1 {
+				return buf.Bytes()
+			}
+		}
+	}
+	out := make([]byte, 0, len(payload)+1)
+	out = append(out, TagStored)
+	return append(out, payload...)
+}
+
+// DecompressBytes inverts CompressBytes. Only the byte codecs are legal
+// here; a range tag in a byte stream is a format violation.
+func DecompressBytes(frame []byte) ([]byte, error) {
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("%w: empty chunk", ErrCorrupt)
+	}
+	switch frame[0] {
+	case TagStored:
+		return frame[1:], nil
+	case TagDeflate:
+		return inflate(frame[1:])
+	case TagRangeAdaptive, TagRangeCPT:
+		return nil, fmt.Errorf("%w: range frame in a byte stream", ErrCorrupt)
+	default:
+		return nil, fmt.Errorf("%w: unknown stream codec tag %d", ErrCorrupt, frame[0])
+	}
+}
+
+// inflate decompresses a raw DEFLATE body under the inflation cap.
+func inflate(body []byte) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(body))
+	out, err := io.ReadAll(io.LimitReader(fr, MaxInflatedBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
+	}
+	if len(out) > MaxInflatedBytes {
+		return nil, fmt.Errorf("%w: inflated chunk exceeds %d bytes", ErrCorrupt, MaxInflatedBytes)
+	}
+	return out, fr.Close()
+}
+
+// CompressInts encodes an integer stream with the smallest eligible frame:
+// the colenc stored form, its DEFLATE pass, and — when the stream has a
+// modelable alphabet — the two range codecs. Candidates are tried in tag
+// order and replaced only when strictly smaller, so the choice is a pure
+// function of the stream bytes (deterministic at every parallelism level).
+func CompressInts(values []int64, mask Mask) []byte {
+	mask = mask.normalize()
+	enc := colenc.EncodeBest(values)
+	best := make([]byte, 0, len(enc)+1)
+	best = append(best, TagStored)
+	best = append(best, enc...)
+	if mask&MaskDeflate != 0 {
+		if f := DeflateLevel(enc, flate.BestCompression); len(f) < len(best) {
+			best = f
+		}
+	}
+	if mask&(MaskRangeAdaptive|MaskRangeCPT) == 0 || len(values) == 0 || len(values) > maxRangeValues {
+		return best
+	}
+	base, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < base {
+			base = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	// uint64 subtraction is exact for any int64 pair with hi ≥ base.
+	span := uint64(hi) - uint64(base)
+	if span >= maxRangeAlphabet {
+		return best
+	}
+	alphabet := int(span) + 1
+	if mask&MaskRangeAdaptive != 0 {
+		if f := appendRangeAdaptive(values, base, alphabet); len(f) < len(best) {
+			best = f
+		}
+	}
+	if mask&MaskRangeCPT != 0 {
+		if f := appendRangeCPT(values, base, alphabet); len(f) < len(best) {
+			best = f
+		}
+	}
+	return best
+}
+
+// DecompressInts inverts CompressInts, rejecting streams that declare more
+// than max values before allocating for them. max < 0 disables the bound
+// (range frames then fall back to the maxRangeValues cap).
+func DecompressInts(frame []byte, max int) ([]int64, error) {
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("%w: empty chunk", ErrCorrupt)
+	}
+	switch frame[0] {
+	case TagStored:
+		return colenc.DecodeBestMax(frame[1:], max)
+	case TagDeflate:
+		body, err := inflate(frame[1:])
+		if err != nil {
+			return nil, err
+		}
+		return colenc.DecodeBestMax(body, max)
+	case TagRangeAdaptive, TagRangeCPT:
+		return decodeRangeInts(frame, max)
+	default:
+		return nil, fmt.Errorf("%w: unknown stream codec tag %d", ErrCorrupt, frame[0])
+	}
+}
+
+// rangeHeader writes the shared range-frame prefix: tag, symbol count,
+// zigzag-coded base value (the stream minimum), and alphabet size.
+func rangeHeader(tag byte, count int, base int64, alphabet int) []byte {
+	out := make([]byte, 1, 16)
+	out[0] = tag
+	out = binary.AppendUvarint(out, uint64(count))
+	out = binary.AppendVarint(out, base)
+	out = binary.AppendUvarint(out, uint64(alphabet))
+	return out
+}
+
+// appendRangeAdaptive builds a TagRangeAdaptive frame: symbols v−base coded
+// against an adaptive model that starts uniform and learns the stream's skew
+// as it goes. Nothing but the header is shipped — the decoder rebuilds the
+// identical model trajectory.
+func appendRangeAdaptive(values []int64, base int64, alphabet int) []byte {
+	out := rangeHeader(TagRangeAdaptive, len(values), base, alphabet)
+	m := rangecoder.NewAdaptiveModel(alphabet, rangeInc)
+	e := rangecoder.NewEncoder()
+	for _, v := range values {
+		m.EncodeSymbol(e, int(v-base))
+	}
+	return append(out, e.Bytes()...)
+}
+
+// appendRangeCPT builds a TagRangeCPT frame: a squish-style quantized
+// frequency table (one byte per alphabet symbol) followed by symbols coded
+// against those static statistics. Pays the table up front in exchange for
+// full-strength statistics from the first symbol — the better trade on short
+// or stationary streams.
+func appendRangeCPT(values []int64, base int64, alphabet int) []byte {
+	counts := make([]int, alphabet)
+	for _, v := range values {
+		counts[v-base]++
+	}
+	t := newStaticTable(counts, alphabet)
+	out := rangeHeader(TagRangeCPT, len(values), base, alphabet)
+	out = t.appendBinary(out)
+	e := rangecoder.NewEncoder()
+	for _, v := range values {
+		s := int(v - base)
+		e.Encode(t.cum[s], uint32(t.freq[s]), t.tot)
+	}
+	return append(out, e.Bytes()...)
+}
+
+// decodeRangeInts decodes a range frame of either flavor. Every declared
+// quantity is bounds-checked before allocation, and the coder's overrun
+// counter is consulted per symbol so a truncated body fails with ErrCorrupt
+// instead of silently decoding zero padding.
+func decodeRangeInts(frame []byte, max int) ([]int64, error) {
+	r := frame[1:]
+	count64, n := binary.Uvarint(r)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: missing range symbol count", ErrCorrupt)
+	}
+	r = r[n:]
+	if max >= 0 && count64 > uint64(max) {
+		return nil, fmt.Errorf("%w: range frame declares %d values, expected at most %d", ErrCorrupt, count64, max)
+	}
+	if count64 > maxRangeValues {
+		return nil, fmt.Errorf("%w: range frame declares %d values", ErrCorrupt, count64)
+	}
+	base, n := binary.Varint(r)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: missing range base", ErrCorrupt)
+	}
+	r = r[n:]
+	alphabet64, n := binary.Uvarint(r)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: missing range alphabet", ErrCorrupt)
+	}
+	r = r[n:]
+	if alphabet64 == 0 || alphabet64 > maxRangeAlphabet {
+		return nil, fmt.Errorf("%w: range alphabet %d", ErrCorrupt, alphabet64)
+	}
+	alphabet := int(alphabet64)
+	var decodeSym func(*rangecoder.Decoder) int
+	if frame[0] == TagRangeCPT {
+		t, used, err := parseStaticTable(r, alphabet)
+		if err != nil {
+			return nil, err
+		}
+		r = r[used:]
+		decodeSym = t.decode
+	} else {
+		m := rangecoder.NewAdaptiveModel(alphabet, rangeInc)
+		decodeSym = m.DecodeSymbol
+	}
+	out := make([]int64, count64)
+	if count64 == 0 {
+		return out, nil
+	}
+	d := rangecoder.NewDecoder(r)
+	for i := range out {
+		out[i] = base + int64(decodeSym(d))
+		if d.Overrun() {
+			return nil, fmt.Errorf("%w: range frame truncated at symbol %d", ErrCorrupt, i)
+		}
+	}
+	return out, nil
+}
+
+// staticTable is a quantized frequency table over a frame's alphabet, the
+// in-frame twin of squish's CPT: frequencies 1..256 serialized as one byte
+// each (freq−1), cumulative totals kept within the range coder's budget.
+type staticTable struct {
+	freq []uint16
+	cum  []uint32 // cumulative, len = alphabet+1
+	tot  uint32
+}
+
+// newStaticTable quantizes raw counts, giving every symbol frequency ≥ 1
+// (Laplace smoothing) and scaling the largest count to the byte budget.
+func newStaticTable(counts []int, alphabet int) *staticTable {
+	maxCount := 1
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	limit := 255
+	if alphabet*256 > int(rangecoder.MaxTotal) {
+		limit = int(rangecoder.MaxTotal)/alphabet - 1
+		if limit < 1 {
+			limit = 1
+		}
+	}
+	t := &staticTable{freq: make([]uint16, alphabet)}
+	for s := range t.freq {
+		f := 1
+		if s < len(counts) && counts[s] > 0 {
+			f = 1 + counts[s]*(limit-1)/maxCount
+		}
+		t.freq[s] = uint16(f)
+	}
+	t.finish()
+	return t
+}
+
+func (t *staticTable) finish() {
+	t.cum = make([]uint32, len(t.freq)+1)
+	var acc uint32
+	for s, f := range t.freq {
+		t.cum[s] = acc
+		acc += uint32(f)
+	}
+	t.cum[len(t.freq)] = acc
+	t.tot = acc
+}
+
+// parseStaticTable decodes an in-frame table, rejecting totals the range
+// coder cannot represent (a crafted wide-alphabet table would otherwise
+// panic the decoder).
+func parseStaticTable(buf []byte, alphabet int) (*staticTable, int, error) {
+	if len(buf) < alphabet {
+		return nil, 0, fmt.Errorf("%w: truncated range frequency table", ErrCorrupt)
+	}
+	t := &staticTable{freq: make([]uint16, alphabet)}
+	for s := range t.freq {
+		t.freq[s] = uint16(buf[s]) + 1
+	}
+	t.finish()
+	if t.tot > rangecoder.MaxTotal {
+		return nil, 0, fmt.Errorf("%w: range frequency total %d exceeds coder limit", ErrCorrupt, t.tot)
+	}
+	return t, alphabet, nil
+}
+
+// decode reads one symbol against the static statistics.
+func (t *staticTable) decode(d *rangecoder.Decoder) int {
+	target := d.DecodeFreq(t.tot)
+	s := sort.Search(len(t.freq), func(i int) bool { return t.cum[i+1] > target })
+	d.Update(t.cum[s], uint32(t.freq[s]), t.tot)
+	return s
+}
+
+// appendBinary serializes the frequency table (freq−1 always fits a byte:
+// wide alphabets shrink the quantization limit accordingly).
+func (t *staticTable) appendBinary(dst []byte) []byte {
+	for _, f := range t.freq {
+		dst = append(dst, byte(f-1))
+	}
+	return dst
+}
+
+// FrameInfo describes one frame for inspection tooling: which codec was
+// chosen, the frame's size, and the stream's stored-form ("raw") size — the
+// bytes the stream would occupy before any byte- or range-entropy pass, so
+// compressed-vs-raw ratios are comparable across codecs.
+type FrameInfo struct {
+	Codec      string
+	FrameBytes int64
+	RawBytes   int64
+	// Values is the symbol count a range frame declares; 0 for byte codecs
+	// (their frames do not carry a count).
+	Values int
+}
+
+// InspectInts classifies an integer-stream frame. Stored frames read their
+// size directly; DEFLATE frames inflate (under the cap) to recover the
+// stored-form size; range frames decode and re-encode through colenc so the
+// reported raw size is the same stored form the other tags report.
+func InspectInts(frame []byte, max int) (FrameInfo, error) {
+	if len(frame) == 0 {
+		return FrameInfo{}, fmt.Errorf("%w: empty chunk", ErrCorrupt)
+	}
+	info := FrameInfo{Codec: Name(frame[0]), FrameBytes: int64(len(frame))}
+	switch frame[0] {
+	case TagStored:
+		info.RawBytes = int64(len(frame))
+	case TagDeflate:
+		body, err := inflate(frame[1:])
+		if err != nil {
+			return FrameInfo{}, err
+		}
+		info.RawBytes = int64(len(body)) + 1
+	case TagRangeAdaptive, TagRangeCPT:
+		values, err := decodeRangeInts(frame, max)
+		if err != nil {
+			return FrameInfo{}, err
+		}
+		info.Values = len(values)
+		info.RawBytes = int64(len(colenc.EncodeBest(values))) + 1
+	default:
+		return FrameInfo{}, fmt.Errorf("%w: unknown stream codec tag %d", ErrCorrupt, frame[0])
+	}
+	return info, nil
+}
+
+// InspectBytes classifies a byte-stream frame (string/float chunk layouts,
+// decoder sections): stored or DEFLATE only.
+func InspectBytes(frame []byte) (FrameInfo, error) {
+	if len(frame) == 0 {
+		return FrameInfo{}, fmt.Errorf("%w: empty chunk", ErrCorrupt)
+	}
+	info := FrameInfo{Codec: Name(frame[0]), FrameBytes: int64(len(frame))}
+	switch frame[0] {
+	case TagStored:
+		info.RawBytes = int64(len(frame))
+	case TagDeflate:
+		body, err := inflate(frame[1:])
+		if err != nil {
+			return FrameInfo{}, err
+		}
+		info.RawBytes = int64(len(body)) + 1
+	default:
+		return FrameInfo{}, fmt.Errorf("%w: unknown stream codec tag %d", ErrCorrupt, frame[0])
+	}
+	return info, nil
+}

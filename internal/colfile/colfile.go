@@ -10,7 +10,6 @@ package colfile
 
 import (
 	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -18,6 +17,7 @@ import (
 	"io"
 	"math"
 
+	"deepsqueeze/internal/codec"
 	"deepsqueeze/internal/colenc"
 	"deepsqueeze/internal/dataset"
 	"deepsqueeze/internal/preprocess"
@@ -39,64 +39,51 @@ const (
 	chunkNumXor              // Gorilla-style XOR-compressed float64s
 )
 
+// wrapCodecErr keeps this package's error contract across the codec
+// delegation: colenc errors pass through untouched, anything else is
+// classified under ErrCorrupt.
+func wrapCodecErr(err error) error {
+	if err == nil || errors.Is(err, colenc.ErrCorrupt) || errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrCorrupt, err)
+}
+
 // Deflate wraps payload with a 1-byte tag: 0 = stored, 1 = DEFLATE. The
 // compressed form is kept only when strictly smaller.
 func Deflate(payload []byte) []byte {
-	return deflateLevel(payload, flate.BestCompression)
+	return codec.CompressBytes(payload, codec.ByteOnly)
 }
 
 // deflateLevel is Deflate at an explicit compression level. Any writer
 // failure — including an invalid level — falls back to the stored form, so
 // the result is always a valid chunk and the encoder never panics.
 func deflateLevel(payload []byte, level int) []byte {
-	var buf bytes.Buffer
-	buf.WriteByte(1)
-	if fw, err := flate.NewWriter(&buf, level); err == nil {
-		if _, err := fw.Write(payload); err == nil {
-			if err := fw.Close(); err == nil && buf.Len() < len(payload)+1 {
-				return buf.Bytes()
-			}
-		}
-	}
-	out := make([]byte, 0, len(payload)+1)
-	out = append(out, 0)
-	return append(out, payload...)
+	return codec.DeflateLevel(payload, level)
 }
 
-// maxInflatedBytes caps the output of a single DEFLATE chunk. DEFLATE tops
-// out near 1032:1, so reaching this cap takes a ~256 KiB compressed chunk —
-// far beyond anything this codebase writes — while a crafted bomb in a
-// corrupt archive is cut off instead of exhausting memory.
-const maxInflatedBytes = 1 << 28
+// maxInflatedBytes caps the output of a single DEFLATE chunk; the codec
+// layer owns the bound, this package re-exposes it for its own bomb tests.
+const maxInflatedBytes = codec.MaxInflatedBytes
 
 // Inflate inverts Deflate.
 func Inflate(buf []byte) ([]byte, error) {
-	if len(buf) == 0 {
-		return nil, fmt.Errorf("%w: empty chunk", ErrCorrupt)
-	}
-	switch buf[0] {
-	case 0:
-		return buf[1:], nil
-	case 1:
-		fr := flate.NewReader(bytes.NewReader(buf[1:]))
-		out, err := io.ReadAll(io.LimitReader(fr, maxInflatedBytes+1))
-		if err != nil {
-			return nil, fmt.Errorf("%w: inflate: %v", ErrCorrupt, err)
-		}
-		if len(out) > maxInflatedBytes {
-			return nil, fmt.Errorf("%w: inflated chunk exceeds %d bytes", ErrCorrupt, maxInflatedBytes)
-		}
-		return out, fr.Close()
-	default:
-		return nil, fmt.Errorf("%w: unknown compression tag %d", ErrCorrupt, buf[0])
-	}
+	out, err := codec.DecompressBytes(buf)
+	return out, wrapCodecErr(err)
 }
 
-// PackInts encodes an integer stream with the best columnar encoding and an
-// optional DEFLATE pass. This is the entry point DeepSqueeze's
-// materialization uses for codes, failures, and expert mappings.
+// PackInts encodes an integer stream with the best columnar encoding and the
+// full codec best-of pass (DEFLATE plus the range codecs when eligible).
+// This is the entry point DeepSqueeze's materialization uses for codes,
+// failures, and expert mappings.
 func PackInts(values []int64) []byte {
-	return Deflate(colenc.EncodeBest(values))
+	return codec.CompressInts(values, codec.Auto)
+}
+
+// PackIntsMask is PackInts with an explicit codec selection, for callers
+// plumbing a user-chosen codec policy (Options.Codec) down to the streams.
+func PackIntsMask(values []int64, mask codec.Mask) []byte {
+	return codec.CompressInts(values, mask)
 }
 
 // UnpackInts inverts PackInts with no expected-count bound. Prefer
@@ -106,11 +93,8 @@ func UnpackInts(buf []byte) ([]int64, error) { return UnpackIntsMax(buf, -1) }
 // UnpackIntsMax inverts PackInts, rejecting streams that declare more than
 // max values before allocating for them. max < 0 disables the bound.
 func UnpackIntsMax(buf []byte, max int) ([]int64, error) {
-	body, err := Inflate(buf)
-	if err != nil {
-		return nil, err
-	}
-	return colenc.DecodeBestMax(body, max)
+	out, err := codec.DecompressInts(buf, max)
+	return out, wrapCodecErr(err)
 }
 
 // PackStrings encodes a string column, choosing between a dictionary layout

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"compress/gzip"
+	"errors"
 	"testing"
 )
 
@@ -121,23 +123,53 @@ func TestGroupedPermStable(t *testing.T) {
 	}
 }
 
-func TestDeflateInflateBytes(t *testing.T) {
+func TestDecoderSectionRoundTrip(t *testing.T) {
 	data := bytes.Repeat([]byte("model weights "), 500)
-	z, err := deflateBytes(data)
-	if err != nil {
-		t.Fatal(err)
-	}
+	z := compressDecoderSection(data)
 	if len(z) >= len(data) {
-		t.Fatalf("gzip did not shrink repetitive data: %d vs %d", len(z), len(data))
+		t.Fatalf("DEFLATE did not shrink repetitive data: %d vs %d", len(z), len(data))
 	}
-	back, err := inflateBytes(z)
+	back, err := inflateDecoderSection(z)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(back, data) {
 		t.Fatal("round trip mismatch")
 	}
-	if _, err := inflateBytes([]byte("not gzip")); err == nil {
-		t.Fatal("garbage accepted")
+	// The codec is raw flate, not gzip: a frame with an unknown tag byte must
+	// be rejected as corrupt, and the error must say so.
+	if _, err := inflateDecoderSection([]byte("not a codec frame")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage classified as %v, want ErrCorrupt", err)
+	}
+	// A stored frame round-trips even when DEFLATE cannot shrink the payload.
+	incompressible := []byte{0x01, 0x9f, 0x3a, 0xc4}
+	back, err = inflateDecoderSection(compressDecoderSection(incompressible))
+	if err != nil || !bytes.Equal(back, incompressible) {
+		t.Fatalf("stored-frame round trip = %v, %v", back, err)
+	}
+}
+
+func TestDecoderSectionReadsLegacyGzip(t *testing.T) {
+	// Archives written before the codec layer gzipped the decoder section;
+	// the reader must still sniff and inflate that form.
+	data := bytes.Repeat([]byte("legacy decoder bytes "), 100)
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := inflateDecoderSection(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("legacy gzip round trip mismatch")
+	}
+	// Truncated gzip must classify as corrupt, not panic or succeed.
+	if _, err := inflateDecoderSection(buf.Bytes()[:buf.Len()/2]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated gzip classified as %v, want ErrCorrupt", err)
 	}
 }

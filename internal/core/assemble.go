@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 
+	"deepsqueeze/internal/codec"
 	"deepsqueeze/internal/colfile"
 	"deepsqueeze/internal/dataset"
 	"deepsqueeze/internal/nn"
@@ -36,8 +37,9 @@ type externalModelRef struct {
 type segConfig struct {
 	hasModel  bool
 	experts   int
-	grouped   bool // grouped mapping form (vs per-tuple labels)
-	keepOrder bool // original order recoverable (flagRowOrder)
+	grouped   bool       // grouped mapping form (vs per-tuple labels)
+	keepOrder bool       // original order recoverable (flagRowOrder)
+	mask      codec.Mask // codecs the int-stream best-of selector may try
 }
 
 // segmentData is everything one row-group segment serializes, already cut to
@@ -118,13 +120,13 @@ func sliceGroups(md *modelData, fs *failureSet, dims [][]int64, perm []int, span
 // original indexes when row order is kept); the labels form stores one
 // expert label per tuple. perm is the group's stored-order slice; origBase
 // is subtracted to make indexes group-local.
-func buildMappingChunk(assign, perm []int, origBase, experts int, grouped, keepOrder bool) []byte {
+func buildMappingChunk(assign, perm []int, origBase, experts int, grouped, keepOrder bool, mask codec.Mask) []byte {
 	if !grouped {
 		labels := make([]int64, len(perm))
 		for i, orig := range perm {
 			labels[i] = int64(assign[orig])
 		}
-		return colfile.PackInts(labels)
+		return colfile.PackIntsMask(labels, mask)
 	}
 	byExpert := make([][]int64, experts)
 	for _, orig := range perm {
@@ -135,7 +137,7 @@ func buildMappingChunk(assign, perm []int, origBase, experts int, grouped, keepO
 	for _, idx := range byExpert {
 		mb = binary.AppendUvarint(mb, uint64(len(idx)))
 		if keepOrder {
-			packed := colfile.PackInts(idx)
+			packed := colfile.PackIntsMask(idx, mask)
 			mb = binary.AppendUvarint(mb, uint64(len(packed)))
 			mb = append(mb, packed...)
 		}
@@ -167,22 +169,22 @@ func buildSegment(t *dataset.Table, md *modelData, assign []int, cfg segConfig, 
 	var codes, mapping, failures int64
 	if cfg.hasModel {
 		for _, dim := range g.dims {
-			codes += w.chunk(colfile.PackInts(dim))
+			codes += w.chunk(colfile.PackIntsMask(dim, cfg.mask))
 		}
 	}
 	if cfg.experts > 1 {
-		mapping += w.chunk(buildMappingChunk(assign, g.perm, g.origBase, cfg.experts, cfg.grouped, cfg.keepOrder))
+		mapping += w.chunk(buildMappingChunk(assign, g.perm, g.origBase, cfg.experts, cfg.grouped, cfg.keepOrder, cfg.mask))
 	}
 	for col := range md.plan.Cols {
 		cp := &md.plan.Cols[col]
 		switch {
 		case md.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
-			failures += w.chunk(colfile.PackInts(g.mask[col]))
+			failures += w.chunk(colfile.PackIntsMask(g.mask[col], cfg.mask))
 			failures += w.chunk(colfile.PackFloats(g.vals[col]))
 		case md.specOfCol[col] >= 0:
-			failures += w.chunk(colfile.PackInts(g.ints[col]))
+			failures += w.chunk(colfile.PackIntsMask(g.ints[col], cfg.mask))
 			if md.specs[md.specOfCol[col]].Kind == nn.OutCategorical {
-				failures += w.chunk(colfile.PackInts(g.exc[col]))
+				failures += w.chunk(colfile.PackIntsMask(g.exc[col], cfg.mask))
 			}
 		case cp.Kind == preprocess.KindFallbackCat:
 			vals := make([]string, g.span.count)
@@ -202,7 +204,7 @@ func buildSegment(t *dataset.Table, md *modelData, assign []int, cfg segConfig, 
 			for s, orig := range g.perm {
 				vals[s] = int64(cc[orig])
 			}
-			failures += w.chunk(colfile.PackInts(vals))
+			failures += w.chunk(colfile.PackIntsMask(vals, cfg.mask))
 		}
 	}
 	return w.finish(), codes, mapping, failures, nil
@@ -227,7 +229,7 @@ func archiveFlags(st *archiveState, keepRowOrder bool) byte {
 }
 
 // appendDecoderChunkPayload serializes the decoder section payload: the
-// external-model hash for streaming batch archives, the gzip'd
+// external-model hash for streaming batch archives, the DEFLATE-framed
 // length-prefixed decoders otherwise.
 func appendDecoderChunkPayload(st *archiveState) ([]byte, error) {
 	if st.ext != nil {
@@ -239,7 +241,7 @@ func appendDecoderChunkPayload(st *archiveState) ([]byte, error) {
 		db = binary.AppendUvarint(db, uint64(len(body)))
 		db = append(db, body...)
 	}
-	return deflateBytes(db)
+	return compressDecoderSection(db), nil
 }
 
 // assembleArchive writes a version-2 archive — prefix, row-group segments,
@@ -283,6 +285,7 @@ func assembleArchive(run *pipeline.Run, t *dataset.Table, md *modelData, opts Op
 		experts:   st.experts,
 		grouped:   st.grouped,
 		keepOrder: flags&flagRowOrder != 0,
+		mask:      opts.codecMask(),
 	}
 	type builtSeg struct {
 		framed                   []byte

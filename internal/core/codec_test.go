@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"deepsqueeze/internal/codec"
+	"deepsqueeze/internal/dataset"
+)
+
+// skewedCatTable builds the fixture the range codecs are for: a categorical
+// column whose value distribution is heavily skewed (Zipf-ish), so the
+// failure-rank streams concentrate near zero, plus numeric columns with
+// latent structure for the autoencoder.
+func skewedCatTable(rows int, seed int64) *dataset.Table {
+	schema := dataset.NewSchema(
+		dataset.Column{Name: "city", Type: dataset.Categorical},
+		dataset.Column{Name: "tier", Type: dataset.Categorical},
+		dataset.Column{Name: "m1", Type: dataset.Numeric},
+		dataset.Column{Name: "m2", Type: dataset.Numeric},
+	)
+	t := dataset.NewTable(schema, rows)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < rows; i++ {
+		// Exponential skew over 64 city labels: label 0 dominates.
+		c := int(rng.ExpFloat64() * 6)
+		if c > 63 {
+			c = 63
+		}
+		z := rng.Float64()
+		tier := "low"
+		if z > 0.8 {
+			tier = "high"
+		}
+		t.AppendRow(
+			[]string{fmt.Sprintf("city-%02d", c), tier},
+			[]float64{z*50 + rng.NormFloat64(), math.Floor(z * 8)},
+		)
+	}
+	return t
+}
+
+func TestOptionsCodecValidation(t *testing.T) {
+	for _, name := range []string{"", "auto", "stored", "deflate", "range", "range-adaptive", "range-cpt"} {
+		o := quickOpts()
+		o.Codec = name
+		if err := o.validate(); err != nil {
+			t.Fatalf("Codec %q rejected: %v", name, err)
+		}
+	}
+	o := quickOpts()
+	o.Codec = "lzma"
+	if err := o.validate(); err == nil {
+		t.Fatal("Codec \"lzma\" accepted")
+	}
+}
+
+// Every codec selection must produce a decodable archive that reconstructs
+// the table within tolerance.
+func TestRoundTripEveryCodec(t *testing.T) {
+	tb := skewedCatTable(1200, 11)
+	thr := []float64{0, 0, 0.05, 0}
+	for _, name := range []string{"auto", "stored", "deflate", "range", "range-adaptive", "range-cpt"} {
+		t.Run(name, func(t *testing.T) {
+			opts := quickOpts()
+			opts.Codec = name
+			_, got := roundTrip(t, tb, thr, opts)
+			if err := tb.EqualWithin(got, tolerances(tb, thr)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Codec choice is a pure function of stream bytes, so the archive must be
+// byte-identical at every parallelism level.
+func TestCodecDeterministicAcrossParallelism(t *testing.T) {
+	tb := skewedCatTable(1500, 12)
+	thr := []float64{0, 0, 0.05, 0}
+	var first []byte
+	for _, p := range []int{1, 4, runtime.NumCPU()} {
+		opts := quickOpts()
+		opts.Parallelism = p
+		res, err := Compress(tb, thr, opts)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if first == nil {
+			first = res.Archive
+			continue
+		}
+		if !bytes.Equal(res.Archive, first) {
+			t.Fatalf("parallelism %d: archive differs from parallelism 1", p)
+		}
+	}
+}
+
+// With the range codecs enabled (the default) the skewed fixture must
+// actually use them somewhere, and the auto archive must not exceed the
+// DEFLATE-only one.
+func TestAutoUsesRangeCodecsOnSkewedData(t *testing.T) {
+	tb := skewedCatTable(2500, 13)
+	thr := []float64{0, 0, 0.05, 0}
+	auto, err := Compress(tb, thr, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dopts := quickOpts()
+	dopts.Codec = "deflate"
+	deflate, err := Compress(tb, thr, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(auto.Archive) > len(deflate.Archive) {
+		t.Fatalf("auto archive %dB > deflate archive %dB", len(auto.Archive), len(deflate.Archive))
+	}
+	stats, err := InspectStreams(auto.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rangeFrames := 0
+	for _, st := range stats {
+		rangeFrames += st.Codecs[codec.Name(codec.TagRangeAdaptive)]
+		rangeFrames += st.Codecs[codec.Name(codec.TagRangeCPT)]
+	}
+	if rangeFrames == 0 {
+		t.Fatal("no range-coded frames in the skewed fixture's archive")
+	}
+}
+
+// StreamStats' accounting must be internally consistent: chunk counts match
+// the codec histograms, frames never beat their stored form by less than
+// zero, and the "stored" codec reports FrameBytes == RawBytes.
+func TestStreamStatsConsistency(t *testing.T) {
+	tb := skewedCatTable(1800, 14)
+	thr := []float64{0, 0, 0.05, 0}
+	opts := quickOpts()
+	opts.NumExperts = 2
+	res, err := Compress(tb, thr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := InspectStreams(res.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) == 0 {
+		t.Fatal("no streams reported")
+	}
+	var frameTotal int64
+	seen := map[string]bool{}
+	for _, st := range stats {
+		seen[st.Stream] = true
+		hist := 0
+		for _, n := range st.Codecs {
+			hist += n
+		}
+		if hist != st.Chunks {
+			t.Fatalf("%s/%s: codec histogram %d != chunks %d", st.Column, st.Stream, hist, st.Chunks)
+		}
+		if st.FrameBytes <= 0 || st.RawBytes <= 0 {
+			t.Fatalf("%s/%s: non-positive sizes %+v", st.Column, st.Stream, st)
+		}
+		frameTotal += st.FrameBytes
+	}
+	if !seen["codes"] || !seen["mapping"] {
+		t.Fatalf("missing expected streams; saw %v", seen)
+	}
+	if frameTotal >= int64(len(res.Archive)) {
+		t.Fatalf("stream frame bytes %d not below archive size %d", frameTotal, len(res.Archive))
+	}
+	// The handle-based walker must agree with the one-shot helper.
+	a, err := Open(res.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := a.StreamStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(stats) {
+		t.Fatalf("handle walker found %d streams, one-shot found %d", len(again), len(stats))
+	}
+	for i := range again {
+		if again[i].FrameBytes != stats[i].FrameBytes || again[i].Chunks != stats[i].Chunks {
+			t.Fatalf("stream %d: handle %+v != one-shot %+v", i, again[i], stats[i])
+		}
+	}
+}
+
+// StreamSummaries must mirror StreamStat values into the JSON form.
+func TestStreamSummaries(t *testing.T) {
+	stats := []StreamStat{
+		{Column: "c", Stream: "failures", Chunks: 2, Codecs: map[string]int{"range-cpt": 2}, FrameBytes: 10, RawBytes: 40},
+	}
+	sums := StreamSummaries(stats)
+	if len(sums) != 1 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	s := sums[0]
+	if s.Column != "c" || s.Stream != "failures" || s.Chunks != 2 || s.FrameBytes != 10 || s.RawBytes != 40 || s.Codecs["range-cpt"] != 2 {
+		t.Fatalf("summary %+v does not mirror stat", s)
+	}
+}

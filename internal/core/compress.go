@@ -5,10 +5,12 @@ import (
 	"compress/gzip"
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"sort"
 
+	"deepsqueeze/internal/codec"
 	"deepsqueeze/internal/dataset"
 	"deepsqueeze/internal/kmeans"
 	"deepsqueeze/internal/mat"
@@ -142,6 +144,10 @@ func materialize(run *pipeline.Run, t *dataset.Table, md *modelData, opts Option
 	for _, e := range assign {
 		res.ExpertUse[e]++
 	}
+	// The codec mask shapes every size objective below (truncation search,
+	// mapping choice) as well as the final assembly, so the decisions optimize
+	// the bytes the archive will actually contain.
+	cmask := opts.codecMask()
 
 	// Row groups: every archive section is segmented at these span
 	// boundaries, so the stored order must keep each group's rows
@@ -185,7 +191,7 @@ func materialize(run *pipeline.Run, t *dataset.Table, md *modelData, opts Option
 				if err != nil {
 					return err
 				}
-				size, err := packedSize(run, fs, dims)
+				size, err := packedSize(run, fs, dims, cmask)
 				if err != nil {
 					return err
 				}
@@ -234,19 +240,19 @@ func materialize(run *pipeline.Run, t *dataset.Table, md *modelData, opts Option
 	groupedMapping := true
 	if numExperts > 1 && hasModel && opts.KeepRowOrder {
 		err := run.Stage("mapping", func() error {
-			groupedCost := mappingCost(assign, grouped, spans, numExperts, true, true)
-			labelsCost := mappingCost(assign, identity, spans, numExperts, false, true)
+			groupedCost := mappingCost(assign, grouped, spans, numExperts, true, true, cmask)
+			labelsCost := mappingCost(assign, identity, spans, numExperts, false, true, cmask)
 			identCodes := permuteRows(codesF, identity)
 			dimsI, recI := quantizeCodes(identCodes, bestBits)
 			fsI, err := computeFailures(run, md, origNum, decoders, decs32, assign, recI, identity)
 			if err != nil {
 				return err
 			}
-			sizeI, err := packedSize(run, fsI, dimsI)
+			sizeI, err := packedSize(run, fsI, dimsI, cmask)
 			if err != nil {
 				return err
 			}
-			sizeG, err := packedSize(run, bestFS, bestDims)
+			sizeG, err := packedSize(run, bestFS, bestDims, cmask)
 			if err != nil {
 				return err
 			}
@@ -522,36 +528,44 @@ func permuteRows(m *mat.Matrix, perm []int) *mat.Matrix {
 
 // mappingCost totals the exact per-group mapping chunk sizes a stored order
 // would produce — the objective of the grouped-vs-labels decision.
-func mappingCost(assign, perm []int, spans []rowSpan, numExperts int, grouped, keepOrder bool) int64 {
+func mappingCost(assign, perm []int, spans []rowSpan, numExperts int, grouped, keepOrder bool, mask codec.Mask) int64 {
 	var total int64
 	for _, sp := range spans {
-		mb := buildMappingChunk(assign, perm[sp.start:sp.start+sp.count], sp.start, numExperts, grouped, keepOrder)
+		mb := buildMappingChunk(assign, perm[sp.start:sp.start+sp.count], sp.start, numExperts, grouped, keepOrder, mask)
 		total += int64(len(mb))
 	}
 	return total
 }
 
-// deflateBytes gzips a buffer (used for the decoder section, paper §6.1).
-func deflateBytes(b []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	zw := gzip.NewWriter(&buf)
-	if _, err := zw.Write(b); err != nil {
-		return nil, fmt.Errorf("core: deflate decoder section: %w", err)
-	}
-	if err := zw.Close(); err != nil {
-		return nil, fmt.Errorf("core: deflate decoder section: %w", err)
-	}
-	return buf.Bytes(), nil
+// compressDecoderSection frames the serialized decoders (paper §6.1) with
+// the byte codecs: a stored/DEFLATE frame, kept compressed only when it
+// pays. Earlier releases gzipped this section; the raw-flate frame saves the
+// gzip header and trailer and shares the codec layer's decode hardening.
+func compressDecoderSection(b []byte) []byte {
+	return codec.CompressBytes(b, codec.ByteOnly)
 }
 
-func inflateBytes(b []byte) ([]byte, error) {
-	zr, err := gzip.NewReader(bytes.NewReader(b))
+// inflateDecoderSection inverts compressDecoderSection, still reading the
+// legacy gzip form older archives carry. gzip's 2-byte magic (0x1f 0x8b)
+// cannot collide with a codec frame, whose first byte is a tag < 2.
+func inflateDecoderSection(b []byte) ([]byte, error) {
+	if len(b) >= 2 && b[0] == 0x1f && b[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(b))
+		if err != nil {
+			return nil, fmt.Errorf("%w: decoder section: %v", ErrCorrupt, err)
+		}
+		out, err := io.ReadAll(io.LimitReader(zr, codec.MaxInflatedBytes+1))
+		if err != nil {
+			return nil, fmt.Errorf("%w: decoder section: %v", ErrCorrupt, err)
+		}
+		if len(out) > codec.MaxInflatedBytes {
+			return nil, fmt.Errorf("%w: decoder section exceeds %d bytes", ErrCorrupt, codec.MaxInflatedBytes)
+		}
+		return out, zr.Close()
+	}
+	out, err := codec.DecompressBytes(b)
 	if err != nil {
 		return nil, fmt.Errorf("%w: decoder section: %v", ErrCorrupt, err)
 	}
-	var out bytes.Buffer
-	if _, err := out.ReadFrom(zr); err != nil {
-		return nil, fmt.Errorf("%w: decoder section: %v", ErrCorrupt, err)
-	}
-	return out.Bytes(), zr.Close()
+	return out, nil
 }

@@ -48,6 +48,10 @@ func fuzzSeedArchives(f *testing.F) [][]byte {
 	f32 := opts
 	f32.Float32Decode = true
 	add(Compress(latentTable(60, 55), []float64{0, 0, 0.1, 0.1, 0}, f32))
+	// A skewed categorical table range-codes its failure streams, so
+	// mutations reach the range-frame decoder (headers, CPT tables, coder
+	// body) rather than only the stored/DEFLATE paths.
+	add(Compress(skewedCatTable(120, 56), []float64{0, 0, 0.05, 0}, opts))
 	v1, err := os.ReadFile(filepath.Join("testdata", "categorical.dsqz"))
 	if err != nil {
 		f.Fatal(err)

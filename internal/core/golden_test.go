@@ -114,6 +114,16 @@ func goldenCases() []goldenCase {
 		opts.Float32Decode = true
 		return latentTable(300, 106), []float64{0, 0, 0.1, 0.1, 0}, opts
 	}})
+	// entropy_v2 pins the stream-codec layer under default (auto) selection:
+	// a heavily skewed categorical fixture whose failure streams the best-of
+	// selector range-codes. The committed bytes freeze the range frame format
+	// — header layout, CPT table serialization, model increment — so any
+	// codec change that re-frames these streams shows up as a byte diff.
+	cases = append(cases, goldenCase{"entropy_v2", 2, func() (*dataset.Table, []float64, Options) {
+		opts := goldenOpts(1)
+		opts.RowGroupSize = 150
+		return skewedCatTable(300, 107), []float64{0, 0, 0.05, 0}, opts
+	}})
 	return cases
 }
 
@@ -198,7 +208,7 @@ func TestGoldenArchives(t *testing.T) {
 			if idx.Rows != got.NumRows() {
 				t.Fatalf("index declares %d rows, table has %d", idx.Rows, got.NumRows())
 			}
-			if wantStats := gc.name == "stats_v2" || gc.name == "f32_v2"; idx.HasZoneMaps != wantStats {
+			if wantStats := gc.name == "stats_v2" || gc.name == "f32_v2" || gc.name == "entropy_v2"; idx.HasZoneMaps != wantStats {
 				t.Fatalf("HasZoneMaps = %v, want %v", idx.HasZoneMaps, wantStats)
 			}
 			if idx.HasZoneMaps {
@@ -212,6 +222,22 @@ func TestGoldenArchives(t *testing.T) {
 				}
 				if usable == 0 {
 					t.Fatal("stats fixture carries no usable zone maps")
+				}
+			}
+			if gc.name == "entropy_v2" {
+				// This fixture exists to pin the range frame format; if the
+				// best-of selector stops choosing the range codecs here, the
+				// golden silently stops covering them.
+				stats, err := InspectStreams(archive)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rangeFrames := 0
+				for _, st := range stats {
+					rangeFrames += st.Codecs["range-adaptive"] + st.Codecs["range-cpt"]
+				}
+				if rangeFrames == 0 {
+					t.Fatal("entropy fixture carries no range-coded frames")
 				}
 			}
 			if gc.version >= 2 {

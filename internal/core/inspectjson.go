@@ -21,6 +21,35 @@ type GroupSummary struct {
 	FailureBytes int64 `json:"failure_bytes"`
 }
 
+// StreamSummary is one logical stream's codec accounting in an
+// ArchiveSummary: which codecs the best-of selector chose and the
+// compressed-vs-raw byte ratio, aggregated across row groups.
+type StreamSummary struct {
+	Column     string         `json:"column,omitempty"` // empty: codes/mapping
+	Stream     string         `json:"stream"`
+	Chunks     int            `json:"chunks"`
+	Codecs     map[string]int `json:"codecs,omitempty"` // codec name → chunk count
+	FrameBytes int64          `json:"frame_bytes"`
+	RawBytes   int64          `json:"raw_bytes"`
+}
+
+// StreamSummaries converts InspectStreams output into its machine-readable
+// form, preserving stream order.
+func StreamSummaries(stats []StreamStat) []StreamSummary {
+	out := make([]StreamSummary, len(stats))
+	for i, st := range stats {
+		out[i] = StreamSummary{
+			Column:     st.Column,
+			Stream:     st.Stream,
+			Chunks:     st.Chunks,
+			Codecs:     st.Codecs,
+			FrameBytes: st.FrameBytes,
+			RawBytes:   st.RawBytes,
+		}
+	}
+	return out
+}
+
 // ArchiveSummary is the machine-readable archive description shared by
 // `dsqz inspect -json` and the daemon's /archives endpoint: one serializer,
 // so scripts can consume either source interchangeably.
@@ -40,6 +69,9 @@ type ArchiveSummary struct {
 	DecoderBytes      int64           `json:"decoder_bytes"`
 	Columns           []ColumnSummary `json:"columns"`
 	Groups            []GroupSummary  `json:"groups,omitempty"`
+	// Streams is the per-stream codec accounting (InspectStreams); populated
+	// by callers that paid for the stream walk, omitted otherwise.
+	Streams []StreamSummary `json:"streams,omitempty"`
 }
 
 // Summary converts the info into its machine-readable form. The caller sets

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"deepsqueeze/internal/codec"
 	"deepsqueeze/internal/colfile"
 	"deepsqueeze/internal/mat"
 	"deepsqueeze/internal/nn"
@@ -329,7 +330,7 @@ func nearestLevel(cp *preprocess.ColPlan, pred float64, lv int) int {
 // Every stream packs independently, so the streams are flattened into a
 // work list and packed concurrently over the run's pool; the sum is
 // commutative, so map iteration order does not affect the result.
-func packedSize(run *pipeline.Run, fs *failureSet, codeDims [][]int64) (int64, error) {
+func packedSize(run *pipeline.Run, fs *failureSet, codeDims [][]int64, mask codec.Mask) (int64, error) {
 	var ints [][]int64
 	var floats [][]float64
 	ints = append(ints, codeDims...)
@@ -348,7 +349,7 @@ func packedSize(run *pipeline.Run, fs *failureSet, codeDims [][]int64) (int64, e
 	sizes := make([]int64, len(ints)+len(floats))
 	err := run.ForEach(len(sizes), func(i int) error {
 		if i < len(ints) {
-			sizes[i] = int64(len(colfile.PackInts(ints[i])))
+			sizes[i] = int64(len(colfile.PackIntsMask(ints[i], mask)))
 		} else {
 			sizes[i] = int64(len(colfile.PackFloats(floats[i-len(ints)])))
 		}

@@ -217,7 +217,7 @@ func DecompressBatchContext(ctx context.Context, modelArchive, batchArchive []by
 // parseDecoderSection splits a (inflated-on-demand) decoder section into
 // its per-expert decoders.
 func parseDecoderSection(section []byte, numExperts int) ([]*nn.Decoder, error) {
-	db, err := inflateBytes(section)
+	db, err := inflateDecoderSection(section)
 	if err != nil {
 		return nil, err
 	}

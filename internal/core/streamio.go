@@ -360,6 +360,7 @@ func (aw *ArchiveWriter) flushGroup(chunk *dataset.Table) error {
 		experts:   aw.numExperts,
 		grouped:   aw.flags&flagGrouped != 0,
 		keepOrder: aw.flags&flagRowOrder != 0,
+		mask:      aw.opts.codecMask(),
 	}
 	framed, codes, mapping, failures, err := buildSegment(chunk, md, assign, cfg, g)
 	if err != nil {

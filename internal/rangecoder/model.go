@@ -95,7 +95,12 @@ func (m *AdaptiveModel) FindSymbol(target uint32) (int, uint32, uint32) {
 }
 
 // Update increases sym's frequency, rescaling all frequencies (halving,
-// floored at 1) when the total would exceed the coder limit.
+// floored at 1) when the total would exceed the coder limit. Near the limit
+// a rescale may not free a full increment — the frequency-1 floor makes the
+// halved total at least n — so the bump is clamped to what fits (possibly
+// nothing, saturating the model). The clamp depends only on model state, so
+// encoder and decoder stay in lockstep, and total never exceeds MaxTotal
+// for any alphabet NewAdaptiveModel accepts.
 func (m *AdaptiveModel) Update(sym int) {
 	if sym < 0 || sym >= m.n {
 		panic(fmt.Sprintf("rangecoder: symbol %d outside alphabet %d", sym, m.n))
@@ -103,8 +108,14 @@ func (m *AdaptiveModel) Update(sym int) {
 	if m.total+m.inc > MaxTotal {
 		m.rescale()
 	}
-	m.add(sym, m.inc)
-	m.total += m.inc
+	inc := m.inc
+	if m.total+inc > MaxTotal {
+		inc = MaxTotal - m.total
+	}
+	if inc > 0 {
+		m.add(sym, inc)
+		m.total += inc
+	}
 }
 
 func (m *AdaptiveModel) rescale() {

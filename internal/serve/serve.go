@@ -257,7 +257,8 @@ func (s *Server) Query(ctx context.Context, path string, opts query.Options) (*q
 
 // Summary returns the archive's metadata summary (the /archives payload),
 // via the same cached handle queries use. It does not count against the
-// admission bound: metadata comes from the parsed header, not a decode.
+// admission bound: metadata comes from the parsed header plus one segment
+// walk for the per-stream codec accounting, not a decode.
 func (s *Server) Summary(path string) (*core.ArchiveSummary, error) {
 	a, err := s.archive(path)
 	if err != nil {
@@ -265,6 +266,12 @@ func (s *Server) Summary(path string) (*core.ArchiveSummary, error) {
 	}
 	sum := a.Info().Summary()
 	sum.Path = path
+	streams, err := a.StreamStats()
+	if err != nil {
+		s.recordError(path)
+		return nil, pathErr(path, err)
+	}
+	sum.Streams = core.StreamSummaries(streams)
 	return sum, nil
 }
 

@@ -68,6 +68,14 @@ go test -run='Kernels32|MulTRow32|Arena32|UlpDiff32' -count=1 ./internal/mat
 go test -run='Decoder32|Predictor32|Float32' -count=1 ./internal/nn
 go test -run='Float32' -count=1 ./internal/core ./internal/query ./internal/serve
 
+echo "== stream codec gate =="
+# The codec layer's contracts: legacy tag bytes and committed goldens decode
+# unchanged (entropy_v2 pins the range frame format), corrupt frames fail
+# with ErrCorrupt instead of panicking, best-of never loses to DEFLATE, and
+# archives stay byte-identical across parallelism levels.
+go test -count=1 ./internal/codec ./internal/rangecoder
+go test -run='TestRoundTripEveryCodec|TestCodecDeterministicAcrossParallelism|TestAutoUsesRangeCodecsOnSkewedData|TestStreamStatsConsistency' -count=1 ./internal/core
+
 echo "== query equivalence gate =="
 # Predicate-pushdown results must be byte-identical to decompress-then-
 # filter for randomized predicates at parallelism 1, 4, and NumCPU.
@@ -89,6 +97,13 @@ echo "== f32 bench smoke =="
 # table under both plans and cross-checks every decoded cell between them
 # before reporting any speedup.
 (cd "$smokedir" && ./dsbench -exp f32 -quick > /dev/null)
+
+echo "== ratio bench smoke =="
+# One quick pass of the stream-codec comparison: compresses the skewed
+# categorical fixture under the DEFLATE-only baseline and best-of selection,
+# enforces the >= 10% failure/code shrink bound, and verifies byte-identical
+# archives at parallelism 1, 4, and NumCPU.
+(cd "$smokedir" && ./dsbench -exp ratio -quick > /dev/null)
 
 echo "== fuzz smoke =="
 # Short coverage-guided runs of the decode-path fuzzers: any panic or
