@@ -11,6 +11,13 @@
 //	GET  /archives  every *.dsqz under -root, as dsqz inspect -json summaries
 //	GET  /stats     server counters and per-archive stage aggregates
 //
+// With -blockcache set (e.g. -blockcache 256M) the server keeps a
+// byte-budgeted LRU of decoded row-group × column blocks shared across
+// queries: repeat queries over warm groups skip archive decoding entirely
+// and filter directly over cached blocks, with results still byte-identical
+// to the uncached path. /stats then reports block_hits, block_misses,
+// block_bytes, and block_evictions.
+//
 // Query results are byte-identical to `dsqz query` on the same archive and
 // predicate (format "csv" returns the same CSV bytes). SIGINT/SIGTERM drain
 // in-flight queries before exit.
@@ -49,15 +56,21 @@ func main() {
 	queue := flag.Int("queue", 0, "max queries waiting for a slot (0 = 4x concurrency, negative = none)")
 	parallel := flag.Int("p", 0, "worker-pool parallelism shared by all queries (0 = all CPUs)")
 	f32 := flag.Bool("f32", true, "serve archives whose plan mandates float32 decode (set to false to refuse them)")
+	blockcache := flag.String("blockcache", "0", "decoded-block cache budget, e.g. 256M or 1G (0 = disabled)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight queries")
 	flag.Parse()
 
+	blockBytes, err := parseByteSize(*blockcache)
+	if err != nil {
+		log.Fatalf("dsqzd: -blockcache: %v", err)
+	}
 	d, err := newDaemon(*root, serve.Config{
 		MaxOpenArchives: *cache,
 		MaxConcurrent:   *conc,
 		MaxQueue:        *queue,
 		Parallelism:     *parallel,
 		NoFloat32:       !*f32,
+		BlockCacheBytes: blockBytes,
 	})
 	if err != nil {
 		log.Fatalf("dsqzd: %v", err)
@@ -82,6 +95,30 @@ func main() {
 	if err := srv.Shutdown(sctx); err != nil {
 		log.Fatalf("dsqzd: shutdown: %v", err)
 	}
+}
+
+// parseByteSize parses a byte count with an optional K/M/G (or KB/MB/GB)
+// suffix, the -blockcache budget syntax. "0" disables.
+func parseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			t, mult = strings.TrimSuffix(t, u.suffix), u.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 0, 65536, 256M, 1G)", s)
+	}
+	return n * mult, nil
 }
 
 // daemon binds one serve.Server to one archive root directory.

@@ -12,6 +12,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -322,5 +323,104 @@ func TestJSONAndCSVAgree(t *testing.T) {
 	}
 	if !bytes.Equal(fromJSON.Bytes(), csv) {
 		t.Fatalf("json cells and csv disagree:\n%s\nvs\n%s", fromJSON.Bytes(), csv)
+	}
+}
+
+// TestParseByteSize pins the -blockcache size syntax.
+func TestParseByteSize(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"65536", 65536},
+		{"4K", 4 << 10},
+		{"4KB", 4 << 10},
+		{"256m", 256 << 20},
+		{"1G", 1 << 30},
+		{" 2 MB ", 2 << 20},
+	} {
+		got, err := parseByteSize(tc.in)
+		if err != nil {
+			t.Fatalf("parseByteSize(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("parseByteSize(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "-1", "1T", "abc", "12MiB"} {
+		if _, err := parseByteSize(bad); err == nil {
+			t.Fatalf("parseByteSize(%q): no error", bad)
+		}
+	}
+}
+
+// TestBlockCacheDaemon runs the daemon with the block cache enabled: repeat
+// queries must return byte-identical responses to the uncached daemon, and
+// /stats must report the block-cache counters.
+func TestBlockCacheDaemon(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "t.dsqz"), testArchive(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := newDaemon(dir, serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := newDaemon(dir, serve.Config{BlockCacheBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, ch := plain.handler(), cached.handler()
+
+	bodies := []string{
+		`{"archive":"t.dsqz","where":"seq >= 400","format":"csv"}`,
+		`{"archive":"t.dsqz","where":"tag = 'x'","select":"seq","format":"csv"}`,
+		`{"archive":"t.dsqz","where":"seq < 256","agg":"count,sum:seq"}`,
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, body := range bodies {
+			pw, cw := postQuery(t, ph, body), postQuery(t, ch, body)
+			if pw.Code != http.StatusOK || cw.Code != http.StatusOK {
+				t.Fatalf("pass %d body %d: status %d/%d", pass, i, pw.Code, cw.Code)
+			}
+			if strings.Contains(body, "csv") {
+				// CSV responses carry only result bytes: must match exactly.
+				if !bytes.Equal(pw.Body.Bytes(), cw.Body.Bytes()) {
+					t.Fatalf("pass %d body %d: cached daemon response differs from uncached", pass, i)
+				}
+				continue
+			}
+			// JSON responses include per-stage wall times (never byte-equal
+			// across runs); compare the result fields.
+			var pr, cr queryResponse
+			if err := json.Unmarshal(pw.Body.Bytes(), &pr); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(cw.Body.Bytes(), &cr); err != nil {
+				t.Fatal(err)
+			}
+			if pr.Matched != cr.Matched || !reflect.DeepEqual(pr.Aggregates, cr.Aggregates) ||
+				!reflect.DeepEqual(pr.Columns, cr.Columns) || !reflect.DeepEqual(pr.Rows, cr.Rows) {
+				t.Fatalf("pass %d body %d: cached daemon result differs from uncached", pass, i)
+			}
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	w := httptest.NewRecorder()
+	ch.ServeHTTP(w, req)
+	var st serve.Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BlockCacheBudget != 8<<20 {
+		t.Fatalf("block_cache_budget = %d, want %d", st.BlockCacheBudget, 8<<20)
+	}
+	if st.BlockMisses == 0 || st.BlockHits == 0 {
+		t.Fatalf("block counters hits=%d misses=%d, want both > 0 after a warm pass", st.BlockHits, st.BlockMisses)
+	}
+	if st.BlockBytes <= 0 || st.BlockBytes > st.BlockCacheBudget {
+		t.Fatalf("block_bytes = %d, want in (0, %d]", st.BlockBytes, st.BlockCacheBudget)
 	}
 }

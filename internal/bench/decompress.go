@@ -27,12 +27,13 @@ type decompressRun struct {
 
 // decompressBenchFile is the top-level BENCH_decompress.json document.
 type decompressBenchFile struct {
-	Dataset   string          `json:"dataset"`
-	Rows      int             `json:"rows"`
-	Cols      int             `json:"cols"`
-	NumCPU    int             `json:"num_cpu"`
-	Identical bool            `json:"tables_identical"`
-	Results   []decompressRun `json:"results"`
+	Dataset    string          `json:"dataset"`
+	Rows       int             `json:"rows"`
+	Cols       int             `json:"cols"`
+	NumCPU     int             `json:"num_cpu"`
+	Gomaxprocs int             `json:"gomaxprocs"`
+	Identical  bool            `json:"tables_identical"`
+	Results    []decompressRun `json:"results"`
 }
 
 // DecompressSpeedup micro-benchmarks the staged decompression pipeline on
@@ -72,10 +73,11 @@ func DecompressSpeedup(cfg Config) (*Report, error) {
 		Columns: []string{"mode", "parallelism", "columns", "secs", "decode_stage_s", "speedup"},
 	}
 	file := decompressBenchFile{
-		Dataset: "census",
-		Rows:    t.NumRows(),
-		Cols:    t.Schema.NumColumns(),
-		NumCPU:  runtime.NumCPU(),
+		Dataset:    "census",
+		Rows:       t.NumRows(),
+		Cols:       t.Schema.NumColumns(),
+		NumCPU:     runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
 	}
 	record := func(mode string, p, cols int, secs, decodeSecs, baseline float64) {
 		speedup := baseline / secs

@@ -30,6 +30,7 @@ type f32BenchFile struct {
 	Rows           int     `json:"rows"`
 	Groups         int     `json:"groups"`
 	NumCPU         int     `json:"num_cpu"`
+	Gomaxprocs     int     `json:"gomaxprocs"`
 	Float64        f32Plan `json:"float64"`
 	Float32        f32Plan `json:"float32"`
 	QuerySpeedup   float64 `json:"query_decode_speedup"`
@@ -197,6 +198,7 @@ func Float32Decode(cfg Config) (*Report, error) {
 		Rows:           rows,
 		Groups:         groups,
 		NumCPU:         runtime.NumCPU(),
+		Gomaxprocs:     runtime.GOMAXPROCS(0),
 		Float64:        plans[0],
 		Float32:        plans[1],
 		QuerySpeedup:   plans[1].QueryRowsSec / plans[0].QueryRowsSec,

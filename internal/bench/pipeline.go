@@ -24,11 +24,12 @@ type pipelineResult struct {
 
 // pipelineBenchFile is the top-level BENCH_pipeline.json document.
 type pipelineBenchFile struct {
-	Dataset   string           `json:"dataset"`
-	Rows      int              `json:"rows"`
-	NumCPU    int              `json:"num_cpu"`
-	Identical bool             `json:"archives_identical"`
-	Results   []pipelineResult `json:"results"`
+	Dataset    string           `json:"dataset"`
+	Rows       int              `json:"rows"`
+	NumCPU     int              `json:"num_cpu"`
+	Gomaxprocs int              `json:"gomaxprocs"`
+	Identical  bool             `json:"archives_identical"`
+	Results    []pipelineResult `json:"results"`
 }
 
 // PipelineSpeedup micro-benchmarks the staged pipeline at Parallelism=1
@@ -55,7 +56,7 @@ func PipelineSpeedup(cfg Config) (*Report, error) {
 		Title:   "Staged pipeline speedup: Parallelism=1 vs NumCPU on Monitor",
 		Columns: []string{"parallelism", "compress_s", "truncation_search_s", "archive_bytes", "speedup"},
 	}
-	file := pipelineBenchFile{Dataset: "monitor", Rows: t.NumRows(), NumCPU: runtime.NumCPU()}
+	file := pipelineBenchFile{Dataset: "monitor", Rows: t.NumRows(), NumCPU: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0)}
 	var baseline float64
 	var firstArchive []byte
 	for _, p := range levels {

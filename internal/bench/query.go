@@ -32,6 +32,7 @@ type queryBenchFile struct {
 	ArchiveBytes int        `json:"archive_bytes"`
 	FullSecs     float64    `json:"full_decompress_secs"`
 	NumCPU       int        `json:"num_cpu"`
+	Gomaxprocs   int        `json:"gomaxprocs"`
 	Results      []queryRun `json:"results"`
 }
 
@@ -116,6 +117,7 @@ func QuerySelectivity(cfg Config) (*Report, error) {
 		ArchiveBytes: len(res.Archive),
 		FullSecs:     fullSecs,
 		NumCPU:       runtime.NumCPU(),
+		Gomaxprocs:   runtime.GOMAXPROCS(0),
 	}
 
 	for _, sel := range []float64{0.005, 0.02, 0.1, 0.5, 1.0} {

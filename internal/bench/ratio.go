@@ -30,9 +30,10 @@ type ratioRun struct {
 
 // ratioBenchFile is the top-level BENCH_ratio.json document.
 type ratioBenchFile struct {
-	Baseline string     `json:"baseline"`
-	NumCPU   int        `json:"num_cpu"`
-	Results  []ratioRun `json:"results"`
+	Baseline   string     `json:"baseline"`
+	NumCPU     int        `json:"num_cpu"`
+	Gomaxprocs int        `json:"gomaxprocs"`
+	Results    []ratioRun `json:"results"`
 }
 
 // skewCatTable is the bench's skewed categorical fixture: every column is a
@@ -78,7 +79,7 @@ func CodecRatio(cfg Config) (*Report, error) {
 		Title:   "Stream-codec ratio: best-of range coding vs DEFLATE-only",
 		Columns: []string{"dataset", "rows", "base_bytes", "auto_bytes", "base_fc", "auto_fc", "fc_shrink", "range_frames"},
 	}
-	file := ratioBenchFile{Baseline: "deflate", NumCPU: runtime.NumCPU()}
+	file := ratioBenchFile{Baseline: "deflate", NumCPU: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0)}
 
 	type ratioCase struct {
 		name  string

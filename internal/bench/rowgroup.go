@@ -27,11 +27,12 @@ type rowgroupRun struct {
 
 // rowgroupBenchFile is the top-level BENCH_rowgroup.json document.
 type rowgroupBenchFile struct {
-	Dataset   string        `json:"dataset"`
-	Rows      int           `json:"rows"`
-	RangeRows int           `json:"range_rows"`
-	NumCPU    int           `json:"num_cpu"`
-	Results   []rowgroupRun `json:"results"`
+	Dataset    string        `json:"dataset"`
+	Rows       int           `json:"rows"`
+	RangeRows  int           `json:"range_rows"`
+	NumCPU     int           `json:"num_cpu"`
+	Gomaxprocs int           `json:"gomaxprocs"`
+	Results    []rowgroupRun `json:"results"`
 }
 
 // RowGroupScan benchmarks the v2 row-group index: the same table is
@@ -72,10 +73,11 @@ func RowGroupScan(cfg Config) (*Report, error) {
 		Columns: []string{"groups", "rowgroup", "archive_bytes", "full_s", "range_s", "skipped_bytes", "speedup"},
 	}
 	file := rowgroupBenchFile{
-		Dataset:   "census",
-		Rows:      rows,
-		RangeRows: span,
-		NumCPU:    runtime.NumCPU(),
+		Dataset:    "census",
+		Rows:       rows,
+		RangeRows:  span,
+		NumCPU:     runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
 	}
 
 	for _, groups := range []int{1, 4, 16, 64} {

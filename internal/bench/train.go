@@ -41,6 +41,7 @@ type trainBenchFile struct {
 	BatchSize         int           `json:"batch_size"`
 	Epochs            int           `json:"epochs"`
 	NumCPU            int           `json:"num_cpu"`
+	Gomaxprocs        int           `json:"gomaxprocs"`
 	WeightsIdentical  bool          `json:"weights_identical"`
 	ArchivesIdentical bool          `json:"archives_identical"`
 	Results           []trainResult `json:"results"`
@@ -124,7 +125,7 @@ func TrainSpeedup(cfg Config) (*Report, error) {
 		Columns: []string{"workers", "rows_per_sec", "speedup", "allocs_per_batch", "trainer_allocs", "scheduler_allocs"},
 	}
 	file := trainBenchFile{Rows: rows, BatchSize: batch, Epochs: epochs,
-		NumCPU: runtime.NumCPU(), WeightsIdentical: true}
+		NumCPU: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0), WeightsIdentical: true}
 
 	var baseline, trainerAllocs float64
 	var baseWeights []float64

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/pipeline"
+)
+
+// ColumnBlock is one row group × column's decoded values, in the group's
+// original row order. A block is immutable once built: the serve layer's
+// decoded-block cache hands the same block to any number of concurrent
+// queries, so neither the producer nor any consumer may write to its slices.
+// Exactly one of Str (categorical columns) or Num (numeric columns) is
+// non-nil, matching the column's schema type.
+type ColumnBlock struct {
+	Str []string
+	Num []float64
+
+	bytes int64
+}
+
+// Len returns the block's row count.
+func (b *ColumnBlock) Len() int {
+	if b.Str != nil {
+		return len(b.Str)
+	}
+	return len(b.Num)
+}
+
+// Bytes returns the block's memory footprint estimate, the unit the serve
+// layer's cache budget is accounted in: slice header plus 8 bytes per float,
+// or slice header plus string header and payload bytes per string. Computed
+// once at construction.
+func (b *ColumnBlock) Bytes() int64 { return b.bytes }
+
+// sliceHeaderBytes is the accounting cost of one slice header; stringHeaderBytes
+// of one string header. Both follow the amd64/arm64 in-memory layout.
+const (
+	sliceHeaderBytes  = 24
+	stringHeaderBytes = 16
+)
+
+// newNumBlock copies one group's span of a decoded numeric column into a
+// fresh, independently-owned block (a subslice would pin the whole decode's
+// backing array and break the cache's eviction accounting).
+func newNumBlock(src []float64) *ColumnBlock {
+	out := make([]float64, len(src))
+	copy(out, src)
+	return &ColumnBlock{Num: out, bytes: sliceHeaderBytes + 8*int64(len(out))}
+}
+
+// newStrBlock copies one group's span of a decoded categorical column.
+// The string payloads themselves are shared with the decode (strings are
+// immutable); their bytes are still charged to the block since the block is
+// what keeps them alive once the decode's table is dropped.
+func newStrBlock(src []string) *ColumnBlock {
+	out := make([]string, len(src))
+	copy(out, src)
+	n := int64(sliceHeaderBytes)
+	for _, s := range out {
+		n += stringHeaderBytes + int64(len(s))
+	}
+	return &ColumnBlock{Str: out, bytes: n}
+}
+
+// NumGroups returns the archive's row-group count (1 for a version-1
+// archive), the group-index space DecodeBlocks and DecompressOptions.GroupMask
+// address.
+func (a *Archive) NumGroups() int {
+	if a.meta.version == archiveVersionV1 {
+		return 1
+	}
+	return len(a.meta.footer.groups)
+}
+
+// GroupRows returns row group g's row count.
+func (a *Archive) GroupRows(g int) int {
+	if a.meta.version == archiveVersionV1 {
+		return a.meta.rows
+	}
+	return a.meta.footer.groups[g].count
+}
+
+// DecodeFlags returns the archive's header flag byte — the per-archive plan
+// flags (row order, grouping, zone maps, Float32Decode) that determine how
+// its bytes decode. Two archives with identical content but different flags
+// decode differently, so block-cache keys include it.
+func (a *Archive) DecodeFlags() byte { return a.meta.flags }
+
+// DecodeBlocks decodes the selected columns of the selected row groups into
+// immutable per-group, per-column blocks: the miss path of a decoded-block
+// cache. groups and cols must be strictly ascending; groups are archive
+// group indexes (see NumGroups), cols schema column indexes. The returned
+// slice is indexed [len(groups)][len(cols)], and every block's contents are
+// byte-identical to the corresponding span of a full decompression — the
+// whole request runs through the same parse→scan→unpack→resolve→decode→
+// assemble stages, restricted by GroupMask and column projection, so pruned
+// groups' segments and unselected columns' streams are never read. pool, when
+// non-nil, bounds the decode over the caller's shared worker pool.
+func (a *Archive) DecodeBlocks(ctx context.Context, groups []int, cols []int, pool *pipeline.Pool) ([][]*ColumnBlock, error) {
+	ngroups := a.NumGroups()
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("core: DecodeBlocks needs at least one group")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("core: DecodeBlocks needs at least one column")
+	}
+	mask := make([]bool, ngroups)
+	for i, g := range groups {
+		if g < 0 || g >= ngroups {
+			return nil, fmt.Errorf("core: group %d outside [0,%d)", g, ngroups)
+		}
+		if i > 0 && g <= groups[i-1] {
+			return nil, fmt.Errorf("core: groups must be strictly ascending")
+		}
+		mask[g] = true
+	}
+	schema := a.meta.plan.Schema
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= len(schema.Columns) {
+			return nil, fmt.Errorf("core: column %d outside schema of %d columns", c, len(schema.Columns))
+		}
+		if i > 0 && c <= cols[i-1] {
+			return nil, fmt.Errorf("core: columns must be strictly ascending")
+		}
+		names[i] = schema.Columns[c].Name
+	}
+
+	res, err := a.decompress(ctx, DecompressOptions{Columns: names, GroupMask: mask, Pool: pool}, nil)
+	if err != nil {
+		return nil, err
+	}
+	// The decode concatenates the selected groups' rows in archive order and
+	// lists the projected columns in schema order — exactly the groups/cols
+	// request order. Slice the table back apart, copying each span so every
+	// block owns (and is accounted for) its own memory.
+	t := res.Table
+	out := make([][]*ColumnBlock, len(groups))
+	off := 0
+	for gi, g := range groups {
+		rows := a.GroupRows(g)
+		blocks := make([]*ColumnBlock, len(cols))
+		for ci, c := range cols {
+			if schema.Columns[c].Type == dataset.Categorical {
+				blocks[ci] = newStrBlock(t.Str[ci][off : off+rows])
+			} else {
+				blocks[ci] = newNumBlock(t.Num[ci][off : off+rows])
+			}
+		}
+		out[gi] = blocks
+		off += rows
+	}
+	if off != t.NumRows() {
+		return nil, fmt.Errorf("%w: decoded %d rows for %d group rows", ErrCorrupt, t.NumRows(), off)
+	}
+	return out, nil
+}
+
+// SortedUnique sorts s ascending and drops duplicates in place — the shape
+// DecodeBlocks requires for its group and column lists.
+func SortedUnique(s []int) []int {
+	sort.Ints(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

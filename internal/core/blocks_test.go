@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"deepsqueeze/internal/dataset"
+)
+
+// blocksTestArchive compresses a small multi-group table; float32 selects the
+// Float32Decode plan flag so both decode-precision contracts are covered.
+func blocksTestArchive(t *testing.T, float32Plan bool) ([]byte, *dataset.Table) {
+	t.Helper()
+	schema := dataset.NewSchema(
+		dataset.Column{Name: "tag", Type: dataset.Categorical},
+		dataset.Column{Name: "seq", Type: dataset.Numeric},
+		dataset.Column{Name: "noise", Type: dataset.Numeric},
+	)
+	rows := 512
+	tb := dataset.NewTable(schema, rows)
+	rng := rand.New(rand.NewSource(7))
+	tags := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < rows; i++ {
+		tb.AppendRow([]string{tags[rng.Intn(len(tags))]},
+			[]float64{float64(i), rng.Float64() * 100})
+	}
+	opts := DefaultOptions()
+	opts.Seed = 7
+	opts.CodeSize = 2
+	opts.Train.Epochs = 2
+	opts.TrainSampleRows = 256
+	opts.RowGroupSize = 64
+	opts.Float32Decode = float32Plan
+	res, err := Compress(tb, []float64{0, 0.001, 0.01}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Archive, tb
+}
+
+// TestDecodeBlocksMatchesFullDecode checks every (group, column) block equals
+// the corresponding span of a full decompression, for both precision plans
+// and several group/column subsets.
+func TestDecodeBlocksMatchesFullDecode(t *testing.T) {
+	for _, f32 := range []bool{false, true} {
+		archive, _ := blocksTestArchive(t, f32)
+		a, err := Open(archive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Decompress(archive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ngroups := a.NumGroups()
+		if ngroups != 8 {
+			t.Fatalf("f32=%v: %d groups, want 8", f32, ngroups)
+		}
+		starts := make([]int, ngroups+1)
+		for g := 0; g < ngroups; g++ {
+			starts[g+1] = starts[g] + a.GroupRows(g)
+		}
+		cases := []struct {
+			groups, cols []int
+		}{
+			{[]int{0}, []int{0}},
+			{[]int{0, 1, 2, 3, 4, 5, 6, 7}, []int{0, 1, 2}},
+			{[]int{2, 5}, []int{1}},
+			{[]int{7}, []int{0, 2}},
+		}
+		for _, tc := range cases {
+			blocks, err := a.DecodeBlocks(context.Background(), tc.groups, tc.cols, nil)
+			if err != nil {
+				t.Fatalf("f32=%v DecodeBlocks(%v,%v): %v", f32, tc.groups, tc.cols, err)
+			}
+			for gi, g := range tc.groups {
+				for ci, c := range tc.cols {
+					b := blocks[gi][ci]
+					if b.Len() != a.GroupRows(g) {
+						t.Fatalf("f32=%v group %d col %d: %d rows, want %d", f32, g, c, b.Len(), a.GroupRows(g))
+					}
+					if b.Bytes() <= 0 {
+						t.Fatalf("f32=%v group %d col %d: non-positive byte accounting", f32, g, c)
+					}
+					for i := 0; i < b.Len(); i++ {
+						r := starts[g] + i
+						if b.Str != nil {
+							if b.Str[i] != full.Str[c][r] {
+								t.Fatalf("f32=%v group %d col %d row %d: %q != %q", f32, g, c, i, b.Str[i], full.Str[c][r])
+							}
+						} else if b.Num[i] != full.Num[c][r] {
+							t.Fatalf("f32=%v group %d col %d row %d: %v != %v", f32, g, c, i, b.Num[i], full.Num[c][r])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeBlocksValidation checks the ascending/bounds contract errors.
+func TestDecodeBlocksValidation(t *testing.T) {
+	archive, _ := blocksTestArchive(t, false)
+	a, err := Open(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name         string
+		groups, cols []int
+	}{
+		{"no groups", nil, []int{0}},
+		{"no cols", []int{0}, nil},
+		{"group out of range", []int{99}, []int{0}},
+		{"groups descending", []int{3, 1}, []int{0}},
+		{"col out of range", []int{0}, []int{9}},
+		{"cols duplicate", []int{0}, []int{1, 1}},
+	} {
+		if _, err := a.DecodeBlocks(ctx, tc.groups, tc.cols, nil); err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+	}
+}
+
+// TestSortedUnique pins the helper's sort-and-dedup contract.
+func TestSortedUnique(t *testing.T) {
+	got := SortedUnique([]int{3, 1, 3, 0, 1})
+	want := []int{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

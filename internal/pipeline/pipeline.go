@@ -230,6 +230,67 @@ spawn:
 	return r.Err()
 }
 
+// ForEachWorker is ForEach with a worker identity: fn receives, besides the
+// item index, the id of the worker executing it — 0 for the calling
+// goroutine, 1..Parallelism()-1 for helpers. Worker ids let items share
+// preallocated worker-local scratch (one slot per id, no locking and no
+// sync.Pool churn) on allocation-free hot paths; which items land on which
+// worker is scheduling-dependent, so scratch must never leak into item
+// outputs. Outputs must go to disjoint, index-addressed slots, same as
+// ForEach.
+func (r *Run) ForEachWorker(n int, fn func(worker, i int) error) error {
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	work := func(worker int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || failed.Load() {
+				return
+			}
+			if err := r.ctx.Err(); err != nil {
+				errs[i] = err
+				failed.Store(true)
+				return
+			}
+			if err := fn(worker, i); err != nil {
+				errs[i] = err
+				failed.Store(true)
+				return
+			}
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for extra := 0; extra < n-1 && extra < r.pool.size-1; extra++ {
+		select {
+		case r.pool.sem <- struct{}{}:
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				defer func() { <-r.pool.sem }()
+				work(worker)
+			}(extra + 1)
+		default:
+			break spawn // pool saturated: the caller handles the rest
+		}
+	}
+	work(0)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
 // ForEachChunk splits [0, n) into fixed-size chunks and runs fn(lo, hi) for
 // each over the pool. The chunk boundaries depend only on n and chunk — not
 // on the pool size — so writes into disjoint [lo, hi) output ranges stay

@@ -173,3 +173,54 @@ func TestSharedPoolBoundsConcurrency(t *testing.T) {
 		t.Fatalf("peak concurrency %d exceeds bound %d", got, 2+pool.Size()-1)
 	}
 }
+
+// TestForEachWorkerIDs checks every item runs exactly once, worker ids stay
+// inside [0, Parallelism()), and no two items observe the same worker id
+// concurrently (the property worker-local scratch depends on).
+func TestForEachWorkerIDs(t *testing.T) {
+	r := New(context.Background(), 4)
+	const n = 200
+	var seen [n]atomic.Int32
+	busy := make([]atomic.Int32, r.Parallelism())
+	err := r.ForEachWorker(n, func(worker, i int) error {
+		if worker < 0 || worker >= r.Parallelism() {
+			return fmt.Errorf("worker id %d outside [0,%d)", worker, r.Parallelism())
+		}
+		if busy[worker].Add(1) != 1 {
+			return fmt.Errorf("worker id %d shared concurrently", worker)
+		}
+		seen[i].Add(1)
+		time.Sleep(50 * time.Microsecond)
+		busy[worker].Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, seen[i].Load())
+		}
+	}
+}
+
+// TestForEachWorkerError checks the lowest-index error wins and cancellation
+// propagates, matching ForEach semantics.
+func TestForEachWorkerError(t *testing.T) {
+	r := New(context.Background(), 2)
+	sentinel := errors.New("boom")
+	err := r.ForEachWorker(10, func(worker, i int) error {
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := NewWithPool(ctx, NewPool(2)).ForEachWorker(4, func(worker, i int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: err = %v", err)
+	}
+}

@@ -77,6 +77,24 @@ type Options struct {
 	// caller's shared worker pool instead of a fresh one, and Parallelism is
 	// ignored — how a server bounds total work across concurrent queries.
 	Pool *pipeline.Pool
+
+	// Blocks, when non-nil, switches execution to the cached-block path:
+	// filters, aggregates, and packing run directly over decoded column
+	// blocks obtained from the source (the serve layer's decoded-block
+	// cache), skipping the parse→scan→unpack→decode pipeline entirely for
+	// groups the source already holds. Results are byte-identical to the
+	// uncached path; only the Stages/BytesSkipped instrumentation differs.
+	Blocks BlockSource
+}
+
+// BlockSource supplies decoded column blocks for (row group, column) pairs —
+// implemented by the serve layer's byte-budgeted block cache. Blocks returns
+// one block per requested pair, indexed [len(groups)][len(cols)]; both lists
+// are strictly ascending (groups are archive group indexes, cols schema
+// column indexes). Every returned block must be immutable and byte-identical
+// to the corresponding span of a full decompression of its archive.
+type BlockSource interface {
+	Blocks(ctx context.Context, groups []int, cols []int) ([][]*core.ColumnBlock, error)
 }
 
 // Result is a query outcome.
@@ -201,10 +219,17 @@ func RunArchive(ctx context.Context, a *core.Archive, opts Options) (*Result, er
 	}
 
 	// Decode the union of the columns the query touches: selected (or all,
-	// in unprojected row mode), aggregated, and filtered-on.
+	// in unprojected row mode), aggregated, and filtered-on. needIdx is the
+	// same union as ascending schema indexes (every column, in unprojected
+	// row mode) — the cached-block path fetches exactly these.
 	var decodeCols []string
+	var needIdx []int
 	if !aggMode && len(opts.Select) == 0 {
 		decodeCols = nil // row mode over every column
+		needIdx = make([]int, len(idx.Plan.Schema.Columns))
+		for j := range needIdx {
+			needIdx[j] = j
+		}
 	} else {
 		need := map[int]bool{}
 		for _, j := range selIdx {
@@ -223,9 +248,18 @@ func RunArchive(ctx context.Context, a *core.Archive, opts Options) (*Result, er
 		for j, c := range idx.Plan.Schema.Columns {
 			if need[j] {
 				decodeCols = append(decodeCols, c.Name)
+				needIdx = append(needIdx, j)
 			}
 		}
 	}
+
+	if opts.Blocks != nil {
+		return runCached(ctx, a, opts, res, cachedPlan{
+			idx: idx, b: b, mask: mask,
+			aggMode: aggMode, aggCols: aggCols, selIdx: selIdx, needIdx: needIdx,
+		})
+	}
+
 	dres, err := a.DecompressContext(ctx, core.DecompressOptions{
 		Parallelism: opts.Parallelism,
 		Columns:     decodeCols,

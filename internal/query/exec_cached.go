@@ -1,0 +1,326 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"deepsqueeze/internal/core"
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/pipeline"
+)
+
+// cachedPlan bundles the planner outputs the cached-block executor needs.
+type cachedPlan struct {
+	idx     *core.ArchiveIndex
+	b       *bound
+	mask    []bool // per-group survive-pruning mask
+	aggMode bool
+	aggCols []int
+	selIdx  []int
+	needIdx []int // schema columns the query touches, ascending
+}
+
+// runCached executes a planned query directly over decoded column blocks: a
+// full cache hit never touches the archive bytes (no parse, scan, unpack, or
+// decoder inference), a partial hit decodes only the missing (group, column)
+// pairs inside the BlockSource. The filter runs as branch-lean chunked
+// kernels over per-group blocks with worker-local pooled scratch, aggregates
+// fold serially in global row order, and packing writes each output column
+// into preallocated, offset-addressed slices — so a steady-state query's
+// allocations are O(result) plus O(surviving groups) bookkeeping, never
+// O(rows decoded). Results are byte-identical to the uncached path at every
+// parallelism level; BytesSkipped reports only the pruned groups' segment
+// bytes (cached groups are never read, so there is no scan counter to
+// report).
+func runCached(ctx context.Context, a *core.Archive, opts Options, res *Result, p cachedPlan) (*Result, error) {
+	var run *pipeline.Run
+	if opts.Pool != nil {
+		run = pipeline.NewWithPool(ctx, opts.Pool)
+	} else {
+		run = pipeline.New(ctx, opts.Parallelism)
+	}
+	for i, g := range p.idx.Groups {
+		if !p.mask[i] {
+			res.BytesSkipped += g.SegmentBytes
+		}
+	}
+
+	// Surviving, non-empty groups: the unit of block fetch and filtering.
+	gids := make([]int, 0, len(p.idx.Groups))
+	for i, m := range p.mask {
+		if m && p.idx.Groups[i].Count > 0 {
+			gids = append(gids, i)
+		}
+	}
+
+	var blocks [][]*core.ColumnBlock
+	err := run.StageBytes("blocks", func() (int64, error) {
+		if len(gids) == 0 {
+			return 0, nil
+		}
+		var err error
+		blocks, err = opts.Blocks.Blocks(ctx, gids, p.needIdx)
+		if err != nil {
+			return 0, err
+		}
+		var total int64
+		for gi, g := range gids {
+			if len(blocks[gi]) != len(p.needIdx) {
+				return 0, fmt.Errorf("query: block source returned %d columns for group %d, want %d",
+					len(blocks[gi]), g, len(p.needIdx))
+			}
+			for ci, blk := range blocks[gi] {
+				if blk == nil || blk.Len() != p.idx.Groups[g].Count {
+					return total, fmt.Errorf("query: block source returned a bad block for group %d column %d", g, p.needIdx[ci])
+				}
+				total += blk.Bytes()
+			}
+		}
+		return total, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Filter: one keep bitmap per group, written by branch-lean chunked
+	// kernels over worker-local scratch. Each group's bitmap and count land
+	// in index-addressed slots, so the outcome is parallelism-independent.
+	counts := make([]int, len(gids))
+	keeps := make([][]bool, len(gids)) // nil entries mean "every row matches"
+	var bufs []*boolBuf
+	defer func() {
+		for _, kb := range bufs {
+			putBoolBuf(kb)
+		}
+	}()
+	if p.b == nil {
+		for gi, g := range gids {
+			counts[gi] = p.idx.Groups[g].Count
+		}
+	} else {
+		bufs = make([]*boolBuf, len(gids))
+		scratches := make([]*kernelScratch, run.Parallelism())
+		err = run.Stage("filter", func() error {
+			return run.ForEachWorker(len(gids), func(w, gi int) error {
+				sc := scratches[w]
+				if sc == nil {
+					sc = getScratch(len(p.idx.Plan.Schema.Columns))
+					scratches[w] = sc
+				}
+				rows := p.idx.Groups[gids[gi]].Count
+				kb := getBoolBuf(rows)
+				bufs[gi] = kb
+				keeps[gi] = kb.b
+				sc.scatter(blocks[gi], p.needIdx)
+				p.b.evalBlock(sc, rows, kb.b)
+				n := 0
+				for _, k := range kb.b {
+					if k {
+						n++
+					}
+				}
+				counts[gi] = n
+				return nil
+			})
+		})
+		for _, sc := range scratches {
+			if sc != nil {
+				putScratch(sc)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range counts {
+		res.Matched += n
+	}
+
+	if p.aggMode {
+		res.Aggregates = computeAggsBlocks(opts.Aggs, p.aggCols, p.needIdx, blocks, keeps, res.Matched)
+		res.Stages = append(res.Stages, run.Stats()...)
+		return res, nil
+	}
+
+	// Row mode: per-group take counts honor Limit in global row order, and
+	// their prefix sums give every group a disjoint output span.
+	nOut := res.Matched
+	if opts.Limit > 0 && opts.Limit < nOut {
+		nOut = opts.Limit
+	}
+	take := make([]int, len(gids))
+	offs := make([]int, len(gids))
+	rem := nOut
+	for gi, n := range counts {
+		if n > rem {
+			n = rem
+		}
+		take[gi] = n
+		offs[gi] = nOut - rem
+		rem -= n
+	}
+
+	// Output schema follows archive order, matching the uncached path.
+	outIdx := p.selIdx
+	if len(opts.Select) == 0 {
+		outIdx = make([]int, len(p.idx.Plan.Schema.Columns))
+		for j := range outIdx {
+			outIdx[j] = j
+		}
+	} else {
+		outIdx = append([]int(nil), p.selIdx...)
+		sortInts(outIdx)
+		outIdx = dedupInts(outIdx)
+	}
+	// Position of each output column inside the fetched block columns.
+	blockPos := make([]int, len(outIdx))
+	for i, c := range outIdx {
+		blockPos[i] = -1
+		for pos, nc := range p.needIdx {
+			if nc == c {
+				blockPos[i] = pos
+				break
+			}
+		}
+		if blockPos[i] < 0 {
+			return nil, fmt.Errorf("query: output column %d missing from fetched blocks", c)
+		}
+	}
+	outCols := make([]dataset.Column, len(outIdx))
+	for i, fj := range outIdx {
+		outCols[i] = p.idx.Plan.Schema.Columns[fj]
+	}
+	out := dataset.NewTable(dataset.NewSchema(outCols...), 0)
+	err = run.Stage("pack", func() error {
+		return run.ForEach(len(outIdx), func(i int) error {
+			if outCols[i].Type == dataset.Categorical {
+				dst := make([]string, nOut)
+				for gi := range gids {
+					packStrings(dst[offs[gi]:offs[gi]+take[gi]], blocks[gi][blockPos[i]].Str, keeps[gi])
+				}
+				out.Str[i] = dst
+			} else {
+				dst := make([]float64, nOut)
+				for gi := range gids {
+					packFloats(dst[offs[gi]:offs[gi]+take[gi]], blocks[gi][blockPos[i]].Num, keeps[gi])
+				}
+				out.Num[i] = dst
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.SetNumRows(nOut)
+	res.Table = out
+	res.Stages = append(res.Stages, run.Stats()...)
+	return res, nil
+}
+
+// packStrings gathers the first len(dst) kept rows of src into dst; a nil
+// keep gathers the leading rows.
+func packStrings(dst, src []string, keep []bool) {
+	if len(dst) == 0 {
+		return
+	}
+	if keep == nil {
+		copy(dst, src)
+		return
+	}
+	n := 0
+	for r, k := range keep {
+		if k {
+			dst[n] = src[r]
+			n++
+			if n == len(dst) {
+				return
+			}
+		}
+	}
+}
+
+// packFloats is packStrings for numeric columns.
+func packFloats(dst, src []float64, keep []bool) {
+	if len(dst) == 0 {
+		return
+	}
+	if keep == nil {
+		copy(dst, src)
+		return
+	}
+	n := 0
+	for r, k := range keep {
+		if k {
+			dst[n] = src[r]
+			n++
+			if n == len(dst) {
+				return
+			}
+		}
+	}
+}
+
+// computeAggsBlocks evaluates the aggregates serially over groups in archive
+// order and rows in group order — the same global row order (and therefore
+// the same float operation order, bit for bit) as computeAggs over the
+// concatenated uncached decode.
+func computeAggsBlocks(aggs []AggOp, aggCols []int, needIdx []int, blocks [][]*core.ColumnBlock, keeps [][]bool, matched int) []Aggregate {
+	colOf := func(c int) int {
+		for pos, nc := range needIdx {
+			if nc == c {
+				return pos
+			}
+		}
+		return -1
+	}
+	out := make([]Aggregate, len(aggs))
+	for i, a := range aggs {
+		out[i].Op = a
+		switch a.Kind {
+		case AggCount:
+			out[i].Value = float64(matched)
+		case AggMin, AggMax:
+			v := math.NaN()
+			pos := colOf(aggCols[i])
+			for gi := range blocks {
+				col := blocks[gi][pos].Num
+				keep := keepAt(keeps, gi)
+				for r, x := range col {
+					if keep != nil && !keep[r] {
+						continue
+					}
+					if math.IsNaN(v) ||
+						(a.Kind == AggMin && x < v) ||
+						(a.Kind == AggMax && x > v) {
+						v = x
+					}
+				}
+			}
+			out[i].Value = v
+		case AggSum:
+			var s float64
+			pos := colOf(aggCols[i])
+			for gi := range blocks {
+				col := blocks[gi][pos].Num
+				keep := keepAt(keeps, gi)
+				for r, x := range col {
+					if keep == nil || keep[r] {
+						s += x
+					}
+				}
+			}
+			out[i].Value = s
+		}
+	}
+	return out
+}
+
+// keepAt returns group gi's keep bitmap, nil when every row matches.
+func keepAt(keeps [][]bool, gi int) []bool {
+	if keeps == nil {
+		return nil
+	}
+	return keeps[gi]
+}

@@ -1,0 +1,129 @@
+package query
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"deepsqueeze/internal/core"
+)
+
+// directSource is the trivial BlockSource: every request decodes fresh
+// blocks from the archive. It isolates the cached execution path from any
+// cache policy, so equivalence failures here implicate runCached itself.
+type directSource struct {
+	a *core.Archive
+}
+
+func (s *directSource) Blocks(ctx context.Context, groups []int, cols []int) ([][]*core.ColumnBlock, error) {
+	return s.a.DecodeBlocks(ctx, groups, cols, nil)
+}
+
+// TestCachedEquivalence is the cached path's core contract: for randomized
+// predicates × projections × aggregates × limits, executing over column
+// blocks returns byte-for-byte (and for aggregates, bit-for-bit) the same
+// result as the uncached decode path, at every parallelism level.
+func TestCachedEquivalence(t *testing.T) {
+	archive := compressQueryTable(t, 1000, 71, 100)
+	a, err := core.Open(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &directSource{a: a}
+	rng := rand.New(rand.NewSource(72))
+	parallelisms := []int{1, 4, runtime.NumCPU()}
+	projections := [][]string{nil, {"seq"}, {"noise", "tag"}, {"grade", "seq", "grade"}}
+	aggSets := [][]AggOp{
+		nil,
+		{{Kind: AggCount}},
+		{{Kind: AggSum, Col: "noise"}, {Kind: AggMin, Col: "seq"}, {Kind: AggMax, Col: "noise"}},
+	}
+	for trial := 0; trial < 30; trial++ {
+		var p Pred
+		if trial > 0 { // trial 0 exercises the no-filter path
+			p = randPred(rng, 2)
+		}
+		sel := projections[trial%len(projections)]
+		aggs := aggSets[trial%len(aggSets)]
+		limit := 0
+		if aggs == nil && trial%3 == 0 {
+			limit = rng.Intn(200)
+		}
+		base := Options{Where: p, Select: sel, Aggs: aggs, Limit: limit}
+		want, err := RunArchive(context.Background(), a, base)
+		if err != nil {
+			t.Fatalf("trial %d uncached: %v", trial, err)
+		}
+		for _, par := range parallelisms {
+			opts := base
+			opts.Parallelism = par
+			opts.Blocks = src
+			got, err := RunArchive(context.Background(), a, opts)
+			if err != nil {
+				t.Fatalf("trial %d p=%d cached: %v", trial, par, err)
+			}
+			if got.Matched != want.Matched {
+				t.Fatalf("trial %d p=%d: cached matched %d, uncached %d", trial, par, got.Matched, want.Matched)
+			}
+			if (got.Table == nil) != (want.Table == nil) {
+				t.Fatalf("trial %d p=%d: table presence differs", trial, par)
+			}
+			if want.Table != nil {
+				gotCSV, wantCSV := tableCSV(t, got.Table), tableCSV(t, want.Table)
+				if !bytes.Equal(gotCSV, wantCSV) {
+					t.Fatalf("trial %d p=%d: cached rows differ from uncached (pred %v, select %v, limit %d)",
+						trial, par, p, sel, limit)
+				}
+			}
+			if len(got.Aggregates) != len(want.Aggregates) {
+				t.Fatalf("trial %d p=%d: %d aggregates, want %d", trial, par, len(got.Aggregates), len(want.Aggregates))
+			}
+			for i := range want.Aggregates {
+				g, w := got.Aggregates[i].Value, want.Aggregates[i].Value
+				if math.Float64bits(g) != math.Float64bits(w) {
+					t.Fatalf("trial %d p=%d agg %d (%s %s): cached %v != uncached %v (not bit-identical)",
+						trial, par, i, want.Aggregates[i].Op.Kind, want.Aggregates[i].Op.Col, g, w)
+				}
+			}
+			if got.GroupsPruned != want.GroupsPruned {
+				t.Fatalf("trial %d p=%d: pruning differs (%d vs %d)", trial, par, got.GroupsPruned, want.GroupsPruned)
+			}
+		}
+	}
+}
+
+// TestCachedKernelChunking forces multi-chunk kernel evaluation: one row
+// group of 5000 rows spans three kernelChunk windows (the last partial), and
+// deep predicate trees exercise the tmp stack across chunks.
+func TestCachedKernelChunking(t *testing.T) {
+	archive := compressQueryTable(t, 5000, 73, 5000)
+	a, err := core.Open(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &directSource{a: a}
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 10; trial++ {
+		p := randPred(rng, 4) // deep trees: nested And/Or/Not need stacked tmps
+		base := Options{Where: p}
+		want, err := RunArchive(context.Background(), a, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := base
+		opts.Blocks = src
+		got, err := RunArchive(context.Background(), a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Matched != want.Matched {
+			t.Fatalf("trial %d (%v): cached matched %d, uncached %d", trial, p, got.Matched, want.Matched)
+		}
+		if !bytes.Equal(tableCSV(t, got.Table), tableCSV(t, want.Table)) {
+			t.Fatalf("trial %d (%v): cached rows differ", trial, p)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package query
+
+import (
+	"sync"
+
+	"deepsqueeze/internal/core"
+)
+
+// kernelChunk is the row span one kernel invocation covers. Chunks keep the
+// predicate tree's temporaries inside a few KB of worker-local scratch (hot
+// in cache) regardless of group size.
+const kernelChunk = 2048
+
+// boolBuf is a pooled keep bitmap. Queries borrow one per surviving group
+// and return it after packing, so the steady-state hot path recycles bitmaps
+// instead of allocating O(rows) per query.
+type boolBuf struct {
+	b []bool
+}
+
+var boolBufPool = sync.Pool{New: func() any { return &boolBuf{} }}
+
+// getBoolBuf returns a pooled buffer resliced to n rows. Contents are
+// unspecified; every kernel writes each slot before it is read.
+func getBoolBuf(n int) *boolBuf {
+	kb := boolBufPool.Get().(*boolBuf)
+	if cap(kb.b) < n {
+		kb.b = make([]bool, n)
+	}
+	kb.b = kb.b[:n]
+	return kb
+}
+
+func putBoolBuf(kb *boolBuf) {
+	if kb != nil {
+		boolBufPool.Put(kb)
+	}
+}
+
+// kernelScratch is one worker's filter workspace: the current group's blocks
+// scattered to full-schema column indexes (so bound leaves address columns
+// directly), plus a stack of chunk-sized temporaries for the predicate
+// tree's inner nodes. Workers own a scratch exclusively for the duration of
+// a filter stage; nothing in it may leak into query output.
+type kernelScratch struct {
+	str [][]string
+	num [][]float64
+
+	tmps []*[kernelChunk]bool // free temporaries, reused across chunks
+}
+
+var scratchPool = sync.Pool{New: func() any { return &kernelScratch{} }}
+
+// getScratch returns a pooled scratch sized for a schema of ncols columns.
+func getScratch(ncols int) *kernelScratch {
+	sc := scratchPool.Get().(*kernelScratch)
+	if cap(sc.str) < ncols {
+		sc.str = make([][]string, ncols)
+		sc.num = make([][]float64, ncols)
+	}
+	sc.str = sc.str[:ncols]
+	sc.num = sc.num[:ncols]
+	return sc
+}
+
+func putScratch(sc *kernelScratch) {
+	for i := range sc.str {
+		sc.str[i] = nil
+		sc.num[i] = nil
+	}
+	scratchPool.Put(sc)
+}
+
+// scatter points the scratch's schema-indexed column views at one group's
+// blocks. cols[i] is the schema index of blocks[i].
+func (sc *kernelScratch) scatter(blocks []*core.ColumnBlock, cols []int) {
+	for i, blk := range blocks {
+		sc.str[cols[i]] = blk.Str
+		sc.num[cols[i]] = blk.Num
+	}
+}
+
+// getTmp pops (or allocates) a chunk temporary.
+func (sc *kernelScratch) getTmp() *[kernelChunk]bool {
+	if n := len(sc.tmps); n > 0 {
+		t := sc.tmps[n-1]
+		sc.tmps = sc.tmps[:n-1]
+		return t
+	}
+	return new([kernelChunk]bool)
+}
+
+func (sc *kernelScratch) putTmp(t *[kernelChunk]bool) {
+	sc.tmps = append(sc.tmps, t)
+}
+
+// evalBlock evaluates the bound predicate over rows [0, rows) of the group
+// currently scattered into sc, writing the keep bitmap into out (len rows).
+// Evaluation is chunked and branch-lean: leaves compile to compare-and-set
+// loops over contiguous column spans, and inner nodes combine child bitmaps
+// with data-independent boolean loops, so the kernel's control flow never
+// depends on the data (no per-row branch mispredicts on random predicates).
+func (b *bound) evalBlock(sc *kernelScratch, rows int, out []bool) {
+	for lo := 0; lo < rows; lo += kernelChunk {
+		hi := lo + kernelChunk
+		if hi > rows {
+			hi = rows
+		}
+		b.root.evalChunk(sc, lo, out[lo:hi])
+	}
+}
+
+// evalChunk evaluates node n over rows [lo, lo+len(dst)) of the scattered
+// group, writing one bool per row into dst.
+func (n *bnode) evalChunk(sc *kernelScratch, lo int, dst []bool) {
+	switch n.kind {
+	case nAnd:
+		if len(n.kids) == 0 {
+			for i := range dst {
+				dst[i] = true
+			}
+			return
+		}
+		n.kids[0].evalChunk(sc, lo, dst)
+		if len(n.kids) == 1 {
+			return
+		}
+		t := sc.getTmp()
+		for k := 1; k < len(n.kids); k++ {
+			tmp := t[:len(dst)]
+			n.kids[k].evalChunk(sc, lo, tmp)
+			for i := range dst {
+				dst[i] = dst[i] && tmp[i]
+			}
+		}
+		sc.putTmp(t)
+	case nOr:
+		if len(n.kids) == 0 {
+			for i := range dst {
+				dst[i] = false
+			}
+			return
+		}
+		n.kids[0].evalChunk(sc, lo, dst)
+		if len(n.kids) == 1 {
+			return
+		}
+		t := sc.getTmp()
+		for k := 1; k < len(n.kids); k++ {
+			tmp := t[:len(dst)]
+			n.kids[k].evalChunk(sc, lo, tmp)
+			for i := range dst {
+				dst[i] = dst[i] || tmp[i]
+			}
+		}
+		sc.putTmp(t)
+	case nNot:
+		n.kids[0].evalChunk(sc, lo, dst)
+		for i := range dst {
+			dst[i] = !dst[i]
+		}
+	case nCmp:
+		if n.isStr {
+			col := sc.str[n.col][lo : lo+len(dst)]
+			v := n.sval
+			for i, s := range col {
+				dst[i] = s == v // bind guarantees op == OpEq
+			}
+			return
+		}
+		col := sc.num[n.col][lo : lo+len(dst)]
+		v := n.fval
+		switch n.op {
+		case OpEq:
+			for i, x := range col {
+				dst[i] = x == v
+			}
+		case OpLt:
+			for i, x := range col {
+				dst[i] = x < v
+			}
+		case OpLe:
+			for i, x := range col {
+				dst[i] = x <= v
+			}
+		case OpGt:
+			for i, x := range col {
+				dst[i] = x > v
+			}
+		case OpGe:
+			for i, x := range col {
+				dst[i] = x >= v
+			}
+		}
+	case nIn:
+		if n.isStr {
+			col := sc.str[n.col][lo : lo+len(dst)]
+			for i, s := range col {
+				_, ok := n.sset[s]
+				dst[i] = ok
+			}
+			return
+		}
+		col := sc.num[n.col][lo : lo+len(dst)]
+		if len(n.fvals) == 1 {
+			v := n.fvals[0]
+			for i, x := range col {
+				dst[i] = x == v
+			}
+			return
+		}
+		for i, x := range col {
+			m := false
+			for _, f := range n.fvals {
+				m = m || x == f
+			}
+			dst[i] = m
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"deepsqueeze/internal/query"
+)
+
+// TestWarmCachedQueryAllocs is the allocation-regression gate for the cached
+// hot path: once every block a query touches is resident, executing it must
+// allocate only O(result) — planning bookkeeping, pooled-scratch reslices,
+// and the aggregate result itself — never O(rows decoded). The ceiling is
+// deliberately tight; if this test starts failing after a change to the
+// query or serve layer, the change added per-row or per-block allocations to
+// the warm path and should be reworked, not the ceiling raised.
+func TestWarmCachedQueryAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; gate runs uninstrumented (see scripts/check.sh)")
+	}
+	path := writeArchive(t, t.TempDir(), "t.dsqz")
+	// One decode slot and one worker keep the measurement single-threaded:
+	// with pool size 1 no helper goroutines spawn, so AllocsPerRun sees every
+	// allocation the query makes.
+	srv := New(Config{MaxConcurrent: 1, Parallelism: 1, BlockCacheBytes: 8 << 20})
+	ctx := context.Background()
+	opts := query.Options{
+		Where: query.Gt("noise", 50),
+		Aggs:  []query.AggOp{{Kind: query.AggCount}, {Kind: query.AggSum, Col: "noise"}},
+	}
+	// Warm: the first run decodes and caches every block the query touches.
+	if _, err := srv.Query(ctx, path, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := srv.Query(ctx, path, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Measured 46 allocs/run when introduced (plan + bound tree + fetch
+	// bookkeeping + stage stats); the ceiling leaves headroom for GC clearing
+	// a sync.Pool mid-run, not for new per-row work.
+	const ceiling = 96
+	if avg > ceiling {
+		t.Fatalf("warm cached aggregate query allocates %.1f allocs/run, ceiling %d", avg, ceiling)
+	}
+}

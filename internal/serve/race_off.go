@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector instruments this build.
+// The allocation-regression gate skips under it: instrumentation adds its
+// own allocations, so AllocsPerRun ceilings are only meaningful uninstrumented.
+const raceEnabled = false

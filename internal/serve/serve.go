@@ -53,13 +53,25 @@ type Config struct {
 	// kernel path, which a fleet may want to gate on explicitly). Default
 	// off: float32-plan archives are served like any other.
 	NoFloat32 bool
+
+	// BlockCacheBytes, when positive, enables the decoded-block cache: a
+	// byte-budgeted LRU of immutable per-(row group, column) decoded blocks
+	// shared across queries and archives. Repeat queries over warm groups
+	// skip the parse→scan→unpack→decode pipeline entirely and run filters
+	// directly over cached blocks. 0 (the default) disables caching; every
+	// query decodes from the archive bytes.
+	BlockCacheBytes int64
 }
 
 // entry is one cached archive handle plus the file identity it was read
-// from, for staleness checks.
+// from, for staleness checks. id is the handle's epoch: minted fresh at every
+// (re)open, never reused, and retired from the block cache when the handle
+// is dropped — the invalidation edge that keeps cached blocks from outliving
+// the bytes they decoded.
 type entry struct {
 	path string
 	a    *core.Archive
+	id   uint64
 	mod  time.Time
 	size int64
 }
@@ -83,15 +95,26 @@ type ArchiveStats struct {
 
 // Stats is a point-in-time snapshot of a Server's counters.
 type Stats struct {
-	Queries       int64          `json:"queries"`
-	Errors        int64          `json:"errors"`
-	Shed          int64          `json:"shed"`
-	CacheHits     int64          `json:"cache_hits"`
-	CacheMisses   int64          `json:"cache_misses"`
-	Evictions     int64          `json:"evictions"`
-	OpenArchives  int            `json:"open_archives"`
-	MaxConcurrent int            `json:"max_concurrent"`
-	Archives      []ArchiveStats `json:"archives"`
+	Queries       int64 `json:"queries"`
+	Errors        int64 `json:"errors"`
+	Shed          int64 `json:"shed"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	Evictions     int64 `json:"evictions"`
+	OpenArchives  int   `json:"open_archives"`
+	MaxConcurrent int   `json:"max_concurrent"`
+
+	// Block-cache counters, present only when BlockCacheBytes > 0. Hits and
+	// misses count individual (row group, column) blocks; bytes is the
+	// resident footprint (always ≤ the configured budget); evictions counts
+	// budget-driven drops plus epoch-invalidation purges.
+	BlockCacheBudget int64 `json:"block_cache_budget,omitempty"`
+	BlockHits        int64 `json:"block_hits,omitempty"`
+	BlockMisses      int64 `json:"block_misses,omitempty"`
+	BlockBytes       int64 `json:"block_bytes,omitempty"`
+	BlockEvictions   int64 `json:"block_evictions,omitempty"`
+
+	Archives []ArchiveStats `json:"archives"`
 }
 
 // archiveStats is the mutable aggregate behind ArchiveStats; it outlives
@@ -112,9 +135,11 @@ type Server struct {
 	maxQueue int
 	pool     *pipeline.Pool
 	sem      chan struct{} // decode slots, capacity cfg.MaxConcurrent
+	blocks   *blockCache   // nil when BlockCacheBytes == 0
 
 	queued atomic.Int64 // requests waiting for a slot
 	shed   atomic.Int64
+	nextID atomic.Uint64 // handle epoch mint
 
 	mu        sync.Mutex
 	entries   map[string]*list.Element // path → element holding *entry
@@ -143,7 +168,7 @@ func New(cfg Config) *Server {
 	if cfg.Parallelism <= 0 {
 		cfg.Parallelism = runtime.NumCPU()
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		maxQueue: maxQueue,
 		pool:     pipeline.NewPool(cfg.Parallelism),
@@ -152,6 +177,10 @@ func New(cfg Config) *Server {
 		lru:      list.New(),
 		stats:    make(map[string]*archiveStats),
 	}
+	if cfg.BlockCacheBytes > 0 {
+		s.blocks = newBlockCache(cfg.BlockCacheBytes)
+	}
+	return s
 }
 
 // acquire claims a decode slot, waiting in the bounded queue when every slot
@@ -179,14 +208,16 @@ func (s *Server) acquire(ctx context.Context) error {
 
 func (s *Server) release() { <-s.sem }
 
-// archive returns the open handle for path, reusing the cached one when the
-// file is unchanged (same mtime and size) and opening — outside the lock —
-// otherwise. The cache holds at most MaxOpenArchives handles, evicting the
-// least recently used.
-func (s *Server) archive(path string) (*core.Archive, error) {
+// archive returns the open handle for path and its epoch id, reusing the
+// cached one when the file is unchanged (same mtime and size) and opening —
+// outside the lock — otherwise. The cache holds at most MaxOpenArchives
+// handles, evicting the least recently used. Every handle drop (staleness or
+// eviction) retires its epoch from the block cache, so decoded blocks never
+// outlive the handle that produced them.
+func (s *Server) archive(path string) (*core.Archive, uint64, error) {
 	fi, err := os.Stat(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	s.mu.Lock()
 	if el, ok := s.entries[path]; ok {
@@ -195,37 +226,55 @@ func (s *Server) archive(path string) (*core.Archive, error) {
 			s.lru.MoveToFront(el)
 			s.hits++
 			s.mu.Unlock()
-			return e.a, nil
+			return e.a, e.id, nil
 		}
 		// The file changed under us: drop the stale handle and reopen.
 		s.lru.Remove(el)
 		delete(s.entries, path)
+		s.retireBlocks(e.id)
 	}
 	s.misses++
 	s.mu.Unlock()
 
 	a, err := core.OpenFile(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	id := s.nextID.Add(1)
+	if s.blocks != nil {
+		s.blocks.register(id)
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.entries[path]; ok {
 		// A concurrent miss opened the same path first; keep its handle so
-		// every request shares one decoder cache.
+		// every request shares one decoder cache (and one block epoch).
 		s.lru.MoveToFront(el)
-		return el.Value.(*entry).a, nil
+		s.retireBlocks(id) // the epoch we minted never serves
+		e := el.Value.(*entry)
+		return e.a, e.id, nil
 	}
-	el := s.lru.PushFront(&entry{path: path, a: a, mod: fi.ModTime(), size: fi.Size()})
+	el := s.lru.PushFront(&entry{path: path, a: a, id: id, mod: fi.ModTime(), size: fi.Size()})
 	s.entries[path] = el
 	for s.lru.Len() > s.cfg.MaxOpenArchives {
 		old := s.lru.Back()
 		s.lru.Remove(old)
-		delete(s.entries, old.Value.(*entry).path)
+		oe := old.Value.(*entry)
+		delete(s.entries, oe.path)
+		s.retireBlocks(oe.id)
 		s.evictions++
 	}
-	return a, nil
+	return a, id, nil
+}
+
+// retireBlocks invalidates a handle epoch in the block cache, if enabled.
+// Safe to call with s.mu held: the block cache has its own lock and never
+// calls back into the server.
+func (s *Server) retireBlocks(id uint64) {
+	if s.blocks != nil {
+		s.blocks.retire(id)
+	}
 }
 
 // Query admits, plans, and executes one query against the archive at path.
@@ -237,7 +286,7 @@ func (s *Server) Query(ctx context.Context, path string, opts query.Options) (*q
 		return nil, err
 	}
 	defer s.release()
-	a, err := s.archive(path)
+	a, id, err := s.archive(path)
 	if err != nil {
 		s.recordError(path)
 		return nil, err
@@ -247,6 +296,9 @@ func (s *Server) Query(ctx context.Context, path string, opts query.Options) (*q
 		return nil, fmt.Errorf("%s: archive mandates float32 decode, refused by server policy", path)
 	}
 	opts.Pool = s.pool
+	if s.blocks != nil {
+		opts.Blocks = &blockFetcher{c: s.blocks, a: a, id: id, pool: s.pool}
+	}
 	res, err := query.RunArchive(ctx, a, opts)
 	s.record(path, res, err)
 	if err != nil {
@@ -260,7 +312,7 @@ func (s *Server) Query(ctx context.Context, path string, opts query.Options) (*q
 // admission bound: metadata comes from the parsed header plus one segment
 // walk for the per-stream codec accounting, not a decode.
 func (s *Server) Summary(path string) (*core.ArchiveSummary, error) {
-	a, err := s.archive(path)
+	a, _, err := s.archive(path)
 	if err != nil {
 		return nil, err
 	}
@@ -340,6 +392,10 @@ func (s *Server) Stats() Stats {
 		Evictions:     s.evictions,
 		OpenArchives:  s.lru.Len(),
 		MaxConcurrent: s.cfg.MaxConcurrent,
+	}
+	if s.blocks != nil {
+		out.BlockCacheBudget = s.cfg.BlockCacheBytes
+		out.BlockHits, out.BlockMisses, out.BlockBytes, out.BlockEvictions = s.blocks.snapshot()
 	}
 	paths := make([]string, 0, len(s.stats))
 	for p := range s.stats {

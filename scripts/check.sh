@@ -76,6 +76,21 @@ echo "== stream codec gate =="
 go test -count=1 ./internal/codec ./internal/rangecoder
 go test -run='TestRoundTripEveryCodec|TestCodecDeterministicAcrossParallelism|TestAutoUsesRangeCodecsOnSkewedData|TestStreamStatsConsistency' -count=1 ./internal/core
 
+echo "== block cache gate =="
+# The decoded-block cache's contracts: cached results byte-identical to the
+# uncached path, budget respected under eviction pressure, singleflight
+# dedupe of concurrent misses, and the randomized mixed-workload test with
+# concurrent file-swap invalidation. All run under -race above too; this
+# names them so a failure is attributable at a glance.
+go test -run='TestBlockCache|TestCachedEquivalence|TestCachedKernelChunking' -count=1 ./internal/serve ./internal/query
+
+echo "== warm-path allocation gate =="
+# testing.AllocsPerRun ceiling on the warm cached aggregate query. Runs
+# without -race on purpose: race instrumentation adds allocations, so the
+# test skips itself under the instrumented suite above and only measures
+# here.
+go test -run='^TestWarmCachedQueryAllocs$' -count=1 ./internal/serve
+
 echo "== query equivalence gate =="
 # Predicate-pushdown results must be byte-identical to decompress-then-
 # filter for randomized predicates at parallelism 1, 4, and NumCPU.
