@@ -25,7 +25,12 @@ func main() {
 
 	if *list {
 		for _, g := range datagen.All() {
-			fmt.Printf("%-10s %3d categorical %3d numeric  (paper: %d tuples, %.0f MB; default here: %d rows)\n",
+			if g.PaperRows == 0 {
+				fmt.Printf("%-11s %3d categorical %3d numeric  (extension fixture; default here: %d rows)\n",
+					g.Name, g.CatCols, g.NumCols, g.DefaultRows)
+				continue
+			}
+			fmt.Printf("%-11s %3d categorical %3d numeric  (paper: %d tuples, %.0f MB; default here: %d rows)\n",
 				g.Name, g.CatCols, g.NumCols, g.PaperRows, g.PaperRawMB, g.DefaultRows)
 		}
 		return

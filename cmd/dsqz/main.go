@@ -18,6 +18,16 @@
 //	-codec auto        stream codecs the best-of selector may try: auto,
 //	                   stored, deflate, range, range-adaptive, range-cpt
 //	-sample 0          training sample rows (0 = full data)
+//	-resbit            keep high-cardinality categoricals in the model as
+//	                   stacked residual digits instead of the colfile fallback
+//	-maxcard 256       alphabet size the model predicts per categorical column
+//	-fallback-distinct 65536
+//	                   distinct-value count above which a categorical column
+//	                   falls back to direct storage (with -resbit: the
+//	                   residual path removes this ceiling)
+//	-fallback-ratio 0.5
+//	                   near-unique ratio (distinct/rows) above which a
+//	                   categorical column always falls back
 //	-tune              run Bayesian hyperparameter tuning first
 //	-seed 1            random seed
 //	-p 0               pipeline parallelism (0 = all CPUs)
@@ -199,6 +209,10 @@ func runCompress(ctx context.Context, args []string) error {
 	rowgroup := fs.Int("rowgroup", 0, "rows per archive row group (0 = default)")
 	codecName := fs.String("codec", "", "stream codec selection: auto (default), stored, deflate, range, range-adaptive, range-cpt")
 	sample := fs.Int("sample", 0, "training sample rows (0 = all)")
+	resbit := fs.Bool("resbit", false, "keep high-cardinality categorical columns in the model as stacked residual digits instead of the colfile fallback")
+	maxcard := fs.Int("maxcard", 0, "alphabet size the model predicts per categorical column (0 = default 256)")
+	fbDistinct := fs.Int("fallback-distinct", 0, "distinct-value ceiling for in-model categoricals (0 = default 65536)")
+	fbRatio := fs.Float64("fallback-ratio", 0, "near-unique distinct/rows ratio above which categoricals fall back (0 = default 0.5)")
 	f32 := fs.Bool("f32", false, "record the float32-decode plan flag: corrections are computed against float32 inference and every reader decodes through the float32 kernel path")
 	tune := fs.Bool("tune", false, "run hyperparameter tuning before compressing")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -228,6 +242,25 @@ func runCompress(ctx context.Context, args []string) error {
 	opts.Seed = *seed
 	opts.Parallelism = *parallel
 	opts.Float32Decode = *f32
+	opts.Preproc.ResidualCats = *resbit
+	if *maxcard != 0 {
+		if *maxcard < 1 {
+			return fmt.Errorf("bad -maxcard %d (want a positive alphabet size)", *maxcard)
+		}
+		opts.Preproc.MaxModelCardinality = *maxcard
+	}
+	if *fbDistinct != 0 {
+		if *fbDistinct < 1 {
+			return fmt.Errorf("bad -fallback-distinct %d (want a positive distinct-value ceiling)", *fbDistinct)
+		}
+		opts.Preproc.FallbackMaxDistinct = *fbDistinct
+	}
+	if *fbRatio != 0 {
+		if *fbRatio < 0 || *fbRatio > 1 {
+			return fmt.Errorf("bad -fallback-ratio %v (want a fraction in (0, 1])", *fbRatio)
+		}
+		opts.Preproc.FallbackDistinctRatio = *fbRatio
+	}
 	if *verbose {
 		opts.Verbose = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
@@ -745,6 +778,7 @@ func runInspect(args []string) error {
 	if !info.RowOrderPreserved {
 		fmt.Println("row order not preserved (order-free grouped storage)")
 	}
+	fmt.Printf("column kinds: %s\n", kindCensus(info.KindCensus))
 	fmt.Println("columns:")
 	for i, c := range info.Schema.Columns {
 		fmt.Printf("  %-24s %-11v %s\n", c.Name, c.Type, info.ColumnKind[i])
@@ -775,6 +809,24 @@ func runInspect(args []string) error {
 		}
 	}
 	return nil
+}
+
+// kindCensus renders the per-kind column counts in a fixed kind order so
+// output is deterministic ("categorical×3 residual×1 fallback-categorical×2").
+func kindCensus(census map[string]int) string {
+	var parts []string
+	for _, kind := range []string{
+		"categorical", "binary", "residual", "quantized", "numdict",
+		"continuous", "fallback-categorical", "fallback-numeric",
+	} {
+		if n := census[kind]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s×%d", kind, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
 }
 
 // codecHistogram renders a stream's codec-choice tally ("deflate×3

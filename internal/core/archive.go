@@ -43,6 +43,7 @@ const (
 	flagExternalModel byte = 1 << 3 // decoders live in a separate model archive
 	flagZoneMaps      byte = 1 << 4 // per-group zone-map stats chunk present
 	flagFloat32       byte = 1 << 5 // failure streams computed against float32 inference
+	flagResidual      byte = 1 << 6 // plan routes high-cardinality categoricals as residual digits
 )
 
 // sectionWriter accumulates length-prefixed sections and tracks per-section

@@ -54,6 +54,7 @@ type segmentData struct {
 	planChunk []byte // group plan override payload; nil = header plan applies
 	dims      [][]int64
 	ints      map[int][]int64
+	res       map[int][][]int64
 	exc       map[int][]int64
 	mask      map[int][]int64
 	vals      map[int][]float64
@@ -78,9 +79,17 @@ func sliceGroups(md *modelData, fs *failureSet, dims [][]int64, perm []int, span
 			g.dims[d] = col[lo:hi]
 		}
 		g.ints = make(map[int][]int64)
+		g.res = make(map[int][][]int64)
 		g.exc = make(map[int][]int64)
 		g.mask = make(map[int][]int64)
 		g.vals = make(map[int][]float64)
+		for col, digits := range fs.resInts {
+			segs := make([][]int64, len(digits))
+			for d, stream := range digits {
+				segs[d] = stream[lo:hi]
+			}
+			g.res[col] = segs
+		}
 		for col, ints := range fs.ints {
 			seg := ints[lo:hi]
 			g.ints[col] = seg
@@ -181,6 +190,12 @@ func buildSegment(t *dataset.Table, md *modelData, assign []int, cfg segConfig, 
 		case md.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
 			failures += w.chunk(colfile.PackIntsMask(g.mask[col], cfg.mask))
 			failures += w.chunk(colfile.PackFloats(g.vals[col]))
+		case cp.Kind == preprocess.KindCatResidual:
+			// One failure-rank chunk per digit, no exception chunks:
+			// digits never escape.
+			for _, stream := range g.res[col] {
+				failures += w.chunk(colfile.PackIntsMask(stream, cfg.mask))
+			}
 		case md.specOfCol[col] >= 0:
 			failures += w.chunk(colfile.PackIntsMask(g.ints[col], cfg.mask))
 			if md.specs[md.specOfCol[col]].Kind == nn.OutCategorical {
@@ -262,6 +277,12 @@ func assembleArchive(run *pipeline.Run, t *dataset.Table, md *modelData, opts Op
 		// Decode precision is a per-archive contract: the flag tells every
 		// reader that the stored corrections assume float32 inference.
 		flags |= flagFloat32
+	}
+	if planHasResidual(md.plan) {
+		// Advisory: residual columns also mark the plan itself (a new
+		// ColKind old readers reject), but the header flag lets Inspect and
+		// operators see the layout without parsing the plan.
+		flags |= flagResidual
 	}
 	w.raw(magic[:])
 	w.raw([]byte{archiveVersion, flags})

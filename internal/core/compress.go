@@ -220,14 +220,22 @@ func materialize(run *pipeline.Run, t *dataset.Table, md *modelData, opts Option
 		// table): failure streams exist but are empty.
 		bestFS = &failureSet{
 			ints:       make(map[int][]int64),
+			resInts:    make(map[int][][]int64),
 			exceptions: make(map[int][]int64),
 			contMask:   make(map[int][]int64),
 			contVals:   make(map[int][]float64),
 		}
-		for _, col := range md.specCols {
-			if md.plan.Cols[col].Kind == preprocess.KindNumContinuous {
+		for si, col := range md.specCols {
+			cp := &md.plan.Cols[col]
+			switch cp.Kind {
+			case preprocess.KindNumContinuous:
 				bestFS.contMask[col] = []int64{}
-			} else {
+			case preprocess.KindCatResidual:
+				if bestFS.resInts[col] == nil {
+					bestFS.resInts[col] = make([][]int64, cp.ResDigits)
+				}
+				bestFS.resInts[col][md.specDigit[si]] = []int64{}
+			default:
 				bestFS.ints[col] = []int64{}
 			}
 		}

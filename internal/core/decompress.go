@@ -136,7 +136,7 @@ type groupDec struct {
 	planChunk    []byte
 	dimChunks    [][]byte
 	mappingChunk []byte
-	colChunks    [][2][]byte // per schema column; unselected stay nil
+	colChunks    [][][]byte // per schema column, colChunkCount chunks each; unselected stay nil
 
 	// Unpacked streams, indexed by schema column (spec streams) or code
 	// dimension; all in the group's stored order.
@@ -145,6 +145,7 @@ type groupDec struct {
 	perm    []int // stored position → group-local original row
 	assign  []int // group-local original row → expert
 	fInts   [][]int64
+	fRes    [][][]int64 // residual columns → per-digit failure ranks
 	fExc    [][]int64
 	fMask   [][]int64
 	fVals   [][]float64
@@ -563,25 +564,36 @@ func (d *decompressor) scanGroupBody(r *sectionReader, g *groupDec, skipped *int
 			return err
 		}
 	}
-	g.colChunks = make([][2][]byte, len(d.plan.Cols))
+	g.colChunks = make([][][]byte, len(d.plan.Cols))
 	for col := range d.plan.Cols {
-		cp := &d.plan.Cols[col]
-		// Chunk count per column mirrors the writer: continuous model
-		// columns store mask+values, categorical model columns store
-		// ranks+exceptions, everything else stores one chunk.
-		two := d.lo.specOfCol[col] >= 0 &&
-			(cp.Kind == preprocess.KindNumContinuous ||
-				d.lo.specs[d.lo.specOfCol[col]].Kind == nn.OutCategorical)
-		if err := take(&g.colChunks[col][0], d.sel[col]); err != nil {
-			return err
-		}
-		if two {
-			if err := take(&g.colChunks[col][1], d.sel[col]); err != nil {
+		cnt := colChunkCount(d.plan, d.lo, col)
+		g.colChunks[col] = make([][]byte, cnt)
+		for i := 0; i < cnt; i++ {
+			if err := take(&g.colChunks[col][i], d.sel[col]); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// colChunkCount is the number of data chunks a column writes per segment —
+// the contract buildSegment, scanGroupBody, and collectGroupStreams must
+// all agree on: continuous model columns store mask+values, categorical
+// model columns store ranks+exceptions, residual columns store one rank
+// stream per digit, everything else stores one chunk.
+func colChunkCount(plan *preprocess.Plan, lo *layout, col int) int {
+	cp := &plan.Cols[col]
+	switch {
+	case cp.Kind == preprocess.KindCatResidual:
+		return cp.ResDigits
+	case lo.specOfCol[col] >= 0 &&
+		(cp.Kind == preprocess.KindNumContinuous ||
+			lo.specs[lo.specOfCol[col]].Kind == nn.OutCategorical):
+		return 2
+	default:
+		return 1
+	}
 }
 
 // unpack decodes every retained section concurrently across all active
@@ -632,6 +644,7 @@ func (d *decompressor) unpackGroupItems(g *groupDec, add func(chunk []byte, fn f
 	ncols := len(d.plan.Cols)
 	g.plan = d.plan
 	g.fInts = make([][]int64, ncols)
+	g.fRes = make([][][]int64, ncols)
 	g.fExc = make([][]int64, ncols)
 	g.fMask = make([][]int64, ncols)
 	g.fVals = make([][]float64, ncols)
@@ -670,8 +683,29 @@ func (d *decompressor) unpackGroupItems(g *groupDec, add func(chunk []byte, fn f
 	for _, col := range d.selCols {
 		col := col
 		cp := &d.plan.Cols[col]
-		a, b := g.colChunks[col][0], g.colChunks[col][1]
+		a := g.colChunks[col][0]
+		var b []byte
+		if len(g.colChunks[col]) > 1 {
+			b = g.colChunks[col][1]
+		}
 		switch {
+		case cp.Kind == preprocess.KindCatResidual:
+			g.fRes[col] = make([][]int64, cp.ResDigits)
+			for dg := 0; dg < cp.ResDigits; dg++ {
+				dg := dg
+				chunk := g.colChunks[col][dg]
+				add(chunk, func() error {
+					ranks, err := colfile.UnpackIntsMax(chunk, g.count)
+					if err != nil {
+						return corrupt(err)
+					}
+					if len(ranks) != g.count {
+						return fmt.Errorf("%w: column %d digit %d failure length", ErrCorrupt, col, dg)
+					}
+					g.fRes[col][dg] = ranks
+					return nil
+				})
+			}
 		case d.lo.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
 			add(a, func() error {
 				mask, err := colfile.UnpackIntsMax(a, g.count)
@@ -756,10 +790,12 @@ func (d *decompressor) unpackGroupItems(g *groupDec, add func(chunk []byte, fn f
 
 // colBranch classifies a column into the serialization branch the writer and
 // reader switch on: continuous model, discrete model, categorical fallback,
-// numeric fallback, or trivial.
+// numeric fallback, trivial, or residual.
 func colBranch(plan *preprocess.Plan, lo *layout, col int) int {
 	cp := &plan.Cols[col]
 	switch {
+	case cp.Kind == preprocess.KindCatResidual:
+		return 5
 	case lo.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
 		return 0
 	case lo.specOfCol[col] >= 0:
@@ -989,7 +1025,9 @@ func (d *decompressor) resolveGroupInit(g *groupDec) {
 		}
 		if d.plan.Cols[col].Kind == preprocess.KindNumContinuous {
 			g.contOut[col] = make([]float64, g.count)
-		} else {
+		} else if g.colCodes[col] == nil {
+			// Residual columns repeat in specCols (one entry per digit);
+			// the digits accumulate into one shared code slice.
 			g.colCodes[col] = make([]int, g.count)
 		}
 	}
@@ -1020,7 +1058,9 @@ func (d *decompressor) resolveSpec(g *groupDec, si int) error {
 		g.valAt[si] = at
 		return nil
 	}
-	if spec.Kind != nn.OutCategorical {
+	if spec.Kind != nn.OutCategorical || d.plan.Cols[col].Kind == preprocess.KindCatResidual {
+		// Residual digits never escape: there is no exception queue to
+		// resolve, and rank validation happens when the digit is applied.
 		return nil
 	}
 	at := make(map[int]int64)
@@ -1149,6 +1189,27 @@ func (d *decompressor) applyChunk(g *groupDec, dec *nn.Decoder, chunk []int, p *
 			j := dec.CatPos(si)
 			out := g.colCodes[col]
 			probs := p.Cat[j]
+			if cp.Kind == preprocess.KindCatResidual {
+				// One digit of the rank: patch this digit's failure rank
+				// and accumulate its place value into the shared code.
+				// Ranks are strict — digits have no escape, so anything
+				// outside [0, Base) is corruption, and the recomposed rank
+				// is bounds-checked against the dictionary on assembly.
+				dg := d.lo.specDigit[si]
+				ranks := g.fRes[col][dg]
+				mult := 1
+				for k := 0; k < dg; k++ {
+					mult *= cp.ModelCard
+				}
+				for i, s := range chunk {
+					rank := int(ranks[s])
+					if rank < 0 || rank >= spec.Card {
+						return fmt.Errorf("%w: column %d digit %d rank %d", ErrCorrupt, col, dg, rank)
+					}
+					out[s] += codeAtRank(probs.Row(i), rank, scratch) * mult
+				}
+				continue
+			}
 			for i, s := range chunk {
 				rank := int(g.fInts[col][s])
 				switch {

@@ -52,6 +52,12 @@ func fuzzSeedArchives(f *testing.F) [][]byte {
 	// mutations reach the range-frame decoder (headers, CPT tables, coder
 	// body) rather than only the stored/DEFLATE paths.
 	add(Compress(skewedCatTable(120, 56), []float64{0, 0, 0.05, 0}, opts))
+	// A residual-digit archive exposes the multi-chunk column layout and the
+	// per-digit rank validation to mutations.
+	res := opts
+	res.Preproc.ResidualCats = true
+	res.Preproc.MaxModelCardinality = 8 // force residual; 70 values → 2 digits
+	add(Compress(clickTable(200, 70, 57), []float64{0, 0, 0.1}, res))
 	v1, err := os.ReadFile(filepath.Join("testdata", "categorical.dsqz"))
 	if err != nil {
 		f.Fatal(err)

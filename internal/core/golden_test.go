@@ -124,6 +124,16 @@ func goldenCases() []goldenCase {
 		opts.RowGroupSize = 150
 		return skewedCatTable(300, 107), []float64{0, 0, 0.05, 0}, opts
 	}})
+	// resbit_v2 pins the residual-digit path: flagResidual in the header
+	// byte, a KindCatResidual plan entry with its dictionary + digit count,
+	// and per-digit failure streams in every group. The committed bytes
+	// freeze the digit decomposition and the multi-chunk column layout.
+	cases = append(cases, goldenCase{"resbit_v2", 2, func() (*dataset.Table, []float64, Options) {
+		opts := goldenOpts(1)
+		opts.RowGroupSize = 300
+		opts.Preproc.ResidualCats = true
+		return clickTable(900, 300, 108), []float64{0, 0, 0.05}, opts
+	}})
 	return cases
 }
 
@@ -208,7 +218,8 @@ func TestGoldenArchives(t *testing.T) {
 			if idx.Rows != got.NumRows() {
 				t.Fatalf("index declares %d rows, table has %d", idx.Rows, got.NumRows())
 			}
-			if wantStats := gc.name == "stats_v2" || gc.name == "f32_v2" || gc.name == "entropy_v2"; idx.HasZoneMaps != wantStats {
+			if wantStats := gc.name == "stats_v2" || gc.name == "f32_v2" ||
+				gc.name == "entropy_v2" || gc.name == "resbit_v2"; idx.HasZoneMaps != wantStats {
 				t.Fatalf("HasZoneMaps = %v, want %v", idx.HasZoneMaps, wantStats)
 			}
 			if idx.HasZoneMaps {
@@ -238,6 +249,18 @@ func TestGoldenArchives(t *testing.T) {
 				}
 				if rangeFrames == 0 {
 					t.Fatal("entropy fixture carries no range-coded frames")
+				}
+			}
+			if gc.name == "resbit_v2" {
+				// This fixture exists to pin the residual-digit layout; if
+				// the fit rule stops choosing residual here, the golden
+				// silently stops covering the multi-chunk decode path.
+				info, err := Inspect(archive)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if info.KindCensus["residual"] == 0 {
+					t.Fatal("resbit fixture carries no residual column")
 				}
 			}
 			if gc.version >= 2 {

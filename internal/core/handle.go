@@ -207,8 +207,10 @@ func (m *archiveMeta) info() *ArchiveInfo {
 		}
 	}
 	info.ColumnKind = make([]string, len(m.plan.Cols))
+	info.KindCensus = make(map[string]int)
 	for i := range m.plan.Cols {
 		info.ColumnKind[i] = m.plan.Cols[i].Kind.String()
+		info.KindCensus[info.ColumnKind[i]]++
 	}
 	return info
 }

@@ -21,6 +21,10 @@ type ArchiveInfo struct {
 	Rows       int
 	Schema     *dataset.Schema
 	ColumnKind []string // preprocessing kind per column
+	// KindCensus counts columns per preprocessing kind (keyed by the kind's
+	// String form): how many columns travel through the model, as binary,
+	// as residual digits, or through the colfile fallback.
+	KindCensus map[string]int
 	CodeSize   int
 	CodeBits   int
 	NumExperts int

@@ -54,21 +54,25 @@ func StreamSummaries(stats []StreamStat) []StreamSummary {
 // `dsqz inspect -json` and the daemon's /archives endpoint: one serializer,
 // so scripts can consume either source interchangeably.
 type ArchiveSummary struct {
-	Path              string          `json:"path,omitempty"`
-	Version           int             `json:"version"`
-	Bytes             int             `json:"bytes"`
-	Rows              int             `json:"rows"`
-	CodeSize          int             `json:"code_size"`
-	CodeBits          int             `json:"code_bits"`
-	Experts           int             `json:"experts"`
-	Streaming         bool            `json:"streaming"`
-	RowOrderPreserved bool            `json:"row_order_preserved"`
-	RowGroupSize      int             `json:"row_group_size"`
-	ZoneMaps          bool            `json:"zone_maps"`
-	Float32Decode     bool            `json:"float32_decode"`
-	DecoderBytes      int64           `json:"decoder_bytes"`
-	Columns           []ColumnSummary `json:"columns"`
-	Groups            []GroupSummary  `json:"groups,omitempty"`
+	Path              string `json:"path,omitempty"`
+	Version           int    `json:"version"`
+	Bytes             int    `json:"bytes"`
+	Rows              int    `json:"rows"`
+	CodeSize          int    `json:"code_size"`
+	CodeBits          int    `json:"code_bits"`
+	Experts           int    `json:"experts"`
+	Streaming         bool   `json:"streaming"`
+	RowOrderPreserved bool   `json:"row_order_preserved"`
+	RowGroupSize      int    `json:"row_group_size"`
+	ZoneMaps          bool   `json:"zone_maps"`
+	Float32Decode     bool   `json:"float32_decode"`
+	DecoderBytes      int64  `json:"decoder_bytes"`
+	// KindCounts is the per-preprocessing-kind column census (kind name →
+	// column count): at a glance, how many columns are modeled, binary,
+	// residual-digit, or fallback.
+	KindCounts map[string]int  `json:"kind_counts,omitempty"`
+	Columns    []ColumnSummary `json:"columns"`
+	Groups     []GroupSummary  `json:"groups,omitempty"`
 	// Streams is the per-stream codec accounting (InspectStreams); populated
 	// by callers that paid for the stream walk, omitted otherwise.
 	Streams []StreamSummary `json:"streams,omitempty"`
@@ -90,6 +94,12 @@ func (info *ArchiveInfo) Summary() *ArchiveSummary {
 		ZoneMaps:          info.HasZoneMaps,
 		Float32Decode:     info.Float32Decode,
 		DecoderBytes:      info.DecoderBytes,
+	}
+	if len(info.KindCensus) > 0 {
+		s.KindCounts = make(map[string]int, len(info.KindCensus))
+		for k, n := range info.KindCensus {
+			s.KindCounts[k] = n
+		}
 	}
 	s.Columns = make([]ColumnSummary, len(info.Schema.Columns))
 	for i, c := range info.Schema.Columns {

@@ -156,6 +156,10 @@ type failureSet struct {
 	// ints: model (non-trivial, discrete) columns → failure integers,
 	// indexed by stored position.
 	ints map[int][]int64
+	// resInts: residual columns → per-digit failure ranks, each indexed by
+	// stored position. Digits never escape (every digit lies in [0, Base)),
+	// so residual columns have no exception stream.
+	resInts map[int][][]int64
 	// exceptions: categorical columns → escaped actual codes, ordered by
 	// stored position of the escaping tuple.
 	exceptions map[int][]int64
@@ -190,15 +194,23 @@ func computeFailures(run *pipeline.Run, md *modelData, origNum map[int][]float64
 	decs32 []*nn.Decoder32, assign []int, recCodes *mat.Matrix, perm []int) (*failureSet, error) {
 	fs := &failureSet{
 		ints:       make(map[int][]int64),
+		resInts:    make(map[int][][]int64),
 		exceptions: make(map[int][]int64),
 		contMask:   make(map[int][]int64),
 		contVals:   make(map[int][]float64),
 	}
 	n := len(perm)
-	for _, col := range md.specCols {
-		if md.plan.Cols[col].Kind == preprocess.KindNumContinuous {
+	for si, col := range md.specCols {
+		cp := &md.plan.Cols[col]
+		switch cp.Kind {
+		case preprocess.KindNumContinuous:
 			fs.contMask[col] = make([]int64, n)
-		} else {
+		case preprocess.KindCatResidual:
+			if fs.resInts[col] == nil {
+				fs.resInts[col] = make([][]int64, cp.ResDigits)
+			}
+			fs.resInts[col][md.specDigit[si]] = make([]int64, n)
+		default:
 			fs.ints[col] = make([]int64, n)
 		}
 	}
@@ -255,9 +267,20 @@ func computeFailures(run *pipeline.Run, md *modelData, origNum map[int][]float64
 					}
 				case nn.OutCategorical:
 					j := dec.CatPos(si)
-					out := fs.ints[col]
 					cc := md.codes[col]
 					probs := p.Cat[j]
+					if cp.Kind == preprocess.KindCatResidual {
+						// One digit of the rank: always in-alphabet, so
+						// the failure is a plain rank with no escape.
+						l := cp.ResLayout()
+						d := md.specDigit[si]
+						out := fs.resInts[col][d]
+						for i, s := range chunk {
+							out[s] = int64(rankOf(probs.Row(i), l.Digit(cc[perm[s]], d)))
+						}
+						continue
+					}
+					out := fs.ints[col]
 					for i, s := range chunk {
 						actual := cc[perm[s]]
 						if actual >= spec.Card {
@@ -336,6 +359,9 @@ func packedSize(run *pipeline.Run, fs *failureSet, codeDims [][]int64, mask code
 	ints = append(ints, codeDims...)
 	for _, s := range fs.ints {
 		ints = append(ints, s)
+	}
+	for _, ds := range fs.resInts {
+		ints = append(ints, ds...)
 	}
 	for _, s := range fs.exceptions {
 		ints = append(ints, s)

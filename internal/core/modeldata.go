@@ -15,10 +15,21 @@ import (
 type layout struct {
 	specs     []nn.ColSpec
 	specCols  []int // spec index → schema column
-	specOfCol []int // schema column → spec index, -1 if not a model column
+	specDigit []int // spec index → residual digit index (0 for non-residual)
+	specOfCol []int // schema column → first spec index, -1 if not a model column
 
 	trivialCols  []int // in-model columns with ModelCard ≤ 1: always predicted 0
 	fallbackCols []int // stored directly through the columnar format
+}
+
+// planHasResidual reports whether any column travels as residual digits.
+func planHasResidual(plan *preprocess.Plan) bool {
+	for i := range plan.Cols {
+		if plan.Cols[i].Kind == preprocess.KindCatResidual {
+			return true
+		}
+	}
+	return false
 }
 
 // isTrivial reports whether an in-model column needs no prediction.
@@ -46,7 +57,19 @@ func deriveLayout(plan *preprocess.Plan) (*layout, error) {
 		case preprocess.KindNumContinuous:
 			lo.specOfCol[col] = len(lo.specs)
 			lo.specCols = append(lo.specCols, col)
+			lo.specDigit = append(lo.specDigit, 0)
 			lo.specs = append(lo.specs, nn.ColSpec{Kind: nn.OutNumeric})
+			continue
+		case preprocess.KindCatResidual:
+			// One small softmax head per residual digit: the column spans
+			// ResDigits consecutive specs, each over a base-ModelCard
+			// alphabet. specOfCol points at the first digit's spec.
+			lo.specOfCol[col] = len(lo.specs)
+			for d := 0; d < cp.ResDigits; d++ {
+				lo.specCols = append(lo.specCols, col)
+				lo.specDigit = append(lo.specDigit, d)
+				lo.specs = append(lo.specs, nn.ColSpec{Kind: nn.OutCategorical, Card: cp.ModelCard})
+			}
 			continue
 		}
 		if isTrivial(cp) {
@@ -55,6 +78,7 @@ func deriveLayout(plan *preprocess.Plan) (*layout, error) {
 		}
 		lo.specOfCol[col] = len(lo.specs)
 		lo.specCols = append(lo.specCols, col)
+		lo.specDigit = append(lo.specDigit, 0)
 		switch cp.Kind {
 		case preprocess.KindCatModel:
 			lo.specs = append(lo.specs, nn.ColSpec{Kind: nn.OutCategorical, Card: cp.ModelCard})
@@ -183,12 +207,27 @@ func (md *modelData) buildTensors() {
 		case nn.OutCategorical:
 			cc := md.codes[col]
 			tgt := md.targets.Cat[ci]
-			for r := 0; r < md.rows; r++ {
-				md.x.Set(r, si, md.plan.InputValue(col, cc[r]))
-				if cc[r] < s.Card {
-					tgt[r] = cc[r]
-				} else {
-					tgt[r] = -1 // rare value: masked from training
+			if cp.Kind == preprocess.KindCatResidual {
+				// This spec is one residual digit of the column's rank.
+				// Digits are always in [0, Base), so no training mask.
+				l := cp.ResLayout()
+				d := md.specDigit[si]
+				denom := float64(l.Base - 1)
+				for r := 0; r < md.rows; r++ {
+					dig := l.Digit(cc[r], d)
+					if denom > 0 {
+						md.x.Set(r, si, float64(dig)/denom)
+					}
+					tgt[r] = dig
+				}
+			} else {
+				for r := 0; r < md.rows; r++ {
+					md.x.Set(r, si, md.plan.InputValue(col, cc[r]))
+					if cc[r] < s.Card {
+						tgt[r] = cc[r]
+					} else {
+						tgt[r] = -1 // rare value: masked from training
+					}
 				}
 			}
 			ci++

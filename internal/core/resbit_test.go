@@ -1,0 +1,291 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/preprocess"
+)
+
+// clickTable builds the residual-path fixture: a Zipf-skewed user-ID column
+// with `users` distinct values (every ID occurs at least once, so the
+// dictionary size is exact), a small categorical, and a lossy numeric. With
+// users > MaxModelCardinality and users/rows under the near-unique ratio,
+// ResidualCats routes the user column through residual digits.
+func clickTable(rows, users int, seed int64) *dataset.Table {
+	return clickTableFrom(rows, users, 0, seed)
+}
+
+// clickTableFrom is clickTable with user IDs shifted by base, so a batch can
+// contain IDs the training table never saw without growing the alphabet.
+func clickTableFrom(rows, users, base int, seed int64) *dataset.Table {
+	schema := dataset.NewSchema(
+		dataset.Column{Name: "user", Type: dataset.Categorical},
+		dataset.Column{Name: "country", Type: dataset.Categorical},
+		dataset.Column{Name: "dwell", Type: dataset.Numeric},
+	)
+	t := dataset.NewTable(schema, rows)
+	rng := rand.New(rand.NewSource(seed))
+	zf := rand.NewZipf(rng, 1.2, 1, uint64(users-1))
+	countries := []string{"us", "de", "jp"}
+	for i := 0; i < rows; i++ {
+		u := i % users // first pass covers every ID exactly once
+		if i >= users {
+			u = int(zf.Uint64())
+		}
+		t.AppendRow(
+			[]string{fmt.Sprintf("user-%05d", base+u), countries[u%3]},
+			[]float64{float64(u%7)*3 + rng.Float64()},
+		)
+	}
+	return t
+}
+
+// residualOpts is quickOpts with the residual-digit path enabled.
+func residualOpts() Options {
+	o := quickOpts()
+	o.Train.Epochs = 3
+	o.Preproc.ResidualCats = true
+	return o
+}
+
+// TestResidualPlanSelection checks the fit rule, the archived layout, and the
+// header flag: a high-cardinality column becomes residual digits whose layout
+// covers the dictionary, and the archive advertises flagResidual.
+func TestResidualPlanSelection(t *testing.T) {
+	tb := clickTable(2000, 500, 71)
+	res, err := Compress(tb, []float64{0, 0, 0.05}, residualOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := parseArchiveMeta(res.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.flags&flagResidual == 0 {
+		t.Fatal("archive does not carry flagResidual")
+	}
+	cp := &m.plan.Cols[0]
+	if cp.Kind != preprocess.KindCatResidual {
+		t.Fatalf("user column kind %v, want residual", cp.Kind)
+	}
+	if cp.Dict.Len() != 500 {
+		t.Fatalf("dictionary of %d values, want 500", cp.Dict.Len())
+	}
+	l := cp.ResLayout()
+	if !l.Valid() || l.Max() < cp.Dict.Len() {
+		t.Fatalf("layout %+v does not cover %d values", l, cp.Dict.Len())
+	}
+	if l.Digits < 2 {
+		t.Fatalf("expected a multi-digit layout for 500 values, got %+v", l)
+	}
+	// The small categorical must stay on the ordinary model path.
+	if got := m.plan.Cols[1].Kind; got != preprocess.KindCatModel {
+		t.Fatalf("country column kind %v, want categorical", got)
+	}
+}
+
+// TestRoundTripResidual checks exactly lossless reconstruction of the
+// residual column across multiple row groups, plus projection onto the
+// residual column alone (its multi-chunk layout must skip cleanly).
+func TestRoundTripResidual(t *testing.T) {
+	tb := clickTable(2400, 600, 72)
+	thr := []float64{0, 0, 0.05}
+	opts := residualOpts()
+	opts.RowGroupSize = 700
+	res, err := Compress(tb, thr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(res.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.EqualWithin(got, tolerances(tb, thr)); err != nil {
+		t.Fatal(err)
+	}
+	pres, err := DecompressContext(t.Context(), res.Archive,
+		DecompressOptions{Columns: []string{"user"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tb.Str[0] {
+		if pres.Table.Str[0][r] != tb.Str[0][r] {
+			t.Fatalf("projected row %d: %q != %q", r, pres.Table.Str[0][r], tb.Str[0][r])
+		}
+	}
+}
+
+// TestResidualDeterminism requires byte-identical archives at Parallelism
+// 1, 4, and NumCPU — the whole-pipeline determinism contract.
+func TestResidualDeterminism(t *testing.T) {
+	tb := clickTable(1500, 400, 73)
+	thr := []float64{0, 0, 0.05}
+	var first []byte
+	for _, p := range []int{1, 4, runtime.NumCPU()} {
+		opts := residualOpts()
+		opts.Parallelism = p
+		opts.RowGroupSize = 500
+		res, err := Compress(tb, thr, opts)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if first == nil {
+			first = res.Archive
+		} else if !bytes.Equal(first, res.Archive) {
+			t.Fatalf("archive at parallelism %d differs from parallelism 1", p)
+		}
+		dec, err := DecompressContext(t.Context(), res.Archive, DecompressOptions{Parallelism: p})
+		if err != nil {
+			t.Fatalf("decompress at parallelism %d: %v", p, err)
+		}
+		if err := tb.EqualWithin(dec.Table, tolerances(tb, thr)); err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+	}
+}
+
+// TestResidualZoneMapSoundness checks value-by-value that every decoded value
+// of every group — residual column included — is admitted by its zone map.
+func TestResidualZoneMapSoundness(t *testing.T) {
+	tb := clickTable(1200, 300, 74)
+	opts := residualOpts()
+	opts.RowGroupSize = 250
+	res, err := Compress(tb, []float64{0, 0, 0.05}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkZoneSoundness(t, res.Archive)
+}
+
+// TestResidualCorruptStreams mutates every region of a residual archive (with
+// a refreshed outer CRC so mutations reach the parser) and requires decode to
+// either succeed or fail with ErrCorrupt — never panic, never misclassify.
+func TestResidualCorruptStreams(t *testing.T) {
+	tb := clickTable(900, 300, 75)
+	opts := residualOpts()
+	opts.RowGroupSize = 300
+	res, err := Compress(tb, []float64{0, 0, 0.05}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), res.Archive...)
+	for pos := 0; pos < len(mut); pos += 7 {
+		orig := mut[pos]
+		mut[pos] ^= 0x55
+		archive := refreshCRC(mut)
+		if _, err := Decompress(archive); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("mutation at %d: unclassified error %v", pos, err)
+		}
+		mut[pos] = orig
+	}
+}
+
+// TestResidualStreamBatches runs the streaming scenario over the residual
+// path: batches with unseen values re-fit their dictionary and round-trip as
+// long as the alphabet fits the trained digit capacity; a batch whose
+// alphabet outgrows Base^Digits is rejected as a retrain signal.
+func TestResidualStreamBatches(t *testing.T) {
+	train := clickTable(1500, 400, 76)
+	thr := []float64{0, 0, 0.05}
+	s, _, err := NewStream(train, thr, residualOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The streaming entry points size the digit layout with 2x headroom over
+	// the pilot alphabet — residual digits have no escape path, so the
+	// trained capacity must absorb alphabets later batches grow. A batch with
+	// 500 distinct IDs, shifted so 120 of them were never seen in training,
+	// re-fits its dictionary and still fits the digits.
+	batch := clickTableFrom(1500, 500, 20, 77)
+	bres, err := s.CompressBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressBatch(s.ModelArchive(), bres.Archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.EqualWithin(got, tolerances(batch, thr)); err != nil {
+		t.Fatal(err)
+	}
+	// A batch whose alphabet outgrows Base^Digits must be rejected.
+	m, err := parseArchiveMeta(s.ModelArchive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := m.plan.Cols[0].ResLayout().Max()
+	over := clickTable(3*(capacity+1), capacity+1, 78)
+	if _, err := s.CompressBatch(over); err == nil {
+		t.Fatalf("batch with %d distinct values accepted beyond capacity %d", capacity+1, capacity)
+	}
+}
+
+// TestResidualWriterAlphabetGrowth streams a table whose second row group
+// carries a larger alphabet than the pilot group the plan is trained on. The
+// 2x layout headroom NewArchiveWriter applies must absorb the growth (pilot
+// 300 IDs -> capacity >= 600, later group re-fits 450 IDs), while an explicit
+// exact-fit headroom of 1 must reject the same stream as a retrain signal.
+func TestResidualWriterAlphabetGrowth(t *testing.T) {
+	part1 := clickTable(1000, 300, 80)
+	part2 := clickTableFrom(2000, 450, 0, 81)
+	tb := dataset.NewTable(part1.Schema, 0)
+	appendRows(tb, part1, 0, part1.NumRows())
+	appendRows(tb, part2, 0, part2.NumRows())
+	thr := []float64{0, 0, 0.05}
+
+	stream := func(headroom float64) ([]byte, error) {
+		opts := residualOpts()
+		opts.RowGroupSize = 1000
+		opts.Preproc.ResidualHeadroom = headroom
+		var buf bytes.Buffer
+		aw, err := NewArchiveWriter(&buf, tb.Schema, thr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo < tb.NumRows(); lo += 1000 {
+			hi := lo + 1000
+			if hi > tb.NumRows() {
+				hi = tb.NumRows()
+			}
+			chunk := dataset.NewTable(tb.Schema, hi-lo)
+			appendRows(chunk, tb, lo, hi)
+			if err := aw.Write(chunk); err != nil {
+				return nil, err
+			}
+		}
+		if err := aw.Close(); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+
+	archive, err := stream(0) // 0 = streaming default of 2x
+	if err != nil {
+		t.Fatalf("streaming with default headroom: %v", err)
+	}
+	m, err := parseArchiveMeta(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.plan.Cols[0].Kind != preprocess.KindCatResidual {
+		t.Fatalf("user column kind %v, want residual (pilot misclassified)", m.plan.Cols[0].Kind)
+	}
+	got, err := Decompress(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.EqualWithin(got, tolerances(tb, thr)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := stream(1); err == nil || !strings.Contains(err.Error(), "retrain") {
+		t.Fatalf("exact-fit stream: got %v, want a retrain-needed rejection", err)
+	}
+}

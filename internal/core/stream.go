@@ -35,6 +35,7 @@ type Stream struct {
 // together with the initial batch's compression result. The result's
 // archive is the model archive: keep it, every batch needs it to decompress.
 func NewStream(train *dataset.Table, thresholds []float64, opts Options) (*Stream, *Result, error) {
+	opts.Preproc = streamingResidualHeadroom(opts.Preproc)
 	res, experts, md, err := compress(context.Background(), nil, train, thresholds, opts)
 	if err != nil {
 		return nil, nil, err
@@ -117,6 +118,18 @@ func (s *Stream) fitBatchPlan(batch *dataset.Table) (*preprocess.Plan, error) {
 	return refitPlan(batch, s.trainPlan, s.thresholds, s.opts)
 }
 
+// streamingResidualHeadroom applies the streaming default for residual
+// layout slack: the plan is fitted on a pilot batch that undercounts the
+// alphabet later batches may carry, and residual digits have no escape
+// path, so the digit layout is sized for twice the pilot's distinct count.
+// An explicit caller-set headroom (any non-zero value) is kept as-is.
+func streamingResidualHeadroom(p preprocess.Options) preprocess.Options {
+	if p.ResidualCats && p.ResidualHeadroom == 0 {
+		p.ResidualHeadroom = 2
+	}
+	return p
+}
+
 // refitPlan re-fits per-batch preprocessing state while pinning the
 // decisions the trained model depends on: every column keeps its training
 // kind, and categorical model alphabets keep their training size. Values
@@ -143,6 +156,21 @@ func refitPlan(batch *dataset.Table, trainPlan *preprocess.Plan, thresholds []fl
 			}
 			bc.Kind = preprocess.KindCatModel
 			bc.ModelCard = tc.ModelCard
+		case preprocess.KindCatResidual:
+			// Pin the trained digit layout. Residual digits have no escape
+			// path — every batch rank must fit inside Base^Digits — so a
+			// batch whose alphabet outgrows the trained capacity is a hard
+			// retrain signal rather than a failure-stream entry.
+			if bc.Dict == nil {
+				bc.Dict = preprocess.BuildDictionary(batch.Str[col])
+			}
+			bc.Kind = preprocess.KindCatResidual
+			bc.ModelCard = tc.ModelCard
+			bc.ResDigits = tc.ResDigits
+			if l := bc.ResLayout(); bc.Dict.Len() > l.Max() {
+				return nil, fmt.Errorf("core: column %q has %d distinct values, exceeding the trained residual capacity %d (retrain needed)",
+					batch.Schema.Columns[col].Name, bc.Dict.Len(), l.Max())
+			}
 		case preprocess.KindBinary:
 			if bc.Dict == nil {
 				bc.Dict = preprocess.BuildDictionary(batch.Str[col])

@@ -86,6 +86,7 @@ func NewArchiveWriter(w io.Writer, schema *dataset.Schema, thresholds []float64,
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	opts.Preproc = streamingResidualHeadroom(opts.Preproc)
 	pool := pipeline.NewPool(opts.Parallelism)
 	return &ArchiveWriter{
 		w:          w,
@@ -312,6 +313,7 @@ func (aw *ArchiveWriter) flushGroup(chunk *dataset.Table) error {
 	var dims [][]int64
 	fs := &failureSet{
 		ints:       make(map[int][]int64),
+		resInts:    make(map[int][][]int64),
 		exceptions: make(map[int][]int64),
 		contMask:   make(map[int][]int64),
 		contVals:   make(map[int][]float64),
@@ -335,10 +337,17 @@ func (aw *ArchiveWriter) flushGroup(chunk *dataset.Table) error {
 			return err
 		}
 	} else {
-		for _, col := range md.specCols {
-			if md.plan.Cols[col].Kind == preprocess.KindNumContinuous {
+		for si, col := range md.specCols {
+			cp := &md.plan.Cols[col]
+			switch cp.Kind {
+			case preprocess.KindNumContinuous:
 				fs.contMask[col] = []int64{}
-			} else {
+			case preprocess.KindCatResidual:
+				if fs.resInts[col] == nil {
+					fs.resInts[col] = make([][]int64, cp.ResDigits)
+				}
+				fs.resInts[col][md.specDigit[si]] = []int64{}
+			default:
 				fs.ints[col] = []int64{}
 			}
 		}
@@ -350,6 +359,7 @@ func (aw *ArchiveWriter) flushGroup(chunk *dataset.Table) error {
 		planChunk: planChunk,
 		dims:      dims,
 		ints:      fs.ints,
+		res:       fs.resInts,
 		exc:       fs.exceptions,
 		mask:      fs.contMask,
 		vals:      fs.contVals,

@@ -163,6 +163,18 @@ func (m *archiveMeta) collectGroupStreams(r *sectionReader, count int, acc *stre
 		cp := &m.plan.Cols[col]
 		name := m.plan.Schema.Columns[col].Name
 		switch {
+		case cp.Kind == preprocess.KindCatResidual:
+			// One rank-of-prediction failure stream per residual digit; the
+			// digits share the column's "failures" stat.
+			for d := 0; d < cp.ResDigits; d++ {
+				c, err := r.chunk()
+				if err != nil {
+					return err
+				}
+				if err := acc.addInts(name, "failures", c, count); err != nil {
+					return err
+				}
+			}
 		case lo.specOfCol[col] >= 0 && cp.Kind == preprocess.KindNumContinuous:
 			c, err := r.chunk()
 			if err != nil {

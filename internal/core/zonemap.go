@@ -137,7 +137,9 @@ func computeGroupZones(t *dataset.Table, perm []int, headerPlan, groupPlan *prep
 		hp := &headerPlan.Cols[col]
 		gp := &groupPlan.Cols[col]
 		switch hp.Kind {
-		case preprocess.KindCatModel, preprocess.KindBinary:
+		case preprocess.KindCatModel, preprocess.KindBinary, preprocess.KindCatResidual:
+			// Residual columns zone over the same dictionary codes as other
+			// categoricals: the digit factoring is invisible to zone maps.
 			zones[col] = catZone(t.Str[col], perm, hp.Dict)
 		case preprocess.KindNumQuant:
 			mn, mx, ok := minMaxAt(t.Num[col], perm)
@@ -227,7 +229,7 @@ func appendZoneStatsPayload(dst []byte, zones [][]ZoneMap) []byte {
 // carry for a column, or -1 when the kind admits no encoded-domain range.
 func zoneIntLimit(cp *preprocess.ColPlan) int64 {
 	switch cp.Kind {
-	case preprocess.KindCatModel, preprocess.KindBinary:
+	case preprocess.KindCatModel, preprocess.KindBinary, preprocess.KindCatResidual:
 		return int64(cp.Dict.Len())
 	case preprocess.KindNumQuant:
 		return int64(cp.Quant.NumBucket)
@@ -294,7 +296,8 @@ func parseZoneStats(payload []byte, plan *preprocess.Plan, ngroups int) ([][]Zon
 				}
 				z.Min, z.Max = int64(lo), int64(hi)
 			case ZoneBitmap:
-				if cp.Kind != preprocess.KindCatModel && cp.Kind != preprocess.KindBinary {
+				if cp.Kind != preprocess.KindCatModel && cp.Kind != preprocess.KindBinary &&
+					cp.Kind != preprocess.KindCatResidual {
 					return nil, fmt.Errorf("%w: column %d kind %v with bitmap zone", ErrCorrupt, col, cp.Kind)
 				}
 				nb, err := r.uvarint()

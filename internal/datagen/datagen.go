@@ -35,7 +35,8 @@ type Generator struct {
 	Gen func(rng *rand.Rand, rows int) *dataset.Table
 }
 
-// All returns the five paper datasets in Table 1 order.
+// All returns the five paper datasets in Table 1 order, plus the clickstream
+// extension fixture (not in Table 1) that exercises the residual-digit path.
 func All() []Generator {
 	return []Generator{
 		{Name: "corel", PaperRows: 68_000, PaperRawMB: 20, DefaultRows: 20_000, CatCols: 0, NumCols: 32, Gen: Corel},
@@ -43,6 +44,7 @@ func All() []Generator {
 		{Name: "census", PaperRows: 2_500_000, PaperRawMB: 339, DefaultRows: 20_000, CatCols: 68, NumCols: 0, Gen: Census},
 		{Name: "monitor", PaperRows: 23_400_000, PaperRawMB: 3300, DefaultRows: 30_000, CatCols: 0, NumCols: 17, Gen: Monitor},
 		{Name: "criteo", PaperRows: 946_000_000, PaperRawMB: 277_000, DefaultRows: 30_000, CatCols: 27, NumCols: 13, Gen: Criteo},
+		{Name: "clickstream", DefaultRows: 30_000, CatCols: 5, NumCols: 3, Gen: Clickstream},
 	}
 }
 
@@ -375,9 +377,79 @@ func Criteo(rng *rand.Rand, rows int) *dataset.Table {
 	return t
 }
 
+// Clickstream synthesizes a web clickstream log — the workload the
+// residual-digit path (KindCatResidual) is for. The user-ID and URL columns
+// draw Zipf-reused ids out of large spaces (2¹⁷ users, 2¹⁶ pages), so tens
+// of thousands of distinct values appear at realistic row counts while every
+// value still repeats: far too many for an ordinary softmax alphabet, yet
+// nowhere near unique. Users carry sticky attributes (country, device) and
+// pages sit under a handful of referrer domains, giving the autoencoder
+// cross-column structure to squeeze.
+func Clickstream(rng *rand.Rand, rows int) *dataset.Table {
+	cols := []dataset.Column{
+		{Name: "user_id", Type: dataset.Categorical},
+		{Name: "url", Type: dataset.Categorical},
+		{Name: "referrer", Type: dataset.Categorical},
+		{Name: "device", Type: dataset.Categorical},
+		{Name: "country", Type: dataset.Categorical},
+		{Name: "dwell_ms", Type: dataset.Numeric},
+		{Name: "bytes_sent", Type: dataset.Numeric},
+		{Name: "click_depth", Type: dataset.Numeric},
+	}
+	t := dataset.NewTable(dataset.NewSchema(cols...), rows)
+	const userSpace = 1 << 17
+	const pageSpace = 1 << 16
+	referrers := []string{"search", "social", "mail", "direct", "ads", "feed"}
+	devices := []string{"mobile", "desktop", "tablet", "tv"}
+	countries := []string{"us", "de", "jp", "br", "in", "fr", "uk", "cn"}
+	cat := make([]string, 5)
+	num := make([]float64, 3)
+	for r := 0; r < rows; r++ {
+		u := zipfHead(rng, userSpace)
+		p := zipfHead(rng, pageSpace)
+		// Sticky per-user attributes and per-page referrer mix: a hash of the
+		// id, occasionally perturbed, so columns correlate without being
+		// functionally determined.
+		dev := (u * 2654435761) % len(devices)
+		ctry := (u * 40503) % len(countries)
+		ref := (p * 2654435761) % len(referrers)
+		if rng.Float64() < 0.08 {
+			ref = rng.Intn(len(referrers))
+		}
+		depth := 1 + float64(zipf(rng, 20))
+		pop := 1.0 / float64(p+1)
+		cat[0] = fmt.Sprintf("user-%08x-%04x", u, (u*40503)&0xffff)
+		cat[1] = fmt.Sprintf("/content/%06x/v%02x", p, (p*2654435761)&0xff)
+		cat[2] = referrers[ref]
+		cat[3] = devices[dev]
+		cat[4] = countries[ctry]
+		num[0] = math.Floor(200 + 4000*pop + 300*depth + math.Abs(rng.NormFloat64())*250)
+		num[1] = math.Floor(2e3 + 5e4*pop + math.Abs(rng.NormFloat64())*1e3)
+		num[2] = depth
+		t.AppendRow(cat, num)
+	}
+	return t
+}
+
 // zipf draws a Zipf-ish value in [0, n) with exponent ~1.
 func zipf(rng *rand.Rand, n int) int {
 	v := int(math.Exp(rng.Float64()*math.Log(float64(n)))) - 1
+	if v < 0 {
+		v = 0
+	}
+	if v >= n {
+		v = n - 1
+	}
+	return v
+}
+
+// zipfHead draws from a head-heavier Zipf-like distribution in [0, n): the
+// log-uniform exponent is a product of two uniforms, concentrating mass on
+// the popular ids the way real traffic does — most rows hit a core of hot
+// users and pages while the long tail keeps the distinct count in the
+// thousands.
+func zipfHead(rng *rand.Rand, n int) int {
+	v := int(math.Exp(rng.Float64()*rng.Float64()*math.Log(float64(n)))) - 1
 	if v < 0 {
 		v = 0
 	}

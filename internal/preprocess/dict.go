@@ -7,9 +7,12 @@
 package preprocess
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 )
 
@@ -99,6 +102,66 @@ func (d *Dictionary) AppendBinary(dst []byte) []byte {
 		dst = append(dst, v...)
 	}
 	return dst
+}
+
+// appendPacked serializes the dictionary with its body DEFLATE-compressed:
+// raw-size varint, frame-size varint, then the compressed AppendBinary form.
+// Residual-digit plans use this shape — their dictionaries carry every
+// distinct value of a high-cardinality column, orders of magnitude larger
+// than a model alphabet, and the frequency-sorted value strings share long
+// prefixes that DEFLATE folds away.
+func (d *Dictionary) appendPacked(dst []byte) []byte {
+	raw := d.AppendBinary(nil)
+	var buf bytes.Buffer
+	zw, err := flate.NewWriter(&buf, flate.BestCompression)
+	if err != nil {
+		panic(err) // only reachable with an invalid level constant
+	}
+	zw.Write(raw)
+	zw.Close()
+	dst = binary.AppendUvarint(dst, uint64(len(raw)))
+	dst = binary.AppendUvarint(dst, uint64(buf.Len()))
+	return append(dst, buf.Bytes()...)
+}
+
+// decodePackedDictionary parses a dictionary serialized by appendPacked and
+// returns it with the number of bytes consumed.
+func decodePackedDictionary(buf []byte) (*Dictionary, int, error) {
+	rawLen, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("%w: missing packed dictionary size", ErrCorrupt)
+	}
+	pos := sz
+	frameLen, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("%w: missing packed dictionary frame size", ErrCorrupt)
+	}
+	pos += sz
+	if frameLen > uint64(len(buf)-pos) {
+		return nil, 0, fmt.Errorf("%w: packed dictionary overruns buffer", ErrCorrupt)
+	}
+	// DEFLATE expands at most ~1032:1, so a raw size past that bound cannot
+	// be honest — reject it before it becomes an allocation amplifier.
+	if rawLen > (frameLen+64)*1100 {
+		return nil, 0, fmt.Errorf("%w: packed dictionary claims %d raw bytes from a %d-byte frame", ErrCorrupt, rawLen, frameLen)
+	}
+	zr := flate.NewReader(bytes.NewReader(buf[pos : pos+int(frameLen)]))
+	raw := make([]byte, rawLen)
+	if _, err := io.ReadFull(zr, raw); err != nil {
+		return nil, 0, fmt.Errorf("%w: packed dictionary: %v", ErrCorrupt, err)
+	}
+	var one [1]byte
+	if n, _ := zr.Read(one[:]); n != 0 {
+		return nil, 0, fmt.Errorf("%w: packed dictionary longer than declared", ErrCorrupt)
+	}
+	d, used, err := DecodeDictionary(raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	if used != len(raw) {
+		return nil, 0, fmt.Errorf("%w: trailing packed dictionary bytes", ErrCorrupt)
+	}
+	return d, pos + int(frameLen), nil
 }
 
 // DecodeDictionary parses a dictionary serialized by AppendBinary and

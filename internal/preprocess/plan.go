@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"deepsqueeze/internal/dataset"
+	"deepsqueeze/internal/resbit"
 )
 
 // ColKind classifies how a column travels through the pipeline.
@@ -35,6 +36,13 @@ const (
 	// scaled value directly, predictions within the threshold are accepted
 	// as-is, and mispredictions are materialized at full precision.
 	KindNumContinuous
+	// KindCatResidual is a high-cardinality categorical column kept inside
+	// the model as ResDigits stacked base-ModelCard residual digits
+	// (ResBit): the dictionary rank factors into small digits, each with
+	// its own softmax head and its own rank-of-prediction failure stream.
+	// Digits recompose exactly, so round-trips stay lossless and the
+	// recomposed rank keeps ordinary dictionary (and zone-map) semantics.
+	KindCatResidual
 )
 
 // String names the kind.
@@ -54,6 +62,8 @@ func (k ColKind) String() string {
 		return "fallback-numeric"
 	case KindNumContinuous:
 		return "continuous"
+	case KindCatResidual:
+		return "residual"
 	default:
 		return fmt.Sprintf("colkind(%d)", byte(k))
 	}
@@ -83,6 +93,20 @@ type Options struct {
 	// NoQuantization disables error-threshold quantization: lossy numeric
 	// columns become KindNumContinuous (the paper's Fig. 7 ablation).
 	NoQuantization bool
+	// ResidualCats routes categorical columns whose alphabet exceeds
+	// MaxModelCardinality through residual digits (KindCatResidual)
+	// instead of into the colfile fallback. Near-unique columns (see
+	// FallbackDistinctRatio) still fall back: a column with no value reuse
+	// has no structure for the model to learn.
+	ResidualCats bool
+	// ResidualHeadroom inflates the cardinality used to choose a residual
+	// digit layout, as a multiplier on the observed distinct count.
+	// Residual digits have no escape path, so a plan fitted on a pilot
+	// sample — the streaming writer trains on its first chunk — needs the
+	// layout to cover alphabets later batches may grow. Values <= 1 size
+	// the layout exactly (the in-memory compressor sees the whole table
+	// and needs no slack); NewStream and NewArchiveWriter default it to 2.
+	ResidualHeadroom float64
 }
 
 // DefaultOptions mirrors the behaviour described in the paper.
@@ -108,8 +132,19 @@ type ColPlan struct {
 
 	// ModelCard is the size of the alphabet the model predicts for this
 	// column: dictionary prefix size for categoricals, bucket count for
-	// quantized numerics, value-dict size for KindNumDict, 2 for binary.
+	// quantized numerics, value-dict size for KindNumDict, 2 for binary,
+	// and the per-digit base for KindCatResidual.
 	ModelCard int
+
+	// ResDigits is the residual digit count for KindCatResidual (0
+	// otherwise): the column occupies ResDigits consecutive model heads,
+	// each over a base-ModelCard alphabet.
+	ResDigits int
+}
+
+// ResLayout returns the residual digit layout of a KindCatResidual column.
+func (cp *ColPlan) ResLayout() resbit.Layout {
+	return resbit.Layout{Base: cp.ModelCard, Digits: cp.ResDigits}
 }
 
 // Plan is a fitted preprocessor for one table schema.
@@ -152,8 +187,21 @@ func Fit(t *dataset.Table, opts Options, thresholds []float64) (*Plan, error) {
 func fitCategorical(col []string, opts Options) (ColPlan, error) {
 	dict := BuildDictionary(col)
 	d := dict.Len()
-	if d > opts.FallbackMaxDistinct ||
-		(len(col) > 0 && float64(d) > opts.FallbackDistinctRatio*float64(len(col))) {
+	nearUnique := len(col) > 0 && float64(d) > opts.FallbackDistinctRatio*float64(len(col))
+	if opts.ResidualCats && !nearUnique && d > opts.MaxModelCardinality {
+		// Residual digits: the whole alphabet enters the model as stacked
+		// small heads, rescuing both the escape-heavy range above
+		// MaxModelCardinality and the outright fallback range above
+		// FallbackMaxDistinct. Near-unique columns stay fallback — with no
+		// value reuse there is nothing for the model to learn.
+		target := d
+		if opts.ResidualHeadroom > 1 {
+			target = int(math.Ceil(float64(d) * opts.ResidualHeadroom))
+		}
+		l := resbit.For(target)
+		return ColPlan{Kind: KindCatResidual, Dict: dict, ModelCard: l.Base, ResDigits: l.Digits}, nil
+	}
+	if d > opts.FallbackMaxDistinct || nearUnique {
 		return ColPlan{Kind: KindFallbackCat, Dict: dict}, nil
 	}
 	if d == 2 {
@@ -238,7 +286,7 @@ func (p *Plan) ModelColumnIndexes() []int {
 func (p *Plan) Encode(t *dataset.Table, col int) ([]int, error) {
 	cp := &p.Cols[col]
 	switch cp.Kind {
-	case KindCatModel, KindBinary, KindFallbackCat:
+	case KindCatModel, KindBinary, KindFallbackCat, KindCatResidual:
 		return cp.Dict.Encode(t.Str[col])
 	case KindNumQuant:
 		out := make([]int, t.NumRows())
@@ -266,7 +314,7 @@ func (p *Plan) Encode(t *dataset.Table, col int) ([]int, error) {
 func (p *Plan) DecodeColumn(dst *dataset.Table, col int, codes []int) error {
 	cp := &p.Cols[col]
 	switch cp.Kind {
-	case KindCatModel, KindBinary, KindFallbackCat:
+	case KindCatModel, KindBinary, KindFallbackCat, KindCatResidual:
 		vals, err := cp.Dict.Decode(codes)
 		if err != nil {
 			return err
@@ -363,6 +411,11 @@ func (p *Plan) AppendBinary(dst []byte) []byte {
 		switch cp.Kind {
 		case KindCatModel, KindBinary:
 			dst = cp.Dict.AppendBinary(dst)
+		case KindCatResidual:
+			// Residual dictionaries hold the column's full distinct set, so
+			// they travel DEFLATE-packed rather than raw like model alphabets.
+			dst = cp.Dict.appendPacked(dst)
+			dst = binary.AppendUvarint(dst, uint64(cp.ResDigits))
 		case KindFallbackCat:
 			// Fallback columns store raw values in the data section; the
 			// dictionary is a fitting artifact and is not archived.
@@ -422,6 +475,26 @@ func DecodePlan(buf []byte) (*Plan, int, error) {
 			}
 			cp.Dict = d
 			pos += used
+		case KindCatResidual:
+			d, used, err := decodePackedDictionary(buf[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			cp.Dict = d
+			pos += used
+			rd, sz := binary.Uvarint(buf[pos:])
+			if sz <= 0 {
+				return nil, 0, fmt.Errorf("%w: truncated residual digit count", ErrCorrupt)
+			}
+			cp.ResDigits = int(rd)
+			pos += sz
+			// An invalid layout would feed garbage head widths into the
+			// model wiring; a layout too small for the dictionary could
+			// never have been written by the encoder.
+			if l := cp.ResLayout(); !l.Valid() || l.Max() < cp.Dict.Len() {
+				return nil, 0, fmt.Errorf("%w: residual layout base=%d digits=%d cannot cover %d values",
+					ErrCorrupt, cp.ModelCard, cp.ResDigits, cp.Dict.Len())
+			}
 		case KindFallbackCat:
 			// no archived parameters
 		case KindNumQuant, KindNumContinuous:

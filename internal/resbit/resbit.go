@@ -1,0 +1,143 @@
+// Package resbit factors a dictionary rank over a large alphabet into a
+// fixed number of small base-B "residual digits" (ResBit, Fuchi et al.).
+// A cardinality-C column becomes Digits stacked digits, each over an
+// alphabet of Base values, so the shared softmax decoder predicts each
+// digit with a head of width Base instead of one head of width C — a
+// width explosion avoided at the cost of a few extra output heads.
+//
+// The layout is a plain positional numeral system: rank r maps to digits
+// d_0..d_{k-1} (least significant first) with r = Σ d_i · Base^i. Digits
+// recompose to the exact rank, so round-trips are lossless and a
+// recomposed rank keeps ordinary dictionary semantics (zone-map
+// ZoneIntRange/ZoneBitmap pruning over ranks stays sound).
+package resbit
+
+import "fmt"
+
+// MaxBase bounds the per-digit alphabet. 64 keeps each digit head small
+// relative to MaxModelCardinality while covering 64^2 = 4096 with two
+// digits and 64^3 = 262144 with three.
+const MaxBase = 64
+
+// MinBase floors the per-digit alphabet for multi-digit layouts. Below 16
+// the heads are individually cheap but the digit count — and with it the
+// per-digit fixed overhead — grows faster than the heads shrink.
+const MinBase = 16
+
+// Layout fixes the digit factorization for one column's alphabet.
+type Layout struct {
+	// Base is the per-digit alphabet size, in [1, MaxBase].
+	Base int
+	// Digits is the number of stacked digits.
+	Digits int
+}
+
+// For chooses the layout for an alphabet of card values. Each digit costs
+// a softmax head of Base output units plus a fixed share of overhead —
+// its input wiring and one failure stream per row group — worth roughly
+// one MinBase-wide head, so For minimizes Digits*(Base+MinBase) over the
+// covering layouts with Base in [MinBase, MaxBase] (ties prefer fewer
+// digits). Alphabets at or under MaxBase stay a single exact digit. card
+// must be >= 1.
+func For(card int) Layout {
+	if card < 1 {
+		panic(fmt.Sprintf("resbit: cardinality %d < 1", card))
+	}
+	if card <= MaxBase {
+		return Layout{Base: card, Digits: 1}
+	}
+	var best Layout
+	bestCost := 1 << 62
+	for digits := 2; digits <= 8; digits++ {
+		base := coveringBase(card, digits)
+		if base > MaxBase {
+			continue // needs more digits to fit under MaxBase
+		}
+		if base < MinBase {
+			base = MinBase
+		}
+		if cost := digits * (base + MinBase); cost < bestCost {
+			best, bestCost = Layout{Base: base, Digits: digits}, cost
+		}
+		if base == MinBase {
+			break // further digits only add overhead
+		}
+	}
+	return best
+}
+
+// coveringBase returns the smallest base with base^digits >= card.
+func coveringBase(card, digits int) int {
+	lo, hi := 2, MaxBase+1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pow(mid, digits) >= card {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// pow computes b^e with saturation well above any int32 cardinality.
+func pow(b, e int) int {
+	const cap = 1 << 40
+	p := 1
+	for i := 0; i < e; i++ {
+		p *= b
+		if p >= cap {
+			return cap
+		}
+	}
+	return p
+}
+
+// Max returns the exclusive upper bound of representable ranks,
+// Base^Digits.
+func (l Layout) Max() int { return pow(l.Base, l.Digits) }
+
+// Valid reports whether the layout is internally consistent.
+func (l Layout) Valid() bool {
+	return l.Base >= 1 && l.Base <= MaxBase && l.Digits >= 1 && l.Digits <= 8
+}
+
+// Digit extracts digit d (0 = least significant) of rank.
+func (l Layout) Digit(rank, d int) int {
+	for i := 0; i < d; i++ {
+		rank /= l.Base
+	}
+	return rank % l.Base
+}
+
+// Encode appends rank's Digits digits (least significant first) to dst
+// and returns the extended slice. rank must lie in [0, Max()).
+func (l Layout) Encode(rank int, dst []int) []int {
+	if rank < 0 || rank >= l.Max() {
+		panic(fmt.Sprintf("resbit: rank %d outside [0,%d)", rank, l.Max()))
+	}
+	for i := 0; i < l.Digits; i++ {
+		dst = append(dst, rank%l.Base)
+		rank /= l.Base
+	}
+	return dst
+}
+
+// Decode recomposes Digits digits (least significant first) into a rank.
+// Digits outside [0, Base) or a wrong digit count return an error rather
+// than a wrapped-around rank, so corrupt streams surface instead of
+// aliasing to a different value.
+func (l Layout) Decode(digits []int) (int, error) {
+	if len(digits) != l.Digits {
+		return 0, fmt.Errorf("resbit: %d digits for a %d-digit layout", len(digits), l.Digits)
+	}
+	rank, mult := 0, 1
+	for _, d := range digits {
+		if d < 0 || d >= l.Base {
+			return 0, fmt.Errorf("resbit: digit %d outside [0,%d)", d, l.Base)
+		}
+		rank += d * mult
+		mult *= l.Base
+	}
+	return rank, nil
+}

@@ -1,0 +1,147 @@
+package resbit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestForEdgeCases(t *testing.T) {
+	cases := []struct {
+		card       int
+		base, digs int
+	}{
+		{1, 1, 1},             // degenerate single-value alphabet
+		{2, 2, 1},             // binary fits one digit
+		{MaxBase, MaxBase, 1}, // exactly one full digit
+		{MaxBase + 1, 16, 2},  // covering base 9 floors up to MinBase
+		{4096, 16, 3},         // 16^3 beats two 64-wide heads
+		{4097, 17, 3},         // one past a power: 17^3=4913 >= 4097
+		{64 * 64 * 64, 23, 4}, // 23^4=279841: cheaper heads than {64,3}
+		{65536, 16, 4},        // FallbackMaxDistinct default: 16^4 exactly
+		{1_000_000, 16, 5},    // 16^5 = 1048576
+		{400, 20, 2},          // 20^2 covers exactly; 2 digits beat 3
+		{1000, 32, 2},         // {32,2} and {16,3} tie on cost; fewer digits win
+		{289, 17, 2},          // exact square of an odd base
+		{290, 18, 2},          // just past it
+	}
+	for _, c := range cases {
+		l := For(c.card)
+		if l.Base != c.base || l.Digits != c.digs {
+			t.Errorf("For(%d) = {B:%d k:%d}, want {B:%d k:%d}", c.card, l.Base, l.Digits, c.base, c.digs)
+		}
+		if l.Max() < c.card {
+			t.Errorf("For(%d): Max() = %d does not cover the alphabet", c.card, l.Max())
+		}
+		if !l.Valid() {
+			t.Errorf("For(%d) = %+v not Valid", c.card, l)
+		}
+	}
+}
+
+// TestForCoversAndIsMinimal sweeps cardinalities and checks the layout
+// covers the alphabet, keeps multi-digit bases inside [MinBase, MaxBase],
+// uses the smallest admissible base for its digit count, and that no other
+// admissible layout has strictly lower head cost Digits*(Base+MinBase).
+func TestForCoversAndIsMinimal(t *testing.T) {
+	for card := 1; card <= 300_000; card = card*7/6 + 1 {
+		l := For(card)
+		if !l.Valid() {
+			t.Fatalf("For(%d) = %+v not Valid", card, l)
+		}
+		if l.Max() < card {
+			t.Fatalf("For(%d): Max() = %d < card", card, l.Max())
+		}
+		if l.Digits == 1 {
+			if card > MaxBase {
+				t.Fatalf("For(%d) single digit exceeds MaxBase", card)
+			}
+			if l.Base != card {
+				t.Fatalf("For(%d) single digit base %d, want exact", card, l.Base)
+			}
+			continue
+		}
+		if l.Base < MinBase || l.Base > MaxBase {
+			t.Fatalf("For(%d) base %d outside [%d,%d]", card, l.Base, MinBase, MaxBase)
+		}
+		if l.Base > MinBase && pow(l.Base-1, l.Digits) >= card {
+			t.Fatalf("For(%d) base %d not minimal: %d also covers", card, l.Base, l.Base-1)
+		}
+		cost := l.Digits * (l.Base + MinBase)
+		for digits := 2; digits <= 8; digits++ {
+			base := coveringBase(card, digits)
+			if base > MaxBase {
+				continue
+			}
+			if base < MinBase {
+				base = MinBase
+			}
+			if c := digits * (base + MinBase); c < cost {
+				t.Fatalf("For(%d) = %+v costs %d, but {B:%d k:%d} costs %d", card, l, cost, base, digits, c)
+			}
+		}
+	}
+}
+
+// TestQuickRoundTrip drives Encode→Decode and per-digit extraction over
+// random (cardinality, rank) pairs via testing/quick.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(cardSeed uint32, rankSeed uint32) bool {
+		card := int(cardSeed%1_000_000) + 1
+		l := For(card)
+		rank := int(rankSeed) % card
+		digits := l.Encode(rank, nil)
+		if len(digits) != l.Digits {
+			return false
+		}
+		for i, d := range digits {
+			if d != l.Digit(rank, i) {
+				return false
+			}
+		}
+		back, err := l.Decode(digits)
+		return err == nil && back == rank
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadDigits(t *testing.T) {
+	l := For(1000) // {Base:32, Digits:2}
+	if _, err := l.Decode([]int{0}); err == nil {
+		t.Error("short digit slice accepted")
+	}
+	if _, err := l.Decode([]int{0, l.Base}); err == nil {
+		t.Error("digit == Base accepted")
+	}
+	if _, err := l.Decode([]int{-1, 0}); err == nil {
+		t.Error("negative digit accepted")
+	}
+	if r, err := l.Decode([]int{3, 5}); err != nil || r != 3+5*l.Base {
+		t.Errorf("Decode([3 5]) = %d, %v; want %d", r, err, 3+5*l.Base)
+	}
+}
+
+func TestEncodePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode of out-of-range rank did not panic")
+		}
+	}()
+	l := For(100)
+	l.Encode(l.Max(), nil)
+}
+
+func TestCardinalityOne(t *testing.T) {
+	l := For(1)
+	digits := l.Encode(0, nil)
+	if len(digits) != 1 || digits[0] != 0 {
+		t.Fatalf("Encode(0) = %v", digits)
+	}
+	if r, err := l.Decode(digits); err != nil || r != 0 {
+		t.Fatalf("Decode = %d, %v", r, err)
+	}
+	if l.Max() != 1 {
+		t.Fatalf("Max() = %d, want 1", l.Max())
+	}
+}

@@ -91,6 +91,17 @@ echo "== warm-path allocation gate =="
 # here.
 go test -run='^TestWarmCachedQueryAllocs$' -count=1 ./internal/serve
 
+echo "== residual-digit gate =="
+# The resbit subsystem's contracts: digit layouts cover their alphabets at
+# minimal head cost, residual archives round-trip exactly and byte-identically
+# across parallelism levels, corrupt digit streams fail with ErrCorrupt rather
+# than panicking, zone maps over residual columns stay sound value-by-value,
+# and the resbit_v2 golden pins the on-disk digit layout. The ratio bench
+# smoke below additionally enforces the >= 10% archive shrink over the
+# colfile-fallback baseline on the high-cardinality clickstream fixture.
+go test -count=1 ./internal/resbit
+go test -run='TestResidual|TestGoldenArchives/resbit_v2' -count=1 ./internal/core
+
 echo "== query equivalence gate =="
 # Predicate-pushdown results must be byte-identical to decompress-then-
 # filter for randomized predicates at parallelism 1, 4, and NumCPU.
@@ -117,7 +128,9 @@ echo "== ratio bench smoke =="
 # One quick pass of the stream-codec comparison: compresses the skewed
 # categorical fixture under the DEFLATE-only baseline and best-of selection,
 # enforces the >= 10% failure/code shrink bound, and verifies byte-identical
-# archives at parallelism 1, 4, and NumCPU.
+# archives at parallelism 1, 4, and NumCPU. The same pass runs the residual
+# gate: the clickstream fixture's -resbit archive must be >= 10% smaller than
+# its colfile-fallback baseline and exactly lossless.
 (cd "$smokedir" && ./dsbench -exp ratio -quick > /dev/null)
 
 echo "== fuzz smoke =="
